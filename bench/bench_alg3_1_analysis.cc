@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Experiment E3/E5 — Section 3.6 / Figures 3.4-3.5 and 3.7: the full
+ * Algorithm 3.1 walk over the three-output shared-logic network, the
+ * per-line condition classification, the Corollary 3.2 rescue of the
+ * shared line, the not-self-checking verdict, and the fanout-split
+ * repair that fixes it.
+ */
+
+#include <iostream>
+
+#include "core/algorithm31.hh"
+#include "core/repair.hh"
+#include "fault/campaign.hh"
+#include "netlist/circuits.hh"
+#include "util/table.hh"
+
+using namespace scal;
+using namespace scal::netlist;
+
+int
+main()
+{
+    util::banner(std::cout,
+                 "E3 / Algorithm 3.1 on the Section 3.6 three-output "
+                 "network (F1 = AC+B'C+AB', F2 = A^B^C, F3 = MAJ)");
+
+    const Netlist net = circuits::section36Network();
+    const auto report = core::runAlgorithm31(net);
+    core::printReport(std::cout, net, report);
+
+    std::cout << "\nCondition tally per the paper's walk: input and "
+                 "output segments satisfy A, the two-level F1/F3 "
+                 "cones satisfy B, t9's branches into the XOR stage "
+                 "satisfy D, the shared t9 stem needs the "
+                 "multi-output Corollary 3.2, and the private XOR "
+                 "intermediate u (the paper's line-20 role) fails "
+                 "everything.\n";
+
+    util::banner(std::cout,
+                 "E5 / Figure 3.7 — repair by splitting the fanout of "
+                 "the offending line");
+    const auto lines = circuits::section36Lines(net);
+    const Netlist repaired = core::repairByFanoutSplit(net, lines.u, 4);
+    const auto fixed = core::runAlgorithm31(repaired);
+    core::printReport(std::cout, repaired, fixed);
+
+    const auto campaign = fault::runAlternatingCampaign(repaired);
+    std::cout << "\nExhaustive fault-injection cross-check on the "
+                 "repaired network: "
+              << campaign.numDetected << " detected, "
+              << campaign.numUnsafe << " unsafe, "
+              << campaign.numUntestable << " untestable -> "
+              << (campaign.selfChecking() ? "SELF-CHECKING"
+                                          : "NOT self-checking")
+              << "\n";
+    std::cout << "\nPaper: only the subnetwork generating the "
+                 "offending line is modified (17 gates -> "
+              << repaired.cost().gates
+              << " gates here); the repaired network passes every "
+                 "line of Algorithm 3.1.\n";
+    return 0;
+}

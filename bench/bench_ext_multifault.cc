@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Experiment E15 (extension) — beyond the single-fault model: how
+ * much of the SCAL guarantee survives unidirectional and
+ * unrestricted multiple stuck-at faults, and how transient faults
+ * behave in the sequential machines. Quantifies the thesis's caveats
+ * ("not all failures are covered", Section 2.4; multiple-fault
+ * coverage as future work, Section 8.3).
+ */
+
+#include <iostream>
+
+#include "fault/multi.hh"
+#include "netlist/circuits.hh"
+#include "seq/kohavi.hh"
+#include "sim/sequential.hh"
+#include "system/campaign.hh"
+#include "system/rollback.hh"
+#include "util/table.hh"
+
+using namespace scal;
+using namespace scal::netlist;
+
+int
+main()
+{
+    util::banner(std::cout,
+                 "E15a — multiple-fault coverage of self-checking "
+                 "circuits (1000 random fault sets per cell)");
+
+    struct Target
+    {
+        const char *name;
+        Netlist net;
+    };
+    std::vector<Target> targets;
+    targets.push_back({"4-bit ripple adder",
+                       circuits::rippleCarryAdder(4)});
+    targets.push_back({"repaired Sec 3.6 network",
+                       circuits::section36NetworkRepaired()});
+    targets.push_back({"SCAL ALU ADD slice (4-bit)",
+                       system::aluNetlist(system::AluOp::Add, 4)});
+
+    util::Table t({"circuit", "model", "multiplicity", "masked",
+                   "detected", "UNSAFE escapes", "escape rate"});
+    for (const Target &target : targets) {
+        for (bool uni : {true, false}) {
+            for (int k : {1, 2, 3, 4}) {
+                const auto res = fault::runMultiFaultCampaign(
+                    target.net, k, uni, 1000, 99 + k);
+                t.addRow({target.name,
+                          uni ? "unidirectional" : "unrestricted",
+                          util::Table::num((long long)k),
+                          util::Table::num((long long)res.masked),
+                          util::Table::num((long long)res.detected),
+                          util::Table::num((long long)res.unsafe),
+                          util::Table::num(100 * res.unsafeRate(), 2) +
+                              "%"});
+            }
+            t.addRule();
+        }
+    }
+    t.print(std::cout);
+    std::cout
+        << "\nReading: multiplicity 1 reproduces the single-fault "
+           "guarantee (0 escapes). Beyond it the guarantee is not "
+           "claimed and small escape rates appear — two faults can "
+           "conspire to flip an output consistently in both periods. "
+           "Detection still dominates: most multiple faults break "
+           "alternation somewhere.\n";
+
+    util::banner(std::cout,
+                 "E15b — transient faults in the sequential SCAL "
+                 "machines (Section 2.2: transients included)");
+    {
+        const auto table = seq::kohaviDetectorTable();
+        const auto sm = seq::synthesizeDualFlipFlop(table);
+        util::Rng rng(123);
+        std::vector<int> bits;
+        for (int i = 0; i < 200; ++i)
+            bits.push_back(static_cast<int>(rng.below(2)));
+        const auto golden = table.run(bits);
+
+        int detected = 0, benign = 0, silent_state = 0;
+        const auto faults = sm.net.allFaults();
+        for (std::size_t f = 0; f < faults.size(); ++f) {
+            for (long start : {10L, 11L, 44L, 101L}) {
+                sim::SeqSimulator s(sm.net, sm.phiInput);
+                s.setFault(faults[f]);
+                s.setFaultWindow(start, start + 1); // one period
+                bool alarmed = false;
+                bool wrong = false;
+                for (std::size_t i = 0; i < bits.size(); ++i) {
+                    std::vector<bool> in(sm.net.numInputs(), false);
+                    in[0] = bits[i];
+                    const auto o1 = s.stepPeriod(in);
+                    in[0] = !in[0];
+                    const auto o2 = s.stepPeriod(in);
+                    for (int j : sm.zOutputs)
+                        alarmed |= o1[j] == o2[j];
+                    for (int j : sm.yOutputs)
+                        alarmed |= o1[j] == o2[j];
+                    wrong |= static_cast<unsigned>(
+                                 o1[sm.zOutputs[0]]) != golden[i];
+                    if (wrong)
+                        break;
+                }
+                if (alarmed)
+                    ++detected;
+                else if (!wrong)
+                    ++benign;
+                else
+                    ++silent_state;
+            }
+        }
+        util::Table tt({"outcome", "count"});
+        tt.addRow({"alarmed (non-code word observed)",
+                   util::Table::num((long long)detected)});
+        tt.addRow({"benign (no effect)",
+                   util::Table::num((long long)benign)});
+        tt.addRow({"silent wrong output",
+                   util::Table::num((long long)silent_state)});
+        tt.print(std::cout);
+        std::cout
+            << "\nA single-period glitch on any *checked* line is "
+               "caught the moment it happens (the pair fails to "
+               "alternate). The residual silent cases are glitches "
+               "confined to a flip-flop data pin between checks — "
+               "the corrupted state is a valid wrong state, exactly "
+               "the observability limit the thesis notes for "
+               "transients (\"may or may not be observable\").\n";
+    }
+
+    util::banner(std::cout,
+                 "E15c — checkpoint/rollback recovery on the SCAL "
+                 "computer (Shedletsky's rollback direction)");
+    {
+        using namespace system;
+        const Workload wl = standardWorkloads()[1]; // fib12
+        const auto golden = goldenOutput(wl);
+        const netlist::Netlist alu = aluNetlist(AluOp::Add);
+        const netlist::Fault fault{
+            {alu.outputs()[0], netlist::FaultSite::kStem, -1}, true};
+
+        int clean = 0, recovered = 0, gave_up = 0, corrupted = 0;
+        for (long at = 0; at < 60; ++at) {
+            RollbackScalCpu cpu(wl.prog);
+            cpu.preload(wl.data);
+            cpu.injectTransientAluFault(AluOp::Add, fault, at, at + 2);
+            const auto r = cpu.run();
+            if (r.gaveUp)
+                ++gave_up;
+            else if (r.output != golden)
+                ++corrupted;
+            else if (r.recovered)
+                ++recovered;
+            else
+                ++clean;
+        }
+        // And one permanent fault for contrast.
+        RollbackScalCpu perm(wl.prog);
+        perm.preload(wl.data);
+        perm.injectPermanentAluFault(AluOp::Add, fault);
+        const auto pr = perm.run();
+
+        util::Table rt({"scenario", "count"});
+        rt.addRow({"transient unfelt (no rollback needed)",
+                   util::Table::num((long long)clean)});
+        rt.addRow({"transient recovered by rollback",
+                   util::Table::num((long long)recovered)});
+        rt.addRow({"gave up (should be 0 for transients)",
+                   util::Table::num((long long)gave_up)});
+        rt.addRow({"corrupted output (must be 0)",
+                   util::Table::num((long long)corrupted)});
+        rt.print(std::cout);
+        std::cout << "permanent fault: "
+                  << (pr.gaveUp ? "retry budget exhausted and reported"
+                                : "NOT reported (unexpected)")
+                  << " after " << pr.rollbacks << " attempts\n"
+                  << "\nDetection-before-corruption is what makes the "
+                     "rollback sound: the checkpointed machine never "
+                     "commits a wrong word, so re-execution from the "
+                     "checkpoint is always safe.\n";
+    }
+    return 0;
+}

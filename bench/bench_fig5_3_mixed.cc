@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Experiment E9 — Section 5.4 / Figures 5.3-5.4: the mixed checker.
+ * Regenerates the Algorithm 5.1 partition of the nine-output worked
+ * example and the cost comparison against the dual-rail-only
+ * checker, then runs the planner on the real Section 3.6 networks.
+ */
+
+#include <iostream>
+#include <sstream>
+
+#include "checker/mixed.hh"
+#include "netlist/circuits.hh"
+#include "util/table.hh"
+
+using namespace scal;
+using checker::MixedCheckerPlan;
+
+namespace
+{
+
+void
+costRows(util::Table &t, const std::string &name,
+         const MixedCheckerPlan &plan)
+{
+    const auto base = plan.dualRailOnlyCost();
+    const auto opt1 = plan.cost(true);
+    const auto opt2 = plan.cost(false);
+    auto row = [&](const std::string &variant,
+                   const MixedCheckerPlan::Cost &c) {
+        t.addRow({name, variant,
+                  util::Table::num((long long)c.xor3Gates),
+                  util::Table::num((long long)c.twoInputGates),
+                  util::Table::num((long long)c.flipFlops)});
+    };
+    row("dual-rail only (Fig 5.3a)", base);
+    row("mixed, XOR final stage (Fig 5.4a)", opt1);
+    row("mixed, dual-rail final stage (Fig 5.4b)", opt2);
+}
+
+} // namespace
+
+int
+main()
+{
+    util::banner(std::cout,
+                 "E9 / Section 5.4 — Algorithm 5.1 mixed checker "
+                 "design");
+
+    const MixedCheckerPlan example = checker::section54Example();
+    std::cout << "\nNine-output worked example (groups {4,5,6}, "
+                 "{6,7}, {8,9}; outputs 5 and 8 can alternate "
+                 "incorrectly):\n  partition ";
+    example.print(std::cout);
+    std::cout << "  paper:     A = {1,2,3,4,9}  B1 = {5,6,7}  "
+                 "B2 = {8}\n";
+
+    util::Table t({"plan", "variant", "3-input XORs", "2-input gates",
+                   "flip-flops"});
+    costRows(t, "Section 5.4 example", example);
+    t.addRule();
+    costRows(t, "Section 3.6 network",
+             checker::planMixedChecker(
+                 netlist::circuits::section36Network()));
+    t.print(std::cout);
+
+    std::cout
+        << "\nPaper costs for the example: dual-rail only = 48 gates "
+           "+ 9 FF; option 1 = three 3-input XORs + 18 gates + 4 FF "
+           "(matched exactly); option 2 = two 3-input XORs + 24 "
+           "gates + 4 FF (we count one extra XOR-tree gate and the "
+           "explicit first-period latch the paper folds into reused "
+           "feedback storage). Either way the mixed checker costs "
+           "about half the dual-rail baseline, the section's "
+           "claim.\n";
+    return 0;
+}

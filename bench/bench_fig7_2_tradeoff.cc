@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment E12 — Figure 7.2: the reliability design trade-off.
+ * Prints the benefit/cost/utility series over the discrete degrees
+ * of fault protection; utility peaks at single-fault protection,
+ * the figure's claim, with a simple text rendering of the bars.
+ */
+
+#include <iostream>
+
+#include "system/cost.hh"
+#include "util/table.hh"
+
+using namespace scal;
+using namespace scal::system;
+
+namespace
+{
+
+std::string
+bar(double v, double scale = 8)
+{
+    const int k = std::max(0, static_cast<int>(v * scale / 4.5 + 0.5));
+    return std::string(k, '#');
+}
+
+} // namespace
+
+int
+main()
+{
+    util::banner(std::cout,
+                 "E12 / Figure 7.2 — reliability design trade-off "
+                 "(benefit, cost, utility vs. protection degree)");
+
+    const auto pts = figure72Model();
+    util::Table t({"degree of fault protection", "benefit", "cost",
+                   "utility", "utility bar"});
+    double best = -1e9;
+    std::string best_name;
+    for (const auto &p : pts) {
+        if (p.utility > best) {
+            best = p.utility;
+            best_name = p.degree;
+        }
+        t.addRow({p.degree, util::Table::num(p.benefit, 2),
+                  util::Table::num(p.cost, 2),
+                  util::Table::num(p.utility, 2), bar(p.utility)});
+    }
+    t.print(std::cout);
+
+    std::cout << "\npeak utility: " << best_name
+              << "  (paper: \"the peak utility is reached when "
+                 "single fault protection is used\")\n"
+              << "\nModel: benefit follows field failure coverage "
+                 "(single faults dominate, so returns diminish "
+                 "beyond single-fault protection) while cost grows "
+                 "convexly with the redundancy required; any such "
+                 "monotone-benefit/convex-cost pair reproduces the "
+                 "crossover, which is the figure's point.\n";
+    return 0;
+}

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Experiment E7 — Table 4.1: comparative costs of the 0101 sequence
+ * detector, paper rows beside measured rows, plus the general
+ * formulas evaluated over machine sizes.
+ */
+
+#include <iostream>
+
+#include "seq/cost_model.hh"
+#include "seq/kohavi.hh"
+#include "seq/code_conversion.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+using namespace scal;
+using namespace scal::seq;
+
+int
+main()
+{
+    util::banner(std::cout,
+                 "E7 / Table 4.1 — comparative costs of the 0101 "
+                 "sequence detector");
+
+    const CostRow koh = measureCost("Kohavi (conventional)",
+                                    kohaviDetector());
+    const CostRow rey = measureCost("Reynolds (dual flip-flop)",
+                                    reynoldsDetector());
+    const CostRow tra = measureCost("Translator (code conversion)",
+                                    translatorDetector());
+
+    util::Table t({"implementation", "FF (paper)", "FF (measured)",
+                   "gates (paper)", "gates (measured)",
+                   "gate inputs (measured)"});
+    t.addRow({koh.name, "2", util::Table::num((long long)koh.flipFlops),
+              "12", util::Table::num((long long)koh.gates),
+              util::Table::num((long long)koh.gateInputs)});
+    t.addRow({rey.name, "4", util::Table::num((long long)rey.flipFlops),
+              "19", util::Table::num((long long)rey.gates),
+              util::Table::num((long long)rey.gateInputs)});
+    t.addRow({tra.name, "3", util::Table::num((long long)tra.flipFlops),
+              "23", util::Table::num((long long)tra.gates),
+              util::Table::num((long long)tra.gateInputs)});
+    t.print(std::cout);
+
+    std::cout << "\nThe flip-flop ratios are exact and match the "
+                 "paper: 2n for the dual flip-flop approach, n+1 for "
+                 "the translator. Gate counts differ in absolute "
+                 "terms (our baseline synthesis is tighter than the "
+                 "1970 textbook circuit) but the ordering holds: both "
+                 "SCAL machines cost more gates than the unchecked "
+                 "machine, and the translator trades its flip-flop "
+                 "savings for translator gates.\n";
+
+    util::banner(std::cout, "General rows (paper formulas)");
+    util::Table g({"implementation", "flip-flops", "gates"});
+    for (const auto &[n, m] :
+         std::vector<std::pair<double, double>>{{2, 12}, {4, 30},
+                                                {8, 80}}) {
+        for (const CostRow &row : table41General(n, m)) {
+            g.addRow({row.name + "  (n=" + util::Table::num(n, 0) +
+                          ", m=" + util::Table::num(m, 0) + ")",
+                      util::Table::num(row.flipFlops, 0),
+                      util::Table::num(row.gates, 1)});
+        }
+        g.addRule();
+    }
+    g.print(std::cout);
+
+    util::banner(std::cout,
+                 "Measured ratios on random machines (flip-flop "
+                 "columns are structural and must match the general "
+                 "formulas exactly)");
+    util::Table m({"states", "n (state bits)", "conventional FF",
+                   "dual-FF (2n)", "translator (n+1)",
+                   "conv gates", "dual-FF gates", "translator gates"});
+    util::Rng rng(4242);
+    for (int states : {4, 6, 8, 12, 16}) {
+        seq::StateTable table(states, 1, 1);
+        for (int s = 0; s < states; ++s) {
+            for (int i = 0; i < 2; ++i) {
+                table.setTransition(
+                    s, i, static_cast<int>(rng.below(states)),
+                    static_cast<unsigned>(rng.below(2)));
+            }
+        }
+        const auto std_m = synthesizeStandard(table);
+        const auto dff_m = synthesizeDualFlipFlop(table);
+        const auto cc_m = synthesizeCodeConversion(table);
+        m.addRow({util::Table::num((long long)states),
+                  util::Table::num((long long)table.stateBits()),
+                  util::Table::num((long long)std_m.net.cost().flipFlops),
+                  util::Table::num((long long)dff_m.net.cost().flipFlops),
+                  util::Table::num((long long)cc_m.net.cost().flipFlops),
+                  util::Table::num((long long)std_m.net.cost().gates),
+                  util::Table::num((long long)dff_m.net.cost().gates),
+                  util::Table::num((long long)cc_m.net.cost().gates)});
+    }
+    m.print(std::cout);
+    std::cout << "\nAs the machine grows the translator's advantage "
+                 "compounds: memory doubles under dual flip-flops but "
+                 "grows by a single parity bit under code "
+                 "conversion.\n";
+    return 0;
+}

@@ -1,0 +1,85 @@
+#include "checker/hardcore.hh"
+
+#include <cmath>
+
+#include "sim/evaluator.hh"
+
+namespace scal::checker
+{
+
+using namespace netlist;
+
+Netlist
+hardcoreModuleNetlist()
+{
+    Netlist net;
+    GateId clk = net.addInput("clk");
+    GateId f = net.addInput("f");
+    GateId g = net.addInput("g");
+    GateId x = net.addXor({f, g}, "code_ok");
+    GateId out = net.addAnd({clk, x}, "clk_out");
+    net.addOutput(out, "clk_out");
+    return net;
+}
+
+std::vector<HardcoreRow>
+table52()
+{
+    const Netlist net = hardcoreModuleNetlist();
+    sim::Evaluator ev(net);
+    std::vector<HardcoreRow> rows;
+    for (int m = 0; m < 8; ++m) {
+        const bool clk = m & 4, f = m & 2, g = m & 1;
+        rows.push_back({clk, f, g, ev.evalOutputs({clk, f, g})[0]});
+    }
+    return rows;
+}
+
+std::vector<Fault>
+latentHardcoreFaults()
+{
+    const Netlist net = hardcoreModuleNetlist();
+    sim::Evaluator ev(net);
+    std::vector<Fault> latent;
+    for (const Fault &fault : net.allFaults()) {
+        bool observable = false;
+        // Normal operation: the checker pair is a code word (f ≠ g).
+        for (int m = 0; m < 8; ++m) {
+            const bool clk = m & 4, f = m & 2, g = m & 1;
+            if (f == g)
+                continue;
+            const std::vector<bool> in{clk, f, g};
+            if (ev.evalOutputs(in)[0] != ev.evalOutputs(in, &fault)[0]) {
+                observable = true;
+                break;
+            }
+        }
+        if (!observable)
+            latent.push_back(fault);
+    }
+    return latent;
+}
+
+Netlist
+replicatedHardcoreNetlist(int n)
+{
+    Netlist net;
+    GateId clk = net.addInput("clk");
+    GateId f = net.addInput("f");
+    GateId g = net.addInput("g");
+    GateId stage = clk;
+    for (int i = 0; i < n; ++i) {
+        GateId x = net.addXor({f, g}, "code_ok" + std::to_string(i));
+        stage = net.addAnd({stage, x}, "clk" + std::to_string(i + 1));
+    }
+    net.addOutput(stage, "clk_out");
+    return net;
+}
+
+double
+replicatedFailureProbability(double p, int n)
+{
+    return std::pow(p, n);
+}
+
+} // namespace scal::checker

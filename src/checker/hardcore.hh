@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The hardcore clock-disable module of Section 5.5: the one part of a
+ * self-checking system that must be trusted. Implements the Table 5.2
+ * truth table (clock_out = clock_in ∧ (f ⊕ g)), demonstrates the
+ * Theorem 5.2 obstruction (the module cannot itself be made
+ * self-checking from standard gates: its XOR-output stuck-at-1 fault
+ * is latent during normal operation), and models reliability under
+ * n-fold replication (failure probability p^n).
+ */
+
+#ifndef SCAL_CHECKER_HARDCORE_HH
+#define SCAL_CHECKER_HARDCORE_HH
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::checker
+{
+
+/**
+ * The gate-level clock-disable module: inputs clk, f, g; output
+ * clk_out = clk ∧ (f ⊕ g). With a valid checker pair (f ≠ g) the
+ * clock passes; a non-code pair freezes the system.
+ */
+netlist::Netlist hardcoreModuleNetlist();
+
+/** One row of Table 5.2. */
+struct HardcoreRow
+{
+    bool clk, f, g, out;
+};
+
+/** The full Table 5.2 truth table, from simulation of the module. */
+std::vector<HardcoreRow> table52();
+
+/**
+ * Theorem 5.2 evidence: list the module's stuck-at faults that are
+ * latent under normal operation (all inputs with f ≠ g): faults whose
+ * output equals the good output on every code input. The XOR-output
+ * (and equivalent) s-a-1 faults are latent, so the module is not
+ * self-testing and no such module can be self-checking.
+ */
+std::vector<netlist::Fault> latentHardcoreFaults();
+
+/**
+ * Figure 5.5b replication: chain @p n modules so the clock passes
+ * only if every replica agrees; the probability that the hardcore
+ * fails silently drops from p to p^n.
+ */
+netlist::Netlist replicatedHardcoreNetlist(int n);
+
+/** Silent-failure probability of an n-replicated hardcore. */
+double replicatedFailureProbability(double p, int n);
+
+} // namespace scal::checker
+
+#endif // SCAL_CHECKER_HARDCORE_HH

@@ -1,0 +1,36 @@
+#include "checker/latching.hh"
+
+namespace scal::checker
+{
+
+using namespace netlist;
+
+RailPair
+appendLatchingChecker(Netlist &net, const RailPair &live,
+                      const std::string &prefix)
+{
+    // Combine the live pair with the latched history pair; the
+    // module's code-in/code-out property makes any non-code event
+    // permanent once captured.
+    const GateId f_ff = net.addDff(net.addConst(false), prefix + "_f",
+                                   LatchMode::EveryPeriod,
+                                   /*init=*/false);
+    const GateId g_ff = net.addDff(net.addConst(false), prefix + "_g",
+                                   LatchMode::EveryPeriod,
+                                   /*init=*/true);
+    const RailPair combined =
+        appendTwoRailModule(net, live, {f_ff, g_ff});
+    net.replaceFanin(f_ff, 0, combined.r0);
+    net.replaceFanin(g_ff, 0, combined.r1);
+    return combined;
+}
+
+RailPair
+appendFinalChecker(Netlist &net, std::vector<RailPair> pairs,
+                   const std::string &prefix)
+{
+    const RailPair merged = appendTwoRailTree(net, std::move(pairs));
+    return appendLatchingChecker(net, merged, prefix);
+}
+
+} // namespace scal::checker

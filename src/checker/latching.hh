@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Figure 5.7: feeding the checker outputs back through latches so
+ * that a detected error *sticks* — once a non-code (f, g) word
+ * appears, the pair stays non-code until the operator intervenes,
+ * and every checker in a system can be funneled into one final
+ * latched checker whose output alone needs monitoring.
+ */
+
+#ifndef SCAL_CHECKER_LATCHING_HH
+#define SCAL_CHECKER_LATCHING_HH
+
+#include "checker/two_rail.hh"
+
+namespace scal::checker
+{
+
+/**
+ * Wrap a two-rail pair with the Figure 5.7 feedback: the latched
+ * outputs (F, G) combine the live pair with their own previous value
+ * through an Anderson module, so validity requires the live pair
+ * *and* the entire history to be code.
+ *
+ * The latches are every-period flip-flops initialized to the valid
+ * pair (0, 1).
+ */
+RailPair appendLatchingChecker(netlist::Netlist &net,
+                               const RailPair &live,
+                               const std::string &prefix = "latch");
+
+/**
+ * Funnel several checker pairs into one final latched pair
+ * ("System-wide all the checkers in the system can be fed to one
+ * final checker").
+ */
+RailPair appendFinalChecker(netlist::Netlist &net,
+                            std::vector<RailPair> pairs,
+                            const std::string &prefix = "final");
+
+} // namespace scal::checker
+
+#endif // SCAL_CHECKER_LATCHING_HH

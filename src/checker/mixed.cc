@@ -1,0 +1,214 @@
+#include "checker/mixed.hh"
+
+#include <algorithm>
+#include <functional>
+#include <numeric>
+
+#include "checker/two_rail.hh"
+#include "checker/xor_tree.hh"
+#include "core/analysis.hh"
+#include "netlist/structure.hh"
+
+namespace scal::checker
+{
+
+using namespace netlist;
+
+std::vector<int>
+MixedCheckerPlan::dualRailOutputs() const
+{
+    std::vector<int> all;
+    for (const auto &group : partitionsB)
+        all.insert(all.end(), group.begin(), group.end());
+    std::sort(all.begin(), all.end());
+    return all;
+}
+
+MixedCheckerPlan::Cost
+MixedCheckerPlan::cost(bool xor_final_stage) const
+{
+    Cost c;
+    const int n_a = static_cast<int>(partitionA.size());
+    const int n_b = static_cast<int>(dualRailOutputs().size());
+
+    // Dual-rail stage: one flip-flop per checked line, (n-1)*6 gates,
+    // and its (f, g) output pair.
+    if (n_b > 0) {
+        c.flipFlops += n_b;
+        c.twoInputGates += twoRailGateCost(n_b);
+    }
+
+    if (xor_final_stage) {
+        // Fold the dual-rail (f, g) pair and the A lines into one XOR
+        // checker (the pair's XOR is an alternating... the rails are
+        // folded as two extra leaves).
+        int leaves = n_a + (n_b > 0 ? 2 : 0);
+        c.xor3Gates += xorCheckerGateCost(leaves);
+    } else {
+        // XOR stage over A feeds, with its first-period latch, one
+        // extra pair into the final dual-rail checker.
+        if (n_a > 0) {
+            c.xor3Gates += xorCheckerGateCost(n_a);
+            c.flipFlops += 1;
+            if (n_b > 0)
+                c.twoInputGates += 6; // one more Anderson module
+        }
+    }
+    return c;
+}
+
+MixedCheckerPlan::Cost
+MixedCheckerPlan::dualRailOnlyCost() const
+{
+    return {0, twoRailGateCost(numOutputs), numOutputs};
+}
+
+void
+MixedCheckerPlan::print(std::ostream &os) const
+{
+    os << "A = {";
+    for (std::size_t i = 0; i < partitionA.size(); ++i)
+        os << (i ? "," : "") << partitionA[i] + 1;
+    os << "}";
+    for (std::size_t g = 0; g < partitionsB.size(); ++g) {
+        os << "  B" << g + 1 << " = {";
+        for (std::size_t i = 0; i < partitionsB[g].size(); ++i)
+            os << (i ? "," : "") << partitionsB[g][i] + 1;
+        os << "}";
+    }
+    os << '\n';
+}
+
+MixedCheckerPlan
+planMixedChecker(int num_outputs,
+                 const std::vector<std::vector<int>> &sharing,
+                 const std::vector<bool> &can_alternate_incorrectly)
+{
+    MixedCheckerPlan plan;
+    plan.numOutputs = num_outputs;
+
+    // Union-find over the sharing groups.
+    std::vector<int> parent(num_outputs);
+    std::iota(parent.begin(), parent.end(), 0);
+    std::function<int(int)> find = [&](int x) {
+        return parent[x] == x ? x : parent[x] = find(parent[x]);
+    };
+    for (const auto &group : sharing)
+        for (std::size_t i = 1; i < group.size(); ++i)
+            parent[find(group[i])] = find(group[0]);
+
+    std::vector<std::vector<int>> components(num_outputs);
+    for (int j = 0; j < num_outputs; ++j)
+        components[find(j)].push_back(j);
+
+    for (auto &comp : components) {
+        if (comp.empty())
+            continue;
+        if (comp.size() == 1) {
+            // Step 1: fully independent outputs go to A.
+            plan.partitionA.push_back(comp[0]);
+            continue;
+        }
+        // Step 3: at most one member that never alternates
+        // incorrectly may move to A; the rest stay dual-rail-checked.
+        std::vector<int> rest;
+        bool promoted = false;
+        for (int j : comp) {
+            if (!promoted && !can_alternate_incorrectly[j]) {
+                plan.partitionA.push_back(j);
+                promoted = true;
+            } else {
+                rest.push_back(j);
+            }
+        }
+        plan.partitionsB.push_back(std::move(rest));
+    }
+    std::sort(plan.partitionA.begin(), plan.partitionA.end());
+    return plan;
+}
+
+MixedCheckerPlan
+planMixedChecker(const Netlist &net)
+{
+    core::ScalAnalyzer an(net);
+
+    // Sharing: two outputs share logic when their cones intersect in
+    // a gate that is not a primary input or an input-rail inverter.
+    auto is_rail = [&](GateId g) {
+        const Gate &gate = net.gate(g);
+        if (gate.kind == GateKind::Input)
+            return true;
+        return gate.kind == GateKind::Not &&
+               net.gate(gate.fanin[0]).kind == GateKind::Input;
+    };
+    std::vector<std::vector<bool>> cones;
+    for (int j = 0; j < net.numOutputs(); ++j)
+        cones.push_back(outputCone(net, j));
+
+    std::vector<std::vector<int>> sharing;
+    for (int a = 0; a < net.numOutputs(); ++a) {
+        for (int b = a + 1; b < net.numOutputs(); ++b) {
+            for (GateId g = 0; g < net.numGates(); ++g) {
+                if (cones[a][g] && cones[b][g] && !is_rail(g)) {
+                    sharing.push_back({a, b});
+                    break;
+                }
+            }
+        }
+    }
+
+    // An output may alternate incorrectly if some fault yields a
+    // nonzero Bad predicate on it.
+    std::vector<bool> bad(net.numOutputs(), false);
+    for (const Fault &fault : net.allFaults()) {
+        const core::FaultAnalysis fa = an.analyzeFault(fault);
+        for (int j = 0; j < net.numOutputs(); ++j)
+            if (!fa.badPerOutput[j].isZero())
+                bad[j] = true;
+    }
+    return planMixedChecker(net.numOutputs(), sharing, bad);
+}
+
+MixedCheckerSignals
+appendMixedChecker(Netlist &net, const MixedCheckerPlan &plan,
+                   GateId phi)
+{
+    std::vector<RailPair> pairs;
+
+    if (!plan.partitionA.empty()) {
+        std::vector<GateId> a_lines;
+        for (int j : plan.partitionA)
+            a_lines.push_back(net.outputs()[j]);
+        const GateId q =
+            appendOddXorChecker(net, a_lines, phi, "mixed_xor");
+        // Pair the live q with its first-period value: valid in the
+        // second period iff q alternated over the symbol.
+        const GateId q_ff =
+            net.addDff(q, "mixed_xor_ff", LatchMode::PhiRise);
+        pairs.push_back({q_ff, q});
+    }
+
+    const auto dual = plan.dualRailOutputs();
+    if (!dual.empty()) {
+        std::vector<GateId> lines;
+        for (int j : dual)
+            lines.push_back(net.outputs()[j]);
+        pairs.push_back(appendAlternatingChecker(net, lines));
+    }
+
+    const RailPair final_pair = appendTwoRailTree(net, std::move(pairs));
+    return {final_pair.r0, final_pair.r1};
+}
+
+MixedCheckerPlan
+section54Example()
+{
+    // Paper indices 1..9 become 0..8.
+    std::vector<std::vector<int>> sharing{{3, 4, 5}, {5, 6}, {7, 8}};
+    std::vector<bool> bad(9, false);
+    bad[4] = true; // output 5
+    bad[7] = true; // output 8
+    return planMixedChecker(9, sharing, bad);
+}
+
+} // namespace scal::checker

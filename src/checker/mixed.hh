@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Mixed checker design (Section 5.4, Algorithm 5.1): partition the
+ * network outputs into an XOR-checkable set A (independent outputs,
+ * plus at most one safe representative of each shared-logic group)
+ * and dual-rail-checked groups B_i; build the combined checker at
+ * roughly half the dual-rail-only cost.
+ */
+
+#ifndef SCAL_CHECKER_MIXED_HH
+#define SCAL_CHECKER_MIXED_HH
+
+#include <ostream>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::checker
+{
+
+struct MixedCheckerPlan
+{
+    /** Outputs checked by the XOR tree. */
+    std::vector<int> partitionA;
+    /** Shared-logic groups still needing the dual-rail checker. */
+    std::vector<std::vector<int>> partitionsB;
+
+    int numOutputs = 0;
+
+    /** All dual-rail-checked outputs, flattened. */
+    std::vector<int> dualRailOutputs() const;
+
+    struct Cost
+    {
+        int xor3Gates = 0;
+        int twoInputGates = 0;
+        int flipFlops = 0;
+    };
+    /**
+     * Checker cost with the chosen final stage: XOR (single
+     * alternating output) or dual-rail.
+     */
+    Cost cost(bool xor_final_stage) const;
+
+    /** Cost of checking everything dual-rail (the baseline). */
+    Cost dualRailOnlyCost() const;
+
+    void print(std::ostream &os) const;
+};
+
+/**
+ * Algorithm 5.1 on abstract sharing structure: @p sharing lists
+ * groups of outputs that share logic; @p can_alternate_incorrectly
+ * flags outputs that alternate incorrectly for some fault (those may
+ * never move to partition A).
+ */
+MixedCheckerPlan planMixedChecker(
+    int num_outputs, const std::vector<std::vector<int>> &sharing,
+    const std::vector<bool> &can_alternate_incorrectly);
+
+/**
+ * Algorithm 5.1 on a real network: sharing groups are connected
+ * components of outputs over shared (non-input-rail) gates; the
+ * incorrect-alternation flags come from the exact Chapter 3 analysis.
+ */
+MixedCheckerPlan planMixedChecker(const netlist::Netlist &net);
+
+/**
+ * The Section 5.4 nine-output worked example: outputs 1..3
+ * independent, sharing groups {4,5,6}, {6,7}, {8,9}, and outputs 5
+ * and 8 able to alternate incorrectly. (0-based internally.)
+ */
+MixedCheckerPlan section54Example();
+
+/** The assembled checker's observable signals. */
+struct MixedCheckerSignals
+{
+    /**
+     * Final two-rail pair (Figure 5.4b): during every second period
+     * it is a valid (unequal) pair iff every partition-A line
+     * alternated over the symbol and every partition-B pair is code.
+     */
+    netlist::GateId f = netlist::kNoGate;
+    netlist::GateId g = netlist::kNoGate;
+};
+
+/**
+ * Build the planned checker into @p net with the dual-rail final
+ * stage of Figure 5.4b: partition-A lines feed an odd-XOR tree whose
+ * output, paired with its first-period latch, joins the dual-rail
+ * tree over the partition-B lines. Sample the (f, g) pair in the
+ * second period of each symbol.
+ */
+MixedCheckerSignals appendMixedChecker(netlist::Netlist &net,
+                                       const MixedCheckerPlan &plan,
+                                       netlist::GateId phi);
+
+} // namespace scal::checker
+
+#endif // SCAL_CHECKER_MIXED_HH

@@ -1,0 +1,83 @@
+#include "checker/two_rail.hh"
+
+#include <stdexcept>
+
+namespace scal::checker
+{
+
+using namespace netlist;
+
+RailPair
+appendTwoRailModule(Netlist &net, const RailPair &a, const RailPair &b)
+{
+    GateId p00 = net.addAnd({a.r0, b.r0});
+    GateId p11 = net.addAnd({a.r1, b.r1});
+    GateId p01 = net.addAnd({a.r0, b.r1});
+    GateId p10 = net.addAnd({a.r1, b.r0});
+    return {net.addOr({p00, p11}), net.addOr({p01, p10})};
+}
+
+RailPair
+appendTwoRailTree(Netlist &net, std::vector<RailPair> pairs)
+{
+    if (pairs.empty())
+        throw std::invalid_argument("two-rail tree needs pairs");
+    while (pairs.size() > 1) {
+        std::vector<RailPair> next;
+        for (std::size_t i = 0; i + 1 < pairs.size(); i += 2)
+            next.push_back(appendTwoRailModule(net, pairs[i],
+                                               pairs[i + 1]));
+        if (pairs.size() % 2)
+            next.push_back(pairs.back());
+        pairs = std::move(next);
+    }
+    return pairs[0];
+}
+
+RailPair
+appendAlternatingChecker(Netlist &net, const std::vector<GateId> &lines,
+                         const std::string &prefix)
+{
+    std::vector<RailPair> pairs;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        GateId ff = net.addDff(lines[i],
+                               prefix + "_ff" + std::to_string(i),
+                               LatchMode::PhiRise);
+        pairs.push_back({ff, lines[i]});
+    }
+    return appendTwoRailTree(net, std::move(pairs));
+}
+
+Netlist
+twoRailCheckerNetlist(int num_pairs)
+{
+    Netlist net;
+    std::vector<RailPair> pairs;
+    for (int i = 0; i < num_pairs; ++i) {
+        GateId a = net.addInput("a" + std::to_string(i));
+        GateId b = net.addInput("b" + std::to_string(i));
+        pairs.push_back({a, b});
+    }
+    RailPair out = appendTwoRailTree(net, std::move(pairs));
+    net.addOutput(out.r0, "f");
+    net.addOutput(out.r1, "g");
+    return net;
+}
+
+int
+twoRailGateCost(int num_lines)
+{
+    return (num_lines - 1) * 6;
+}
+
+GateId
+appendAlternatingOutput(Netlist &net, const RailPair &pair, GateId phi,
+                        const std::string &name)
+{
+    // q = ¬φ ∨ ¬(f ⊕ g): first period 1, second period ¬valid.
+    const GateId ok = net.addXor({pair.r0, pair.r1});
+    const GateId nphi = net.addNot(phi);
+    return net.addOr({nphi, net.addNot(ok)}, name);
+}
+
+} // namespace scal::checker

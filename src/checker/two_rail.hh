@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Anderson's totally self-checking two-rail (dual-rail) checker
+ * (Section 5.2) and Reynolds' arrangement of it for alternating
+ * logic: each monitored line is paired with a flip-flop holding its
+ * first-period value, and the pair is valid in the second period iff
+ * the line alternated.
+ */
+
+#ifndef SCAL_CHECKER_TWO_RAIL_HH
+#define SCAL_CHECKER_TWO_RAIL_HH
+
+#include <utility>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::checker
+{
+
+/** A two-rail pair of lines: valid iff the two values differ. */
+struct RailPair
+{
+    netlist::GateId r0 = netlist::kNoGate;
+    netlist::GateId r1 = netlist::kNoGate;
+};
+
+/**
+ * One Anderson module: 6 two-input gates merging two valid pairs into
+ * one. Code in → code out, any non-code input pair → non-code out.
+ */
+RailPair appendTwoRailModule(netlist::Netlist &net, const RailPair &a,
+                             const RailPair &b);
+
+/** Tree of n-1 modules reducing n pairs to one (f, g) pair. */
+RailPair appendTwoRailTree(netlist::Netlist &net,
+                           std::vector<RailPair> pairs);
+
+/**
+ * Reynolds' alternating-logic checker (Figure 5.1a/b): pair each
+ * monitored line with a flip-flop that captured its first-period
+ * value (latched on the rise of φ); feed the pairs to the two-rail
+ * tree. The (f, g) output is a valid pair during every second period
+ * iff every line alternated.
+ */
+RailPair appendAlternatingChecker(netlist::Netlist &net,
+                                  const std::vector<netlist::GateId> &lines,
+                                  const std::string &prefix = "chk");
+
+/**
+ * Standalone two-rail checker over @p num_pairs primary-input pairs
+ * (inputs a0,b0,a1,b1,...), outputs f, g.
+ */
+netlist::Netlist twoRailCheckerNetlist(int num_pairs);
+
+/** Gate cost of the dual-rail-only checker: (n-1) * 6 (Section 5.4). */
+int twoRailGateCost(int num_lines);
+
+/**
+ * Figure 5.1c: convert a dual-rail pair (meaningful in the second
+ * period) into a single alternating check line q: q carries 1 in the
+ * first period and, in the second, the *complement* of the pair's
+ * validity — so healthy operation shows the alternating pattern
+ * (1, 0) and any non-code pair freezes q at (1, 1).
+ */
+netlist::GateId appendAlternatingOutput(netlist::Netlist &net,
+                                        const RailPair &pair,
+                                        netlist::GateId phi,
+                                        const std::string &name = "q");
+
+} // namespace scal::checker
+
+#endif // SCAL_CHECKER_TWO_RAIL_HH

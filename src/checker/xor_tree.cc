@@ -1,0 +1,84 @@
+#include "checker/xor_tree.hh"
+
+#include <stdexcept>
+
+namespace scal::checker
+{
+
+using namespace netlist;
+
+GateId
+appendOddXorChecker(Netlist &net, const std::vector<GateId> &lines,
+                    GateId phi, const std::string &name)
+{
+    if (lines.empty())
+        throw std::invalid_argument("xor checker needs lines");
+    std::vector<GateId> level = lines;
+    // Reduce with 3-input XOR gates. A leftover group of two is
+    // padded with φ (alternating) to keep the fan-in odd; a leftover
+    // single line passes through.
+    while (level.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i < level.size(); i += 3) {
+            const std::size_t left = level.size() - i;
+            if (left == 1) {
+                next.push_back(level[i]);
+            } else if (left == 2) {
+                next.push_back(net.addXor({level[i], level[i + 1], phi}));
+            } else {
+                next.push_back(net.addXor(
+                    {level[i], level[i + 1], level[i + 2]}));
+            }
+        }
+        level = std::move(next);
+    }
+    if (level[0] == lines[0] && lines.size() == 1) {
+        // Single monitored line: still produce a gate so the checker
+        // output is a distinct line.
+        return net.addXor({lines[0], phi, phi}, name);
+    }
+    return net.addBuf(level[0], name);
+}
+
+Netlist
+oddXorCheckerNetlist(int num_inputs)
+{
+    Netlist net;
+    std::vector<GateId> lines;
+    for (int i = 0; i < num_inputs; ++i)
+        lines.push_back(net.addInput("x" + std::to_string(i)));
+    GateId phi = net.addInput("phi");
+    GateId q = appendOddXorChecker(net, lines, phi, "q");
+    net.addOutput(q, "q");
+    return net;
+}
+
+int
+xorCheckerGateCost(int k)
+{
+    // Mirror of the appendOddXorChecker reduction: groups of three,
+    // a leftover pair padded with φ, a leftover single passed up.
+    if (k <= 1)
+        return 1;
+    int gates = 0;
+    int level = k;
+    while (level > 1) {
+        int next = 0;
+        int i = 0;
+        while (i < level) {
+            const int left = level - i;
+            if (left == 1) {
+                ++next; // passthrough
+                i += 1;
+            } else {
+                ++gates;
+                ++next;
+                i += left == 2 ? 2 : 3;
+            }
+        }
+        level = next;
+    }
+    return gates;
+}
+
+} // namespace scal::checker

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The independent-line XOR checker (Section 5.3, Theorem 5.1): a tree
+ * of odd-input XOR gates over alternating lines is itself a
+ * self-checking checker with a single alternating output. The period
+ * clock pads gates up to odd fan-in.
+ */
+
+#ifndef SCAL_CHECKER_XOR_TREE_HH
+#define SCAL_CHECKER_XOR_TREE_HH
+
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::checker
+{
+
+/**
+ * Append an odd-input XOR checker over @p lines (all of which must
+ * alternate) to @p net; returns the single alternating check output.
+ * Gates take three inputs, padded with the alternating period clock
+ * @p phi where needed so every gate has odd fan-in.
+ */
+netlist::GateId appendOddXorChecker(netlist::Netlist &net,
+                                    const std::vector<netlist::GateId> &lines,
+                                    netlist::GateId phi,
+                                    const std::string &name = "xorchk");
+
+/**
+ * Standalone checker netlist over n alternating inputs plus φ;
+ * output "q" alternates iff the monitored word has even... iff every
+ * input alternates (any stuck input breaks the alternation of q
+ * unless an even number are stuck — Table 5.1).
+ */
+netlist::Netlist oddXorCheckerNetlist(int num_inputs);
+
+/** Number of 3-input XOR gates for @p k checked lines (plus φ pad). */
+int xorCheckerGateCost(int k);
+
+} // namespace scal::checker
+
+#endif // SCAL_CHECKER_XOR_TREE_HH

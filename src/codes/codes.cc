@@ -1,0 +1,301 @@
+#include "codes/codes.hh"
+
+#include <stdexcept>
+
+#include "util/bits.hh"
+
+namespace scal::codes
+{
+
+namespace
+{
+
+int
+countOnes(const Word &w, int from, int to)
+{
+    int ones = 0;
+    for (int i = from; i < to; ++i)
+        ones += w[i];
+    return ones;
+}
+
+} // namespace
+
+bool
+Code::detectsAllSingleErrors() const
+{
+    if (dataBits() > 10)
+        throw std::logic_error("exhaustive predicate needs small codes");
+    for (std::uint64_t d = 0; d < (std::uint64_t{1} << dataBits());
+         ++d) {
+        const Word w = encode(d);
+        for (int i = 0; i < totalBits(); ++i) {
+            Word bad = w;
+            bad[i] = !bad[i];
+            if (check(bad) == Check::Valid)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+Code::detectsAllUnidirectionalErrors() const
+{
+    if (totalBits() > 16)
+        throw std::logic_error("exhaustive predicate needs small codes");
+    for (std::uint64_t d = 0; d < (std::uint64_t{1} << dataBits());
+         ++d) {
+        const Word w = encode(d);
+        // Every nonempty subset of one polarity flipped to the other.
+        for (int dir = 0; dir < 2; ++dir) {
+            std::vector<int> candidates;
+            for (int i = 0; i < totalBits(); ++i)
+                if (w[i] == (dir == 0))
+                    candidates.push_back(i);
+            const std::uint64_t subsets = std::uint64_t{1}
+                                          << candidates.size();
+            for (std::uint64_t s = 1; s < subsets; ++s) {
+                Word bad = w;
+                for (std::size_t k = 0; k < candidates.size(); ++k)
+                    if ((s >> k) & 1)
+                        bad[candidates[k]] = !bad[candidates[k]];
+                if (check(bad) == Check::Valid)
+                    return false;
+            }
+        }
+    }
+    return true;
+}
+
+ParityCode::ParityCode(int data_bits) : dataBits_(data_bits)
+{
+    if (data_bits < 1)
+        throw std::invalid_argument("parity code needs data bits");
+}
+
+Word
+ParityCode::encode(std::uint64_t data) const
+{
+    Word w(dataBits_ + 1);
+    bool p = false;
+    for (int i = 0; i < dataBits_; ++i) {
+        w[i] = (data >> i) & 1;
+        p ^= w[i];
+    }
+    w[dataBits_] = p;
+    return w;
+}
+
+Check
+ParityCode::check(const Word &word) const
+{
+    bool p = false;
+    for (bool b : word)
+        p ^= b;
+    return p ? Check::Invalid : Check::Valid;
+}
+
+std::uint64_t
+ParityCode::decode(const Word &word) const
+{
+    std::uint64_t d = 0;
+    for (int i = 0; i < dataBits_; ++i)
+        if (word[i])
+            d |= std::uint64_t{1} << i;
+    return d;
+}
+
+TwoRailCode::TwoRailCode(int data_bits) : dataBits_(data_bits)
+{
+    if (data_bits < 1)
+        throw std::invalid_argument("two-rail code needs data bits");
+}
+
+Word
+TwoRailCode::encode(std::uint64_t data) const
+{
+    Word w(2 * dataBits_);
+    for (int i = 0; i < dataBits_; ++i) {
+        w[i] = (data >> i) & 1;
+        w[dataBits_ + i] = !w[i];
+    }
+    return w;
+}
+
+Check
+TwoRailCode::check(const Word &word) const
+{
+    for (int i = 0; i < dataBits_; ++i)
+        if (word[i] == word[dataBits_ + i])
+            return Check::Invalid;
+    return Check::Valid;
+}
+
+std::uint64_t
+TwoRailCode::decode(const Word &word) const
+{
+    std::uint64_t d = 0;
+    for (int i = 0; i < dataBits_; ++i)
+        if (word[i])
+            d |= std::uint64_t{1} << i;
+    return d;
+}
+
+BergerCode::BergerCode(int data_bits) : dataBits_(data_bits)
+{
+    if (data_bits < 1)
+        throw std::invalid_argument("Berger code needs data bits");
+    checkBits_ = 1;
+    while ((1 << checkBits_) < data_bits + 1)
+        ++checkBits_;
+}
+
+Word
+BergerCode::encode(std::uint64_t data) const
+{
+    Word w(dataBits_ + checkBits_);
+    int zeros = 0;
+    for (int i = 0; i < dataBits_; ++i) {
+        w[i] = (data >> i) & 1;
+        zeros += !w[i];
+    }
+    for (int i = 0; i < checkBits_; ++i)
+        w[dataBits_ + i] = (zeros >> i) & 1;
+    return w;
+}
+
+Check
+BergerCode::check(const Word &word) const
+{
+    const int zeros = dataBits_ - countOnes(word, 0, dataBits_);
+    int claimed = 0;
+    for (int i = 0; i < checkBits_; ++i)
+        if (word[dataBits_ + i])
+            claimed |= 1 << i;
+    return zeros == claimed ? Check::Valid : Check::Invalid;
+}
+
+std::uint64_t
+BergerCode::decode(const Word &word) const
+{
+    std::uint64_t d = 0;
+    for (int i = 0; i < dataBits_; ++i)
+        if (word[i])
+            d |= std::uint64_t{1} << i;
+    return d;
+}
+
+namespace
+{
+
+std::uint64_t
+choose(int n, int m)
+{
+    if (m < 0 || m > n)
+        return 0;
+    std::uint64_t c = 1;
+    for (int k = 1; k <= m; ++k)
+        c = c * (n - m + k) / k;
+    return c;
+}
+
+} // namespace
+
+MOutOfNCode::MOutOfNCode(int m, int n)
+    : m_(m), n_(n), count_(choose(n, m))
+{
+    if (m < 1 || m >= n || n > 30)
+        throw std::invalid_argument("bad m-out-of-n parameters");
+    dataBits_ = 0;
+    while ((std::uint64_t{1} << (dataBits_ + 1)) <= count_)
+        ++dataBits_;
+}
+
+std::string
+MOutOfNCode::name() const
+{
+    return std::to_string(m_) + "-out-of-" + std::to_string(n_);
+}
+
+Word
+MOutOfNCode::encode(std::uint64_t data) const
+{
+    if (data >= (std::uint64_t{1} << dataBits_))
+        throw std::out_of_range("data exceeds code capacity");
+    // Combinadic: pick the data-th n-bit word with exactly m ones.
+    Word w(n_, false);
+    std::uint64_t rank = data;
+    int ones_left = m_;
+    for (int i = n_ - 1; i >= 0 && ones_left > 0; --i) {
+        // Combinations that leave bit i clear keep all remaining
+        // ones strictly below i: choose(i, ones_left) of them.
+        const std::uint64_t without = choose(i, ones_left);
+        if (rank >= without) {
+            rank -= without;
+            w[i] = true;
+            --ones_left;
+        }
+    }
+    return w;
+}
+
+Check
+MOutOfNCode::check(const Word &word) const
+{
+    return countOnes(word, 0, n_) == m_ ? Check::Valid
+                                        : Check::Invalid;
+}
+
+std::uint64_t
+MOutOfNCode::decode(const Word &word) const
+{
+    // Inverse combinadic rank.
+    std::uint64_t rank = 0;
+    int ones_left = m_;
+    for (int i = n_ - 1; i >= 0 && ones_left > 0; --i) {
+        if (word[i]) {
+            rank += choose(i, ones_left);
+            --ones_left;
+        }
+    }
+    return rank;
+}
+
+AlternatingCode::AlternatingCode(int data_bits) : dataBits_(data_bits)
+{
+    if (data_bits < 1)
+        throw std::invalid_argument("alternating code needs data bits");
+}
+
+Word
+AlternatingCode::encode(std::uint64_t data) const
+{
+    Word w(2 * dataBits_);
+    for (int i = 0; i < dataBits_; ++i) {
+        w[i] = (data >> i) & 1;      // period 1
+        w[dataBits_ + i] = !w[i];    // period 2
+    }
+    return w;
+}
+
+Check
+AlternatingCode::check(const Word &word) const
+{
+    for (int i = 0; i < dataBits_; ++i)
+        if (word[i] == word[dataBits_ + i])
+            return Check::Invalid;
+    return Check::Valid;
+}
+
+std::uint64_t
+AlternatingCode::decode(const Word &word) const
+{
+    std::uint64_t d = 0;
+    for (int i = 0; i < dataBits_; ++i)
+        if (word[i])
+            d |= std::uint64_t{1} << i;
+    return d;
+}
+
+} // namespace scal::codes

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * The space-domain codes of Section 7.2 ("System Encoding
+ * Considerations"): single parity, duplication/two-rail, Berger, and
+ * m-out-of-n codes. The thesis's system design matches each
+ * subsystem's failure mode to a code — parity for busses and memory,
+ * Berger or m-out-of-n for units with unidirectional failure modes,
+ * alternating logic for the CPU — and trades their costs. This
+ * module provides encoders, checkers, detection-capability
+ * predicates, and redundancy cost accounting for that comparison.
+ */
+
+#ifndef SCAL_CODES_CODES_HH
+#define SCAL_CODES_CODES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scal::codes
+{
+
+/** A codeword: data bits plus check bits, all explicit. */
+using Word = std::vector<bool>;
+
+/** Detection verdict of a checker on a received word. */
+enum class Check
+{
+    Valid,
+    Invalid,
+};
+
+/** Abstract code interface. */
+class Code
+{
+  public:
+    virtual ~Code() = default;
+
+    virtual std::string name() const = 0;
+    virtual int dataBits() const = 0;
+    virtual int totalBits() const = 0;
+    int checkBits() const { return totalBits() - dataBits(); }
+    /** Redundancy ratio: total / data. */
+    double overhead() const
+    {
+        return static_cast<double>(totalBits()) / dataBits();
+    }
+
+    virtual Word encode(std::uint64_t data) const = 0;
+    virtual Check check(const Word &word) const = 0;
+    /** Data extraction; undefined for invalid words. */
+    virtual std::uint64_t decode(const Word &word) const = 0;
+
+    /** True iff every single-bit error is detected (distance >= 2). */
+    bool detectsAllSingleErrors() const;
+
+    /** True iff every unidirectional (all-0->1 or all-1->0)
+     *  multi-bit error is detected. */
+    bool detectsAllUnidirectionalErrors() const;
+};
+
+/** Single even parity over data plus one check bit. */
+class ParityCode : public Code
+{
+  public:
+    explicit ParityCode(int data_bits);
+    std::string name() const override { return "parity"; }
+    int dataBits() const override { return dataBits_; }
+    int totalBits() const override { return dataBits_ + 1; }
+    Word encode(std::uint64_t data) const override;
+    Check check(const Word &word) const override;
+    std::uint64_t decode(const Word &word) const override;
+
+  private:
+    int dataBits_;
+};
+
+/** Duplication: data followed by its bitwise complement (two-rail). */
+class TwoRailCode : public Code
+{
+  public:
+    explicit TwoRailCode(int data_bits);
+    std::string name() const override { return "two-rail"; }
+    int dataBits() const override { return dataBits_; }
+    int totalBits() const override { return 2 * dataBits_; }
+    Word encode(std::uint64_t data) const override;
+    Check check(const Word &word) const override;
+    std::uint64_t decode(const Word &word) const override;
+
+  private:
+    int dataBits_;
+};
+
+/**
+ * Berger code: data plus the binary count of its zeros. Detects all
+ * unidirectional errors — the classic code for 1977 self-checking
+ * units whose failures are unidirectional.
+ */
+class BergerCode : public Code
+{
+  public:
+    explicit BergerCode(int data_bits);
+    std::string name() const override { return "Berger"; }
+    int dataBits() const override { return dataBits_; }
+    int totalBits() const override { return dataBits_ + checkBits_; }
+    Word encode(std::uint64_t data) const override;
+    Check check(const Word &word) const override;
+    std::uint64_t decode(const Word &word) const override;
+
+  private:
+    int dataBits_;
+    int checkBits_;
+};
+
+/**
+ * m-out-of-n code: valid words have exactly m ones among n bits.
+ * Non-systematic; data maps to the lexicographically indexed
+ * combination. Detects all unidirectional errors.
+ */
+class MOutOfNCode : public Code
+{
+  public:
+    MOutOfNCode(int m, int n);
+    std::string name() const override;
+    int dataBits() const override { return dataBits_; }
+    int totalBits() const override { return n_; }
+    Word encode(std::uint64_t data) const override;
+    Check check(const Word &word) const override;
+    std::uint64_t decode(const Word &word) const override;
+
+    /** Number of valid codewords, C(n, m). */
+    std::uint64_t codewords() const { return count_; }
+
+  private:
+    int m_, n_, dataBits_;
+    std::uint64_t count_;
+};
+
+/**
+ * The alternating-logic "code" viewed in the same framework: the
+ * word is the concatenation of the two periods' values; valid iff
+ * the second half is the complement of the first. Same space
+ * redundancy as two-rail, but the second half arrives over time on
+ * the *same* wires — the thesis's pin-count argument.
+ */
+class AlternatingCode : public Code
+{
+  public:
+    explicit AlternatingCode(int data_bits);
+    std::string name() const override { return "alternating"; }
+    int dataBits() const override { return dataBits_; }
+    int totalBits() const override { return 2 * dataBits_; }
+    /** Wires (pins) occupied at any instant. */
+    int wires() const { return dataBits_; }
+    Word encode(std::uint64_t data) const override;
+    Check check(const Word &word) const override;
+    std::uint64_t decode(const Word &word) const override;
+
+  private:
+    int dataBits_;
+};
+
+} // namespace scal::codes
+
+#endif // SCAL_CODES_CODES_HH

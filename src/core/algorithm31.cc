@@ -1,0 +1,90 @@
+#include "core/algorithm31.hh"
+
+#include "netlist/structure.hh"
+#include "util/table.hh"
+
+namespace scal::core
+{
+
+using namespace netlist;
+
+Algorithm31Report
+runAlgorithm31(const Netlist &net)
+{
+    ScalAnalyzer an(net);
+
+    Algorithm31Report report;
+    report.alternatingNetwork = an.isAlternatingNetwork();
+
+    for (const FaultSite &site : net.faultSites()) {
+        SiteReport sr;
+        sr.site = site;
+        sr.label = siteToString(net, site);
+
+        bool needs_rescue = false;
+        for (int out : outputsReachedBySite(net, site)) {
+            SitePerOutput po;
+            po.output = out;
+            po.condition = firstSatisfied(an, site, out);
+            if (po.condition == Condition::None)
+                needs_rescue = true;
+            sr.perOutput.push_back(po);
+        }
+
+        // Exact verdicts from the Theorem 3.1 predicates.
+        sr.faultSecure = true;
+        sr.testable = true;
+        for (bool s : {false, true}) {
+            const FaultAnalysis fa = an.analyzeFault({site, s});
+            if (!fa.unsafe.isZero())
+                sr.faultSecure = false;
+            if (!fa.testable)
+                sr.testable = false;
+        }
+        sr.rescuedByMultiOutput = needs_rescue && sr.faultSecure;
+
+        if (!sr.faultSecure)
+            ++report.numUnsafeSites;
+        if (!sr.testable)
+            ++report.numUntestableSites;
+        if (sr.rescuedByMultiOutput)
+            ++report.numRescued;
+        report.sites.push_back(std::move(sr));
+    }
+    return report;
+}
+
+void
+printReport(std::ostream &os, const Netlist &net,
+            const Algorithm31Report &report)
+{
+    util::Table table({"line segment", "per-output condition",
+                       "Cor 3.2", "testable", "verdict"});
+    for (const SiteReport &sr : report.sites) {
+        std::string conds;
+        for (const SitePerOutput &po : sr.perOutput) {
+            if (!conds.empty())
+                conds += ' ';
+            conds += net.outputName(po.output);
+            conds += ':';
+            conds += static_cast<char>(po.condition);
+        }
+        table.addRow({
+            sr.label,
+            conds,
+            sr.rescuedByMultiOutput ? "rescued" : "",
+            sr.testable ? "yes" : "NO",
+            sr.selfChecking() ? "self-checking" : "NOT SELF-CHECKING",
+        });
+    }
+    table.print(os);
+    os << "network: "
+       << (report.alternatingNetwork ? "alternating" : "NOT ALTERNATING")
+       << ", " << (report.selfChecking() ? "SELF-CHECKING (SCAL)"
+                                         : "NOT self-checking")
+       << " (" << report.numRescued << " line(s) rescued by Cor 3.2, "
+       << report.numUnsafeSites << " unsafe, "
+       << report.numUntestableSites << " untestable)\n";
+}
+
+} // namespace scal::core

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Algorithm 3.1: the complete self-checking design-and-analysis
+ * procedure for self-dual combinational networks (single or multiple
+ * output). For every fault site, every output it can reach is checked
+ * against conditions A-E in order; sites failing a single-output
+ * check are re-examined under the relaxed multi-output Corollary 3.2;
+ * the network verdict follows Definition 2.4.
+ */
+
+#ifndef SCAL_CORE_ALGORITHM31_HH
+#define SCAL_CORE_ALGORITHM31_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/conditions.hh"
+
+namespace scal::core
+{
+
+struct SitePerOutput
+{
+    int output = -1;
+    Condition condition = Condition::None; ///< first satisfied, A..E
+};
+
+struct SiteReport
+{
+    netlist::FaultSite site;
+    std::string label;
+    std::vector<SitePerOutput> perOutput;
+    /** Site needed and passed the Corollary 3.2 relaxation. */
+    bool rescuedByMultiOutput = false;
+    /** Exact verdict: unsafe-free for both stuck values. */
+    bool faultSecure = false;
+    /** Both stuck values are testable under code inputs. */
+    bool testable = false;
+
+    bool selfChecking() const { return faultSecure && testable; }
+};
+
+struct Algorithm31Report
+{
+    bool alternatingNetwork = false; ///< Theorem 2.1 precondition
+    std::vector<SiteReport> sites;
+    int numRescued = 0;
+    int numUnsafeSites = 0;
+    int numUntestableSites = 0;
+
+    /** Definition 2.4: the network is a SCAL network. */
+    bool selfChecking() const
+    {
+        return alternatingNetwork && numUnsafeSites == 0 &&
+               numUntestableSites == 0;
+    }
+};
+
+/** Run Algorithm 3.1 over every fault site of @p net. */
+Algorithm31Report runAlgorithm31(const netlist::Netlist &net);
+
+/** Render the per-line classification the way Section 3.6 walks it. */
+void printReport(std::ostream &os, const netlist::Netlist &net,
+                 const Algorithm31Report &report);
+
+} // namespace scal::core
+
+#endif // SCAL_CORE_ALGORITHM31_HH

@@ -1,0 +1,106 @@
+#include "core/conditions.hh"
+
+#include "netlist/structure.hh"
+
+namespace scal::core
+{
+
+using namespace netlist;
+
+bool
+conditionA(const ScalAnalyzer &an, const FaultSite &site)
+{
+    return an.lineAlternates(site.driver);
+}
+
+bool
+conditionB(const ScalAnalyzer &an, const FaultSite &site, int output)
+{
+    return singleUnatePathToOutput(an.net(), site, output);
+}
+
+bool
+conditionC(const ScalAnalyzer &an, const FaultSite &site, int output)
+{
+    const unsigned set = pathParitySet(an.net(), site, output);
+    return set == 0b01 || set == 0b10;
+}
+
+bool
+conditionD(const ScalAnalyzer &an, const FaultSite &site, int output)
+{
+    const Netlist &net = an.net();
+
+    // Identify the single gate the faulted segment feeds. A stem
+    // qualifies only if the whole line feeds exactly one gate input
+    // (and no output tap); the Theorem 3.9 masking argument breaks
+    // when the faulted value reaches the outputs along another route.
+    GateId consumer = kNoGate;
+    int pin = -1;
+    if (site.consumer == FaultSite::kOutputTap) {
+        return false;
+    } else if (site.isStem()) {
+        if (net.fanoutCount(site.driver) != 1 ||
+            !net.outputTaps(site.driver).empty()) {
+            return false;
+        }
+        consumer = net.consumers(site.driver)[0].first;
+        pin = net.consumers(site.driver)[0].second;
+    } else {
+        consumer = site.consumer;
+        pin = site.pin;
+    }
+
+    const Gate &gate = net.gate(consumer);
+    if (!kindIsStandard(gate.kind) || gate.fanin.size() < 2)
+        return false;
+    if (!outputCone(net, output)[consumer])
+        return false;
+    for (std::size_t other = 0; other < gate.fanin.size(); ++other) {
+        if (static_cast<int>(other) == pin)
+            continue;
+        if (an.lineAlternates(gate.fanin[other]))
+            return true;
+    }
+    return false;
+}
+
+bool
+conditionE(const ScalAnalyzer &an, const FaultSite &site, int output)
+{
+    for (bool s : {false, true}) {
+        const FaultAnalysis fa = an.analyzeFault({site, s});
+        if (!fa.badPerOutput[output].isZero())
+            return false;
+    }
+    return true;
+}
+
+bool
+multiOutputCondition(const ScalAnalyzer &an, const FaultSite &site)
+{
+    for (bool s : {false, true}) {
+        const FaultAnalysis fa = an.analyzeFault({site, s});
+        if (!fa.unsafe.isZero())
+            return false;
+    }
+    return true;
+}
+
+Condition
+firstSatisfied(const ScalAnalyzer &an, const FaultSite &site, int output)
+{
+    if (conditionA(an, site))
+        return Condition::A;
+    if (conditionB(an, site, output))
+        return Condition::B;
+    if (conditionC(an, site, output))
+        return Condition::C;
+    if (conditionD(an, site, output))
+        return Condition::D;
+    if (conditionE(an, site, output))
+        return Condition::E;
+    return Condition::None;
+}
+
+} // namespace scal::core

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The Algorithm 3.1 per-line conditions A-E plus the multi-output
+ * relaxation:
+ *
+ *   A (Thm 3.6): the line alternates for every input pair.
+ *   B (Thm 3.7): no fanout on its path to the output; unate gates.
+ *   C (Thm 3.8): uniform path parity to the output.
+ *   D (Thm 3.9): input to the same standard gate as an alternating
+ *                line.
+ *   E (Cor 3.1): the exact fault-secure equation holds.
+ *   M (Cor 3.2): every incorrectly alternating input is rescued by a
+ *                non-alternating companion output.
+ *
+ * A-D are sufficient structural conditions; E and M are exact.
+ */
+
+#ifndef SCAL_CORE_CONDITIONS_HH
+#define SCAL_CORE_CONDITIONS_HH
+
+#include "core/analysis.hh"
+
+namespace scal::core
+{
+
+enum class Condition : char
+{
+    A = 'A',
+    B = 'B',
+    C = 'C',
+    D = 'D',
+    E = 'E',
+    MultiOutput = 'M',
+    None = '-',
+};
+
+/** Condition A: the faulted line's function is self-dual. */
+bool conditionA(const ScalAnalyzer &an, const netlist::FaultSite &site);
+
+/** Condition B restricted to the cone of @p output. */
+bool conditionB(const ScalAnalyzer &an, const netlist::FaultSite &site,
+                int output);
+
+/** Condition C restricted to the cone of @p output. */
+bool conditionC(const ScalAnalyzer &an, const netlist::FaultSite &site,
+                int output);
+
+/**
+ * Condition D. Only meaningful for a segment feeding exactly one gate
+ * (a branch, or the stem of a fanout-free line): that gate must be a
+ * multi-input standard gate with another, alternating, input line.
+ */
+bool conditionD(const ScalAnalyzer &an, const netlist::FaultSite &site,
+                int output);
+
+/** Condition E: Bad ≡ 0 on @p output for both stuck values. */
+bool conditionE(const ScalAnalyzer &an, const netlist::FaultSite &site,
+                int output);
+
+/** Corollary 3.2 across all outputs, both stuck values. */
+bool multiOutputCondition(const ScalAnalyzer &an,
+                          const netlist::FaultSite &site);
+
+/**
+ * First satisfied single-output condition in the paper's order
+ * (A, B, C, D, E) for @p site on @p output, or Condition::None.
+ */
+Condition firstSatisfied(const ScalAnalyzer &an,
+                         const netlist::FaultSite &site, int output);
+
+} // namespace scal::core
+
+#endif // SCAL_CORE_CONDITIONS_HH

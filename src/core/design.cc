@@ -1,0 +1,82 @@
+#include "core/design.hh"
+
+#include <stdexcept>
+
+#include "fault/campaign.hh"
+#include "netlist/circuits.hh"
+
+namespace scal::core
+{
+
+using namespace netlist;
+using logic::TruthTable;
+
+ScalDesign
+designScalNetwork(const std::vector<TruthTable> &funcs,
+                  const std::vector<std::string> &out_names,
+                  const std::vector<std::string> &in_names)
+{
+    if (funcs.empty() || funcs.size() != out_names.size())
+        throw std::invalid_argument("function/name count mismatch");
+    const int n = funcs[0].numVars();
+    if (static_cast<int>(in_names.size()) != n)
+        throw std::invalid_argument("input name count mismatch");
+    for (const TruthTable &f : funcs)
+        if (f.numVars() != n)
+            throw std::invalid_argument("arity mismatch");
+
+    bool need_phi = false;
+    for (const TruthTable &f : funcs)
+        need_phi |= !f.isSelfDual();
+
+    ScalDesign design;
+    Netlist &net = design.net;
+    std::vector<GateId> ins;
+    for (int i = 0; i < n; ++i)
+        ins.push_back(net.addInput(in_names[i]));
+    if (need_phi) {
+        design.phiInput = n;
+        ins.push_back(net.addInput("phi"));
+    }
+
+    std::vector<GateId> inverters(ins.size(), kNoGate);
+    for (std::size_t j = 0; j < funcs.size(); ++j) {
+        TruthTable f = funcs[j];
+        if (need_phi) {
+            // Extend already-self-dual outputs with a don't-care φ so
+            // every cone shares the variable space; self-dualize the
+            // rest.
+            if (f.isSelfDual()) {
+                f = f.extendTo(n + 1);
+            } else {
+                f = f.selfDualize();
+                design.dualizedOutputs.push_back(
+                    static_cast<int>(j));
+            }
+        }
+        const GateId g = circuits::emitSopCone(net, f, ins, inverters,
+                                               out_names[j]);
+        net.addOutput(g, out_names[j]);
+    }
+    return design;
+}
+
+bool
+verifyScalDesign(const ScalDesign &design)
+{
+    const auto res = fault::runAlternatingCampaign(design.net);
+    if (!res.faultSecure())
+        return false;
+    for (const auto &fr : res.faults) {
+        if (fr.outcome != fault::Outcome::Untestable)
+            continue;
+        // Only unused primary input ports may be untestable.
+        if (design.net.gate(fr.fault.site.driver).kind !=
+            GateKind::Input) {
+            return false;
+        }
+    }
+    return true;
+}
+
+} // namespace scal::core

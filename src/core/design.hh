@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The constructive design procedure the thesis calls for (Section 8.3
+ * item 1): given any multi-output Boolean function — self-dual or not
+ * — produce a guaranteed SCAL network:
+ *
+ *   1. self-dualize each output with the period clock φ (Yamamoto),
+ *   2. realize each output as a minimized two-level AND-OR cone over
+ *      a shared input/inverter rail (self-checking per the two-level
+ *      result discussed under Theorem 3.7),
+ *   3. optionally verify with Algorithm 3.1 and the exhaustive
+ *      campaign.
+ *
+ * Costs more than a clever multi-level sharing design, but comes with
+ * the theorem: the result is always a SCAL network.
+ */
+
+#ifndef SCAL_CORE_DESIGN_HH
+#define SCAL_CORE_DESIGN_HH
+
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hh"
+#include "netlist/netlist.hh"
+
+namespace scal::core
+{
+
+struct ScalDesign
+{
+    netlist::Netlist net;
+    /** Input index of φ, or -1 when every output was already
+     *  self-dual and no clock was needed. */
+    int phiInput = -1;
+    /** Outputs that needed self-dualization. */
+    std::vector<int> dualizedOutputs;
+};
+
+/**
+ * Build a SCAL realization of @p funcs (shared arity). Output j of
+ * the result computes funcs[j](X) in the first period and its
+ * complement in the second. φ is appended as the last input iff some
+ * function is not already self-dual.
+ */
+ScalDesign designScalNetwork(const std::vector<logic::TruthTable> &funcs,
+                             const std::vector<std::string> &out_names,
+                             const std::vector<std::string> &in_names);
+
+/**
+ * Post-condition check (used by the tests and available to callers):
+ * runs the exhaustive campaign and returns true iff the design is
+ * fault-secure with every fault testable outside unused input ports.
+ */
+bool verifyScalDesign(const ScalDesign &design);
+
+} // namespace scal::core
+
+#endif // SCAL_CORE_DESIGN_HH

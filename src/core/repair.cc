@@ -1,0 +1,103 @@
+#include "core/repair.hh"
+
+#include <functional>
+#include <map>
+#include <stdexcept>
+
+namespace scal::core
+{
+
+using namespace netlist;
+
+Netlist
+repairByFanoutSplit(const Netlist &orig, GateId g, int depth)
+{
+    if (g < 0 || g >= orig.numGates())
+        throw std::invalid_argument("repair: unknown gate");
+    if (depth < 1)
+        throw std::invalid_argument("repair: depth must be >= 1");
+
+    // Copy the network verbatim (ids are preserved by append order).
+    Netlist net;
+    for (GateId id = 0; id < orig.numGates(); ++id) {
+        const Gate &gate = orig.gate(id);
+        switch (gate.kind) {
+          case GateKind::Input:
+            net.addInput(gate.name);
+            break;
+          case GateKind::Const0:
+            net.addConst(false);
+            break;
+          case GateKind::Const1:
+            net.addConst(true);
+            break;
+          case GateKind::Dff:
+            net.addDff(gate.fanin[0], gate.name, gate.latch, gate.init);
+            break;
+          default:
+            net.addGate(gate.kind, gate.fanin, gate.name);
+            break;
+        }
+    }
+    for (int j = 0; j < orig.numOutputs(); ++j)
+        net.addOutput(orig.outputs()[j], orig.outputName(j));
+
+    // Clone the cone behind g up to `depth` levels; beyond the depth
+    // bound (and at sources) the original gates stay shared. Internal
+    // sharing within one copy is preserved (memoized per destination):
+    // re-expanding a shared subcone into a tree would manufacture
+    // redundant literals (e.g. NAND(A, NAND(A,B)) has an untestable
+    // input branch) and destroy self-testing.
+    std::map<GateId, GateId> memo;
+    std::function<GateId(GateId, int)> clone = [&](GateId id,
+                                                   int levels) -> GateId {
+        const Gate &gate = orig.gate(id);
+        if (levels == 0 || gate.kind == GateKind::Input ||
+            gate.kind == GateKind::Const0 ||
+            gate.kind == GateKind::Const1 ||
+            gate.kind == GateKind::Dff) {
+            return id;
+        }
+        if (auto it = memo.find(id); it != memo.end())
+            return it->second;
+        std::vector<GateId> fanin;
+        for (GateId f : gate.fanin)
+            fanin.push_back(clone(f, levels - 1));
+        const GateId copy =
+            net.addGate(gate.kind, std::move(fanin),
+                        gate.name.empty() ? "" : gate.name + "'");
+        memo[id] = copy;
+        return copy;
+    };
+
+    // Snapshot destinations before mutating (mutation invalidates the
+    // consumer caches).
+    const auto dests = orig.consumers(g);
+    const auto taps = orig.outputTaps(g);
+    const int total = static_cast<int>(dests.size() + taps.size());
+    if (total <= 1)
+        return net; // nothing to split
+
+    // The first destination keeps the original line; every other
+    // destination gets a fresh copy of the generating subnetwork.
+    bool first = true;
+    for (auto [c, pin] : dests) {
+        if (first) {
+            first = false;
+            continue;
+        }
+        memo.clear();
+        net.replaceFanin(c, pin, clone(g, depth));
+    }
+    for (int tap : taps) {
+        if (first) {
+            first = false;
+            continue;
+        }
+        memo.clear();
+        net.replaceOutput(tap, clone(g, depth));
+    }
+    return net;
+}
+
+} // namespace scal::core

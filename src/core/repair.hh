@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The Figure 3.7 repair transform: when a line's fanout breaks the
+ * self-checking property, duplicate the subnetwork generating it so
+ * each destination receives its value from a private copy and the
+ * line no longer fans out.
+ */
+
+#ifndef SCAL_CORE_REPAIR_HH
+#define SCAL_CORE_REPAIR_HH
+
+#include "netlist/netlist.hh"
+
+namespace scal::core
+{
+
+/**
+ * Return a copy of @p net in which the cone generating line @p g is
+ * duplicated once per destination of g, so every destination is fed
+ * by its own copy and no copy fans out. @p depth bounds how far back
+ * the duplication reaches: gates within @p depth levels behind g are
+ * replicated, anything deeper (and all primary inputs) stays shared.
+ *
+ * depth = 1 duplicates only the gate driving g (the literal Figure
+ * 3.7 move); larger depths replicate more of the generating
+ * subnetwork when the single-gate move is insufficient.
+ */
+netlist::Netlist repairByFanoutSplit(const netlist::Netlist &net,
+                                     netlist::GateId g, int depth = 1);
+
+} // namespace scal::core
+
+#endif // SCAL_CORE_REPAIR_HH

@@ -1,0 +1,57 @@
+#include "core/test_derivation.hh"
+
+namespace scal::core
+{
+
+using namespace netlist;
+using logic::TruthTable;
+
+std::vector<std::uint64_t>
+Theorem32Symbols::testsS0() const
+{
+    return (a | b).minterms();
+}
+
+std::vector<std::uint64_t>
+Theorem32Symbols::testsS1() const
+{
+    return (c | d).minterms();
+}
+
+Theorem32Symbols
+deriveTheorem32(const ScalAnalyzer &an, const FaultSite &site, int output)
+{
+    const TruthTable &good = an.lineFunctions().output[output];
+    const TruthTable f0 = an.faultyOutputs({site, false})[output];
+    const TruthTable f1 = an.faultyOutputs({site, true})[output];
+
+    Theorem32Symbols sym{
+        // A = F(X,0) ⊕ F(X): first-period error under s-a-0.
+        f0 ^ good,
+        // B = F(X̄,0) ⊕ F(X̄), expressed as a function of X by
+        // reflecting both (F(X̄) = reflect(F)(X)).
+        f0.reflect() ^ good.reflect(),
+        f1 ^ good,
+        f1.reflect() ^ good.reflect(),
+        TruthTable(good.numVars()),
+        TruthTable(good.numVars()),
+    };
+    sym.e = sym.a & sym.b;
+    sym.f = sym.c & sym.d;
+    return sym;
+}
+
+std::vector<std::uint64_t>
+networkTests(const ScalAnalyzer &an, const Fault &fault)
+{
+    const FaultAnalysis fa = an.analyzeFault(fault);
+    TruthTable detect(an.lineFunctions().numVars);
+    // A pattern is a test when the fault makes some output emit a
+    // non-code (non-alternating) pair there; the fault-free network
+    // always alternates, so non-alternation alone implies an error.
+    for (const TruthTable &nonalt : fa.nonAltPerOutput)
+        detect |= nonalt;
+    return detect.minterms();
+}
+
+} // namespace scal::core

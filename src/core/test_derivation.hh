@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Theorem 3.2 test derivation: the A, B, C, D, E, F symbol algebra
+ * that decides whether a line can be tested for each stuck value and,
+ * when it can, which alternating input pairs are tests.
+ *
+ *   A = F(X,0) ⊕ F(X,G(X))      B = F(X̄,0) ⊕ F(X̄,G(X̄))
+ *   C = F(X,1) ⊕ F(X,G(X))      D = F(X̄,1) ⊕ F(X̄,G(X̄))
+ *   E = A ∧ B                   F = C ∧ D
+ *
+ * Iff E ≡ 0 the line is testable for s-a-0 and the inputs satisfying
+ * A ∨ B are the tests; dually for F and s-a-1 (Theorem 3.2). If for
+ * some line no test exists the network is not self-checking
+ * (Theorem 3.3), and if A ∨ C ≡ 0 the line is redundant
+ * (Theorem 3.4).
+ */
+
+#ifndef SCAL_CORE_TEST_DERIVATION_HH
+#define SCAL_CORE_TEST_DERIVATION_HH
+
+#include "core/analysis.hh"
+
+namespace scal::core
+{
+
+/** The six symbol tables of Theorem 3.2, all functions of X. */
+struct Theorem32Symbols
+{
+    logic::TruthTable a, b, c, d, e, f;
+
+    /** Theorem 3.2: s-a-0 testable without incorrect alternation. */
+    bool testableS0() const { return e.isZero() && !(a | b).isZero(); }
+    /** Theorem 3.2: s-a-1 testable without incorrect alternation. */
+    bool testableS1() const { return f.isZero() && !(c | d).isZero(); }
+    /** Theorem 3.4: the line is redundant for this output. */
+    bool redundant() const { return (a | c).isZero(); }
+
+    /** Test patterns for s-a-0: minterms of A ∨ B. */
+    std::vector<std::uint64_t> testsS0() const;
+    /** Test patterns for s-a-1: minterms of C ∨ D. */
+    std::vector<std::uint64_t> testsS1() const;
+};
+
+/**
+ * Compute the Theorem 3.2 symbols for a fault site on one output of
+ * an alternating network.
+ */
+Theorem32Symbols deriveTheorem32(const ScalAnalyzer &an,
+                                 const netlist::FaultSite &site,
+                                 int output);
+
+/**
+ * Network-level test set for a fault: input patterns X whose pair
+ * (X, X̄) yields a non-alternating word on some output.
+ */
+std::vector<std::uint64_t> networkTests(const ScalAnalyzer &an,
+                                        const netlist::Fault &fault);
+
+} // namespace scal::core
+
+#endif // SCAL_CORE_TEST_DERIVATION_HH

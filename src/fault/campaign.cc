@@ -1,0 +1,118 @@
+#include "fault/campaign.hh"
+
+#include <stdexcept>
+
+#include "sim/alternating.hh"
+#include "sim/packed.hh"
+#include "util/rng.hh"
+
+namespace scal::fault
+{
+
+using namespace netlist;
+
+CampaignResult
+runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
+{
+    if (!net.isCombinational())
+        throw std::invalid_argument("campaign needs combinational netlist");
+    if (!sim::isAlternatingNetwork(net) && net.numInputs() <= 20)
+        throw std::invalid_argument(
+            "campaign target is not an alternating network "
+            "(some output is not self-dual)");
+
+    const int ni = net.numInputs();
+    const bool exhaustive =
+        ni < 63 && (std::uint64_t{1} << ni) <= opts.maxPatterns;
+    const std::uint64_t num_patterns =
+        exhaustive ? (std::uint64_t{1} << ni) : opts.maxPatterns;
+
+    sim::PackedEvaluator pe(net);
+    util::Rng rng(opts.seed);
+
+    const std::vector<Fault> faults = net.allFaults();
+    CampaignResult result;
+    result.faults.resize(faults.size());
+    for (std::size_t k = 0; k < faults.size(); ++k)
+        result.faults[k].fault = faults[k];
+    std::vector<bool> tested(faults.size(), false);
+    std::vector<bool> unsafe(faults.size(), false);
+
+    std::vector<std::uint64_t> in(ni), inbar(ni);
+    std::vector<std::uint64_t> pattern_base(64);
+
+    for (std::uint64_t base = 0; base < num_patterns; base += 64) {
+        const int lanes =
+            static_cast<int>(std::min<std::uint64_t>(64, num_patterns -
+                                                             base));
+        // Build the packed input block.
+        for (int i = 0; i < ni; ++i)
+            in[i] = 0;
+        for (int lane = 0; lane < lanes; ++lane) {
+            const std::uint64_t pat =
+                exhaustive ? base + lane : rng.next();
+            pattern_base[lane] = exhaustive ? base + lane : pat;
+            for (int i = 0; i < ni; ++i)
+                if ((pat >> i) & 1)
+                    in[i] |= std::uint64_t{1} << lane;
+        }
+        const std::uint64_t lane_mask =
+            lanes == 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << lanes) - 1);
+        for (int i = 0; i < ni; ++i)
+            inbar[i] = ~in[i];
+
+        const auto good1 = pe.evalOutputs(in);
+
+        for (std::size_t k = 0; k < faults.size(); ++k) {
+            const Fault &f = faults[k];
+            const auto f1 = pe.evalOutputs(in, &f);
+            const auto f2 = pe.evalOutputs(inbar, &f);
+
+            std::uint64_t any_err = 0, nonalt = 0, incorrect = 0;
+            for (int j = 0; j < net.numOutputs(); ++j) {
+                const std::uint64_t err1 = f1[j] ^ good1[j];
+                const std::uint64_t err2 = f2[j] ^ ~good1[j];
+                any_err |= err1 | err2;
+                nonalt |= ~(f1[j] ^ f2[j]);
+                incorrect |= err1 & err2;
+            }
+            any_err &= lane_mask;
+            nonalt &= lane_mask;
+            incorrect &= lane_mask;
+
+            if (any_err)
+                tested[k] = true;
+            const std::uint64_t unsafe_lanes = incorrect & ~nonalt;
+            if (unsafe_lanes) {
+                unsafe[k] = true;
+                auto &ex = result.faults[k].unsafePatterns;
+                for (int lane = 0; lane < lanes; ++lane) {
+                    if (static_cast<int>(ex.size()) >=
+                        opts.keepUnsafeExamples)
+                        break;
+                    if ((unsafe_lanes >> lane) & 1)
+                        ex.push_back(pattern_base[lane]);
+                }
+            }
+        }
+    }
+
+    result.patternsApplied = num_patterns;
+    for (std::size_t k = 0; k < faults.size(); ++k) {
+        Outcome o = Outcome::Untestable;
+        if (unsafe[k])
+            o = Outcome::Unsafe;
+        else if (tested[k])
+            o = Outcome::Detected;
+        result.faults[k].outcome = o;
+        switch (o) {
+          case Outcome::Untestable: ++result.numUntestable; break;
+          case Outcome::Detected:   ++result.numDetected; break;
+          case Outcome::Unsafe:     ++result.numUnsafe; break;
+        }
+    }
+    return result;
+}
+
+} // namespace scal::fault

@@ -1,0 +1,103 @@
+#include "fault/collapse.hh"
+
+#include <functional>
+#include <map>
+#include <tuple>
+
+namespace scal::fault
+{
+
+using namespace netlist;
+
+CollapseResult
+collapseFaults(const Netlist &net)
+{
+    const std::vector<Fault> faults = net.allFaults();
+    CollapseResult res;
+    res.totalFaults = static_cast<int>(faults.size());
+
+    using Key = std::tuple<GateId, GateId, int, bool>;
+    std::map<Key, int> index;
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const Fault &f = faults[i];
+        index[{f.site.driver, f.site.consumer, f.site.pin, f.value}] =
+            static_cast<int>(i);
+    }
+
+    std::vector<int> parent(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        parent[i] = static_cast<int>(i);
+    std::function<int(int)> find = [&](int x) {
+        return parent[x] == x ? x : parent[x] = find(parent[x]);
+    };
+    auto unite = [&](int a, int b) {
+        if (a >= 0 && b >= 0)
+            parent[find(a)] = find(b);
+    };
+
+    // The fault on the line segment feeding pin `pin` of gate c: the
+    // branch site when the driver fans out, its stem otherwise.
+    auto input_fault = [&](GateId c, int pin, bool value) -> int {
+        const GateId d = net.gate(c).fanin[pin];
+        if (net.fanoutCount(d) > 1) {
+            const auto it = index.find({d, c, pin, value});
+            return it == index.end() ? -1 : it->second;
+        }
+        const auto it =
+            index.find({d, FaultSite::kStem, -1, value});
+        return it == index.end() ? -1 : it->second;
+    };
+    auto stem_fault = [&](GateId g, bool value) -> int {
+        const auto it = index.find({g, FaultSite::kStem, -1, value});
+        return it == index.end() ? -1 : it->second;
+    };
+
+    for (GateId g = 0; g < net.numGates(); ++g) {
+        const Gate &gate = net.gate(g);
+        switch (gate.kind) {
+          case GateKind::And:
+          case GateKind::Nand: {
+            const bool out = gate.kind == GateKind::Nand;
+            for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+                unite(input_fault(g, static_cast<int>(pin), false),
+                      stem_fault(g, out));
+            }
+            break;
+          }
+          case GateKind::Or:
+          case GateKind::Nor: {
+            const bool out = gate.kind == GateKind::Or;
+            for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+                unite(input_fault(g, static_cast<int>(pin), true),
+                      stem_fault(g, out));
+            }
+            break;
+          }
+          case GateKind::Buf:
+            unite(input_fault(g, 0, false), stem_fault(g, false));
+            unite(input_fault(g, 0, true), stem_fault(g, true));
+            break;
+          case GateKind::Not:
+            unite(input_fault(g, 0, false), stem_fault(g, true));
+            unite(input_fault(g, 0, true), stem_fault(g, false));
+            break;
+          default:
+            break; // XOR/threshold gates collapse nothing structurally
+        }
+    }
+
+    // Emit representatives in first-seen order.
+    std::map<int, int> class_id;
+    res.classOf.resize(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+        const int root = find(static_cast<int>(i));
+        auto [it, fresh] = class_id.try_emplace(
+            root, static_cast<int>(res.representatives.size()));
+        if (fresh)
+            res.representatives.push_back(faults[root]);
+        res.classOf[i] = it->second;
+    }
+    return res;
+}
+
+} // namespace scal::fault

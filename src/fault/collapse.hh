@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Structural fault collapsing: the classic equivalences — an AND
+ * input stuck-at-0 is indistinguishable from its output stuck-at-0, a
+ * NAND input stuck-at-0 from its output stuck-at-1, and inverter and
+ * buffer faults map straight through — partition the stuck-at fault
+ * universe into equivalence classes so campaigns only need one
+ * representative per class. Purely structural (no simulation), hence
+ * conservative: distinct classes may still be behaviorally
+ * equivalent.
+ */
+
+#ifndef SCAL_FAULT_COLLAPSE_HH
+#define SCAL_FAULT_COLLAPSE_HH
+
+#include <vector>
+
+#include "fault/fault.hh"
+
+namespace scal::fault
+{
+
+struct CollapseResult
+{
+    /** One representative per equivalence class. */
+    std::vector<netlist::Fault> representatives;
+    /** Class index of every original fault (aligned with
+     *  net.allFaults() order). */
+    std::vector<int> classOf;
+    int totalFaults = 0;
+
+    double
+    ratio() const
+    {
+        return totalFaults
+                   ? static_cast<double>(representatives.size()) /
+                         totalFaults
+                   : 1.0;
+    }
+};
+
+/** Collapse the full stuck-at universe of @p net. */
+CollapseResult collapseFaults(const netlist::Netlist &net);
+
+} // namespace scal::fault
+
+#endif // SCAL_FAULT_COLLAPSE_HH

@@ -1,0 +1,17 @@
+#include "fault/fault.hh"
+
+namespace scal::fault
+{
+
+const char *
+outcomeName(Outcome o)
+{
+    switch (o) {
+      case Outcome::Untestable: return "untestable";
+      case Outcome::Detected:   return "detected";
+      case Outcome::Unsafe:     return "UNSAFE";
+    }
+    return "?";
+}
+
+} // namespace scal::fault

@@ -1,0 +1,92 @@
+#include "logic/function_gen.hh"
+
+#include "util/bits.hh"
+
+namespace scal::logic
+{
+
+TruthTable
+randomFunction(int num_vars, util::Rng &rng)
+{
+    TruthTable t(num_vars);
+    for (std::uint64_t m = 0; m < t.numMinterms(); ++m)
+        t.set(m, rng.chance(0.5));
+    return t;
+}
+
+TruthTable
+randomSelfDual(int num_vars, util::Rng &rng)
+{
+    TruthTable t(num_vars);
+    const std::uint64_t mask = t.numMinterms() - 1;
+    for (std::uint64_t m = 0; m < t.numMinterms(); ++m) {
+        const std::uint64_t comp = ~m & mask;
+        if (m > comp)
+            continue; // handled with its partner
+        const bool v = rng.chance(0.5);
+        // Exactly one of each complementary pair is a minterm.
+        t.set(m, v);
+        t.set(comp, !v);
+    }
+    return t;
+}
+
+TruthTable
+andN(int num_vars)
+{
+    TruthTable t(num_vars);
+    t.set(t.numMinterms() - 1, true);
+    return t;
+}
+
+TruthTable
+orN(int num_vars)
+{
+    return ~norN(num_vars);
+}
+
+TruthTable
+xorN(int num_vars)
+{
+    TruthTable t(num_vars);
+    for (std::uint64_t m = 0; m < t.numMinterms(); ++m)
+        if (util::popcount(m) & 1)
+            t.set(m, true);
+    return t;
+}
+
+TruthTable
+nandN(int num_vars)
+{
+    return ~andN(num_vars);
+}
+
+TruthTable
+norN(int num_vars)
+{
+    TruthTable t(num_vars);
+    t.set(0, true);
+    return t;
+}
+
+TruthTable
+majorityN(int num_vars)
+{
+    TruthTable t(num_vars);
+    for (std::uint64_t m = 0; m < t.numMinterms(); ++m)
+        if (2 * util::popcount(m) > num_vars)
+            t.set(m, true);
+    return t;
+}
+
+TruthTable
+minorityN(int num_vars)
+{
+    TruthTable t(num_vars);
+    for (std::uint64_t m = 0; m < t.numMinterms(); ++m)
+        if (2 * util::popcount(m) < num_vars)
+            t.set(m, true);
+    return t;
+}
+
+} // namespace scal::logic

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Generators for Boolean functions used by the property-test sweeps:
+ * random functions, random self-dual functions, and the named
+ * functions appearing in the paper's worked examples.
+ */
+
+#ifndef SCAL_LOGIC_FUNCTION_GEN_HH
+#define SCAL_LOGIC_FUNCTION_GEN_HH
+
+#include "logic/truth_table.hh"
+#include "util/rng.hh"
+
+namespace scal::logic
+{
+
+/** Uniformly random function of @p num_vars variables. */
+TruthTable randomFunction(int num_vars, util::Rng &rng);
+
+/**
+ * Uniformly random *self-dual* function: choose one representative per
+ * complementary minterm pair (m, m̄) independently.
+ */
+TruthTable randomSelfDual(int num_vars, util::Rng &rng);
+
+/** n-ary AND / OR / XOR / NAND / NOR truth tables. */
+TruthTable andN(int num_vars);
+TruthTable orN(int num_vars);
+TruthTable xorN(int num_vars);
+TruthTable nandN(int num_vars);
+TruthTable norN(int num_vars);
+
+/** MAJORITY of an odd number of variables (self-dual). */
+TruthTable majorityN(int num_vars);
+
+/** MINORITY m_I(A) = 1 iff fewer than I/2 inputs are 1 (Sec 6.1). */
+TruthTable minorityN(int num_vars);
+
+} // namespace scal::logic
+
+#endif // SCAL_LOGIC_FUNCTION_GEN_HH

@@ -1,0 +1,139 @@
+#include "logic/minimize.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "util/bits.hh"
+
+namespace scal::logic
+{
+
+int
+Cube::literals() const
+{
+    return util::popcount(care);
+}
+
+bool
+Cube::covers(std::uint64_t m) const
+{
+    return (m & care) == (value & care);
+}
+
+std::vector<Cube>
+primeImplicants(const TruthTable &f)
+{
+    const int n = f.numVars();
+    const std::uint64_t full = util::lowMask(n);
+
+    // Classic tabulation: start from minterm cubes, repeatedly merge
+    // cubes differing in exactly one cared bit; unmerged cubes are
+    // prime.
+    std::set<std::pair<std::uint64_t, std::uint64_t>> current; // care,val
+    for (std::uint64_t m = 0; m < f.numMinterms(); ++m)
+        if (f.get(m))
+            current.insert({full, m});
+
+    std::vector<Cube> primes;
+    while (!current.empty()) {
+        std::set<std::pair<std::uint64_t, std::uint64_t>> next;
+        std::set<std::pair<std::uint64_t, std::uint64_t>> merged;
+        std::vector<std::pair<std::uint64_t, std::uint64_t>> list(
+            current.begin(), current.end());
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            for (std::size_t j = i + 1; j < list.size(); ++j) {
+                if (list[i].first != list[j].first)
+                    continue;
+                const std::uint64_t care = list[i].first;
+                const std::uint64_t diff =
+                    (list[i].second ^ list[j].second) & care;
+                if (util::popcount(diff) != 1)
+                    continue;
+                next.insert({care & ~diff, list[i].second & ~diff & care});
+                merged.insert(list[i]);
+                merged.insert(list[j]);
+            }
+        }
+        for (const auto &c : list)
+            if (!merged.count(c))
+                primes.push_back({c.first, c.second & c.first});
+        current = std::move(next);
+    }
+    return primes;
+}
+
+std::vector<Cube>
+minimizeSop(const TruthTable &f)
+{
+    if (f.isZero())
+        return {};
+    std::vector<Cube> primes = primeImplicants(f);
+    std::vector<std::uint64_t> ms = f.minterms();
+
+    // cover[m] = indices of primes covering minterm m.
+    std::map<std::uint64_t, std::vector<std::size_t>> cover;
+    for (std::size_t p = 0; p < primes.size(); ++p)
+        for (std::uint64_t m : ms)
+            if (primes[p].covers(m))
+                cover[m].push_back(p);
+
+    std::set<std::uint64_t> uncovered(ms.begin(), ms.end());
+    std::set<std::size_t> chosen;
+
+    // Essential primes.
+    for (std::uint64_t m : ms) {
+        if (cover[m].size() == 1)
+            chosen.insert(cover[m][0]);
+    }
+    for (std::size_t p : chosen)
+        for (auto it = uncovered.begin(); it != uncovered.end();)
+            it = primes[p].covers(*it) ? uncovered.erase(it) : ++it;
+
+    // Greedy for the rest: most new minterms, fewest literals.
+    while (!uncovered.empty()) {
+        std::size_t best = 0;
+        long best_gain = -1;
+        for (std::size_t p = 0; p < primes.size(); ++p) {
+            if (chosen.count(p))
+                continue;
+            long gain = 0;
+            for (std::uint64_t m : uncovered)
+                if (primes[p].covers(m))
+                    ++gain;
+            gain = gain * 64 - primes[p].literals();
+            if (gain > best_gain) {
+                best_gain = gain;
+                best = p;
+            }
+        }
+        chosen.insert(best);
+        for (auto it = uncovered.begin(); it != uncovered.end();)
+            it = primes[best].covers(*it) ? uncovered.erase(it) : ++it;
+    }
+
+    std::vector<Cube> result;
+    for (std::size_t p : chosen)
+        result.push_back(primes[p]);
+    std::sort(result.begin(), result.end(),
+              [](const Cube &a, const Cube &b) {
+                  return std::tie(a.value, a.care) <
+                         std::tie(b.value, b.care);
+              });
+    return result;
+}
+
+TruthTable
+sopToTable(int num_vars, const std::vector<Cube> &cover)
+{
+    TruthTable t(num_vars);
+    for (std::uint64_t m = 0; m < t.numMinterms(); ++m)
+        for (const Cube &c : cover)
+            if (c.covers(m)) {
+                t.set(m, true);
+                break;
+            }
+    return t;
+}
+
+} // namespace scal::logic

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Two-level (sum-of-products) minimization: Quine-McCluskey prime
+ * implicant generation with a greedy cover. Used to synthesize the
+ * AND-OR networks whose gate counts feed the paper's cost tables
+ * (Table 4.1) and to build the two-level self-checking realizations
+ * of Section 3.3.
+ */
+
+#ifndef SCAL_LOGIC_MINIMIZE_HH
+#define SCAL_LOGIC_MINIMIZE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/truth_table.hh"
+
+namespace scal::logic
+{
+
+/**
+ * A product term: variable i appears iff bit i of @c care is set, and
+ * appears complemented iff the corresponding bit of @c value is 0.
+ */
+struct Cube
+{
+    std::uint64_t care = 0;
+    std::uint64_t value = 0;
+
+    bool operator==(const Cube &o) const = default;
+
+    /** Number of literals. */
+    int literals() const;
+
+    /** True iff the cube contains minterm @p m. */
+    bool covers(std::uint64_t m) const;
+};
+
+/** All prime implicants of @p f (exact, exponential in numVars). */
+std::vector<Cube> primeImplicants(const TruthTable &f);
+
+/**
+ * A minimal-ish cover of @p f by prime implicants: essential primes
+ * first, then greedy selection by minterms newly covered.
+ */
+std::vector<Cube> minimizeSop(const TruthTable &f);
+
+/** Rebuild the function a cover represents (for verification). */
+TruthTable sopToTable(int num_vars, const std::vector<Cube> &cover);
+
+} // namespace scal::logic
+
+#endif // SCAL_LOGIC_MINIMIZE_HH

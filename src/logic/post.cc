@@ -1,0 +1,97 @@
+#include "logic/post.hh"
+
+#include "util/bits.hh"
+
+namespace scal::logic
+{
+
+bool
+preservesZero(const TruthTable &f)
+{
+    return !f.get(0);
+}
+
+bool
+preservesOne(const TruthTable &f)
+{
+    return f.get(f.numMinterms() - 1);
+}
+
+bool
+isMonotone(const TruthTable &f)
+{
+    // Check every covering pair (flip one 0 to 1 must not drop f).
+    for (std::uint64_t m = 0; m < f.numMinterms(); ++m) {
+        for (int i = 0; i < f.numVars(); ++i) {
+            if ((m >> i) & 1)
+                continue;
+            if (f.get(m) && !f.get(m | (std::uint64_t{1} << i)))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+isAffine(const TruthTable &f)
+{
+    // f affine iff f(x) = c0 ^ XOR_{i in S} x_i. Derive the candidate
+    // from the value at 0 and the unit vectors, then verify.
+    const bool c0 = f.get(0);
+    std::uint64_t mask = 0;
+    for (int i = 0; i < f.numVars(); ++i) {
+        if (f.get(std::uint64_t{1} << i) != c0)
+            mask |= std::uint64_t{1} << i;
+    }
+    for (std::uint64_t m = 0; m < f.numMinterms(); ++m) {
+        const bool want = c0 ^ util::parity(m & mask);
+        if (f.get(m) != want)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::string>
+PostAnalysis::survivingClones() const
+{
+    std::vector<std::string> out;
+    if (allPreserveZero)
+        out.push_back("0-preserving");
+    if (allPreserveOne)
+        out.push_back("1-preserving");
+    if (allMonotone)
+        out.push_back("monotone");
+    if (allAffine)
+        out.push_back("affine");
+    if (allSelfDual)
+        out.push_back("self-dual");
+    return out;
+}
+
+PostAnalysis
+analyzeGateSet(const std::vector<TruthTable> &set, bool with_constants)
+{
+    std::vector<TruthTable> full = set;
+    if (with_constants) {
+        full.push_back(TruthTable::constant(0, false));
+        full.push_back(TruthTable::constant(0, true));
+    }
+
+    PostAnalysis pa;
+    for (const TruthTable &f : full) {
+        pa.allPreserveZero &= preservesZero(f);
+        pa.allPreserveOne &= preservesOne(f);
+        pa.allMonotone &= isMonotone(f);
+        pa.allAffine &= isAffine(f);
+        pa.allSelfDual &= f.isSelfDual();
+    }
+    return pa;
+}
+
+bool
+isCompleteGateSet(const std::vector<TruthTable> &set, bool with_constants)
+{
+    return analyzeGateSet(set, with_constants).complete();
+}
+
+} // namespace scal::logic

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Post's functional completeness criterion, supporting the gate-set
+ * results of Chapter 6 (Theorem 6.1 and Reynolds' strong/weak
+ * completeness distinction): a set of Boolean functions is complete
+ * iff it escapes all five maximal clones — the 0-preserving,
+ * 1-preserving, monotone, affine (linear) and self-dual functions.
+ *
+ * The subtlety the thesis leans on: the minority module *alone* is
+ * self-dual, so {minority} preserves self-duality and is only weakly
+ * complete; adding a constant (Figure 6.1d ties an input to 0) breaks
+ * out of the self-dual clone and gives strong completeness.
+ */
+
+#ifndef SCAL_LOGIC_POST_HH
+#define SCAL_LOGIC_POST_HH
+
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hh"
+
+namespace scal::logic
+{
+
+/** f(0...0) == 0. */
+bool preservesZero(const TruthTable &f);
+
+/** f(1...1) == 1. */
+bool preservesOne(const TruthTable &f);
+
+/** x <= y (bitwise) implies f(x) <= f(y). */
+bool isMonotone(const TruthTable &f);
+
+/** f is an XOR of a subset of variables plus a constant. */
+bool isAffine(const TruthTable &f);
+
+/** Post completeness verdict with the surviving clones named. */
+struct PostAnalysis
+{
+    bool allPreserveZero = true;
+    bool allPreserveOne = true;
+    bool allMonotone = true;
+    bool allAffine = true;
+    bool allSelfDual = true;
+
+    bool complete() const
+    {
+        return !allPreserveZero && !allPreserveOne && !allMonotone &&
+               !allAffine && !allSelfDual;
+    }
+
+    /** Names of the maximal clones the whole set sits inside. */
+    std::vector<std::string> survivingClones() const;
+};
+
+/**
+ * Analyze a gate set. With @p with_constants the constants 0 and 1
+ * are added to the set first (the thesis's weak-vs-strong
+ * completeness: constants are usually free in hardware).
+ */
+PostAnalysis analyzeGateSet(const std::vector<TruthTable> &set,
+                            bool with_constants = false);
+
+/** Convenience: Post's criterion verdict. */
+bool isCompleteGateSet(const std::vector<TruthTable> &set,
+                       bool with_constants = false);
+
+} // namespace scal::logic
+
+#endif // SCAL_LOGIC_POST_HH

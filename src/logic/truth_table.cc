@@ -1,0 +1,336 @@
+#include "logic/truth_table.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "util/bits.hh"
+
+namespace scal::logic
+{
+
+TruthTable::TruthTable(int num_vars)
+    : numVars_(num_vars),
+      words_(util::wordsFor(std::uint64_t{1} << num_vars), 0)
+{
+    assert(num_vars >= 0 && num_vars <= 28);
+}
+
+TruthTable
+TruthTable::constant(int num_vars, bool value)
+{
+    TruthTable t(num_vars);
+    if (value) {
+        for (auto &w : t.words_)
+            w = ~std::uint64_t{0};
+        t.maskTail();
+    }
+    return t;
+}
+
+TruthTable
+TruthTable::variable(int num_vars, int i)
+{
+    assert(i >= 0 && i < num_vars);
+    TruthTable t(num_vars);
+    if (i < 6) {
+        // Within a word the variable pattern repeats: blocks of 2^i
+        // zeros then 2^i ones.
+        std::uint64_t pattern = 0;
+        for (unsigned m = 0; m < 64; ++m)
+            if ((m >> i) & 1)
+                pattern |= std::uint64_t{1} << m;
+        for (auto &w : t.words_)
+            w = pattern;
+        t.maskTail();
+    } else {
+        // Whole words alternate in runs of 2^(i-6).
+        const std::uint64_t run = std::uint64_t{1} << (i - 6);
+        for (std::uint64_t w = 0; w < t.words_.size(); ++w)
+            if ((w / run) & 1)
+                t.words_[w] = ~std::uint64_t{0};
+    }
+    return t;
+}
+
+TruthTable
+TruthTable::fromMinterms(int num_vars, std::initializer_list<unsigned> ms)
+{
+    return fromMinterms(num_vars, std::vector<unsigned>(ms));
+}
+
+TruthTable
+TruthTable::fromMinterms(int num_vars, const std::vector<unsigned> &ms)
+{
+    TruthTable t(num_vars);
+    for (unsigned m : ms) {
+        if (m >= t.numMinterms())
+            throw std::out_of_range("minterm out of range");
+        t.set(m, true);
+    }
+    return t;
+}
+
+TruthTable
+TruthTable::fromString(const std::string &bits)
+{
+    int n = 0;
+    while ((std::size_t{1} << n) < bits.size())
+        ++n;
+    if ((std::size_t{1} << n) != bits.size())
+        throw std::invalid_argument("truth-table string must be 2^n long");
+    TruthTable t(n);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        char c = bits[i];
+        if (c != '0' && c != '1')
+            throw std::invalid_argument("truth-table string must be binary");
+        // Most significant minterm first.
+        t.set(bits.size() - 1 - i, c == '1');
+    }
+    return t;
+}
+
+bool
+TruthTable::get(std::uint64_t m) const
+{
+    assert(m < numMinterms());
+    return (words_[m >> 6] >> (m & 63)) & 1;
+}
+
+void
+TruthTable::set(std::uint64_t m, bool value)
+{
+    assert(m < numMinterms());
+    const std::uint64_t bit = std::uint64_t{1} << (m & 63);
+    if (value)
+        words_[m >> 6] |= bit;
+    else
+        words_[m >> 6] &= ~bit;
+}
+
+std::uint64_t
+TruthTable::count() const
+{
+    std::uint64_t n = 0;
+    for (auto w : words_)
+        n += util::popcount(w);
+    return n;
+}
+
+bool
+TruthTable::isZero() const
+{
+    for (auto w : words_)
+        if (w)
+            return false;
+    return true;
+}
+
+bool
+TruthTable::isOne() const
+{
+    return count() == numMinterms();
+}
+
+void
+TruthTable::maskTail()
+{
+    if (numVars_ < 6)
+        words_[0] &= util::lowMask(numMinterms());
+}
+
+void
+TruthTable::checkCompatible(const TruthTable &o) const
+{
+    if (numVars_ != o.numVars_)
+        throw std::invalid_argument("truth-table arity mismatch");
+}
+
+TruthTable
+TruthTable::operator&(const TruthTable &o) const
+{
+    TruthTable r(*this);
+    r &= o;
+    return r;
+}
+
+TruthTable
+TruthTable::operator|(const TruthTable &o) const
+{
+    TruthTable r(*this);
+    r |= o;
+    return r;
+}
+
+TruthTable
+TruthTable::operator^(const TruthTable &o) const
+{
+    TruthTable r(*this);
+    r ^= o;
+    return r;
+}
+
+TruthTable
+TruthTable::operator~() const
+{
+    TruthTable r(*this);
+    for (auto &w : r.words_)
+        w = ~w;
+    r.maskTail();
+    return r;
+}
+
+TruthTable &
+TruthTable::operator&=(const TruthTable &o)
+{
+    checkCompatible(o);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] &= o.words_[i];
+    return *this;
+}
+
+TruthTable &
+TruthTable::operator|=(const TruthTable &o)
+{
+    checkCompatible(o);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] |= o.words_[i];
+    return *this;
+}
+
+TruthTable &
+TruthTable::operator^=(const TruthTable &o)
+{
+    checkCompatible(o);
+    for (std::size_t i = 0; i < words_.size(); ++i)
+        words_[i] ^= o.words_[i];
+    return *this;
+}
+
+bool
+TruthTable::operator==(const TruthTable &o) const
+{
+    return numVars_ == o.numVars_ && words_ == o.words_;
+}
+
+TruthTable
+TruthTable::reflect() const
+{
+    TruthTable r(numVars_);
+    const std::uint64_t mask = numMinterms() - 1;
+    for (std::uint64_t m = 0; m < numMinterms(); ++m)
+        if (get(m))
+            r.set(~m & mask, true);
+    return r;
+}
+
+TruthTable
+TruthTable::dual() const
+{
+    return ~reflect();
+}
+
+bool
+TruthTable::isSelfDual() const
+{
+    return *this == dual();
+}
+
+TruthTable
+TruthTable::selfDualize() const
+{
+    // φ is the new most significant variable: first period (φ=0)
+    // computes F(X); second period (φ=1) computes ¬F(X̄) so that the
+    // extended function is self-dual even when F is not.
+    TruthTable t(numVars_ + 1);
+    const TruthTable second = ~reflect();
+    const std::uint64_t half = numMinterms();
+    for (std::uint64_t m = 0; m < half; ++m) {
+        if (get(m))
+            t.set(m, true);
+        if (second.get(m))
+            t.set(half + m, true);
+    }
+    return t;
+}
+
+TruthTable
+TruthTable::cofactor(int i, bool value) const
+{
+    assert(i >= 0 && i < numVars_);
+    TruthTable r(numVars_);
+    const std::uint64_t bit = std::uint64_t{1} << i;
+    for (std::uint64_t m = 0; m < numMinterms(); ++m) {
+        std::uint64_t src = value ? (m | bit) : (m & ~bit);
+        if (get(src))
+            r.set(m, true);
+    }
+    return r;
+}
+
+bool
+TruthTable::independentOf(int i) const
+{
+    return cofactor(i, false) == cofactor(i, true);
+}
+
+bool
+TruthTable::allVarsEssential() const
+{
+    for (int i = 0; i < numVars_; ++i)
+        if (independentOf(i))
+            return false;
+    return true;
+}
+
+TruthTable
+TruthTable::extendTo(int num_vars) const
+{
+    assert(num_vars >= numVars_);
+    TruthTable r(num_vars);
+    const std::uint64_t period = numMinterms();
+    for (std::uint64_t m = 0; m < r.numMinterms(); ++m)
+        if (get(m % period))
+            r.set(m, true);
+    return r;
+}
+
+TruthTable
+TruthTable::compose(const TruthTable &f, const std::vector<TruthTable> &args)
+{
+    assert(static_cast<int>(args.size()) == f.numVars());
+    if (args.empty())
+        return f; // 0-ary: constant
+    const int n = args[0].numVars();
+    TruthTable r(n);
+    for (std::uint64_t m = 0; m < r.numMinterms(); ++m) {
+        std::uint64_t idx = 0;
+        for (std::size_t k = 0; k < args.size(); ++k)
+            if (args[k].get(m))
+                idx |= std::uint64_t{1} << k;
+        if (f.get(idx))
+            r.set(m, true);
+    }
+    return r;
+}
+
+std::vector<std::uint64_t>
+TruthTable::minterms() const
+{
+    std::vector<std::uint64_t> out;
+    for (std::uint64_t m = 0; m < numMinterms(); ++m)
+        if (get(m))
+            out.push_back(m);
+    return out;
+}
+
+std::string
+TruthTable::toString() const
+{
+    std::string s(numMinterms(), '0');
+    for (std::uint64_t m = 0; m < numMinterms(); ++m)
+        if (get(m))
+            s[numMinterms() - 1 - m] = '1';
+    return s;
+}
+
+} // namespace scal::logic

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Packed truth-table representation of Boolean functions.
+ *
+ * A TruthTable over n variables stores one bit per minterm, minterm
+ * index m encoding the assignment x_i = bit i of m (x_0 is the least
+ * significant bit). Everything in the SCAL analysis chapters —
+ * self-duality, the Theorem 3.1 incorrect-alternation predicate, the
+ * Corollary 3.1 condition-E equations, test derivation — reduces to a
+ * handful of operations on these tables, so they are kept simple and
+ * fast (64 minterms per machine word).
+ */
+
+#ifndef SCAL_LOGIC_TRUTH_TABLE_HH
+#define SCAL_LOGIC_TRUTH_TABLE_HH
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace scal::logic
+{
+
+class TruthTable
+{
+  public:
+    /** The all-zero function of @p num_vars variables. */
+    explicit TruthTable(int num_vars = 0);
+
+    /** Constant function. */
+    static TruthTable constant(int num_vars, bool value);
+
+    /** Projection x_i as a function of @p num_vars variables. */
+    static TruthTable variable(int num_vars, int i);
+
+    /** Function defined by its set of minterms. */
+    static TruthTable fromMinterms(int num_vars,
+                                   std::initializer_list<unsigned> minterms);
+    static TruthTable fromMinterms(int num_vars,
+                                   const std::vector<unsigned> &minterms);
+
+    /**
+     * Function from a bit string, most significant minterm first, e.g.
+     * fromString("0110") is XOR of two variables (minterm order 3,2,1,0).
+     */
+    static TruthTable fromString(const std::string &bits);
+
+    int numVars() const { return numVars_; }
+    std::uint64_t numMinterms() const { return std::uint64_t{1} << numVars_; }
+
+    bool get(std::uint64_t minterm) const;
+    void set(std::uint64_t minterm, bool value);
+
+    /** Number of satisfying minterms. */
+    std::uint64_t count() const;
+
+    bool isZero() const;
+    bool isOne() const;
+
+    /** Pointwise Boolean algebra. Operands must share numVars. */
+    TruthTable operator&(const TruthTable &o) const;
+    TruthTable operator|(const TruthTable &o) const;
+    TruthTable operator^(const TruthTable &o) const;
+    TruthTable operator~() const;
+    TruthTable &operator&=(const TruthTable &o);
+    TruthTable &operator|=(const TruthTable &o);
+    TruthTable &operator^=(const TruthTable &o);
+
+    bool operator==(const TruthTable &o) const;
+
+    /**
+     * Input reflection: R(X) = T(X̄). This is the second-period view of
+     * a line in alternating operation: when the complemented input
+     * vector is applied, line g carries G(X̄) = reflect(G)(X).
+     */
+    TruthTable reflect() const;
+
+    /** The dual function T^d(X) = ¬T(X̄). */
+    TruthTable dual() const;
+
+    /** Definition 2.7: F is self-dual iff F(X̄) = ¬F(X) for all X. */
+    bool isSelfDual() const;
+
+    /**
+     * Yamamoto's construction (Sec 2.3): extend F with a period-clock
+     * variable φ (the new most significant variable) so the result is
+     * self-dual: F'(X, φ=0) = F(X) and F'(X, φ=1) = ¬F(X̄).
+     */
+    TruthTable selfDualize() const;
+
+    /** Shannon cofactor with x_i fixed to @p value (arity unchanged). */
+    TruthTable cofactor(int i, bool value) const;
+
+    /** True iff the function does not depend on x_i. */
+    bool independentOf(int i) const;
+
+    /** True iff every variable actually influences the output. */
+    bool allVarsEssential() const;
+
+    /**
+     * Extend to @p num_vars >= numVars() variables; the new (most
+     * significant) variables are don't-cares the function ignores.
+     */
+    TruthTable extendTo(int num_vars) const;
+
+    /**
+     * Compose: evaluate this k-variable function on k argument
+     * functions that all share an input space.
+     */
+    static TruthTable compose(const TruthTable &f,
+                              const std::vector<TruthTable> &args);
+
+    /** Minterms listed in increasing order. */
+    std::vector<std::uint64_t> minterms() const;
+
+    /** Bit string, most significant minterm first (inverse fromString). */
+    std::string toString() const;
+
+    const std::vector<std::uint64_t> &words() const { return words_; }
+
+  private:
+    void maskTail();
+    void checkCompatible(const TruthTable &o) const;
+
+    int numVars_;
+    std::vector<std::uint64_t> words_;
+};
+
+} // namespace scal::logic
+
+#endif // SCAL_LOGIC_TRUTH_TABLE_HH

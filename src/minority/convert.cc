@@ -1,0 +1,77 @@
+#include "minority/convert.hh"
+
+#include <stdexcept>
+
+namespace scal::minority
+{
+
+using namespace netlist;
+
+namespace
+{
+
+ConversionResult
+convertImpl(const Netlist &orig, GateKind expected, bool invert_phi)
+{
+    ConversionResult result;
+    Netlist &net = result.net;
+
+    std::vector<GateId> map(orig.numGates(), kNoGate);
+    // Inputs first, preserving order, then φ.
+    for (GateId g : orig.inputs())
+        map[g] = net.addInput(orig.gate(g).name);
+    const GateId phi = net.addInput("phi");
+    result.phiInput = net.numInputs() - 1;
+    const GateId pad = invert_phi ? net.addNot(phi, "nphi") : phi;
+
+    for (GateId g : orig.topoOrder()) {
+        const Gate &gate = orig.gate(g);
+        switch (gate.kind) {
+          case GateKind::Input:
+            break; // already mapped
+          case GateKind::Not:
+          case GateKind::Nand:
+          case GateKind::Nor: {
+            if (gate.kind != GateKind::Not && gate.kind != expected) {
+                throw std::invalid_argument(
+                    "network mixes NAND and NOR gates");
+            }
+            // N-input gate -> I = 2N-1 input minority module with
+            // K = N-1 clock pads (Theorems 6.2 / 6.3). NOT is the
+            // N = 1 degenerate case: a 1-input minority module.
+            std::vector<GateId> fanin;
+            for (GateId f : gate.fanin)
+                fanin.push_back(map[f]);
+            const std::size_t k = gate.fanin.size() - 1;
+            for (std::size_t i = 0; i < k; ++i)
+                fanin.push_back(pad);
+            ++result.modules;
+            result.moduleInputs += static_cast<int>(fanin.size());
+            map[g] = net.addMin(std::move(fanin), gate.name);
+            break;
+          }
+          default:
+            throw std::invalid_argument(
+                "convert: only NAND/NOR/NOT networks are supported");
+        }
+    }
+    for (int j = 0; j < orig.numOutputs(); ++j)
+        net.addOutput(map[orig.outputs()[j]], orig.outputName(j));
+    return result;
+}
+
+} // namespace
+
+ConversionResult
+convertNandNetwork(const Netlist &net)
+{
+    return convertImpl(net, GateKind::Nand, /*invert_phi=*/false);
+}
+
+ConversionResult
+convertNorNetwork(const Netlist &net)
+{
+    return convertImpl(net, GateKind::Nor, /*invert_phi=*/true);
+}
+
+} // namespace scal::minority

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Theorems 6.2 and 6.3: direct conversion of NAND (or NOR) networks
+ * into self-checking alternating networks built only from minority
+ * modules. An N-input NAND becomes an I = 2N-1 input minority module
+ * whose extra K = N-1 inputs carry the period clock φ: in the first
+ * period (φ=0) the module computes NAND(X), in the second (inputs
+ * complemented, φ=1) it computes AND(X) = ¬NAND(X), so every line
+ * alternates and by Theorem 3.6 the network is self-checking.
+ */
+
+#ifndef SCAL_MINORITY_CONVERT_HH
+#define SCAL_MINORITY_CONVERT_HH
+
+#include "netlist/netlist.hh"
+
+namespace scal::minority
+{
+
+struct ConversionResult
+{
+    netlist::Netlist net;
+    /** Input index of the appended period clock φ. */
+    int phiInput = -1;
+    int modules = 0;      ///< minority modules emitted
+    int moduleInputs = 0; ///< total module input pins (incl. φ pads)
+};
+
+/**
+ * Convert a network of NAND (and NOT, treated as 1-input NAND) gates.
+ * @pre every logic gate in @p net is Nand or Not.
+ */
+ConversionResult convertNandNetwork(const netlist::Netlist &net);
+
+/**
+ * Convert a network of NOR (and NOT) gates; the pads carry φ̄
+ * (Theorem 6.3).
+ */
+ConversionResult convertNorNetwork(const netlist::Netlist &net);
+
+} // namespace scal::minority
+
+#endif // SCAL_MINORITY_CONVERT_HH

@@ -1,0 +1,69 @@
+#include "minority/minimize.hh"
+
+#include "util/bits.hh"
+
+namespace scal::minority
+{
+
+using logic::TruthTable;
+using namespace netlist;
+
+std::optional<SingleModulePlan>
+findSingleModule(const TruthTable &f, int max_pads)
+{
+    const int n = f.numVars();
+    const TruthTable second_req = ~f.reflect(); // required period-2 fn
+
+    for (int total_pads = 0; total_pads <= 2 * max_pads; ++total_pads) {
+        const int arity = n + total_pads;
+        if (arity % 2 == 0)
+            continue;
+        for (int b = 0; b <= total_pads && b <= max_pads; ++b) {
+            const int a = total_pads - b;
+            if (a > max_pads)
+                continue;
+            // Period 1 (φ=0): φ̄ pads contribute b ones.
+            // Period 2 (φ=1, complemented inputs): φ pads contribute
+            // a ones.
+            bool ok = true;
+            for (std::uint64_t m = 0; ok && m < f.numMinterms(); ++m) {
+                const int w = util::popcount(m);
+                const bool p1 = 2 * (w + b) < arity;
+                if (p1 != f.get(m))
+                    ok = false;
+            }
+            for (std::uint64_t m = 0; ok && m < f.numMinterms(); ++m) {
+                const int w = util::popcount(m);
+                const bool p2 = 2 * (w + a) < arity;
+                if (p2 != second_req.get(m))
+                    ok = false;
+            }
+            if (ok)
+                return SingleModulePlan{arity, a, b};
+        }
+    }
+    return std::nullopt;
+}
+
+Netlist
+buildSingleModule(const TruthTable &f, const SingleModulePlan &plan)
+{
+    Netlist net;
+    std::vector<GateId> fanin;
+    for (int i = 0; i < f.numVars(); ++i)
+        fanin.push_back(net.addInput("x" + std::to_string(i)));
+    const GateId phi = net.addInput("phi");
+    GateId nphi = kNoGate;
+    for (int i = 0; i < plan.phiPads; ++i)
+        fanin.push_back(phi);
+    for (int i = 0; i < plan.notPhiPads; ++i) {
+        if (nphi == kNoGate)
+            nphi = net.addNot(phi, "nphi");
+        fanin.push_back(nphi);
+    }
+    GateId m = net.addMin(std::move(fanin), "m");
+    net.addOutput(m, "f");
+    return net;
+}
+
+} // namespace scal::minority

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Minimal minority-module realizations (Section 6.2): the direct
+ * Theorem 6.2 conversion is rarely minimal — a function that is
+ * itself a unit-weight negative threshold function collapses to a
+ * single module, as in the Figure 6.2 example where four converted
+ * NANDs (14 module inputs) reduce to one 3-input module.
+ */
+
+#ifndef SCAL_MINORITY_MINIMIZE_HH
+#define SCAL_MINORITY_MINIMIZE_HH
+
+#include <optional>
+
+#include "logic/truth_table.hh"
+#include "netlist/netlist.hh"
+
+namespace scal::minority
+{
+
+/** A single-module realization: MIN over the n variables plus pads. */
+struct SingleModulePlan
+{
+    int arity = 0;       ///< module size I (odd)
+    int phiPads = 0;     ///< pads carrying φ
+    int notPhiPads = 0;  ///< pads carrying φ̄
+    int moduleInputs() const { return arity; }
+};
+
+/**
+ * Search for a single minority module computing @p f over its
+ * variables plus clock pads, such that the module is a correct
+ * *alternating* realization: output f(X) in period 1 and ¬f(X̄) in
+ * period 2. Returns nullopt when no such module exists.
+ */
+std::optional<SingleModulePlan>
+findSingleModule(const logic::TruthTable &f, int max_pads = 8);
+
+/** Build the netlist realizing a found plan. */
+netlist::Netlist buildSingleModule(const logic::TruthTable &f,
+                                   const SingleModulePlan &plan);
+
+} // namespace scal::minority
+
+#endif // SCAL_MINORITY_MINIMIZE_HH

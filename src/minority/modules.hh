@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minority/majority threshold modules (Section 6.1): semantics,
+ * completeness constructions (Figure 6.1) and small helper builders.
+ * m_I(A) = 1 iff fewer than I/2 of the I inputs are 1.
+ */
+
+#ifndef SCAL_MINORITY_MODULES_HH
+#define SCAL_MINORITY_MODULES_HH
+
+#include "logic/truth_table.hh"
+#include "netlist/netlist.hh"
+
+namespace scal::minority
+{
+
+/** Figure 6.1d: NAND(x1, x2) realized as m3(x1, x2, 0). */
+netlist::Netlist nandFromMinority();
+
+/** Figure 6.1c: MAJ(x1,x2,x3) from two minority modules. */
+netlist::Netlist majorityFromMinority();
+
+/** Theorem 6.1 witness: a 2-input NAND network built only from
+ *  minority modules and constants computes NAND (completeness). */
+bool minorityIsCompleteGateSet();
+
+} // namespace scal::minority
+
+#endif // SCAL_MINORITY_MODULES_HH

@@ -1,0 +1,123 @@
+#include "netlist/builder.hh"
+
+#include <stdexcept>
+
+namespace scal::netlist
+{
+
+Signal
+Signal::operator&(Signal o) const
+{
+    return builder_->andGate({*this, o});
+}
+
+Signal
+Signal::operator|(Signal o) const
+{
+    return builder_->orGate({*this, o});
+}
+
+Signal
+Signal::operator^(Signal o) const
+{
+    return builder_->xorGate({*this, o});
+}
+
+Signal
+Signal::operator~() const
+{
+    return builder_->notGate(*this);
+}
+
+Signal
+Builder::input(const std::string &name)
+{
+    return {this, net_.addInput(name)};
+}
+
+Signal
+Builder::constant(bool value)
+{
+    return {this, net_.addConst(value)};
+}
+
+std::vector<GateId>
+Builder::ids(const std::vector<Signal> &in) const
+{
+    std::vector<GateId> out;
+    out.reserve(in.size());
+    for (const Signal &s : in) {
+        if (s.builder() != this)
+            throw std::logic_error("signal from a different builder");
+        out.push_back(s.id());
+    }
+    return out;
+}
+
+Signal
+Builder::andGate(std::vector<Signal> in, const std::string &name)
+{
+    return {this, net_.addAnd(ids(in), name)};
+}
+
+Signal
+Builder::orGate(std::vector<Signal> in, const std::string &name)
+{
+    return {this, net_.addOr(ids(in), name)};
+}
+
+Signal
+Builder::nandGate(std::vector<Signal> in, const std::string &name)
+{
+    return {this, net_.addNand(ids(in), name)};
+}
+
+Signal
+Builder::norGate(std::vector<Signal> in, const std::string &name)
+{
+    return {this, net_.addNor(ids(in), name)};
+}
+
+Signal
+Builder::xorGate(std::vector<Signal> in, const std::string &name)
+{
+    return {this, net_.addXor(ids(in), name)};
+}
+
+Signal
+Builder::xnorGate(std::vector<Signal> in, const std::string &name)
+{
+    return {this, net_.addXnor(ids(in), name)};
+}
+
+Signal
+Builder::majGate(std::vector<Signal> in, const std::string &name)
+{
+    return {this, net_.addMaj(ids(in), name)};
+}
+
+Signal
+Builder::minGate(std::vector<Signal> in, const std::string &name)
+{
+    return {this, net_.addMin(ids(in), name)};
+}
+
+Signal
+Builder::notGate(Signal a, const std::string &name)
+{
+    return {this, net_.addNot(a.id(), name)};
+}
+
+Signal
+Builder::dff(Signal d, const std::string &name, LatchMode latch, bool init)
+{
+    return {this, net_.addDff(d.id(), name, latch, init)};
+}
+
+void
+Builder::output(Signal s, const std::string &name)
+{
+    net_.addOutput(s.id(), name);
+}
+
+} // namespace scal::netlist

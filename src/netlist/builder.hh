@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fluent construction helpers on top of Netlist. Signal wraps a GateId
+ * with overloaded operators so example code reads like equations:
+ *
+ *   Builder b;
+ *   auto a = b.input("a"), c = b.input("c");
+ *   b.output(a & ~c | (a ^ c), "f");
+ */
+
+#ifndef SCAL_NETLIST_BUILDER_HH
+#define SCAL_NETLIST_BUILDER_HH
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::netlist
+{
+
+class Builder;
+
+/** A handle to a netlist line, usable in expressions. */
+class Signal
+{
+  public:
+    Signal() = default;
+    Signal(Builder *b, GateId id) : builder_(b), id_(id) {}
+
+    GateId id() const { return id_; }
+    bool valid() const { return builder_ != nullptr; }
+    Builder *builder() const { return builder_; }
+
+    Signal operator&(Signal o) const;
+    Signal operator|(Signal o) const;
+    Signal operator^(Signal o) const;
+    Signal operator~() const;
+
+  private:
+    Builder *builder_ = nullptr;
+    GateId id_ = kNoGate;
+};
+
+class Builder
+{
+  public:
+    Builder() = default;
+
+    Signal input(const std::string &name);
+    Signal constant(bool value);
+    Signal wrap(GateId id) { return {this, id}; }
+
+    Signal andGate(std::vector<Signal> in, const std::string &name = "");
+    Signal orGate(std::vector<Signal> in, const std::string &name = "");
+    Signal nandGate(std::vector<Signal> in, const std::string &name = "");
+    Signal norGate(std::vector<Signal> in, const std::string &name = "");
+    Signal xorGate(std::vector<Signal> in, const std::string &name = "");
+    Signal xnorGate(std::vector<Signal> in, const std::string &name = "");
+    Signal majGate(std::vector<Signal> in, const std::string &name = "");
+    Signal minGate(std::vector<Signal> in, const std::string &name = "");
+    Signal notGate(Signal a, const std::string &name = "");
+    Signal dff(Signal d, const std::string &name = "",
+               LatchMode latch = LatchMode::EveryPeriod, bool init = false);
+
+    void output(Signal s, const std::string &name);
+
+    Netlist &netlist() { return net_; }
+    const Netlist &netlist() const { return net_; }
+
+  private:
+    std::vector<GateId> ids(const std::vector<Signal> &in) const;
+
+    Netlist net_;
+};
+
+} // namespace scal::netlist
+
+#endif // SCAL_NETLIST_BUILDER_HH

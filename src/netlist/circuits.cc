@@ -1,0 +1,284 @@
+#include "netlist/circuits.hh"
+
+#include <stdexcept>
+
+#include "logic/minimize.hh"
+
+namespace scal::netlist::circuits
+{
+
+GateId
+emitSopCone(Netlist &net, const logic::TruthTable &f,
+            const std::vector<GateId> &ins, std::vector<GateId> &inverters,
+            const std::string &name)
+{
+    if (f.isZero())
+        return net.addConst(false);
+    if (f.isOne())
+        return net.addConst(true);
+
+    auto literal = [&](int var, bool positive) -> GateId {
+        if (positive)
+            return ins[var];
+        if (inverters[var] == kNoGate) {
+            inverters[var] = net.addNot(
+                ins[var], "n_" + net.gate(ins[var]).name);
+        }
+        return inverters[var];
+    };
+
+    std::vector<GateId> products;
+    for (const logic::Cube &cube : logic::minimizeSop(f)) {
+        std::vector<GateId> lits;
+        for (int v = 0; v < f.numVars(); ++v) {
+            if ((cube.care >> v) & 1)
+                lits.push_back(literal(v, (cube.value >> v) & 1));
+        }
+        if (lits.size() == 1)
+            products.push_back(lits[0]);
+        else
+            products.push_back(net.addAnd(lits));
+    }
+    if (products.size() == 1)
+        return products[0];
+    return net.addOr(products, name);
+}
+
+Netlist
+selfDualFullAdder()
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId cin = net.addInput("cin");
+
+    GateId na = net.addNot(a, "na");
+    GateId nb = net.addNot(b, "nb");
+    GateId nc = net.addNot(cin, "nc");
+
+    // sum = a ⊕ b ⊕ cin, two-level over the input/inverter rails.
+    GateId m1 = net.addAnd({a, nb, nc});
+    GateId m2 = net.addAnd({na, b, nc});
+    GateId m4 = net.addAnd({na, nb, cin});
+    GateId m7 = net.addAnd({a, b, cin});
+    GateId sum = net.addOr({m1, m2, m4, m7}, "sum");
+
+    // cout = MAJORITY(a, b, cin), also self-dual.
+    GateId c1 = net.addAnd({a, b});
+    GateId c2 = net.addAnd({b, cin});
+    GateId c3 = net.addAnd({a, cin});
+    GateId cout = net.addOr({c1, c2, c3}, "cout");
+
+    net.addOutput(sum, "sum");
+    net.addOutput(cout, "cout");
+    return net;
+}
+
+Netlist
+rippleCarryAdder(int width)
+{
+    if (width < 1)
+        throw std::invalid_argument("adder width must be positive");
+    Netlist net;
+    std::vector<GateId> a(width), b(width);
+    for (int i = 0; i < width; ++i)
+        a[i] = net.addInput("a" + std::to_string(i));
+    for (int i = 0; i < width; ++i)
+        b[i] = net.addInput("b" + std::to_string(i));
+    GateId carry = net.addInput("cin");
+
+    std::vector<GateId> sums(width);
+    for (int i = 0; i < width; ++i) {
+        GateId na = net.addNot(a[i]);
+        GateId nb = net.addNot(b[i]);
+        GateId nc = net.addNot(carry);
+        GateId m1 = net.addAnd({a[i], nb, nc});
+        GateId m2 = net.addAnd({na, b[i], nc});
+        GateId m4 = net.addAnd({na, nb, carry});
+        GateId m7 = net.addAnd({a[i], b[i], carry});
+        sums[i] = net.addOr({m1, m2, m4, m7}, "s" + std::to_string(i));
+        GateId c1 = net.addAnd({a[i], b[i]});
+        GateId c2 = net.addAnd({b[i], carry});
+        GateId c3 = net.addAnd({a[i], carry});
+        carry = net.addOr({c1, c2, c3}, "c" + std::to_string(i + 1));
+    }
+    for (int i = 0; i < width; ++i)
+        net.addOutput(sums[i], "s" + std::to_string(i));
+    net.addOutput(carry, "cout");
+    return net;
+}
+
+Netlist
+twoLevelNetwork(const std::vector<logic::TruthTable> &funcs,
+                const std::vector<std::string> &out_names,
+                const std::vector<std::string> &in_names)
+{
+    if (funcs.empty())
+        throw std::invalid_argument("no functions");
+    const int n = funcs[0].numVars();
+    for (const auto &f : funcs)
+        if (f.numVars() != n)
+            throw std::invalid_argument("arity mismatch");
+    if (static_cast<int>(in_names.size()) != n ||
+        out_names.size() != funcs.size())
+        throw std::invalid_argument("name count mismatch");
+
+    Netlist net;
+    std::vector<GateId> ins(n);
+    for (int i = 0; i < n; ++i)
+        ins[i] = net.addInput(in_names[i]);
+    std::vector<GateId> inverters(n, kNoGate);
+    for (std::size_t j = 0; j < funcs.size(); ++j) {
+        GateId g = emitSopCone(net, funcs[j], ins, inverters, out_names[j]);
+        net.addOutput(g, out_names[j]);
+    }
+    return net;
+}
+
+Netlist
+section36Network()
+{
+    Netlist net;
+    GateId A = net.addInput("A");
+    GateId B = net.addInput("B");
+    GateId C = net.addInput("C");
+
+    // F1 = AC ∨ B̄C ∨ AB̄: self-dual, two-level plus one inverter.
+    GateId nB = net.addNot(B, "nB");
+    GateId a1 = net.addAnd({A, C}, "a1");
+    GateId a2 = net.addAnd({nB, C}, "a2");
+    GateId a3 = net.addAnd({A, nB}, "a3");
+    GateId f1 = net.addOr({a1, a2, a3}, "F1");
+
+    // Shared NAND between the F2 and F3 cones (the paper's line 9).
+    GateId t9 = net.addNand({A, B}, "t9");
+
+    // F3 = MAJ(A,B,C) as NAND-NAND.
+    GateId n2 = net.addNand({B, C}, "n2");
+    GateId n3 = net.addNand({A, C}, "n3");
+    GateId f3 = net.addNand({t9, n2, n3}, "F3");
+
+    // F2 = A ⊕ B ⊕ C: classic four-NAND XOR stages; the intermediate
+    // value u = A⊕B is not self-dual and fans out with unequal path
+    // parity, which is exactly what breaks self-checking (line 20).
+    GateId w1 = net.addNand({A, t9}, "w1");
+    GateId w2 = net.addNand({B, t9}, "w2");
+    GateId u = net.addNand({w1, w2}, "u");
+    GateId v = net.addNand({u, C}, "v");
+    GateId p = net.addNand({u, v}, "p");
+    GateId q = net.addNand({C, v}, "q");
+    GateId f2 = net.addNand({p, q}, "F2");
+
+    net.addOutput(f1, "F1");
+    net.addOutput(f2, "F2");
+    net.addOutput(f3, "F3");
+    return net;
+}
+
+Netlist
+section36NetworkRepaired()
+{
+    Netlist net;
+    GateId A = net.addInput("A");
+    GateId B = net.addInput("B");
+    GateId C = net.addInput("C");
+
+    GateId nB = net.addNot(B, "nB");
+    GateId a1 = net.addAnd({A, C}, "a1");
+    GateId a2 = net.addAnd({nB, C}, "a2");
+    GateId a3 = net.addAnd({A, nB}, "a3");
+    GateId f1 = net.addOr({a1, a2, a3}, "F1");
+
+    GateId t9 = net.addNand({A, B}, "t9");
+    GateId n2 = net.addNand({B, C}, "n2");
+    GateId n3 = net.addNand({A, C}, "n3");
+    GateId f3 = net.addNand({t9, n2, n3}, "F3");
+
+    // Figure 3.7 repair: the subnetwork generating the offending line
+    // u is duplicated so that u no longer fans out. The second copy
+    // (t9b..ub) feeds only v; the original u feeds only p.
+    GateId w1 = net.addNand({A, t9}, "w1");
+    GateId w2 = net.addNand({B, t9}, "w2");
+    GateId u = net.addNand({w1, w2}, "u");
+
+    GateId t9b = net.addNand({A, B}, "t9b");
+    GateId w1b = net.addNand({A, t9b}, "w1b");
+    GateId w2b = net.addNand({B, t9b}, "w2b");
+    GateId ub = net.addNand({w1b, w2b}, "ub");
+
+    GateId v = net.addNand({ub, C}, "v");
+    GateId p = net.addNand({u, v}, "p");
+    GateId q = net.addNand({C, v}, "q");
+    GateId f2 = net.addNand({p, q}, "F2");
+
+    net.addOutput(f1, "F1");
+    net.addOutput(f2, "F2");
+    net.addOutput(f3, "F3");
+    return net;
+}
+
+Section36Lines
+section36Lines(const Netlist &net)
+{
+    Section36Lines lines{kNoGate, kNoGate, kNoGate};
+    for (GateId g = 0; g < net.numGates(); ++g) {
+        const std::string &name = net.gate(g).name;
+        if (name == "t9")
+            lines.t9 = g;
+        else if (name == "u")
+            lines.u = g;
+        else if (name == "v")
+            lines.v = g;
+    }
+    return lines;
+}
+
+Netlist
+fig62NandNetwork()
+{
+    // Four NANDs, nine gate inputs, computing MINORITY(A,B,C); the
+    // complemented input rails are modeled as NOT gates but, as in
+    // 1977 practice, treated as free dual-rail inputs by the cost
+    // accounting in the Chapter 6 experiment.
+    Netlist net;
+    GateId A = net.addInput("A");
+    GateId B = net.addInput("B");
+    GateId C = net.addInput("C");
+    GateId nA = net.addNot(A, "nA");
+    GateId nB = net.addNot(B, "nB");
+    GateId nC = net.addNot(C, "nC");
+    GateId n1 = net.addNand({nA, nB}, "n1");
+    GateId n2 = net.addNand({nB, nC}, "n2");
+    GateId n3 = net.addNand({nA, nC}, "n3");
+    GateId f = net.addNand({n1, n2, n3}, "f");
+    net.addOutput(f, "f");
+    return net;
+}
+
+Netlist
+xorTree(int num_inputs, int arity)
+{
+    if (num_inputs < 1 || arity < 2)
+        throw std::invalid_argument("bad xor tree shape");
+    Netlist net;
+    std::vector<GateId> level;
+    for (int i = 0; i < num_inputs; ++i)
+        level.push_back(net.addInput("x" + std::to_string(i)));
+    while (level.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i < level.size(); i += arity) {
+            std::vector<GateId> group;
+            for (std::size_t k = i;
+                 k < level.size() && k < i + arity; ++k) {
+                group.push_back(level[k]);
+            }
+            next.push_back(group.size() == 1 ? group[0]
+                                             : net.addXor(group));
+        }
+        level = std::move(next);
+    }
+    net.addOutput(level[0], "parity");
+    return net;
+}
+
+} // namespace scal::netlist::circuits

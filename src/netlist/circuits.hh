@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Library of paper circuits: the self-dual full adder (Figure 2.2),
+ * ripple-carry adders built from it, generic minimized two-level
+ * realizations (the automatically self-checking form of Section 3.3),
+ * and the Section 3.6 three-output example network with its Figure 3.7
+ * repair.
+ */
+
+#ifndef SCAL_NETLIST_CIRCUITS_HH
+#define SCAL_NETLIST_CIRCUITS_HH
+
+#include <string>
+#include <vector>
+
+#include "logic/truth_table.hh"
+#include "netlist/netlist.hh"
+
+namespace scal::netlist::circuits
+{
+
+/**
+ * Figure 2.2: a self-dual one-bit full adder. Sum and carry are both
+ * self-dual functions (the Liu optimal adder is self-dual at no extra
+ * hardware cost); realized two-level so the network is self-checking
+ * by the Yamamoto two-level result. Inputs a, b, cin; outputs
+ * sum, cout.
+ */
+Netlist selfDualFullAdder();
+
+/**
+ * A @p width-bit ripple-carry adder chaining self-dual full adders.
+ * Inputs a0..a{w-1}, b0..b{w-1}, cin; outputs s0..s{w-1}, cout.
+ * Self-dual because a composition of self-dual modules whose inputs
+ * all complement is self-dual.
+ */
+Netlist rippleCarryAdder(int width);
+
+/**
+ * Two-level AND-OR realization (plus an input inverter level) of a
+ * multi-output function from minimized covers. By Yamamoto's result
+ * (discussed under Theorem 3.7) each output cone is self-checking.
+ * All functions must share the same arity.
+ */
+Netlist twoLevelNetwork(const std::vector<logic::TruthTable> &funcs,
+                        const std::vector<std::string> &out_names,
+                        const std::vector<std::string> &in_names);
+
+/**
+ * The Section 3.6 analysis example: a three-output network over
+ * inputs A, B, C with shared logic,
+ *
+ *   F1 = AC ∨ B̄C ∨ AB̄      (self-dual; two-level with one inverter)
+ *   F2 = A ⊕ B ⊕ C          (multi-level NAND realization)
+ *   F3 = MAJORITY(A, B, C)  (NAND-NAND realization)
+ *
+ * where the NAND t9 = NAND(A,B) is shared between the F2 and F3
+ * cones. As in the paper: the shared line fails the single-output
+ * condition E for s-a-0 but is saved by the multi-output Corollary
+ * 3.2, while a private line in the F2 cone (the first-stage XOR value
+ * "u", the analog of the paper's line 20) makes the network not
+ * self-checking.
+ */
+Netlist section36Network();
+
+/**
+ * The Figure 3.7 repair of section36Network(): the subnetwork
+ * generating the offending line "u" is duplicated so that u no longer
+ * fans out, after which Algorithm 3.1 passes every line.
+ */
+Netlist section36NetworkRepaired();
+
+/** Names of the interesting lines in section36Network(). */
+struct Section36Lines
+{
+    GateId t9;  ///< shared NAND(A,B) — the paper's "line 9" analog
+    GateId u;   ///< first-stage XOR value — the "line 20" analog
+    GateId v;   ///< NAND(u, C) inside the second XOR stage
+};
+Section36Lines section36Lines(const Netlist &net);
+
+/**
+ * Figure 6.2a: the contrived four-NAND network computing the 3-input
+ * minority function: f = NAND(NAND(A,B), NAND(B,C), NAND(A,C))
+ * ... realized exactly as drawn, with three 2-input NANDs feeding one
+ * 3-input NAND (9 gate inputs total).
+ */
+Netlist fig62NandNetwork();
+
+/** An n-input odd-parity tree of @p arity-input XOR gates. */
+Netlist xorTree(int num_inputs, int arity = 3);
+
+/**
+ * Emit a minimized two-level AND-OR cone for @p f into an existing
+ * netlist. @p ins maps the function's variables to lines; @p
+ * inverters caches per-variable NOT gates (kNoGate = not yet built)
+ * so cones can share an inverter rail. Returns the driving gate.
+ */
+GateId emitSopCone(Netlist &net, const logic::TruthTable &f,
+                   const std::vector<GateId> &ins,
+                   std::vector<GateId> &inverters,
+                   const std::string &name = "");
+
+} // namespace scal::netlist::circuits
+
+#endif // SCAL_NETLIST_CIRCUITS_HH

@@ -1,0 +1,36 @@
+#include "netlist/dot.hh"
+
+namespace scal::netlist
+{
+
+void
+writeDot(std::ostream &os, const Netlist &net, const std::string &graph_name)
+{
+    os << "digraph " << graph_name << " {\n"
+       << "  rankdir=LR;\n"
+       << "  node [shape=box, fontname=\"monospace\"];\n";
+    for (GateId g = 0; g < net.numGates(); ++g) {
+        const Gate &gate = net.gate(g);
+        os << "  g" << g << " [label=\"" << kindName(gate.kind);
+        if (!gate.name.empty())
+            os << "\\n" << gate.name;
+        os << "\"";
+        if (gate.kind == GateKind::Input)
+            os << ", shape=ellipse";
+        else if (gate.kind == GateKind::Dff)
+            os << ", shape=Msquare";
+        os << "];\n";
+        for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+            os << "  g" << gate.fanin[pin] << " -> g" << g
+               << " [taillabel=\"\", headlabel=\"" << pin << "\"];\n";
+        }
+    }
+    for (int j = 0; j < net.numOutputs(); ++j) {
+        os << "  out" << j << " [label=\"" << net.outputName(j)
+           << "\", shape=ellipse, style=bold];\n"
+           << "  g" << net.outputs()[j] << " -> out" << j << ";\n";
+    }
+    os << "}\n";
+}
+
+} // namespace scal::netlist

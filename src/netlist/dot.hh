@@ -1,0 +1,23 @@
+/**
+ * @file
+ * Graphviz DOT export for netlists, used by the examples to let users
+ * inspect the constructed circuits.
+ */
+
+#ifndef SCAL_NETLIST_DOT_HH
+#define SCAL_NETLIST_DOT_HH
+
+#include <ostream>
+
+#include "netlist/netlist.hh"
+
+namespace scal::netlist
+{
+
+/** Write @p net as a Graphviz digraph named @p graph_name. */
+void writeDot(std::ostream &os, const Netlist &net,
+              const std::string &graph_name = "netlist");
+
+} // namespace scal::netlist
+
+#endif // SCAL_NETLIST_DOT_HH

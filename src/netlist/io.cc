@@ -1,0 +1,229 @@
+#include "netlist/io.hh"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace scal::netlist
+{
+
+namespace
+{
+
+const std::map<std::string, GateKind> &
+kindByName()
+{
+    static const std::map<std::string, GateKind> table = {
+        {"buf", GateKind::Buf},   {"not", GateKind::Not},
+        {"and", GateKind::And},   {"or", GateKind::Or},
+        {"nand", GateKind::Nand}, {"nor", GateKind::Nor},
+        {"xor", GateKind::Xor},   {"xnor", GateKind::Xnor},
+        {"maj", GateKind::Maj},   {"min", GateKind::Min},
+    };
+    return table;
+}
+
+std::string
+lowerKindName(GateKind kind)
+{
+    for (const auto &[name, k] : kindByName())
+        if (k == kind)
+            return name;
+    throw std::logic_error("unnamed gate kind");
+}
+
+[[noreturn]] void
+fail(int line, const std::string &msg)
+{
+    throw std::runtime_error("netlist line " + std::to_string(line) +
+                             ": " + msg);
+}
+
+} // namespace
+
+Netlist
+readNetlist(std::istream &in)
+{
+    Netlist net;
+    std::map<std::string, GateId> byName;
+    struct PendingDff
+    {
+        GateId ff;
+        std::string d;
+        int line;
+    };
+    std::vector<PendingDff> pending;
+
+    auto lookup = [&](const std::string &name, int line) {
+        const auto it = byName.find(name);
+        if (it == byName.end())
+            fail(line, "unknown signal " + name);
+        return it->second;
+    };
+    auto define = [&](const std::string &name, GateId id, int line) {
+        if (byName.count(name))
+            fail(line, "duplicate signal " + name);
+        byName[name] = id;
+    };
+
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        if (auto pos = raw.find('#'); pos != std::string::npos)
+            raw.erase(pos);
+        std::istringstream ls(raw);
+        std::string word;
+        if (!(ls >> word))
+            continue;
+
+        if (word == "input") {
+            std::string name;
+            if (!(ls >> name))
+                fail(line_no, "input needs a name");
+            define(name, net.addInput(name), line_no);
+        } else if (word == "const") {
+            std::string name, value;
+            if (!(ls >> name >> value) || (value != "0" && value != "1"))
+                fail(line_no, "const needs a name and 0/1");
+            define(name, net.addConst(value == "1"), line_no);
+        } else if (word == "gate") {
+            std::string name, kind_name;
+            if (!(ls >> name >> kind_name))
+                fail(line_no, "gate needs a name and kind");
+            const auto it = kindByName().find(kind_name);
+            if (it == kindByName().end())
+                fail(line_no, "unknown gate kind " + kind_name);
+            std::vector<GateId> fanin;
+            std::string operand;
+            while (ls >> operand)
+                fanin.push_back(lookup(operand, line_no));
+            if (fanin.empty())
+                fail(line_no, "gate needs fanin");
+            define(name, net.addGate(it->second, std::move(fanin), name),
+                   line_no);
+        } else if (word == "dff") {
+            std::string name, d;
+            if (!(ls >> name >> d))
+                fail(line_no, "dff needs a name and data input");
+            LatchMode mode = LatchMode::EveryPeriod;
+            bool init = false;
+            std::string opt;
+            while (ls >> opt) {
+                if (opt == "everyperiod")
+                    mode = LatchMode::EveryPeriod;
+                else if (opt == "phirise")
+                    mode = LatchMode::PhiRise;
+                else if (opt == "phifall")
+                    mode = LatchMode::PhiFall;
+                else if (opt == "init0")
+                    init = false;
+                else if (opt == "init1")
+                    init = true;
+                else
+                    fail(line_no, "unknown dff option " + opt);
+            }
+            // Forward references allowed: wire after parsing.
+            const GateId placeholder = net.addConst(false);
+            const GateId ff = net.addDff(placeholder, name, mode, init);
+            define(name, ff, line_no);
+            pending.push_back({ff, d, line_no});
+        } else if (word == "output") {
+            std::string port, name;
+            if (!(ls >> port >> name))
+                fail(line_no, "output needs a port and a signal");
+            net.addOutput(lookup(name, line_no), port);
+        } else {
+            fail(line_no, "unknown declaration " + word);
+        }
+    }
+
+    for (const PendingDff &p : pending)
+        net.replaceFanin(p.ff, 0, lookup(p.d, p.line));
+    net.validate();
+    return net;
+}
+
+Netlist
+readNetlistFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    return readNetlist(in);
+}
+
+void
+writeNetlist(std::ostream &os, const Netlist &net)
+{
+    // Stable generated names; user names win when unique.
+    std::vector<std::string> names(net.numGates());
+    std::map<std::string, int> used;
+    for (GateId g = 0; g < net.numGates(); ++g) {
+        std::string base = net.gate(g).name;
+        if (base.empty())
+            base = "n" + std::to_string(g);
+        if (used.count(base))
+            base += "_" + std::to_string(g);
+        used[base] = 1;
+        names[g] = base;
+    }
+
+    // Inputs first, in port order (their indices are the simulator
+    // input order and must survive the round trip).
+    for (GateId g : net.inputs())
+        os << "input " << names[g] << "\n";
+
+    for (GateId g : net.flipFlops()) {
+        const Gate &gate = net.gate(g);
+        os << "dff " << names[g] << ' ' << names[gate.fanin[0]];
+        switch (gate.latch) {
+          case LatchMode::EveryPeriod:
+            break;
+          case LatchMode::PhiRise:
+            os << " phirise";
+            break;
+          case LatchMode::PhiFall:
+            os << " phifall";
+            break;
+        }
+        if (gate.init)
+            os << " init1";
+        os << "\n";
+    }
+
+    for (GateId g : net.topoOrder()) {
+        const Gate &gate = net.gate(g);
+        switch (gate.kind) {
+          case GateKind::Input:
+            break; // already emitted in port order
+          case GateKind::Const0:
+            os << "const " << names[g] << " 0\n";
+            break;
+          case GateKind::Const1:
+            os << "const " << names[g] << " 1\n";
+            break;
+          case GateKind::Dff:
+            break; // emitted after combinational gates
+          default:
+            os << "gate " << names[g] << ' '
+               << lowerKindName(gate.kind);
+            for (GateId f : gate.fanin)
+                os << ' ' << names[f];
+            os << "\n";
+            break;
+        }
+    }
+    for (int j = 0; j < net.numOutputs(); ++j) {
+        os << "output " << net.outputName(j) << ' '
+           << names[net.outputs()[j]] << "\n";
+    }
+}
+
+std::string
+writeNetlistToString(const Netlist &net)
+{
+    std::ostringstream os;
+    writeNetlist(os, net);
+    return os.str();
+}
+
+} // namespace scal::netlist

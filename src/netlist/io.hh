@@ -1,0 +1,42 @@
+/**
+ * @file
+ * A minimal line-oriented netlist text format, so circuits can be
+ * stored, diffed and shared outside C++ code:
+ *
+ *   # comment
+ *   input a
+ *   input b
+ *   const zero 0
+ *   gate t nand a b
+ *   dff q t phifall init1
+ *   output f t
+ *
+ * One declaration per line. Gate kinds are the lower-case primitive
+ * names (buf not and or nand nor xor xnor maj min); dff takes an
+ * optional latch mode (everyperiod | phirise | phifall) and initial
+ * value (init0 | init1). Identifiers must be unique.
+ */
+
+#ifndef SCAL_NETLIST_IO_HH
+#define SCAL_NETLIST_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hh"
+
+namespace scal::netlist
+{
+
+/** Parse the text format; throws std::runtime_error with a line
+ *  number on malformed input. */
+Netlist readNetlist(std::istream &in);
+Netlist readNetlistFromString(const std::string &text);
+
+/** Serialize; gates without names get generated ones (n<id>). */
+void writeNetlist(std::ostream &os, const Netlist &net);
+std::string writeNetlistToString(const Netlist &net);
+
+} // namespace scal::netlist
+
+#endif // SCAL_NETLIST_IO_HH

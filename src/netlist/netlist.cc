@@ -1,0 +1,464 @@
+#include "netlist/netlist.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace scal::netlist
+{
+
+const char *
+kindName(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Input:  return "INPUT";
+      case GateKind::Const0: return "CONST0";
+      case GateKind::Const1: return "CONST1";
+      case GateKind::Buf:    return "BUF";
+      case GateKind::Not:    return "NOT";
+      case GateKind::And:    return "AND";
+      case GateKind::Or:     return "OR";
+      case GateKind::Nand:   return "NAND";
+      case GateKind::Nor:    return "NOR";
+      case GateKind::Xor:    return "XOR";
+      case GateKind::Xnor:   return "XNOR";
+      case GateKind::Maj:    return "MAJ";
+      case GateKind::Min:    return "MIN";
+      case GateKind::Dff:    return "DFF";
+    }
+    return "?";
+}
+
+bool
+kindIsUnate(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Buf:
+      case GateKind::Not:
+      case GateKind::And:
+      case GateKind::Or:
+      case GateKind::Nand:
+      case GateKind::Nor:
+      case GateKind::Maj:
+      case GateKind::Min:
+        return true;
+      default:
+        return false;
+    }
+}
+
+bool
+kindIsStandard(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Not:
+      case GateKind::And:
+      case GateKind::Or:
+      case GateKind::Nand:
+      case GateKind::Nor:
+        return true;
+      default:
+        return false;
+    }
+}
+
+unsigned
+kindParitySet(GateKind kind)
+{
+    switch (kind) {
+      case GateKind::Buf:
+      case GateKind::And:
+      case GateKind::Or:
+      case GateKind::Maj:
+        return 0b01; // non-inverting
+      case GateKind::Not:
+      case GateKind::Nand:
+      case GateKind::Nor:
+      case GateKind::Min:
+        return 0b10; // inverting
+      case GateKind::Xor:
+      case GateKind::Xnor:
+        return 0b11; // either, depending on the other inputs
+      default:
+        return 0b01;
+    }
+}
+
+bool
+evalKind(GateKind kind, const std::vector<bool> &in)
+{
+    auto count = [&] {
+        int n = 0;
+        for (bool b : in)
+            n += b;
+        return n;
+    };
+    switch (kind) {
+      case GateKind::Const0: return false;
+      case GateKind::Const1: return true;
+      case GateKind::Buf:    return in.at(0);
+      case GateKind::Not:    return !in.at(0);
+      case GateKind::And:    return count() == static_cast<int>(in.size());
+      case GateKind::Nand:   return count() != static_cast<int>(in.size());
+      case GateKind::Or:     return count() > 0;
+      case GateKind::Nor:    return count() == 0;
+      case GateKind::Xor:    return count() & 1;
+      case GateKind::Xnor:   return !(count() & 1);
+      case GateKind::Maj:    return 2 * count() > static_cast<int>(in.size());
+      case GateKind::Min:    return 2 * count() < static_cast<int>(in.size());
+      case GateKind::Input:
+      case GateKind::Dff:
+        throw std::logic_error("evalKind: source gate has no function");
+    }
+    return false;
+}
+
+GateId
+Netlist::addInput(const std::string &name)
+{
+    invalidateCaches();
+    GateId id = numGates();
+    gates_.push_back({GateKind::Input, {}, name, LatchMode::EveryPeriod,
+                      false});
+    inputs_.push_back(id);
+    return id;
+}
+
+GateId
+Netlist::addConst(bool value)
+{
+    invalidateCaches();
+    GateId id = numGates();
+    gates_.push_back({value ? GateKind::Const1 : GateKind::Const0, {},
+                      value ? "1" : "0", LatchMode::EveryPeriod, false});
+    return id;
+}
+
+GateId
+Netlist::addGate(GateKind kind, std::vector<GateId> fanin,
+                 const std::string &name)
+{
+    invalidateCaches();
+    for (GateId f : fanin) {
+        if (f < 0 || f >= numGates())
+            throw std::logic_error("addGate: dangling fanin");
+    }
+    GateId id = numGates();
+    gates_.push_back({kind, std::move(fanin), name, LatchMode::EveryPeriod,
+                      false});
+    return id;
+}
+
+GateId
+Netlist::addDff(GateId d, const std::string &name, LatchMode latch, bool init)
+{
+    invalidateCaches();
+    if (d < 0 || d >= numGates())
+        throw std::logic_error("addDff: dangling fanin");
+    GateId id = numGates();
+    gates_.push_back({GateKind::Dff, {d}, name, latch, init});
+    return id;
+}
+
+void
+Netlist::addOutput(GateId id, const std::string &name)
+{
+    invalidateCaches();
+    if (id < 0 || id >= numGates())
+        throw std::logic_error("addOutput: dangling gate");
+    outputs_.push_back(id);
+    outputNames_.push_back(name);
+}
+
+void
+Netlist::replaceFanin(GateId gate, int pin, GateId new_driver)
+{
+    invalidateCaches();
+    if (gate < 0 || gate >= numGates() || new_driver < 0 ||
+        new_driver >= numGates() || pin < 0 ||
+        pin >= static_cast<int>(gates_[gate].fanin.size())) {
+        throw std::logic_error("replaceFanin: bad arguments");
+    }
+    gates_[gate].fanin[pin] = new_driver;
+}
+
+void
+Netlist::replaceOutput(int idx, GateId new_driver)
+{
+    invalidateCaches();
+    if (idx < 0 || idx >= numOutputs() || new_driver < 0 ||
+        new_driver >= numGates()) {
+        throw std::logic_error("replaceOutput: bad arguments");
+    }
+    outputs_[idx] = new_driver;
+}
+
+GateId
+Netlist::addNot(GateId a, const std::string &name)
+{
+    return addGate(GateKind::Not, {a}, name);
+}
+
+GateId
+Netlist::addBuf(GateId a, const std::string &name)
+{
+    return addGate(GateKind::Buf, {a}, name);
+}
+
+GateId
+Netlist::addAnd(std::vector<GateId> in, const std::string &name)
+{
+    return addGate(GateKind::And, std::move(in), name);
+}
+
+GateId
+Netlist::addOr(std::vector<GateId> in, const std::string &name)
+{
+    return addGate(GateKind::Or, std::move(in), name);
+}
+
+GateId
+Netlist::addNand(std::vector<GateId> in, const std::string &name)
+{
+    return addGate(GateKind::Nand, std::move(in), name);
+}
+
+GateId
+Netlist::addNor(std::vector<GateId> in, const std::string &name)
+{
+    return addGate(GateKind::Nor, std::move(in), name);
+}
+
+GateId
+Netlist::addXor(std::vector<GateId> in, const std::string &name)
+{
+    return addGate(GateKind::Xor, std::move(in), name);
+}
+
+GateId
+Netlist::addXnor(std::vector<GateId> in, const std::string &name)
+{
+    return addGate(GateKind::Xnor, std::move(in), name);
+}
+
+GateId
+Netlist::addMaj(std::vector<GateId> in, const std::string &name)
+{
+    return addGate(GateKind::Maj, std::move(in), name);
+}
+
+GateId
+Netlist::addMin(std::vector<GateId> in, const std::string &name)
+{
+    return addGate(GateKind::Min, std::move(in), name);
+}
+
+int
+Netlist::inputIndex(GateId id) const
+{
+    auto it = std::find(inputs_.begin(), inputs_.end(), id);
+    return it == inputs_.end() ? -1
+                               : static_cast<int>(it - inputs_.begin());
+}
+
+void
+Netlist::invalidateCaches()
+{
+    cachesValid_ = false;
+}
+
+const std::vector<GateId> &
+Netlist::topoOrder() const
+{
+    if (!cachesValid_) {
+        // Kahn's algorithm; Dff outputs are sources (their fanin edge
+        // crosses a period boundary and is not a combinational edge).
+        const int n = numGates();
+        std::vector<int> pending(n, 0);
+        for (GateId g = 0; g < n; ++g) {
+            if (gates_[g].kind == GateKind::Dff)
+                continue;
+            pending[g] = static_cast<int>(gates_[g].fanin.size());
+        }
+
+        consumerCache_.assign(n, {});
+        tapCache_.assign(n, {});
+        for (GateId g = 0; g < n; ++g) {
+            if (gates_[g].kind == GateKind::Dff)
+                continue;
+            for (std::size_t pin = 0; pin < gates_[g].fanin.size(); ++pin) {
+                consumerCache_[gates_[g].fanin[pin]].push_back(
+                    {g, static_cast<int>(pin)});
+            }
+        }
+        // Dff D pins are consumers too (they see branch faults), they
+        // just do not constrain the combinational order.
+        for (GateId g = 0; g < n; ++g) {
+            if (gates_[g].kind != GateKind::Dff)
+                continue;
+            consumerCache_[gates_[g].fanin[0]].push_back({g, 0});
+        }
+        for (std::size_t i = 0; i < outputs_.size(); ++i)
+            tapCache_[outputs_[i]].push_back(static_cast<int>(i));
+
+        topoCache_.clear();
+        std::vector<GateId> ready;
+        for (GateId g = 0; g < n; ++g)
+            if (pending[g] == 0)
+                ready.push_back(g);
+        while (!ready.empty()) {
+            GateId g = ready.back();
+            ready.pop_back();
+            topoCache_.push_back(g);
+            for (auto [c, pin] : consumerCache_[g]) {
+                if (gates_[c].kind == GateKind::Dff)
+                    continue;
+                if (--pending[c] == 0)
+                    ready.push_back(c);
+            }
+        }
+        if (static_cast<int>(topoCache_.size()) != n)
+            throw std::logic_error("netlist contains a combinational cycle");
+        cachesValid_ = true;
+    }
+    return topoCache_;
+}
+
+const std::vector<std::pair<GateId, int>> &
+Netlist::consumers(GateId id) const
+{
+    topoOrder();
+    return consumerCache_[id];
+}
+
+const std::vector<int> &
+Netlist::outputTaps(GateId id) const
+{
+    topoOrder();
+    return tapCache_[id];
+}
+
+int
+Netlist::fanoutCount(GateId id) const
+{
+    return static_cast<int>(consumers(id).size() + outputTaps(id).size());
+}
+
+std::vector<GateId>
+Netlist::flipFlops() const
+{
+    std::vector<GateId> ffs;
+    for (GateId g = 0; g < numGates(); ++g)
+        if (gates_[g].kind == GateKind::Dff)
+            ffs.push_back(g);
+    return ffs;
+}
+
+bool
+Netlist::isCombinational() const
+{
+    return flipFlops().empty();
+}
+
+std::vector<FaultSite>
+Netlist::faultSites() const
+{
+    std::vector<FaultSite> sites;
+    for (GateId g = 0; g < numGates(); ++g) {
+        sites.push_back({g, FaultSite::kStem, -1});
+        if (fanoutCount(g) <= 1)
+            continue;
+        for (auto [c, pin] : consumers(g))
+            sites.push_back({g, c, pin});
+        for (int tap : outputTaps(g))
+            sites.push_back({g, FaultSite::kOutputTap, tap});
+    }
+    return sites;
+}
+
+std::vector<Fault>
+Netlist::allFaults() const
+{
+    std::vector<Fault> faults;
+    for (const FaultSite &site : faultSites()) {
+        faults.push_back({site, false});
+        faults.push_back({site, true});
+    }
+    return faults;
+}
+
+Netlist::Cost
+Netlist::cost() const
+{
+    Cost c;
+    for (const Gate &g : gates_) {
+        switch (g.kind) {
+          case GateKind::Input:
+          case GateKind::Const0:
+          case GateKind::Const1:
+          case GateKind::Buf:
+            break;
+          case GateKind::Dff:
+            ++c.flipFlops;
+            break;
+          case GateKind::Not:
+            ++c.gates;
+            ++c.inverters;
+            c.gateInputs += 1;
+            break;
+          default:
+            ++c.gates;
+            c.gateInputs += static_cast<int>(g.fanin.size());
+        }
+    }
+    return c;
+}
+
+void
+Netlist::validate() const
+{
+    topoOrder(); // throws on cycles
+    for (GateId g = 0; g < numGates(); ++g) {
+        const Gate &gate = gates_[g];
+        const std::size_t arity = gate.fanin.size();
+        switch (gate.kind) {
+          case GateKind::Input:
+          case GateKind::Const0:
+          case GateKind::Const1:
+            if (arity != 0)
+                throw std::logic_error("source gate with fanin");
+            break;
+          case GateKind::Buf:
+          case GateKind::Not:
+          case GateKind::Dff:
+            if (arity != 1)
+                throw std::logic_error("unary gate arity");
+            break;
+          case GateKind::Maj:
+          case GateKind::Min:
+            if (arity % 2 == 0)
+                throw std::logic_error("threshold modules need odd arity");
+            break;
+          default:
+            if (arity < 1)
+                throw std::logic_error("gate with no inputs");
+        }
+    }
+}
+
+std::string
+Netlist::describe(GateId id) const
+{
+    const Gate &g = gates_[id];
+    std::string s = std::to_string(id);
+    s += ':';
+    s += kindName(g.kind);
+    if (!g.name.empty()) {
+        s += '(';
+        s += g.name;
+        s += ')';
+    }
+    return s;
+}
+
+} // namespace scal::netlist

@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Gate-level netlist representation.
+ *
+ * A Netlist is a DAG of gates; each gate drives exactly one logical
+ * line identified by the gate's id. The paper's fault model speaks of
+ * faults on *lines*, where a fanout point creates distinct line
+ * segments (a stem and one branch per destination); FaultSite captures
+ * that distinction so that, as in Figure 3.4 of the paper, a stem and
+ * each of its branches are separately injectable fault locations.
+ *
+ * Sequential circuits use Dff gates. A Dff's fanin is its D input; its
+ * output behaves as a source for combinational ordering. The latch
+ * discipline (every period, on the rise of the period clock φ, or on
+ * its fall) models the translator latches of Section 4.3.
+ */
+
+#ifndef SCAL_NETLIST_NETLIST_HH
+#define SCAL_NETLIST_NETLIST_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace scal::netlist
+{
+
+using GateId = std::int32_t;
+constexpr GateId kNoGate = -1;
+
+/** Gate primitive kinds. Maj/Min are the Chapter 6 threshold modules. */
+enum class GateKind : std::uint8_t
+{
+    Input,
+    Const0,
+    Const1,
+    Buf,
+    Not,
+    And,
+    Or,
+    Nand,
+    Nor,
+    Xor,
+    Xnor,
+    Maj,
+    Min,
+    Dff,
+};
+
+/** Human-readable gate kind name. */
+const char *kindName(GateKind kind);
+
+/** True for gates that are unate in every input (Theorem 3.7). */
+bool kindIsUnate(GateKind kind);
+
+/**
+ * Standard gates in the sense of Definition 3.2 (NOT, NAND, AND, NOR,
+ * OR): gates with a dominating input value.
+ */
+bool kindIsStandard(GateKind kind);
+
+/**
+ * Inversion parities a signal change can experience through this gate:
+ * bit 0 set = a non-inverting path exists, bit 1 set = an inverting
+ * path exists. XOR-like gates carry both (Definition 3.1 path parity).
+ */
+unsigned kindParitySet(GateKind kind);
+
+/** Evaluate a gate kind over scalar input values. */
+bool evalKind(GateKind kind, const std::vector<bool> &in);
+
+/** Latch discipline for Dff gates (Section 4.3 translators). */
+enum class LatchMode : std::uint8_t
+{
+    EveryPeriod, ///< capture at the end of every period
+    PhiRise,     ///< capture only on the 0→1 transition of φ
+    PhiFall,     ///< capture only on the 1→0 transition of φ
+};
+
+struct Gate
+{
+    GateKind kind;
+    std::vector<GateId> fanin;
+    std::string name;
+    LatchMode latch = LatchMode::EveryPeriod;
+    bool init = false; ///< Dff power-on value
+};
+
+/**
+ * A single stuck-at fault location. consumer == kStem places the fault
+ * on the stem (the gate's output before any fanout point);
+ * consumer == kOutputTap places it on the branch feeding primary
+ * output number @c pin; otherwise it sits on the branch feeding input
+ * pin @c pin of gate @c consumer.
+ */
+struct FaultSite
+{
+    static constexpr GateId kStem = -1;
+    static constexpr GateId kOutputTap = -2;
+
+    GateId driver = kNoGate;
+    GateId consumer = kStem;
+    int pin = -1;
+
+    bool isStem() const { return consumer == kStem; }
+    bool operator==(const FaultSite &o) const = default;
+};
+
+/** A stuck-at fault: a site plus the stuck value. */
+struct Fault
+{
+    FaultSite site;
+    bool value = false;
+
+    bool operator==(const Fault &o) const = default;
+};
+
+class Netlist
+{
+  public:
+    /** @name Construction */
+    /** @{ */
+    GateId addInput(const std::string &name);
+    GateId addConst(bool value);
+    GateId addGate(GateKind kind, std::vector<GateId> fanin,
+                   const std::string &name = "");
+    GateId addDff(GateId d, const std::string &name = "",
+                  LatchMode latch = LatchMode::EveryPeriod,
+                  bool init = false);
+    void addOutput(GateId id, const std::string &name);
+
+    /** Rewire one fanin pin (used by the repair transforms). */
+    void replaceFanin(GateId gate, int pin, GateId new_driver);
+
+    /** Retarget primary output @p idx to a different gate. */
+    void replaceOutput(int idx, GateId new_driver);
+
+    /** Convenience one-liners. */
+    GateId addNot(GateId a, const std::string &name = "");
+    GateId addBuf(GateId a, const std::string &name = "");
+    GateId addAnd(std::vector<GateId> in, const std::string &name = "");
+    GateId addOr(std::vector<GateId> in, const std::string &name = "");
+    GateId addNand(std::vector<GateId> in, const std::string &name = "");
+    GateId addNor(std::vector<GateId> in, const std::string &name = "");
+    GateId addXor(std::vector<GateId> in, const std::string &name = "");
+    GateId addXnor(std::vector<GateId> in, const std::string &name = "");
+    GateId addMaj(std::vector<GateId> in, const std::string &name = "");
+    GateId addMin(std::vector<GateId> in, const std::string &name = "");
+    /** @} */
+
+    /** @name Inspection */
+    /** @{ */
+    int numGates() const { return static_cast<int>(gates_.size()); }
+    const Gate &gate(GateId id) const { return gates_[id]; }
+    const std::vector<GateId> &inputs() const { return inputs_; }
+    int numInputs() const { return static_cast<int>(inputs_.size()); }
+    const std::vector<GateId> &outputs() const { return outputs_; }
+    int numOutputs() const { return static_cast<int>(outputs_.size()); }
+    const std::string &outputName(int i) const { return outputNames_[i]; }
+    /** Index of @p id within inputs(), or -1. */
+    int inputIndex(GateId id) const;
+
+    /** Combinational topological order (Dffs ordered as sources). */
+    const std::vector<GateId> &topoOrder() const;
+
+    /** Gate-input destinations fed by @p id (branch consumers). */
+    const std::vector<std::pair<GateId, int>> &consumers(GateId id) const;
+
+    /** Primary-output indices tapped from @p id. */
+    const std::vector<int> &outputTaps(GateId id) const;
+
+    /** Total fanout: gate consumers plus output taps. */
+    int fanoutCount(GateId id) const;
+
+    /** All Dff gate ids in creation order. */
+    std::vector<GateId> flipFlops() const;
+
+    bool isCombinational() const;
+    /** @} */
+
+    /**
+     * Enumerate all fault sites: one stem per gate except primary
+     * inputs' unconnected case, plus one branch per destination when a
+     * line fans out to more than one place. Input stems are included
+     * (the paper treats input lines as lines).
+     */
+    std::vector<FaultSite> faultSites() const;
+
+    /** All stuck-at faults over faultSites(). */
+    std::vector<Fault> allFaults() const;
+
+    /** Hardware cost accounting used by the Chapter 4/5 cost tables. */
+    struct Cost
+    {
+        int gates = 0;      ///< logic gates (excludes Input/Const/Buf/Dff)
+        int gateInputs = 0; ///< total fanin pins on counted gates
+        int flipFlops = 0;
+        int inverters = 0;  ///< subset of gates that are Not
+    };
+    Cost cost() const;
+
+    /** Throw std::logic_error on malformed structure (cycles, arity). */
+    void validate() const;
+
+    /** Short description for diagnostics. */
+    std::string describe(GateId id) const;
+
+  private:
+    void invalidateCaches();
+
+    std::vector<Gate> gates_;
+    std::vector<GateId> inputs_;
+    std::vector<GateId> outputs_;
+    std::vector<std::string> outputNames_;
+
+    mutable std::vector<GateId> topoCache_;
+    mutable std::vector<std::vector<std::pair<GateId, int>>> consumerCache_;
+    mutable std::vector<std::vector<int>> tapCache_;
+    mutable bool cachesValid_ = false;
+};
+
+} // namespace scal::netlist
+
+#endif // SCAL_NETLIST_NETLIST_HH

@@ -1,0 +1,225 @@
+#include "netlist/structure.hh"
+
+#include <functional>
+
+namespace scal::netlist
+{
+
+std::vector<bool>
+outputCone(const Netlist &net, int out_idx)
+{
+    std::vector<bool> in_cone(net.numGates(), false);
+    std::vector<GateId> stack{net.outputs()[out_idx]};
+    while (!stack.empty()) {
+        GateId g = stack.back();
+        stack.pop_back();
+        if (in_cone[g])
+            continue;
+        in_cone[g] = true;
+        // Dff fanin crosses a period boundary: Chapter 3 cones are
+        // combinational, so stop at flip-flop outputs.
+        if (net.gate(g).kind == GateKind::Dff)
+            continue;
+        for (GateId f : net.gate(g).fanin)
+            stack.push_back(f);
+    }
+    return in_cone;
+}
+
+namespace
+{
+
+/** Combinational forward reachability from a gate's output line. */
+std::vector<bool>
+forwardReach(const Netlist &net, GateId from)
+{
+    std::vector<bool> reach(net.numGates(), false);
+    std::vector<GateId> stack{from};
+    reach[from] = true;
+    while (!stack.empty()) {
+        GateId g = stack.back();
+        stack.pop_back();
+        for (auto [c, pin] : net.consumers(g)) {
+            if (net.gate(c).kind == GateKind::Dff)
+                continue;
+            if (!reach[c]) {
+                reach[c] = true;
+                stack.push_back(c);
+            }
+        }
+    }
+    return reach;
+}
+
+} // namespace
+
+std::vector<int>
+outputsReachedBySite(const Netlist &net, const FaultSite &site)
+{
+    if (site.consumer == FaultSite::kOutputTap)
+        return {site.pin};
+
+    std::vector<int> outs;
+    if (site.isStem()) {
+        auto reach = forwardReach(net, site.driver);
+        for (int j = 0; j < net.numOutputs(); ++j)
+            if (reach[net.outputs()[j]])
+                outs.push_back(j);
+    } else {
+        if (net.gate(site.consumer).kind == GateKind::Dff)
+            return {};
+        auto reach = forwardReach(net, site.consumer);
+        for (int j = 0; j < net.numOutputs(); ++j)
+            if (reach[net.outputs()[j]])
+                outs.push_back(j);
+    }
+    return outs;
+}
+
+namespace
+{
+
+/**
+ * Destinations of a gate's output line restricted to the cone of one
+ * output: in-cone gate consumers, plus a sentinel for the output tap.
+ */
+struct Dest
+{
+    bool isTap;
+    GateId gate; // valid when !isTap
+};
+
+std::vector<Dest>
+destsInCone(const Netlist &net, GateId g, int out_idx,
+            const std::vector<bool> &cone)
+{
+    std::vector<Dest> dests;
+    for (auto [c, pin] : net.consumers(g)) {
+        if (net.gate(c).kind == GateKind::Dff)
+            continue;
+        if (cone[c])
+            dests.push_back({false, c});
+    }
+    for (int tap : net.outputTaps(g))
+        if (tap == out_idx)
+            dests.push_back({true, kNoGate});
+    return dests;
+}
+
+} // namespace
+
+bool
+singleUnatePathToOutput(const Netlist &net, const FaultSite &site,
+                        int out_idx)
+{
+    const auto cone = outputCone(net, out_idx);
+    if (!cone[site.driver])
+        return false;
+
+    // Establish the first hop(s) of the path.
+    std::vector<Dest> hop;
+    if (site.consumer == FaultSite::kOutputTap) {
+        return site.pin == out_idx; // the tap itself: an empty path
+    } else if (site.isStem()) {
+        hop = destsInCone(net, site.driver, out_idx, cone);
+    } else {
+        if (net.gate(site.consumer).kind == GateKind::Dff ||
+            !cone[site.consumer])
+            return false;
+        hop = {{false, site.consumer}};
+    }
+
+    while (true) {
+        if (hop.size() != 1)
+            return false; // fans out (or dead-ends) within the cone
+        if (hop[0].isTap)
+            return true;
+        GateId g = hop[0].gate;
+        if (!kindIsUnate(net.gate(g).kind))
+            return false;
+        hop = destsInCone(net, g, out_idx, cone);
+    }
+}
+
+unsigned
+pathParitySet(const Netlist &net, const FaultSite &site, int out_idx)
+{
+    const auto cone = outputCone(net, out_idx);
+    if (!cone[site.driver])
+        return 0;
+
+    // parities[g]: parity set from g's output line to the output tap.
+    std::vector<unsigned> parities(net.numGates(), 0u);
+    std::vector<bool> done(net.numGates(), false);
+
+    std::function<unsigned(GateId)> solve = [&](GateId g) -> unsigned {
+        if (done[g])
+            return parities[g];
+        done[g] = true; // DAG: no cycles, safe to mark first
+        unsigned set = 0;
+        for (const Dest &d : destsInCone(net, g, out_idx, cone)) {
+            if (d.isTap) {
+                set |= 0b01;
+                continue;
+            }
+            unsigned through = kindParitySet(net.gate(d.gate).kind);
+            unsigned onward = solve(d.gate);
+            // Compose: {a} through gate then {b} onward -> a xor b.
+            unsigned combined = 0;
+            for (unsigned a = 0; a < 2; ++a) {
+                for (unsigned b = 0; b < 2; ++b) {
+                    if ((through >> a & 1) && (onward >> b & 1))
+                        combined |= 1u << (a ^ b);
+                }
+            }
+            set |= combined;
+        }
+        parities[g] = set;
+        return set;
+    };
+
+    if (site.consumer == FaultSite::kOutputTap)
+        return site.pin == out_idx ? 0b01 : 0;
+    if (site.isStem())
+        return solve(site.driver);
+
+    if (net.gate(site.consumer).kind == GateKind::Dff ||
+        !cone[site.consumer])
+        return 0;
+    unsigned through = kindParitySet(net.gate(site.consumer).kind);
+    unsigned onward = solve(site.consumer);
+    unsigned combined = 0;
+    for (unsigned a = 0; a < 2; ++a)
+        for (unsigned b = 0; b < 2; ++b)
+            if ((through >> a & 1) && (onward >> b & 1))
+                combined |= 1u << (a ^ b);
+    return combined;
+}
+
+std::string
+siteToString(const Netlist &net, const FaultSite &site)
+{
+    std::string s = net.describe(site.driver);
+    if (site.isStem()) {
+        s += "(stem)";
+    } else if (site.consumer == FaultSite::kOutputTap) {
+        s += "->out[";
+        s += net.outputName(site.pin);
+        s += ']';
+    } else {
+        s += "->";
+        s += net.describe(site.consumer);
+        s += ".pin";
+        s += std::to_string(site.pin);
+    }
+    return s;
+}
+
+std::string
+faultToString(const Netlist &net, const Fault &fault)
+{
+    return siteToString(net, fault.site) +
+           (fault.value ? " s-a-1" : " s-a-0");
+}
+
+} // namespace scal::netlist

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Structural queries over a Netlist used by the Chapter 3 analysis:
+ * output cones, within-cone fanout, single-unate-path checks
+ * (Theorem 3.7, condition B) and path-parity sets (Definition 3.1 /
+ * Theorem 3.8, condition C).
+ */
+
+#ifndef SCAL_NETLIST_STRUCTURE_HH
+#define SCAL_NETLIST_STRUCTURE_HH
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::netlist
+{
+
+/** Gates in the transitive fanin of output @p out_idx (inclusive). */
+std::vector<bool> outputCone(const Netlist &net, int out_idx);
+
+/** Output indices whose value the fault at @p site can influence. */
+std::vector<int> outputsReachedBySite(const Netlist &net,
+                                      const FaultSite &site);
+
+/**
+ * Condition B (Theorem 3.7): from the faulted line segment there is a
+ * unique path to output @p out_idx, no line on it fans out within the
+ * output's cone, and every gate on it is unate.
+ */
+bool singleUnatePathToOutput(const Netlist &net, const FaultSite &site,
+                             int out_idx);
+
+/**
+ * Parity bitmask of inversion counts over all paths from @p site to
+ * output @p out_idx: bit 0 = an even path exists, bit 1 = an odd path
+ * exists, 0 = the output is unreachable. Condition C (Theorem 3.8)
+ * holds when exactly one bit is set.
+ */
+unsigned pathParitySet(const Netlist &net, const FaultSite &site,
+                       int out_idx);
+
+/** Human-readable fault-site label, e.g. "7:NAND(stem)". */
+std::string siteToString(const Netlist &net, const FaultSite &site);
+
+/** Human-readable fault label, e.g. "7:NAND(stem) s-a-1". */
+std::string faultToString(const Netlist &net, const Fault &fault);
+
+} // namespace scal::netlist
+
+#endif // SCAL_NETLIST_STRUCTURE_HH

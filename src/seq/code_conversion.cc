@@ -1,0 +1,93 @@
+#include "seq/code_conversion.hh"
+
+#include "netlist/circuits.hh"
+#include "seq/translators.hh"
+
+namespace scal::seq
+{
+
+using namespace netlist;
+
+SynthesizedMachine
+synthesizeCodeConversion(const StateTable &table)
+{
+    const MachineFunctions mf = machineFunctions(table);
+    SynthesizedMachine sm;
+    Netlist &net = sm.net;
+    sm.dataInputs = mf.inputBits;
+
+    std::vector<GateId> ins;
+    for (int i = 0; i < mf.inputBits; ++i)
+        ins.push_back(net.addInput("x" + std::to_string(i)));
+    const GateId phi = net.addInput("phi");
+    sm.phiInput = mf.inputBits;
+
+    // ALPT data latches, wired to the excitation cones afterwards.
+    // Each captures the period-2 (complemented) excitation value on
+    // the fall of φ and holds it through the next symbol: the n data
+    // bits of the parity-encoded feedback memory. Initial contents
+    // are the complement of state 0.
+    const GateId placeholder = net.addConst(false);
+    std::vector<GateId> latches;
+    for (int i = 0; i < mf.stateBits; ++i) {
+        latches.push_back(net.addDff(placeholder,
+                                     "alpt_d" + std::to_string(i),
+                                     LatchMode::PhiFall, /*init=*/true));
+    }
+    // PALT regeneration: y_i = XNOR(latch_i, φ) gives the true state
+    // bit in period 1 and its complement in period 2.
+    std::vector<GateId> y_in;
+    for (int i = 0; i < mf.stateBits; ++i) {
+        y_in.push_back(net.addXnor({latches[i], phi},
+                                   "palt_y" + std::to_string(i)));
+    }
+
+    for (GateId y : y_in)
+        ins.push_back(y);
+    ins.push_back(phi);
+
+    std::vector<GateId> inverters(ins.size(), kNoGate);
+    for (std::size_t j = 0; j < mf.output.size(); ++j) {
+        GateId z = circuits::emitSopCone(net, mf.output[j].selfDualize(),
+                                         ins, inverters,
+                                         "Z" + std::to_string(j));
+        sm.zOutputs.push_back(net.numOutputs());
+        net.addOutput(z, "Z" + std::to_string(j));
+    }
+    std::vector<GateId> excitation;
+    for (int i = 0; i < mf.stateBits; ++i) {
+        GateId y = circuits::emitSopCone(net,
+                                         mf.excitation[i].selfDualize(),
+                                         ins, inverters,
+                                         "Y" + std::to_string(i));
+        excitation.push_back(y);
+        net.replaceFanin(latches[i], 0, y);
+        sm.yOutputs.push_back(net.numOutputs());
+        net.addOutput(y, "Y" + std::to_string(i));
+    }
+
+    // ALPT parity: the parity of the captured word, padded with φ
+    // when the word size is odd, latched alongside the data.
+    std::vector<GateId> ptree = excitation;
+    if (ptree.size() % 2)
+        ptree.push_back(phi);
+    GateId parity_latch =
+        net.addDff(xorTreeOf(net, ptree), "alpt_p",
+                   LatchMode::PhiFall, /*init=*/false);
+
+    // PALT 1-out-of-2 code: stored parity against the complemented
+    // parity of the regenerated word.
+    std::vector<GateId> ctree = y_in;
+    if (ctree.size() % 2)
+        ctree.push_back(phi);
+    GateId chk0 = net.addBuf(parity_latch, "chk0");
+    GateId chk1 = net.addNot(xorTreeOf(net, ctree), "chk1");
+
+    sm.checkOutputs.push_back(net.numOutputs());
+    net.addOutput(chk0, "chk0");
+    sm.checkOutputs.push_back(net.numOutputs());
+    net.addOutput(chk1, "chk1");
+    return sm;
+}
+
+} // namespace scal::seq

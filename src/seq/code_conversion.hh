@@ -1,0 +1,29 @@
+/**
+ * @file
+ * The memory-efficient code-conversion SCAL sequential machine of
+ * Section 4.3 (Figure 4.5): self-dualized combinational logic, an
+ * ALPT translating the alternating feedback word to an (n+1)-bit
+ * parity-encoded word that is the feedback memory, and a PALT
+ * regenerating the alternating state inputs and a 1-out-of-2 code for
+ * the system checker. Uses n+1 flip-flops against the dual flip-flop
+ * approach's 2n (Table 4.1).
+ */
+
+#ifndef SCAL_SEQ_CODE_CONVERSION_HH
+#define SCAL_SEQ_CODE_CONVERSION_HH
+
+#include "seq/synthesis.hh"
+
+namespace scal::seq
+{
+
+/**
+ * Build the code-conversion SCAL machine for @p table. Outputs expose
+ * Z, the excitation lines Y, and the PALT 1-out-of-2 code pair
+ * (checkOutputs).
+ */
+SynthesizedMachine synthesizeCodeConversion(const StateTable &table);
+
+} // namespace scal::seq
+
+#endif // SCAL_SEQ_CODE_CONVERSION_HH

@@ -1,0 +1,24 @@
+#include "seq/cost_model.hh"
+
+namespace scal::seq
+{
+
+CostRow
+measureCost(const std::string &name, const SynthesizedMachine &sm)
+{
+    const netlist::Netlist::Cost c = sm.net.cost();
+    return {name, static_cast<double>(c.flipFlops),
+            static_cast<double>(c.gates), c.gateInputs};
+}
+
+std::vector<CostRow>
+table41General(double n, double m)
+{
+    return {
+        {"Kohavi general", n, m, 0},
+        {"Reynolds general", 2 * n, kScalGateFactor * m, 0},
+        {"Translator general", n + 1, kScalGateFactor * m + n + 2, 0},
+    };
+}
+
+} // namespace scal::seq

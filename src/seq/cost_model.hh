@@ -1,0 +1,48 @@
+/**
+ * @file
+ * The Table 4.1 cost model: specific flip-flop/gate counts for the
+ * three sequence-detector implementations, and the general formulas
+ *
+ *   Kohavi      n        m
+ *   Reynolds    2n       1.8m
+ *   Translator  n+1      1.8m + n + 2
+ *
+ * where n and m are the conventional machine's flip-flop and gate
+ * counts and 1.8 is Reynolds' measured average cost factor for
+ * converting normal logic to self-dual logic.
+ */
+
+#ifndef SCAL_SEQ_COST_MODEL_HH
+#define SCAL_SEQ_COST_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "seq/synthesis.hh"
+
+namespace scal::seq
+{
+
+struct CostRow
+{
+    std::string name;
+    double flipFlops = 0;
+    double gates = 0;
+    int gateInputs = 0; ///< 0 when not applicable (general rows)
+};
+
+/** Measured costs of a synthesized machine. */
+CostRow measureCost(const std::string &name, const SynthesizedMachine &sm);
+
+/**
+ * The paper's general-formula rows of Table 4.1 for a base machine
+ * with @p n flip-flops and @p m gates.
+ */
+std::vector<CostRow> table41General(double n, double m);
+
+/** Reynolds' average SCAL conversion cost factor. */
+constexpr double kScalGateFactor = 1.8;
+
+} // namespace scal::seq
+
+#endif // SCAL_SEQ_COST_MODEL_HH

@@ -1,0 +1,24 @@
+#include "seq/kohavi.hh"
+
+namespace scal::seq
+{
+
+SynthesizedMachine
+kohaviDetector()
+{
+    return synthesizeStandard(kohaviDetectorTable());
+}
+
+SynthesizedMachine
+reynoldsDetector()
+{
+    return synthesizeDualFlipFlop(kohaviDetectorTable());
+}
+
+SynthesizedMachine
+translatorDetector()
+{
+    return synthesizeCodeConversion(kohaviDetectorTable());
+}
+
+} // namespace scal::seq

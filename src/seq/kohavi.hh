@@ -1,0 +1,30 @@
+/**
+ * @file
+ * The Section 4.5 comparative example: the 0101 sequence detector
+ * realized three ways — Kohavi's conventional machine (Figure 4.8),
+ * Reynolds' dual flip-flop SCAL machine (Figure 4.9) and the
+ * code-conversion (translator) machine (Figure 4.10).
+ */
+
+#ifndef SCAL_SEQ_KOHAVI_HH
+#define SCAL_SEQ_KOHAVI_HH
+
+#include "seq/code_conversion.hh"
+#include "seq/dual_flipflop.hh"
+#include "seq/synthesis.hh"
+
+namespace scal::seq
+{
+
+/** Figure 4.8: the conventional detector. */
+SynthesizedMachine kohaviDetector();
+
+/** Figure 4.9: the dual flip-flop SCAL detector. */
+SynthesizedMachine reynoldsDetector();
+
+/** Figure 4.10: the translator (code-conversion) SCAL detector. */
+SynthesizedMachine translatorDetector();
+
+} // namespace scal::seq
+
+#endif // SCAL_SEQ_KOHAVI_HH

@@ -1,0 +1,62 @@
+#include "seq/registers.hh"
+
+namespace scal::seq
+{
+
+using namespace netlist;
+
+Netlist
+selfDualShiftRegister(int stages)
+{
+    // Figure 7.4a: two every-period flip-flops per stage double the
+    // delay so each stage holds one full alternating symbol. At reset
+    // the pairs are primed with (1, 0) so the initial contents stream
+    // out as the alternating encoding of zero.
+    Netlist net;
+    GateId d = net.addInput("d");
+    GateId prev = d;
+    for (int i = 0; i < stages; ++i) {
+        GateId f1 = net.addDff(prev, "s" + std::to_string(i) + "a",
+                               LatchMode::EveryPeriod, /*init=*/true);
+        GateId f2 = net.addDff(f1, "s" + std::to_string(i) + "b",
+                               LatchMode::EveryPeriod, /*init=*/false);
+        net.addOutput(f2, "q" + std::to_string(i));
+        prev = f2;
+    }
+    return net;
+}
+
+Netlist
+selfDualStatusRegister(int bits)
+{
+    // Figure 7.4b in the translator style (Section 4.3): one φ-fall
+    // latch per bit holds the complemented value; XNOR with φ replays
+    // the alternating pair; the load mux selects between following
+    // the (alternating) status inputs and recirculating.
+    Netlist net;
+    std::vector<GateId> s(bits);
+    for (int i = 0; i < bits; ++i)
+        s[i] = net.addInput("s" + std::to_string(i));
+    GateId load = net.addInput("load");
+    GateId phi = net.addInput("phi");
+    GateId nload = net.addNot(load, "nload");
+
+    for (int i = 0; i < bits; ++i) {
+        // Latch built against a placeholder so the recirculation mux
+        // can reference it.
+        GateId placeholder = net.addConst(false);
+        GateId latch = net.addDff(placeholder,
+                                  "h" + std::to_string(i),
+                                  LatchMode::PhiFall, /*init=*/true);
+        GateId follow = net.addAnd({load, s[i]});
+        GateId hold = net.addAnd({nload, latch});
+        GateId mux = net.addOr({follow, hold},
+                               "m" + std::to_string(i));
+        net.replaceFanin(latch, 0, mux);
+        GateId q = net.addXnor({latch, phi}, "q" + std::to_string(i));
+        net.addOutput(q, "q" + std::to_string(i));
+    }
+    return net;
+}
+
+} // namespace scal::seq

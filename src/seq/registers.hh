@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The self-dual sequential modules of Section 7.3 (Figure 7.4):
+ * a shift register and a status register realized with two flip-flops
+ * per bit so that the stored values stream out in alternating form —
+ * the building blocks of a SCAL CPU beyond the ALU.
+ *
+ * Each stage uses a pair of every-period flip-flops: over the two
+ * periods of a symbol the pair carries (v, v̄), so every stored bit is
+ * an alternating line and, by Theorem 3.6, faults on the register
+ * lines surface as non-alternating outputs.
+ */
+
+#ifndef SCAL_SEQ_REGISTERS_HH
+#define SCAL_SEQ_REGISTERS_HH
+
+#include "netlist/netlist.hh"
+
+namespace scal::seq
+{
+
+/**
+ * Figure 7.4a: an n-stage self-dual shift register. Inputs: d (the
+ * alternating serial stream); outputs q0..q{n-1}, q0 being the most
+ * recently shifted-in symbol. One symbol = two simulator periods.
+ */
+netlist::Netlist selfDualShiftRegister(int stages);
+
+/**
+ * Figure 7.4b: an n-bit self-dual status register. Inputs: s0..s{n-1}
+ * (alternating status conditions) and "load" (non-alternating control,
+ * constant across a symbol); outputs q0..q{n-1}. While load = 1 the
+ * register follows the inputs; while load = 0 it replays the held
+ * values in alternating form.
+ */
+netlist::Netlist selfDualStatusRegister(int bits);
+
+} // namespace scal::seq
+
+#endif // SCAL_SEQ_REGISTERS_HH

@@ -1,0 +1,123 @@
+#include "seq/state_table.hh"
+
+#include <stdexcept>
+
+namespace scal::seq
+{
+
+StateTable::StateTable(int num_states, int input_bits, int output_bits)
+    : numStates_(num_states), inputBits_(input_bits),
+      outputBits_(output_bits),
+      next_(static_cast<std::size_t>(num_states) << input_bits, -1),
+      output_(static_cast<std::size_t>(num_states) << input_bits, ~0u),
+      names_(num_states)
+{
+    if (num_states < 1 || input_bits < 1 || output_bits < 0)
+        throw std::invalid_argument("bad state table shape");
+    for (int s = 0; s < num_states; ++s)
+        names_[s] = "S" + std::to_string(s);
+}
+
+int
+StateTable::stateBits() const
+{
+    int b = 1;
+    while ((1 << b) < numStates_)
+        ++b;
+    return b;
+}
+
+void
+StateTable::setTransition(int state, int symbol, int next, unsigned output)
+{
+    if (state < 0 || state >= numStates_ || symbol < 0 ||
+        symbol >= numSymbols() || next < 0 || next >= numStates_) {
+        throw std::out_of_range("setTransition");
+    }
+    next_[state * numSymbols() + symbol] = next;
+    output_[state * numSymbols() + symbol] = output;
+}
+
+int
+StateTable::next(int state, int symbol) const
+{
+    return next_[state * numSymbols() + symbol];
+}
+
+unsigned
+StateTable::output(int state, int symbol) const
+{
+    return output_[state * numSymbols() + symbol];
+}
+
+void
+StateTable::setStateName(int state, std::string name)
+{
+    names_[state] = std::move(name);
+}
+
+const std::string &
+StateTable::stateName(int state) const
+{
+    return names_[state];
+}
+
+void
+StateTable::validate() const
+{
+    for (int s = 0; s < numStates_; ++s)
+        for (int i = 0; i < numSymbols(); ++i)
+            if (next(s, i) < 0)
+                throw std::logic_error("undefined transition");
+}
+
+std::vector<unsigned>
+StateTable::run(const std::vector<int> &symbols, int initial_state) const
+{
+    std::vector<unsigned> outs;
+    int state = initial_state;
+    for (int sym : symbols) {
+        outs.push_back(output(state, sym));
+        state = next(state, sym);
+    }
+    return outs;
+}
+
+StateTable
+kohaviDetectorTable()
+{
+    // States track the longest suffix that is a prefix of 0101:
+    // A = "", B = "0", C = "01", D = "010".
+    StateTable t(4, 1, 1);
+    t.setStateName(0, "A");
+    t.setStateName(1, "B");
+    t.setStateName(2, "C");
+    t.setStateName(3, "D");
+    t.setTransition(0, 0, 1, 0); // A --0--> B
+    t.setTransition(0, 1, 0, 0); // A --1--> A
+    t.setTransition(1, 0, 1, 0); // B --0--> B
+    t.setTransition(1, 1, 2, 0); // B --1--> C
+    t.setTransition(2, 0, 3, 0); // C --0--> D
+    t.setTransition(2, 1, 0, 0); // C --1--> A
+    t.setTransition(3, 0, 1, 0); // D --0--> B
+    t.setTransition(3, 1, 2, 1); // D --1--> C, detect!
+    return t;
+}
+
+StateTable
+serialAdderTable()
+{
+    StateTable t(2, 2, 1);
+    t.setStateName(0, "carry0");
+    t.setStateName(1, "carry1");
+    for (int carry = 0; carry < 2; ++carry) {
+        for (int sym = 0; sym < 4; ++sym) {
+            const int a = sym & 1, b = (sym >> 1) & 1;
+            const int total = a + b + carry;
+            t.setTransition(carry, sym, total >= 2, total & 1);
+        }
+    }
+    return t;
+}
+
+} // namespace scal::seq

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Mealy finite-state-machine tables (the Chapter 4 starting point for
+ * sequential SCAL design) and a behavioral reference simulator.
+ */
+
+#ifndef SCAL_SEQ_STATE_TABLE_HH
+#define SCAL_SEQ_STATE_TABLE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scal::seq
+{
+
+/**
+ * A Mealy machine: on input symbol i in state s it emits
+ * output(s, i) and moves to next(s, i). Input symbols are the 2^k
+ * values of k input bits; outputs are z output bits.
+ */
+class StateTable
+{
+  public:
+    StateTable(int num_states, int input_bits, int output_bits);
+
+    int numStates() const { return numStates_; }
+    int inputBits() const { return inputBits_; }
+    int outputBits() const { return outputBits_; }
+    int numSymbols() const { return 1 << inputBits_; }
+    /** State bits in the natural binary encoding. */
+    int stateBits() const;
+
+    void setTransition(int state, int symbol, int next, unsigned output);
+    int next(int state, int symbol) const;
+    unsigned output(int state, int symbol) const;
+
+    void setStateName(int state, std::string name);
+    const std::string &stateName(int state) const;
+
+    /** Throw unless every (state, symbol) entry was defined. */
+    void validate() const;
+
+    /** Behavioral run from @p initial_state; returns per-step outputs. */
+    std::vector<unsigned> run(const std::vector<int> &symbols,
+                              int initial_state = 0) const;
+
+  private:
+    int numStates_;
+    int inputBits_;
+    int outputBits_;
+    std::vector<int> next_;        ///< state*symbols + symbol
+    std::vector<unsigned> output_; ///< same indexing; ~0u = undefined
+    std::vector<std::string> names_;
+};
+
+/**
+ * Kohavi's 0101 sequence detector (Figure 4.8): four states, one
+ * input bit, one output bit, output 1 exactly when the last four
+ * inputs were 0101 (overlapping matches allowed).
+ */
+StateTable kohaviDetectorTable();
+
+/**
+ * A bit-serial adder: inputs are the two addend bits (LSB first),
+ * the state is the carry, the output is the sum bit. Both the
+ * excitation (MAJORITY) and the output (XOR3) are self-dual, so this
+ * machine is the sequential face of the paper's "some basic
+ * functions are already self-dual" observation: its SCAL version
+ * needs no period-clock logic at all.
+ */
+StateTable serialAdderTable();
+
+} // namespace scal::seq
+
+#endif // SCAL_SEQ_STATE_TABLE_HH

@@ -1,0 +1,82 @@
+#include "seq/synthesis.hh"
+
+#include "netlist/circuits.hh"
+
+namespace scal::seq
+{
+
+using namespace netlist;
+using logic::TruthTable;
+
+MachineFunctions
+machineFunctions(const StateTable &table)
+{
+    table.validate();
+    MachineFunctions mf;
+    mf.inputBits = table.inputBits();
+    mf.stateBits = table.stateBits();
+    const int n = mf.inputBits + mf.stateBits;
+
+    mf.excitation.assign(mf.stateBits, TruthTable(n));
+    mf.output.assign(table.outputBits(), TruthTable(n));
+
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+        const int symbol =
+            static_cast<int>(m & ((1u << mf.inputBits) - 1));
+        const int state = static_cast<int>(m >> mf.inputBits);
+        int next = 0;
+        unsigned out = 0;
+        if (state < table.numStates()) {
+            next = table.next(state, symbol);
+            out = table.output(state, symbol);
+        }
+        for (int i = 0; i < mf.stateBits; ++i)
+            if ((next >> i) & 1)
+                mf.excitation[i].set(m, true);
+        for (int j = 0; j < table.outputBits(); ++j)
+            if ((out >> j) & 1)
+                mf.output[j].set(m, true);
+    }
+    return mf;
+}
+
+SynthesizedMachine
+synthesizeStandard(const StateTable &table)
+{
+    const MachineFunctions mf = machineFunctions(table);
+    SynthesizedMachine sm;
+    Netlist &net = sm.net;
+    sm.dataInputs = mf.inputBits;
+
+    std::vector<GateId> ins;
+    for (int i = 0; i < mf.inputBits; ++i)
+        ins.push_back(net.addInput("x" + std::to_string(i)));
+
+    // Flip-flops created against a placeholder D, wired after the
+    // excitation cones exist.
+    const GateId placeholder = net.addConst(false);
+    std::vector<GateId> ffs;
+    for (int i = 0; i < mf.stateBits; ++i) {
+        ffs.push_back(
+            net.addDff(placeholder, "y" + std::to_string(i)));
+        ins.push_back(ffs.back());
+    }
+
+    std::vector<GateId> inverters(ins.size(), kNoGate);
+    for (std::size_t j = 0; j < mf.output.size(); ++j) {
+        GateId z = circuits::emitSopCone(net, mf.output[j], ins,
+                                         inverters,
+                                         "Z" + std::to_string(j));
+        sm.zOutputs.push_back(net.numOutputs());
+        net.addOutput(z, "Z" + std::to_string(j));
+    }
+    for (int i = 0; i < mf.stateBits; ++i) {
+        GateId y = circuits::emitSopCone(net, mf.excitation[i], ins,
+                                         inverters,
+                                         "Y" + std::to_string(i));
+        net.replaceFanin(ffs[i], 0, y);
+    }
+    return sm;
+}
+
+} // namespace scal::seq

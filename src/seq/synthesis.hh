@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Synthesis of sequential machines to gate level. The standard
+ * (unchecked, Figure 4.1a) realization uses one D flip-flop per state
+ * bit and minimized two-level excitation/output logic — the Kohavi
+ * baseline of Table 4.1. The SCAL realizations (dual flip-flop and
+ * code conversion) build on the self-dualized version of the same
+ * logic.
+ */
+
+#ifndef SCAL_SEQ_SYNTHESIS_HH
+#define SCAL_SEQ_SYNTHESIS_HH
+
+#include <vector>
+
+#include "logic/truth_table.hh"
+#include "netlist/netlist.hh"
+#include "seq/state_table.hh"
+
+namespace scal::seq
+{
+
+/**
+ * Excitation and output functions of a state table over variables
+ * (x_0..x_{k-1}, y_0..y_{b-1}) with the natural binary state
+ * encoding. Unused state codes behave as state 0 with output 0.
+ */
+struct MachineFunctions
+{
+    int inputBits = 0;
+    int stateBits = 0;
+    std::vector<logic::TruthTable> excitation; ///< next-state bits Y_i
+    std::vector<logic::TruthTable> output;     ///< output bits Z_j
+};
+
+MachineFunctions machineFunctions(const StateTable &table);
+
+/** A synthesized machine plus the bookkeeping needed to drive it. */
+struct SynthesizedMachine
+{
+    netlist::Netlist net;
+    /** Input index of the period clock φ, or -1 if none. */
+    int phiInput = -1;
+    int dataInputs = 0;
+    /** Output indices carrying Z bits. */
+    std::vector<int> zOutputs;
+    /** Output indices exposing the excitation (feedback) lines. */
+    std::vector<int> yOutputs;
+    /** Output indices carrying a checker code pair, if any. */
+    std::vector<int> checkOutputs;
+};
+
+/**
+ * The conventional (non-self-checking) realization: b flip-flops and
+ * two-level logic. One simulator period = one input symbol.
+ */
+SynthesizedMachine synthesizeStandard(const StateTable &table);
+
+} // namespace scal::seq
+
+#endif // SCAL_SEQ_SYNTHESIS_HH

@@ -1,0 +1,91 @@
+#include "seq/translators.hh"
+
+namespace scal::seq
+{
+
+using namespace netlist;
+
+GateId
+xorTreeOf(Netlist &net, std::vector<GateId> lines)
+{
+    while (lines.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < lines.size(); i += 2)
+            next.push_back(net.addXor({lines[i], lines[i + 1]}));
+        if (lines.size() % 2)
+            next.push_back(lines.back());
+        lines = std::move(next);
+    }
+    return lines[0];
+}
+
+AlptFragment
+appendAlpt(Netlist &net, const std::vector<GateId> &data_lines, GateId phi,
+           const std::string &prefix)
+{
+    AlptFragment frag;
+    // The φ-fall latches capture the period-2 (complemented) word at
+    // the end of each symbol; they hold it through both periods of
+    // the next symbol, acting as the one-level feedback memory.
+    for (std::size_t i = 0; i < data_lines.size(); ++i) {
+        frag.dataLatches.push_back(
+            net.addDff(data_lines[i],
+                       prefix + "_d" + std::to_string(i),
+                       LatchMode::PhiFall, /*init=*/true));
+    }
+    // Parity of the captured word; φ pads odd word sizes so the
+    // effective width is even (Section 4.3 convention).
+    std::vector<GateId> tree = data_lines;
+    if (tree.size() % 2)
+        tree.push_back(phi);
+    frag.parityLatch = net.addDff(xorTreeOf(net, tree), prefix + "_p",
+                                  LatchMode::PhiFall, /*init=*/false);
+    return frag;
+}
+
+PaltFragment
+appendPalt(Netlist &net, const std::vector<GateId> &word_lines,
+           GateId parity_line, GateId phi, const std::string &prefix)
+{
+    PaltFragment frag;
+    // The stored word holds the complemented values; XNOR with φ
+    // yields the true value in period 1 (φ=0) and the complement in
+    // period 2, regenerating the alternating pair.
+    for (std::size_t i = 0; i < word_lines.size(); ++i) {
+        frag.yLines.push_back(
+            net.addXnor({word_lines[i], phi},
+                        prefix + "_y" + std::to_string(i)));
+    }
+    // 1-out-of-2 code: stored parity against the complemented parity
+    // of the regenerated word (even effective width keeps the pair
+    // complementary in both periods).
+    std::vector<GateId> tree = frag.yLines;
+    if (tree.size() % 2)
+        tree.push_back(phi);
+    GateId regen_parity = xorTreeOf(net, tree);
+    frag.check0 = net.addBuf(parity_line, prefix + "_chk0");
+    frag.check1 = net.addNot(regen_parity, prefix + "_chk1");
+    return frag;
+}
+
+Netlist
+translatorLoopNetlist(int n)
+{
+    Netlist net;
+    std::vector<GateId> data;
+    for (int i = 0; i < n; ++i)
+        data.push_back(net.addInput("d" + std::to_string(i)));
+    GateId phi = net.addInput("phi");
+
+    AlptFragment alpt = appendAlpt(net, data, phi);
+    PaltFragment palt =
+        appendPalt(net, alpt.dataLatches, alpt.parityLatch, phi);
+
+    for (int i = 0; i < n; ++i)
+        net.addOutput(palt.yLines[i], "y" + std::to_string(i));
+    net.addOutput(palt.check0, "chk0");
+    net.addOutput(palt.check1, "chk1");
+    return net;
+}
+
+} // namespace scal::seq

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * The Section 4.3 code translators as reusable netlist fragments.
+ *
+ * ALPT (Alternating Logic to Parity Translator, Figure 4.4a): latches
+ * the alternating feedback word once per symbol — data bits on the
+ * fall of φ (capturing the complemented-period values) and their
+ * parity alongside — producing an (n+1)-bit parity-encoded word that
+ * doubles as the one-level feedback memory.
+ *
+ * PALT (Parity to Alternating Logic Translator, Figure 4.4b):
+ * regenerates the alternating pair by XORing each stored bit with the
+ * period clock, and emits a 1-out-of-2 code pair (stored parity,
+ * complemented parity of the regenerated word) for the system
+ * checker.
+ *
+ * The word size is padded to even effective parity width with φ when
+ * n is odd, per the Section 4.3 convention.
+ */
+
+#ifndef SCAL_SEQ_TRANSLATORS_HH
+#define SCAL_SEQ_TRANSLATORS_HH
+
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::seq
+{
+
+/** Balanced XOR tree over @p lines (at least one line). */
+netlist::GateId xorTreeOf(netlist::Netlist &net,
+                          std::vector<netlist::GateId> lines);
+
+struct AlptFragment
+{
+    /** Per-bit storage latches (clocked on φ fall: once per symbol). */
+    std::vector<netlist::GateId> dataLatches;
+    /** Parity storage latch. */
+    netlist::GateId parityLatch = netlist::kNoGate;
+};
+
+/**
+ * Append an ALPT capturing @p data_lines (which must alternate) into
+ * @p net. The latches capture the period-2 (complemented) values and
+ * their parity at the end of each symbol.
+ */
+AlptFragment appendAlpt(netlist::Netlist &net,
+                        const std::vector<netlist::GateId> &data_lines,
+                        netlist::GateId phi,
+                        const std::string &prefix = "alpt");
+
+struct PaltFragment
+{
+    /** Regenerated alternating lines (y_i, ȳ_i over the two periods). */
+    std::vector<netlist::GateId> yLines;
+    /** The 1-out-of-2 code pair (stored parity, complement parity). */
+    netlist::GateId check0 = netlist::kNoGate;
+    netlist::GateId check1 = netlist::kNoGate;
+};
+
+/**
+ * Append a PALT regenerating alternating lines from stored bits
+ * @p word_lines with stored parity @p parity_line.
+ */
+PaltFragment appendPalt(netlist::Netlist &net,
+                        const std::vector<netlist::GateId> &word_lines,
+                        netlist::GateId parity_line, netlist::GateId phi,
+                        const std::string &prefix = "palt");
+
+/**
+ * Standalone ALPT+PALT loop for unit testing Theorems 4.1-4.4:
+ * inputs d0..d{n-1} (alternating data) and φ; outputs the regenerated
+ * lines y0..y{n-1} and the code pair chk0, chk1.
+ */
+netlist::Netlist translatorLoopNetlist(int n);
+
+} // namespace scal::seq
+
+#endif // SCAL_SEQ_TRANSLATORS_HH

@@ -1,0 +1,70 @@
+#include "sim/alternating.hh"
+
+#include <stdexcept>
+
+namespace scal::sim
+{
+
+using namespace netlist;
+
+const char *
+pairClassName(PairClass c)
+{
+    switch (c) {
+      case PairClass::Correct:              return "correct";
+      case PairClass::NonAlternating:       return "non-alternating";
+      case PairClass::IncorrectAlternation: return "incorrect-alt";
+    }
+    return "?";
+}
+
+AlternatingOutcome
+evalAlternating(const Netlist &net, const std::vector<bool> &x,
+                const Fault *fault)
+{
+    if (!net.isCombinational())
+        throw std::invalid_argument("evalAlternating needs comb. netlist");
+
+    Evaluator ev(net);
+    std::vector<bool> xbar(x.size());
+    for (std::size_t i = 0; i < x.size(); ++i)
+        xbar[i] = !x[i];
+
+    const std::vector<bool> good1 = ev.evalOutputs(x);
+    AlternatingOutcome out;
+    out.first = ev.evalOutputs(x, fault);
+    out.second = ev.evalOutputs(xbar, fault);
+    out.classes.resize(net.numOutputs());
+    for (int j = 0; j < net.numOutputs(); ++j) {
+        const bool y = good1[j];
+        if (out.first[j] == y && out.second[j] == !y)
+            out.classes[j] = PairClass::Correct;
+        else if (out.first[j] == out.second[j])
+            out.classes[j] = PairClass::NonAlternating;
+        else
+            out.classes[j] = PairClass::IncorrectAlternation;
+    }
+    return out;
+}
+
+bool
+isAlternatingNetwork(const Netlist &net)
+{
+    Evaluator ev(net);
+    const int n = net.numInputs();
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+        std::vector<bool> x(n), xbar(n);
+        for (int i = 0; i < n; ++i) {
+            x[i] = (m >> i) & 1;
+            xbar[i] = !x[i];
+        }
+        const auto y1 = ev.evalOutputs(x);
+        const auto y2 = ev.evalOutputs(xbar);
+        for (int j = 0; j < net.numOutputs(); ++j)
+            if (y2[j] == y1[j])
+                return false;
+    }
+    return true;
+}
+
+} // namespace scal::sim

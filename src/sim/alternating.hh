@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Two-period alternating evaluation (Definition 2.5): apply (X, X̄)
+ * and classify each output pair as correct, non-alternating (the
+ * detectable error class) or incorrectly alternating (the class a
+ * self-checking network must never produce).
+ */
+
+#ifndef SCAL_SIM_ALTERNATING_HH
+#define SCAL_SIM_ALTERNATING_HH
+
+#include <vector>
+
+#include "netlist/netlist.hh"
+#include "sim/evaluator.hh"
+
+namespace scal::sim
+{
+
+/** Classification of one output's two-period pair under a fault. */
+enum class PairClass
+{
+    Correct,              ///< (F(X), F̄(X)) — the code word
+    NonAlternating,       ///< (y, y) — non-code, detected by a checker
+    IncorrectAlternation, ///< (F̄(X), F(X)) — wrong code word: unsafe
+};
+
+const char *pairClassName(PairClass c);
+
+struct AlternatingOutcome
+{
+    std::vector<bool> first;        ///< period-1 outputs (input X)
+    std::vector<bool> second;       ///< period-2 outputs (input X̄)
+    std::vector<PairClass> classes; ///< per output, vs. fault-free
+};
+
+/**
+ * Evaluate the alternating pair (X, X̄) under an optional fault and
+ * classify every output against the fault-free network.
+ * @pre the network is combinational.
+ */
+AlternatingOutcome evalAlternating(const netlist::Netlist &net,
+                                   const std::vector<bool> &x,
+                                   const netlist::Fault *fault = nullptr);
+
+/**
+ * Theorem 2.1 check: the network is an alternating network iff every
+ * output alternates for every input, i.e. every output function is
+ * self-dual. Exhaustive over 2^numInputs patterns.
+ */
+bool isAlternatingNetwork(const netlist::Netlist &net);
+
+} // namespace scal::sim
+
+#endif // SCAL_SIM_ALTERNATING_HH

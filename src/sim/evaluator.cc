@@ -1,0 +1,131 @@
+#include "sim/evaluator.hh"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace scal::sim
+{
+
+using namespace netlist;
+
+Evaluator::Evaluator(const Netlist &net) : net_(net), ffs_(net.flipFlops())
+{
+    net_.validate();
+}
+
+std::vector<bool>
+Evaluator::evalLinesImpl(const std::vector<bool> &inputs,
+                         const Fault *faults, std::size_t num_faults,
+                         const std::vector<bool> *dff_state) const
+{
+    if (static_cast<int>(inputs.size()) != net_.numInputs())
+        throw std::invalid_argument("input vector size mismatch");
+    if (!ffs_.empty() &&
+        (!dff_state || dff_state->size() != ffs_.size())) {
+        throw std::invalid_argument("missing flip-flop state");
+    }
+
+    auto branch_override = [&](GateId driver, GateId consumer, int pin,
+                               bool &v) {
+        for (std::size_t k = 0; k < num_faults; ++k) {
+            const Fault &f = faults[k];
+            if (!f.site.isStem() && f.site.consumer == consumer &&
+                f.site.pin == pin && f.site.driver == driver) {
+                v = f.value;
+            }
+        }
+    };
+
+    std::vector<bool> value(net_.numGates(), false);
+    std::vector<bool> in(8);
+    for (GateId g : net_.topoOrder()) {
+        const Gate &gate = net_.gate(g);
+        switch (gate.kind) {
+          case GateKind::Input:
+            value[g] = inputs[net_.inputIndex(g)];
+            break;
+          case GateKind::Dff:
+            for (std::size_t i = 0; i < ffs_.size(); ++i) {
+                if (ffs_[i] == g) {
+                    value[g] = (*dff_state)[i];
+                    break;
+                }
+            }
+            break;
+          default: {
+            in.assign(gate.fanin.size(), false);
+            for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+                bool v = value[gate.fanin[pin]];
+                if (num_faults) {
+                    branch_override(gate.fanin[pin], g,
+                                    static_cast<int>(pin), v);
+                }
+                in[pin] = v;
+            }
+            value[g] = evalKind(gate.kind, in);
+            break;
+          }
+        }
+        for (std::size_t k = 0; k < num_faults; ++k) {
+            const Fault &f = faults[k];
+            if (f.site.isStem() && f.site.driver == g)
+                value[g] = f.value;
+        }
+    }
+    return value;
+}
+
+std::vector<bool>
+Evaluator::evalLines(const std::vector<bool> &inputs, const Fault *fault,
+                     const std::vector<bool> *dff_state) const
+{
+    return evalLinesImpl(inputs, fault, fault ? 1 : 0, dff_state);
+}
+
+std::vector<bool>
+Evaluator::evalLinesMulti(const std::vector<bool> &inputs,
+                          const std::vector<Fault> &faults,
+                          const std::vector<bool> *dff_state) const
+{
+    return evalLinesImpl(inputs, faults.data(), faults.size(), dff_state);
+}
+
+std::vector<bool>
+Evaluator::outputsFromLines(const std::vector<bool> &lines,
+                            const Fault *faults,
+                            std::size_t num_faults) const
+{
+    std::vector<bool> out(net_.numOutputs());
+    for (int j = 0; j < net_.numOutputs(); ++j) {
+        bool v = lines[net_.outputs()[j]];
+        for (std::size_t k = 0; k < num_faults; ++k) {
+            const Fault &f = faults[k];
+            if (f.site.consumer == FaultSite::kOutputTap &&
+                f.site.pin == j && f.site.driver == net_.outputs()[j]) {
+                v = f.value;
+            }
+        }
+        out[j] = v;
+    }
+    return out;
+}
+
+std::vector<bool>
+Evaluator::evalOutputs(const std::vector<bool> &inputs, const Fault *fault,
+                       const std::vector<bool> *dff_state) const
+{
+    const std::vector<bool> lines = evalLines(inputs, fault, dff_state);
+    return outputsFromLines(lines, fault, fault ? 1 : 0);
+}
+
+std::vector<bool>
+Evaluator::evalOutputsMulti(const std::vector<bool> &inputs,
+                            const std::vector<Fault> &faults,
+                            const std::vector<bool> *dff_state) const
+{
+    const std::vector<bool> lines =
+        evalLinesMulti(inputs, faults, dff_state);
+    return outputsFromLines(lines, faults.data(), faults.size());
+}
+
+} // namespace scal::sim

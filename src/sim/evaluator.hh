@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Scalar combinational evaluation of a netlist, with optional single
+ * stuck-at fault injection at any stem or branch site.
+ */
+
+#ifndef SCAL_SIM_EVALUATOR_HH
+#define SCAL_SIM_EVALUATOR_HH
+
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::sim
+{
+
+class Evaluator
+{
+  public:
+    explicit Evaluator(const netlist::Netlist &net);
+
+    /**
+     * Evaluate all lines for one input vector (ordered as
+     * net.inputs()). Dff gates take their value from @p dff_state
+     * (ordered as net.flipFlops()); omit it for purely combinational
+     * nets. A fault, if given, is applied at its site.
+     */
+    std::vector<bool> evalLines(
+        const std::vector<bool> &inputs,
+        const netlist::Fault *fault = nullptr,
+        const std::vector<bool> *dff_state = nullptr) const;
+
+    /** Primary output values, including output-tap faults. */
+    std::vector<bool> evalOutputs(
+        const std::vector<bool> &inputs,
+        const netlist::Fault *fault = nullptr,
+        const std::vector<bool> *dff_state = nullptr) const;
+
+    /**
+     * Multiple simultaneous faults (the Definition 2.3 model): all
+     * sites in @p faults are stuck at once.
+     */
+    std::vector<bool> evalLinesMulti(
+        const std::vector<bool> &inputs,
+        const std::vector<netlist::Fault> &faults,
+        const std::vector<bool> *dff_state = nullptr) const;
+    std::vector<bool> evalOutputsMulti(
+        const std::vector<bool> &inputs,
+        const std::vector<netlist::Fault> &faults,
+        const std::vector<bool> *dff_state = nullptr) const;
+
+    const netlist::Netlist &net() const { return net_; }
+
+  private:
+    std::vector<bool> evalLinesImpl(
+        const std::vector<bool> &inputs, const netlist::Fault *faults,
+        std::size_t num_faults,
+        const std::vector<bool> *dff_state) const;
+    std::vector<bool> outputsFromLines(const std::vector<bool> &lines,
+                                       const netlist::Fault *faults,
+                                       std::size_t num_faults) const;
+
+    const netlist::Netlist &net_;
+    std::vector<netlist::GateId> ffs_;
+};
+
+} // namespace scal::sim
+
+#endif // SCAL_SIM_EVALUATOR_HH

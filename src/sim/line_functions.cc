@@ -1,0 +1,192 @@
+#include "sim/line_functions.hh"
+
+#include <stdexcept>
+
+namespace scal::sim
+{
+
+using namespace netlist;
+using logic::TruthTable;
+
+TruthTable
+applyKind(GateKind kind, const std::vector<TruthTable> &in)
+{
+    if (in.empty())
+        throw std::invalid_argument("applyKind: no fanin");
+    const int n = in[0].numVars();
+
+    auto fold = [&](auto op, TruthTable init) {
+        TruthTable acc = std::move(init);
+        for (const TruthTable &t : in)
+            acc = op(acc, t);
+        return acc;
+    };
+
+    switch (kind) {
+      case GateKind::Buf:
+        return in[0];
+      case GateKind::Not:
+        return ~in[0];
+      case GateKind::And:
+        return fold([](auto a, auto b) { return a & b; },
+                    TruthTable::constant(n, true));
+      case GateKind::Nand:
+        return ~fold([](auto a, auto b) { return a & b; },
+                     TruthTable::constant(n, true));
+      case GateKind::Or:
+        return fold([](auto a, auto b) { return a | b; },
+                    TruthTable::constant(n, false));
+      case GateKind::Nor:
+        return ~fold([](auto a, auto b) { return a | b; },
+                     TruthTable::constant(n, false));
+      case GateKind::Xor:
+        return fold([](auto a, auto b) { return a ^ b; },
+                    TruthTable::constant(n, false));
+      case GateKind::Xnor:
+        return ~fold([](auto a, auto b) { return a ^ b; },
+                     TruthTable::constant(n, false));
+      case GateKind::Maj:
+      case GateKind::Min: {
+        // Bit-sliced ripple counter over truth tables.
+        std::vector<TruthTable> acc;
+        for (const TruthTable &t : in) {
+            TruthTable carry = t;
+            for (std::size_t k = 0; k < acc.size() && !carry.isZero();
+                 ++k) {
+                TruthTable s = acc[k] ^ carry;
+                carry = acc[k] & carry;
+                acc[k] = std::move(s);
+            }
+            if (!carry.isZero())
+                acc.push_back(std::move(carry));
+        }
+        // Odd arity means no ties: MAJ = count > floor(n/2) and
+        // MIN = ¬MAJ.
+        const std::uint64_t thr = in.size() / 2;
+        TruthTable gt = TruthTable::constant(n, false);
+        TruthTable eq = TruthTable::constant(n, true);
+        for (std::size_t k = acc.size(); k-- > 0;) {
+            const bool thr_bit = (thr >> k) & 1;
+            if (thr_bit) {
+                eq &= acc[k];
+            } else {
+                gt |= eq & acc[k];
+                eq &= ~acc[k];
+            }
+        }
+        return kind == GateKind::Maj ? gt : ~gt;
+      }
+      default:
+        throw std::logic_error("applyKind: not a logic gate");
+    }
+}
+
+LineFunctions
+computeLineFunctions(const Netlist &net)
+{
+    LineFunctions lf;
+    const auto ffs = net.flipFlops();
+    lf.numVars = net.numInputs() + static_cast<int>(ffs.size());
+    lf.line.assign(net.numGates(), TruthTable(lf.numVars));
+
+    auto ff_var = [&](GateId g) {
+        for (std::size_t i = 0; i < ffs.size(); ++i)
+            if (ffs[i] == g)
+                return net.numInputs() + static_cast<int>(i);
+        throw std::logic_error("unknown flip-flop");
+    };
+
+    std::vector<TruthTable> in;
+    for (GateId g : net.topoOrder()) {
+        const Gate &gate = net.gate(g);
+        switch (gate.kind) {
+          case GateKind::Input:
+            lf.line[g] =
+                TruthTable::variable(lf.numVars, net.inputIndex(g));
+            break;
+          case GateKind::Dff:
+            lf.line[g] = TruthTable::variable(lf.numVars, ff_var(g));
+            break;
+          case GateKind::Const0:
+            lf.line[g] = TruthTable::constant(lf.numVars, false);
+            break;
+          case GateKind::Const1:
+            lf.line[g] = TruthTable::constant(lf.numVars, true);
+            break;
+          default:
+            in.clear();
+            for (GateId f : gate.fanin)
+                in.push_back(lf.line[f]);
+            lf.line[g] = applyKind(gate.kind, in);
+            break;
+        }
+    }
+    for (int j = 0; j < net.numOutputs(); ++j)
+        lf.output.push_back(lf.line[net.outputs()[j]]);
+    return lf;
+}
+
+std::vector<TruthTable>
+faultyOutputFunctions(const Netlist &net, const LineFunctions &base,
+                      const Fault &fault)
+{
+    const int n = base.numVars;
+    const TruthTable stuck = TruthTable::constant(n, fault.value);
+
+    // Output-tap fault: only that output changes.
+    if (fault.site.consumer == FaultSite::kOutputTap) {
+        auto out = base.output;
+        out[fault.site.pin] = stuck;
+        return out;
+    }
+
+    // Determine the set of gates needing re-evaluation.
+    std::vector<bool> dirty(net.numGates(), false);
+    std::vector<TruthTable> line = base.line;
+
+    if (fault.site.isStem()) {
+        line[fault.site.driver] = stuck;
+        dirty[fault.site.driver] = true;
+    } else {
+        dirty[fault.site.consumer] = true;
+    }
+
+    std::vector<TruthTable> in;
+    for (GateId g : net.topoOrder()) {
+        const Gate &gate = net.gate(g);
+        if (gate.kind == GateKind::Dff || gate.kind == GateKind::Input)
+            continue;
+        bool need = dirty[g];
+        if (!need) {
+            for (GateId f : gate.fanin) {
+                if (dirty[f]) {
+                    need = true;
+                    break;
+                }
+            }
+        }
+        if (!need)
+            continue;
+        if (fault.site.isStem() && g == fault.site.driver)
+            continue; // already forced
+        in.clear();
+        for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+            if (!fault.site.isStem() && fault.site.consumer == g &&
+                fault.site.pin == static_cast<int>(pin) &&
+                fault.site.driver == gate.fanin[pin]) {
+                in.push_back(stuck);
+            } else {
+                in.push_back(line[gate.fanin[pin]]);
+            }
+        }
+        line[g] = applyKind(gate.kind, in);
+        dirty[g] = true;
+    }
+
+    std::vector<TruthTable> out;
+    for (int j = 0; j < net.numOutputs(); ++j)
+        out.push_back(line[net.outputs()[j]]);
+    return out;
+}
+
+} // namespace scal::sim

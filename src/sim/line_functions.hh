@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Symbolic line-function extraction: the truth table carried by every
+ * line of a combinational netlist over its primary inputs, fault-free
+ * and under injected stuck-at faults. This is the workhorse behind
+ * the Chapter 3 analysis: F(X), G(X), F(X,s) and all the Corollary
+ * 3.1 predicates are truth-table computations over these.
+ *
+ * Flip-flop outputs, when present, are treated as extra symbolic
+ * variables appended after the primary inputs (used by the sequential
+ * chapters to analyze the combinational core of a machine).
+ */
+
+#ifndef SCAL_SIM_LINE_FUNCTIONS_HH
+#define SCAL_SIM_LINE_FUNCTIONS_HH
+
+#include <vector>
+
+#include "logic/truth_table.hh"
+#include "netlist/netlist.hh"
+
+namespace scal::sim
+{
+
+struct LineFunctions
+{
+    /** Variable count: numInputs + numFlipFlops. */
+    int numVars = 0;
+    /** Per-gate function of (inputs, flip-flop outputs). */
+    std::vector<logic::TruthTable> line;
+    /** Per-primary-output function. */
+    std::vector<logic::TruthTable> output;
+};
+
+/** Compute every line's fault-free function. */
+LineFunctions computeLineFunctions(const netlist::Netlist &net);
+
+/**
+ * Output functions under a stuck-at fault, computed by re-evaluating
+ * only the cone downstream of the fault site.
+ */
+std::vector<logic::TruthTable> faultyOutputFunctions(
+    const netlist::Netlist &net, const LineFunctions &base,
+    const netlist::Fault &fault);
+
+/** Apply a gate kind symbolically to fanin truth tables. */
+logic::TruthTable applyKind(netlist::GateKind kind,
+                            const std::vector<logic::TruthTable> &in);
+
+} // namespace scal::sim
+
+#endif // SCAL_SIM_LINE_FUNCTIONS_HH

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * 64-way bit-parallel combinational simulation: each gate value is a
+ * 64-bit word carrying one bit per concurrently simulated pattern.
+ * Used by the fault campaigns and the performance benchmarks.
+ */
+
+#ifndef SCAL_SIM_PACKED_HH
+#define SCAL_SIM_PACKED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::sim
+{
+
+class PackedEvaluator
+{
+  public:
+    explicit PackedEvaluator(const netlist::Netlist &net);
+
+    /**
+     * Evaluate 64 patterns at once. inputs[i] carries input i's value
+     * for all 64 patterns. Stem and branch stuck-at faults apply to
+     * every lane.
+     */
+    std::vector<std::uint64_t> evalLines(
+        const std::vector<std::uint64_t> &inputs,
+        const netlist::Fault *fault = nullptr,
+        const std::vector<std::uint64_t> *dff_state = nullptr) const;
+
+    std::vector<std::uint64_t> evalOutputs(
+        const std::vector<std::uint64_t> &inputs,
+        const netlist::Fault *fault = nullptr,
+        const std::vector<std::uint64_t> *dff_state = nullptr) const;
+
+  private:
+    const netlist::Netlist &net_;
+    std::vector<netlist::GateId> ffs_;
+};
+
+} // namespace scal::sim
+
+#endif // SCAL_SIM_PACKED_HH

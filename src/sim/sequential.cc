@@ -1,0 +1,81 @@
+#include "sim/sequential.hh"
+
+#include <stdexcept>
+
+namespace scal::sim
+{
+
+using namespace netlist;
+
+SeqSimulator::SeqSimulator(const Netlist &net, int phi_input)
+    : net_(net), eval_(net), ffs_(net.flipFlops()), phiInput_(phi_input)
+{
+    if (phi_input >= net.numInputs())
+        throw std::invalid_argument("phi input index out of range");
+    reset();
+}
+
+void
+SeqSimulator::reset()
+{
+    phase_ = false;
+    period_ = 0;
+    state_.clear();
+    for (GateId g : ffs_)
+        state_.push_back(net_.gate(g).init);
+    lastLines_.clear();
+}
+
+void
+SeqSimulator::setState(std::vector<bool> s)
+{
+    if (s.size() != ffs_.size())
+        throw std::invalid_argument("state size mismatch");
+    state_ = std::move(s);
+}
+
+std::vector<bool>
+SeqSimulator::stepPeriod(std::vector<bool> inputs)
+{
+    if (phiInput_ >= 0)
+        inputs[phiInput_] = phase_;
+
+    const bool fault_active =
+        fault_ && period_ >= faultStart_ && period_ < faultEnd_;
+    const Fault *f = fault_active ? &*fault_ : nullptr;
+    lastLines_ = eval_.evalLines(inputs, f, &state_);
+
+    std::vector<bool> outs(net_.numOutputs());
+    for (int j = 0; j < net_.numOutputs(); ++j) {
+        bool v = lastLines_[net_.outputs()[j]];
+        if (f && f->site.consumer == FaultSite::kOutputTap &&
+            f->site.pin == j && f->site.driver == net_.outputs()[j]) {
+            v = f->value;
+        }
+        outs[j] = v;
+    }
+
+    // Latch at the end of the period. φ rises at the end of phase 0
+    // and falls at the end of phase 1.
+    for (std::size_t i = 0; i < ffs_.size(); ++i) {
+        const Gate &gate = net_.gate(ffs_[i]);
+        const bool eligible =
+            gate.latch == LatchMode::EveryPeriod ||
+            (gate.latch == LatchMode::PhiRise && !phase_) ||
+            (gate.latch == LatchMode::PhiFall && phase_);
+        if (!eligible)
+            continue;
+        bool d = lastLines_[gate.fanin[0]];
+        if (f && !f->site.isStem() && f->site.consumer == ffs_[i] &&
+            f->site.pin == 0 && f->site.driver == gate.fanin[0]) {
+            d = f->value;
+        }
+        state_[i] = d;
+    }
+
+    phase_ = !phase_;
+    ++period_;
+    return outs;
+}
+
+} // namespace scal::sim

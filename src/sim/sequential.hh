@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Period-by-period simulation of sequential alternating-logic
+ * machines. Time advances in periods of the period clock φ: φ = 0 in
+ * the first (true-data) period and 1 in the second (complemented-
+ * data) period, as in Section 4.3. Flip-flops latch at the end of a
+ * period according to their LatchMode, modeling the translator
+ * latches clocked on opposite edges of φ.
+ */
+
+#ifndef SCAL_SIM_SEQUENTIAL_HH
+#define SCAL_SIM_SEQUENTIAL_HH
+
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "netlist/netlist.hh"
+#include "sim/evaluator.hh"
+
+namespace scal::sim
+{
+
+class SeqSimulator
+{
+  public:
+    /**
+     * @param net the sequential netlist
+     * @param phi_input index of the input line carrying φ, or -1 if
+     *        the caller drives it (or there is none)
+     */
+    explicit SeqSimulator(const netlist::Netlist &net, int phi_input = -1);
+
+    /** Return to power-on state: all Dffs at their init value, φ = 0. */
+    void reset();
+
+    /**
+     * Run one period: drive inputs (the φ input, if managed, is
+     * overwritten with the current phase), evaluate, record outputs,
+     * latch eligible flip-flops, advance the phase.
+     */
+    std::vector<bool> stepPeriod(std::vector<bool> inputs);
+
+    /** Current phase (value of φ for the *next* stepPeriod call). */
+    bool phase() const { return phase_; }
+
+    /** Flip-flop state, ordered as net.flipFlops(). */
+    const std::vector<bool> &state() const { return state_; }
+    void setState(std::vector<bool> s);
+
+    /** Persistent stuck-at fault applied to every evaluation. */
+    void setFault(std::optional<netlist::Fault> fault) { fault_ = fault; }
+    const std::optional<netlist::Fault> &fault() const { return fault_; }
+
+    /**
+     * Restrict the fault to a window of periods [start, end):
+     * a transient failure in the sense of Section 2.2 ("the line may
+     * be stuck either permanently or temporarily"). Defaults to
+     * always-active.
+     */
+    void
+    setFaultWindow(long start_period, long end_period)
+    {
+        faultStart_ = start_period;
+        faultEnd_ = end_period;
+    }
+
+    /** Periods elapsed since construction/reset. */
+    long periodCount() const { return period_; }
+
+    /** All line values from the most recent stepPeriod. */
+    const std::vector<bool> &lastLines() const { return lastLines_; }
+
+  private:
+    const netlist::Netlist &net_;
+    Evaluator eval_;
+    std::vector<netlist::GateId> ffs_;
+    int phiInput_;
+    bool phase_ = false;
+    long period_ = 0;
+    long faultStart_ = 0;
+    long faultEnd_ = std::numeric_limits<long>::max();
+    std::vector<bool> state_;
+    std::vector<bool> lastLines_;
+    std::optional<netlist::Fault> fault_;
+};
+
+} // namespace scal::sim
+
+#endif // SCAL_SIM_SEQUENTIAL_HH

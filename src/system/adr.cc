@@ -1,0 +1,126 @@
+#include "system/adr.hh"
+
+namespace scal::system
+{
+
+using namespace netlist;
+
+namespace
+{
+
+std::vector<bool>
+packInputs(std::uint8_t a, std::uint8_t b, bool phi, int w)
+{
+    std::vector<bool> in(2 * w + 1);
+    for (int i = 0; i < w; ++i) {
+        in[i] = (a >> i) & 1;
+        in[w + i] = (b >> i) & 1;
+    }
+    in[2 * w] = phi;
+    if (phi) {
+        for (int i = 0; i < 2 * w; ++i)
+            in[i] = !in[i];
+    }
+    return in;
+}
+
+std::uint8_t
+valueOf(const std::vector<bool> &outs, int w, bool decode_complement)
+{
+    std::uint8_t v = 0;
+    for (int i = 0; i < w; ++i) {
+        bool bit = outs[i];
+        if (decode_complement)
+            bit = !bit;
+        if (bit)
+            v |= static_cast<std::uint8_t>(1u << i);
+    }
+    return v;
+}
+
+std::uint8_t
+majority3(std::uint8_t x, std::uint8_t y, std::uint8_t z)
+{
+    return static_cast<std::uint8_t>((x & y) | (y & z) | (x & z));
+}
+
+} // namespace
+
+AdrAlu::AdrAlu(AluOp op)
+    : op_(op), net_(aluNetlist(op)),
+      eval_(std::make_unique<sim::Evaluator>(net_))
+{
+}
+
+AdrAlu::Outcome
+AdrAlu::execute(std::uint8_t a, std::uint8_t b)
+{
+    const int w = 8;
+    const Fault *fault = fault_ ? &*fault_ : nullptr;
+
+    // Main pass through the (possibly faulty) hardware.
+    const auto raw1 = eval_->evalOutputs(packInputs(a, b, false, w),
+                                         fault);
+    const std::uint8_t r1 = valueOf(raw1, w, false);
+
+    // Space-domain duplicate: the independent check copy.
+    const AluResult ref = aluReference(op_, a, b);
+
+    Outcome oc;
+    if (r1 == ref.value) {
+        oc.result = AluResult{r1, static_cast<bool>(raw1[w]),
+                              static_cast<bool>(raw1[w + 1])};
+        return oc;
+    }
+    oc.errorDetected = true;
+    oc.retried = true;
+
+    // Alternate data retry: the same hardware, complemented data. A
+    // stuck fault on an alternating line corrupts only one of the two
+    // passes, so the retry recovers the value; the per-bit vote keeps
+    // the duplicate authoritative otherwise.
+    const auto raw2 = eval_->evalOutputs(packInputs(a, b, true, w),
+                                         fault);
+    const std::uint8_t r2 = valueOf(raw2, w, true);
+    const std::uint8_t voted = majority3(r1, ref.value, r2);
+    oc.result = AluResult{voted, ref.carry, voted == 0};
+    return oc;
+}
+
+Fig75Alu::Fig75Alu(AluOp op)
+    : op_(op), net_(aluNetlist(op)),
+      eval_(std::make_unique<sim::Evaluator>(net_))
+{
+}
+
+Fig75Alu::Outcome
+Fig75Alu::execute(std::uint8_t a, std::uint8_t b)
+{
+    const int w = 8;
+    const Fault *fault = fault_ ? &*fault_ : nullptr;
+
+    // Both CPUs run at full speed: the SCAL CPU contributes only its
+    // first period unless a disagreement forces the tie-break.
+    const AluResult normal = aluReference(op_, a, b);
+    const auto raw1 = eval_->evalOutputs(packInputs(a, b, false, w),
+                                         fault);
+    const std::uint8_t scal1 = valueOf(raw1, w, false);
+
+    Outcome oc;
+    if (scal1 == normal.value) {
+        oc.result = normal;
+        return oc;
+    }
+    oc.mismatch = true;
+    oc.voted = true;
+    // Half-speed recovery: the second period's complemented result is
+    // the third opinion.
+    const auto raw2 = eval_->evalOutputs(packInputs(a, b, true, w),
+                                         fault);
+    const std::uint8_t scal2 = valueOf(raw2, w, true);
+    const std::uint8_t voted = majority3(normal.value, scal1, scal2);
+    oc.result = AluResult{voted, normal.carry, voted == 0};
+    return oc;
+}
+
+} // namespace scal::system

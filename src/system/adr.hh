@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Fault tolerance on top of SCAL (Section 7.4).
+ *
+ * AdrAlu models Shedletsky's alternate data retry at the operation
+ * level: a space-domain duplicate detects an error, and the
+ * complemented-data retry through the same (faulty) hardware
+ * disambiguates it, correcting any single stuck-at fault at roughly
+ * A·S ≈ 4x hardware.
+ *
+ * Fig75System is the paper's cheaper alternative (Figure 7.5): a
+ * normal CPU and a SCAL CPU run in lock-step at full speed (the SCAL
+ * CPU using only its first period); on disagreement the SCAL CPU's
+ * second period supplies a third result and a bitwise vote masks the
+ * fault, comparable to TMR at (1+A)·N hardware.
+ */
+
+#ifndef SCAL_SYSTEM_ADR_HH
+#define SCAL_SYSTEM_ADR_HH
+
+#include <memory>
+#include <optional>
+
+#include "netlist/netlist.hh"
+#include "sim/evaluator.hh"
+#include "system/alu.hh"
+
+namespace scal::system
+{
+
+/** One ALU protected by duplication plus alternate data retry. */
+class AdrAlu
+{
+  public:
+    explicit AdrAlu(AluOp op);
+
+    void injectFault(const netlist::Fault &fault) { fault_ = fault; }
+
+    struct Outcome
+    {
+        AluResult result;
+        bool errorDetected = false;
+        bool retried = false;
+    };
+
+    /**
+     * Execute: main (possibly faulty) pass, duplicate check, and on
+     * mismatch the complemented retry; the per-bit agreement vote
+     * yields the corrected result.
+     */
+    Outcome execute(std::uint8_t a, std::uint8_t b);
+
+  private:
+    std::uint8_t evalGateLevel(std::uint8_t a, std::uint8_t b, bool phi,
+                               bool &carry, bool &zero) const;
+
+    AluOp op_;
+    netlist::Netlist net_;
+    std::unique_ptr<sim::Evaluator> eval_;
+    std::optional<netlist::Fault> fault_;
+};
+
+/** Figure 7.5: normal CPU + SCAL ALU slice with second-period vote. */
+class Fig75Alu
+{
+  public:
+    explicit Fig75Alu(AluOp op);
+
+    /** Fault in the SCAL copy (the normal copy stays the checker). */
+    void injectFault(const netlist::Fault &fault) { fault_ = fault; }
+
+    struct Outcome
+    {
+        AluResult result;
+        bool mismatch = false;   ///< normal vs SCAL period-1 differed
+        bool voted = false;      ///< second period broke the tie
+    };
+
+    Outcome execute(std::uint8_t a, std::uint8_t b);
+
+  private:
+    AluOp op_;
+    netlist::Netlist net_;
+    std::unique_ptr<sim::Evaluator> eval_;
+    std::optional<netlist::Fault> fault_;
+};
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_ADR_HH

@@ -1,0 +1,145 @@
+#include "system/assembler.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace scal::system
+{
+
+namespace
+{
+
+std::string
+upper(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::toupper(c); });
+    return s;
+}
+
+const std::map<std::string, Op> &
+mnemonics()
+{
+    static const std::map<std::string, Op> table = {
+        {"NOP", Op::Nop},   {"LDI", Op::Ldi},  {"LDA", Op::Lda},
+        {"STA", Op::Sta},   {"ADD", Op::Add},  {"SUB", Op::Sub},
+        {"LDP", Op::Ldp},   {"STP", Op::Stp},
+        {"AND", Op::And},   {"OR", Op::Or},    {"XOR", Op::Xor},
+        {"SHL", Op::Shl},   {"SHR", Op::Shr},  {"ADDI", Op::Addi},
+        {"JMP", Op::Jmp},   {"JNZ", Op::Jnz},  {"JZ", Op::Jz},
+        {"OUT", Op::Out},   {"HALT", Op::Halt},
+    };
+    return table;
+}
+
+bool
+needsOperand(Op op)
+{
+    switch (op) {
+      case Op::Nop:
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Out:
+      case Op::Halt:
+        return false;
+      default:
+        return true;
+    }
+}
+
+[[noreturn]] void
+fail(int line, const std::string &msg)
+{
+    throw std::runtime_error("asm line " + std::to_string(line) + ": " +
+                             msg);
+}
+
+} // namespace
+
+Program
+assemble(const std::string &source)
+{
+    struct Pending
+    {
+        std::size_t index;
+        std::string label;
+        int line;
+    };
+
+    Program prog;
+    std::map<std::string, std::uint8_t> labels;
+    std::vector<Pending> fixups;
+
+    std::istringstream in(source);
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        if (auto pos = raw.find(';'); pos != std::string::npos)
+            raw.erase(pos);
+        std::istringstream ls(raw);
+        std::string tok;
+        if (!(ls >> tok))
+            continue;
+        if (tok.back() == ':') {
+            tok.pop_back();
+            if (labels.count(tok))
+                fail(line_no, "duplicate label " + tok);
+            labels[tok] = static_cast<std::uint8_t>(prog.size());
+            if (!(ls >> tok))
+                continue;
+        }
+        const auto it = mnemonics().find(upper(tok));
+        if (it == mnemonics().end())
+            fail(line_no, "unknown mnemonic " + tok);
+        Instruction inst{it->second, 0};
+        if (needsOperand(inst.op)) {
+            std::string operand;
+            if (!(ls >> operand))
+                fail(line_no, "missing operand");
+            if (std::isdigit(static_cast<unsigned char>(operand[0]))) {
+                long v;
+                if (operand.size() > 2 &&
+                    (operand[1] == 'b' || operand[1] == 'B') &&
+                    operand[0] == '0') {
+                    v = std::stol(operand.substr(2), nullptr, 2);
+                } else {
+                    v = std::stol(operand, nullptr, 0);
+                }
+                if (v < 0 || v > 255)
+                    fail(line_no, "operand out of range");
+                inst.operand = static_cast<std::uint8_t>(v);
+            } else {
+                fixups.push_back({prog.size(), operand, line_no});
+            }
+        }
+        std::string extra;
+        if (ls >> extra)
+            fail(line_no, "trailing token " + extra);
+        prog.push_back(inst);
+    }
+
+    for (const Pending &p : fixups) {
+        const auto it = labels.find(p.label);
+        if (it == labels.end())
+            fail(p.line, "unresolved label " + p.label);
+        prog[p.index].operand = it->second;
+    }
+    return prog;
+}
+
+std::string
+disassemble(const Program &prog)
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < prog.size(); ++i) {
+        os << i << ": " << opName(prog[i].op) << ' '
+           << static_cast<int>(prog[i].operand) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace scal::system

@@ -1,0 +1,27 @@
+/**
+ * @file
+ * A small two-pass assembler for the Chapter 7 machine: one
+ * instruction per line, `name:` labels, `;` comments, decimal or 0x
+ * literals, and label operands for the jump instructions.
+ */
+
+#ifndef SCAL_SYSTEM_ASSEMBLER_HH
+#define SCAL_SYSTEM_ASSEMBLER_HH
+
+#include <string>
+
+#include "system/isa.hh"
+
+namespace scal::system
+{
+
+/** Assemble @p source; throws std::runtime_error with a line number
+ *  on syntax errors, unknown mnemonics or unresolved labels. */
+Program assemble(const std::string &source);
+
+/** Disassemble for diagnostics. */
+std::string disassemble(const Program &prog);
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_ASSEMBLER_HH

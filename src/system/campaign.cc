@@ -1,0 +1,310 @@
+#include "system/campaign.hh"
+
+#include <memory>
+
+#include "netlist/structure.hh"
+#include "system/assembler.hh"
+
+namespace scal::system
+{
+
+using namespace netlist;
+
+const char *
+systemOutcomeName(SystemOutcome o)
+{
+    switch (o) {
+      case SystemOutcome::Masked:           return "masked";
+      case SystemOutcome::Detected:         return "detected";
+      case SystemOutcome::SilentCorruption: return "SILENT";
+    }
+    return "?";
+}
+
+std::vector<Workload>
+standardWorkloads()
+{
+    std::vector<Workload> wls;
+
+    {
+        Workload wl;
+        wl.name = "sum8";
+        wl.prog = assemble(R"(
+            LDA 32
+            ADD 33
+            ADD 34
+            ADD 35
+            ADD 36
+            ADD 37
+            ADD 38
+            ADD 39
+            OUT
+            HALT
+        )");
+        for (int i = 0; i < 8; ++i)
+            wl.data.push_back({static_cast<std::uint8_t>(32 + i),
+                               static_cast<std::uint8_t>(17 * i + 3)});
+        wls.push_back(wl);
+    }
+    {
+        Workload wl;
+        wl.name = "fib12";
+        // Cells: 0 = a, 1 = b, 2 = t, 10 = counter, 11 = constant 1.
+        wl.prog = assemble(R"(
+            LDI 0
+            STA 0
+            LDI 1
+            STA 1
+            LDI 12
+            STA 10
+        loop:
+            LDA 0
+            ADD 1
+            STA 2
+            OUT
+            LDA 1
+            STA 0
+            LDA 2
+            STA 1
+            LDA 10
+            SUB 11
+            STA 10
+            JNZ loop
+            HALT
+        )");
+        wl.data.push_back({11, 1});
+        wls.push_back(wl);
+    }
+    {
+        Workload wl;
+        wl.name = "mul5";
+        // 5x = (x << 2) + x.
+        wl.prog = assemble(R"(
+            LDA 20
+            SHL
+            SHL
+            ADD 20
+            OUT
+            HALT
+        )");
+        wl.data.push_back({20, 37});
+        wls.push_back(wl);
+    }
+    {
+        Workload wl;
+        wl.name = "logicmix";
+        wl.prog = assemble(R"(
+            LDA 40
+            AND 41
+            OR 42
+            XOR 43
+            SHR
+            XOR 44
+            OUT
+            HALT
+        )");
+        for (int i = 0; i < 5; ++i)
+            wl.data.push_back({static_cast<std::uint8_t>(40 + i),
+                               static_cast<std::uint8_t>(0x5a ^ (i * 29))});
+        wls.push_back(wl);
+    }
+    {
+        Workload wl;
+        wl.name = "copycheck";
+        wl.prog = assemble(R"(
+            LDA 50
+            STA 60
+            LDA 51
+            STA 61
+            LDA 52
+            STA 62
+            LDA 53
+            STA 63
+            LDA 60
+            XOR 61
+            XOR 62
+            XOR 63
+            OUT
+            HALT
+        )");
+        for (int i = 0; i < 4; ++i)
+            wl.data.push_back({static_cast<std::uint8_t>(50 + i),
+                               static_cast<std::uint8_t>(0xc3 - 7 * i)});
+        wls.push_back(wl);
+    }
+    {
+        Workload wl;
+        wl.name = "arraysum";
+        // A genuine pointer loop: sum eight bytes at 100..107.
+        wl.prog = assemble(R"(
+            LDI 100
+            STA 15      ; ptr
+            LDI 8
+            STA 16      ; count
+            LDI 0
+            STA 17      ; sum
+        loop:
+            LDP 15
+            ADD 17
+            STA 17
+            LDA 15
+            ADDI 1
+            STA 15
+            LDA 16
+            SUB 11
+            STA 16
+            JNZ loop
+            LDA 17
+            OUT
+            HALT
+        )");
+        wl.data.push_back({11, 1});
+        for (int i = 0; i < 8; ++i)
+            wl.data.push_back({static_cast<std::uint8_t>(100 + i),
+                               static_cast<std::uint8_t>(31 * i + 7)});
+        wls.push_back(wl);
+    }
+    return wls;
+}
+
+std::vector<std::uint8_t>
+goldenOutput(const Workload &wl)
+{
+    ReferenceCpu cpu(wl.prog);
+    for (auto [addr, value] : wl.data)
+        cpu.poke(addr, value);
+    return cpu.run(wl.maxSteps).output;
+}
+
+namespace
+{
+
+bool
+isPrefixOf(const std::vector<std::uint8_t> &prefix,
+           const std::vector<std::uint8_t> &full)
+{
+    if (prefix.size() > full.size())
+        return false;
+    for (std::size_t i = 0; i < prefix.size(); ++i)
+        if (prefix[i] != full[i])
+            return false;
+    return true;
+}
+
+/**
+ * The unprotected CPU: same program semantics, but ALU results come
+ * from a single-period evaluation of the conventional gate-level
+ * datapath, with no checking of any kind.
+ */
+class UncheckedCpu
+{
+  public:
+    UncheckedCpu(Program prog, AluOp faulty_op, const Fault &fault)
+        : cpu_(std::move(prog)), faultyOp_(faulty_op),
+          net_(aluNetlistUnchecked(faulty_op)),
+          eval_(std::make_unique<sim::Evaluator>(net_)), fault_(fault)
+    {
+        cpu_.setCorruptor([this](AluOp op, std::uint8_t a,
+                                 std::uint8_t b, AluResult good) {
+            if (op != faultyOp_)
+                return good;
+            std::vector<bool> in(17);
+            for (int i = 0; i < 8; ++i) {
+                in[i] = (a >> i) & 1;
+                in[8 + i] = (b >> i) & 1;
+            }
+            in.resize(net_.numInputs());
+            const auto outs = eval_->evalOutputs(in, &fault_);
+            AluResult res;
+            for (int i = 0; i < 8; ++i)
+                if (outs[i])
+                    res.value |= static_cast<std::uint8_t>(1u << i);
+            res.carry = outs[8];
+            res.zero = outs[9];
+            return res;
+        });
+    }
+
+    ReferenceCpu &cpu() { return cpu_; }
+
+  private:
+    ReferenceCpu cpu_;
+    AluOp faultyOp_;
+    Netlist net_;
+    std::unique_ptr<sim::Evaluator> eval_;
+    Fault fault_;
+};
+
+} // namespace
+
+SystemCampaignResult
+runScalCampaign(const Workload &wl, AluOp op)
+{
+    const auto golden = goldenOutput(wl);
+    const Netlist alu = aluNetlist(op);
+
+    SystemCampaignResult res;
+    double detect_steps = 0;
+    for (const Fault &fault : alu.allFaults()) {
+        ScalCpu cpu(wl.prog);
+        for (auto [addr, value] : wl.data)
+            cpu.poke(addr, value);
+        cpu.injectAluFault(op, fault);
+        const ScalRunResult run = cpu.run(wl.maxSteps);
+
+        SystemOutcome oc;
+        if (run.errorDetected) {
+            oc = isPrefixOf(run.output, golden)
+                     ? SystemOutcome::Detected
+                     : SystemOutcome::SilentCorruption;
+            detect_steps += static_cast<double>(run.detectStep);
+        } else if (run.halted && run.output == golden) {
+            oc = SystemOutcome::Masked;
+        } else {
+            oc = SystemOutcome::SilentCorruption;
+        }
+
+        ++res.total;
+        switch (oc) {
+          case SystemOutcome::Masked:
+            ++res.masked;
+            break;
+          case SystemOutcome::Detected:
+            ++res.detected;
+            break;
+          case SystemOutcome::SilentCorruption:
+            ++res.silent;
+            res.silentFaults.push_back(faultToString(alu, fault));
+            break;
+        }
+    }
+    if (res.detected)
+        res.meanDetectStep = detect_steps / res.detected;
+    return res;
+}
+
+SystemCampaignResult
+runUncheckedCampaign(const Workload &wl, AluOp op)
+{
+    const auto golden = goldenOutput(wl);
+    const Netlist alu = aluNetlistUnchecked(op);
+
+    SystemCampaignResult res;
+    for (const Fault &fault : alu.allFaults()) {
+        UncheckedCpu wrapper(wl.prog, op, fault);
+        for (auto [addr, value] : wl.data)
+            wrapper.cpu().poke(addr, value);
+        const RunResult run = wrapper.cpu().run(wl.maxSteps);
+
+        ++res.total;
+        if (run.halted && run.output == golden) {
+            ++res.masked;
+        } else {
+            ++res.silent;
+            res.silentFaults.push_back(faultToString(alu, fault));
+        }
+    }
+    return res;
+}
+
+} // namespace scal::system

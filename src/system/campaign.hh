@@ -1,0 +1,71 @@
+/**
+ * @file
+ * System-level fault-injection campaigns for the Chapter 7
+ * experiments: run a program on the unprotected CPU, the SCAL CPU,
+ * and the fault-tolerant configurations under every single stuck-at
+ * fault in one ALU operation's datapath, and classify each fault's
+ * end-to-end effect.
+ */
+
+#ifndef SCAL_SYSTEM_CAMPAIGN_HH
+#define SCAL_SYSTEM_CAMPAIGN_HH
+
+#include <string>
+
+#include "system/scal_cpu.hh"
+
+namespace scal::system
+{
+
+/** End-to-end effect of one fault on one program run. */
+enum class SystemOutcome
+{
+    Masked,           ///< program output identical to golden
+    Detected,         ///< error flagged before any wrong output
+    SilentCorruption, ///< wrong output with no error indication
+};
+
+const char *systemOutcomeName(SystemOutcome o);
+
+struct SystemCampaignResult
+{
+    int total = 0;
+    int masked = 0;
+    int detected = 0;
+    int silent = 0;
+    double meanDetectStep = 0; ///< over detected faults
+    /** Labels of silently corrupting faults (should be empty for SCAL). */
+    std::vector<std::string> silentFaults;
+};
+
+/** A named workload: program text plus preloaded data. */
+struct Workload
+{
+    std::string name;
+    Program prog;
+    std::vector<std::pair<std::uint8_t, std::uint8_t>> data;
+    long maxSteps = 200000;
+};
+
+/** The standard benchmark programs (sum, fib, mul, memcpy, checksum). */
+std::vector<Workload> standardWorkloads();
+
+/** Golden output of a workload. */
+std::vector<std::uint8_t> goldenOutput(const Workload &wl);
+
+/**
+ * Inject every stuck-at fault of the SCAL ALU for @p op and classify
+ * each via the SCAL CPU's on-line checks against the golden run.
+ */
+SystemCampaignResult runScalCampaign(const Workload &wl, AluOp op);
+
+/**
+ * The unprotected baseline: same faults applied to a CPU that uses
+ * the same gate-level datapath but no checking at all (single-period
+ * evaluation, no parity, no alternation).
+ */
+SystemCampaignResult runUncheckedCampaign(const Workload &wl, AluOp op);
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_CAMPAIGN_HH

@@ -1,0 +1,74 @@
+#include "system/cost.hh"
+
+namespace scal::system
+{
+
+std::vector<AluCostRow>
+measureAluCosts(int width)
+{
+    std::vector<AluCostRow> rows;
+    for (int i = 0; i < kNumAluOps; ++i) {
+        const AluOp op = static_cast<AluOp>(i);
+        const auto normal = aluNetlistUnchecked(op, width).cost();
+        const auto scal = aluNetlist(op, width).cost();
+        AluCostRow row{op, normal.gates, normal.gateInputs, scal.gates,
+                       scal.gateInputs, 0};
+        row.factor = normal.gates
+                         ? static_cast<double>(scal.gates) / normal.gates
+                         : 0;
+        rows.push_back(row);
+    }
+    return rows;
+}
+
+double
+measuredFactorA(int width)
+{
+    int normal = 0, scal = 0;
+    for (const AluCostRow &row : measureAluCosts(width)) {
+        normal += row.normalGates;
+        scal += row.scalGates;
+    }
+    return static_cast<double>(scal) / normal;
+}
+
+std::vector<ConfigCostRow>
+section74Comparison(double a)
+{
+    const double s = 2.0; // space-domain self-checking factor
+    return {
+        {"normal (unchecked)", 1.0, 1.0, false, false},
+        {"SCAL", a, 2.0, true, false},
+        {"space self-checking", s, 1.0, true, false},
+        {"ADR (Shedletsky)", a * s, 1.0, true, true},
+        {"normal + SCAL parallel (Fig 7.5)", 1.0 + a, 1.0, true, true},
+        {"TMR", 3.0, 1.0, false, true},
+    };
+}
+
+std::vector<UtilityPoint>
+figure72Model()
+{
+    // Discrete protection degrees. Benefit: diminishing returns in
+    // failure coverage (most field failures are single faults; the
+    // 1.2 bump for masking reflects availability). Cost: convex in
+    // hardware+time (1, ~1.9, ~2.8, ~3.6, 4.5 units).
+    struct Raw
+    {
+        const char *name;
+        double benefit, cost;
+    };
+    const Raw raw[] = {
+        {"none", 0.0, 0.0},
+        {"single-fault detection", 3.0, 0.9},
+        {"unidirectional detection", 3.4, 1.8},
+        {"multiple-fault detection", 3.6, 2.6},
+        {"fault masking (TMR)", 4.2, 3.5},
+    };
+    std::vector<UtilityPoint> pts;
+    for (const Raw &r : raw)
+        pts.push_back({r.name, r.benefit, r.cost, r.benefit - r.cost});
+    return pts;
+}
+
+} // namespace scal::system

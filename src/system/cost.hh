@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The Chapter 7 cost analyses: the measured SCAL conversion factor A
+ * over the CPU datapath, the ADR / parallel-SCAL / TMR hardware-time
+ * comparison of Section 7.4, and the Figure 7.2 reliability
+ * design-trade-off (benefit/cost/utility against the degree of fault
+ * protection, peaking at single-fault protection).
+ */
+
+#ifndef SCAL_SYSTEM_COST_HH
+#define SCAL_SYSTEM_COST_HH
+
+#include <string>
+#include <vector>
+
+#include "system/alu.hh"
+
+namespace scal::system
+{
+
+/** Gate-level cost of a datapath operation, checked vs. unchecked. */
+struct AluCostRow
+{
+    AluOp op;
+    int normalGates = 0;
+    int normalInputs = 0;
+    int scalGates = 0;
+    int scalInputs = 0;
+    double factor = 0; ///< scal/normal gate ratio (the measured A)
+};
+
+/** Per-op and total gate costs, plus the measured factor A. */
+std::vector<AluCostRow> measureAluCosts(int width = 8);
+double measuredFactorA(int width = 8);
+
+/** A system-level configuration cost row for Section 7.4. */
+struct ConfigCostRow
+{
+    std::string name;
+    double hardware = 0;   ///< in units of the normal CPU cost N
+    double timeFactor = 0; ///< throughput denominator vs normal
+    bool detects = false;
+    bool corrects = false;
+};
+
+/**
+ * The Section 7.4 comparison with a measured (or supplied) A and the
+ * space self-checking factor S = 2:
+ * normal 1x, SCAL Ax (2x time), ADR A·S x, parallel (1+A) x, TMR 3x.
+ */
+std::vector<ConfigCostRow> section74Comparison(double factor_a);
+
+/** One point of the Figure 7.2 trade-off. */
+struct UtilityPoint
+{
+    std::string degree;
+    double benefit = 0;
+    double cost = 0;
+    double utility = 0;
+};
+
+/**
+ * The Figure 7.2 model: benefit grows with diminishing returns in
+ * coverage while cost grows convexly with the protection degree, so
+ * utility peaks at single-fault protection.
+ */
+std::vector<UtilityPoint> figure72Model();
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_COST_HH

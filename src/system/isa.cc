@@ -1,0 +1,71 @@
+#include "system/isa.hh"
+
+#include <stdexcept>
+
+namespace scal::system
+{
+
+const char *
+opName(Op op)
+{
+    switch (op) {
+      case Op::Nop:  return "NOP";
+      case Op::Ldi:  return "LDI";
+      case Op::Lda:  return "LDA";
+      case Op::Sta:  return "STA";
+      case Op::Add:  return "ADD";
+      case Op::Sub:  return "SUB";
+      case Op::And:  return "AND";
+      case Op::Or:   return "OR";
+      case Op::Xor:  return "XOR";
+      case Op::Shl:  return "SHL";
+      case Op::Shr:  return "SHR";
+      case Op::Addi: return "ADDI";
+      case Op::Ldp:  return "LDP";
+      case Op::Stp:  return "STP";
+      case Op::Jmp:  return "JMP";
+      case Op::Jnz:  return "JNZ";
+      case Op::Jz:   return "JZ";
+      case Op::Out:  return "OUT";
+      case Op::Halt: return "HALT";
+    }
+    return "?";
+}
+
+bool
+opUsesAlu(Op op)
+{
+    switch (op) {
+      case Op::Lda:
+      case Op::Ldi:
+      case Op::Add:
+      case Op::Sub:
+      case Op::And:
+      case Op::Or:
+      case Op::Xor:
+      case Op::Shl:
+      case Op::Shr:
+      case Op::Addi:
+        return true;
+      default:
+        return false;
+    }
+}
+
+std::uint16_t
+encode(const Instruction &inst)
+{
+    return static_cast<std::uint16_t>(
+        (static_cast<unsigned>(inst.op) << 8) | inst.operand);
+}
+
+Instruction
+decode(std::uint16_t word)
+{
+    const unsigned op = word >> 8;
+    if (op > static_cast<unsigned>(Op::Halt))
+        throw std::invalid_argument("bad opcode");
+    return {static_cast<Op>(op), static_cast<std::uint8_t>(word & 0xff)};
+}
+
+} // namespace scal::system

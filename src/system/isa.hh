@@ -1,0 +1,62 @@
+/**
+ * @file
+ * The instruction set of the small accumulator machine used for the
+ * Chapter 7 SCAL computer experiments: 8-bit data, 256-byte data
+ * memory, an accumulator, and a zero flag for conditional branches.
+ */
+
+#ifndef SCAL_SYSTEM_ISA_HH
+#define SCAL_SYSTEM_ISA_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace scal::system
+{
+
+enum class Op : std::uint8_t
+{
+    Nop,
+    Ldi,  ///< acc <- imm
+    Lda,  ///< acc <- mem[addr]
+    Sta,  ///< mem[addr] <- acc
+    Add,  ///< acc <- acc + mem[addr]
+    Sub,  ///< acc <- acc - mem[addr]
+    And,  ///< acc <- acc & mem[addr]
+    Or,   ///< acc <- acc | mem[addr]
+    Xor,  ///< acc <- acc ^ mem[addr]
+    Shl,  ///< acc <- acc << 1
+    Shr,  ///< acc <- acc >> 1
+    Addi, ///< acc <- acc + imm
+    Ldp,  ///< acc <- mem[mem[p]]   (pointer load)
+    Stp,  ///< mem[mem[p]] <- acc   (pointer store)
+    Jmp,  ///< pc <- addr
+    Jnz,  ///< if !z: pc <- addr
+    Jz,   ///< if z: pc <- addr
+    Out,  ///< append acc to the output stream
+    Halt,
+};
+
+const char *opName(Op op);
+
+/** Whether the instruction routes through the ALU datapath. */
+bool opUsesAlu(Op op);
+
+struct Instruction
+{
+    Op op = Op::Nop;
+    std::uint8_t operand = 0;
+
+    bool operator==(const Instruction &o) const = default;
+};
+
+using Program = std::vector<Instruction>;
+
+/** 16-bit encoding: opcode in the high byte, operand in the low. */
+std::uint16_t encode(const Instruction &inst);
+Instruction decode(std::uint16_t word);
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_ISA_HH

@@ -1,0 +1,64 @@
+#include "system/memory.hh"
+
+#include "util/bits.hh"
+
+namespace scal::system
+{
+
+ParityMemory::ParityMemory()
+{
+    // Initialize every word as a valid code word for address a.
+    for (int a = 0; a < kSize; ++a)
+        words_[a] = {0, addressParity(static_cast<std::uint8_t>(a))};
+}
+
+bool
+ParityMemory::dataParity(std::uint8_t data)
+{
+    return util::parity(data);
+}
+
+bool
+ParityMemory::addressParity(std::uint8_t addr)
+{
+    return util::parity(addr);
+}
+
+void
+ParityMemory::write(std::uint8_t addr, std::uint8_t data)
+{
+    // The stored check bit covers data and address together, so a
+    // wrong-address write or read surfaces as a parity violation.
+    words_[addr] = {data,
+                    static_cast<bool>(dataParity(data) ^
+                                      addressParity(addr))};
+}
+
+ParityMemory::Word
+ParityMemory::applyFault(std::uint8_t addr, Word w) const
+{
+    if (!fault_)
+        return w;
+    if (!fault_->wholeColumn && fault_->address != addr)
+        return w;
+    if (fault_->bit < 8) {
+        if (fault_->value)
+            w.data |= static_cast<std::uint8_t>(1u << fault_->bit);
+        else
+            w.data &= static_cast<std::uint8_t>(~(1u << fault_->bit));
+    } else {
+        w.parity = fault_->value;
+    }
+    return w;
+}
+
+std::uint8_t
+ParityMemory::read(std::uint8_t addr, bool &parity_ok) const
+{
+    const Word w = applyFault(addr, words_[addr]);
+    parity_ok =
+        w.parity == (dataParity(w.data) ^ addressParity(addr));
+    return w.data;
+}
+
+} // namespace scal::system

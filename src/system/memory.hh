@@ -1,0 +1,65 @@
+/**
+ * @file
+ * The parity-encoded data memory of the SCAL computer (Figure 7.3):
+ * each word stores data plus a parity bit folded with the address
+ * parity (the Dussault technique of Section 4.3, which also makes
+ * address-decoder faults detectable). Single stuck bit cells and
+ * stuck bit-lines are injectable.
+ */
+
+#ifndef SCAL_SYSTEM_MEMORY_HH
+#define SCAL_SYSTEM_MEMORY_HH
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+namespace scal::system
+{
+
+class ParityMemory
+{
+  public:
+    static constexpr int kSize = 256;
+
+    /** A stuck storage cell: bit 0..7 = data bit, bit 8 = parity. */
+    struct CellFault
+    {
+        std::uint8_t address = 0;
+        int bit = 0;
+        bool value = false;
+        /** When set, the fault applies at every address (bit-line). */
+        bool wholeColumn = false;
+    };
+
+    ParityMemory();
+
+    void write(std::uint8_t addr, std::uint8_t data);
+
+    /**
+     * Read with a concurrent parity check: @p parity_ok is cleared
+     * when the stored word (with the address parity folded in) fails
+     * the check.
+     */
+    std::uint8_t read(std::uint8_t addr, bool &parity_ok) const;
+
+    void setFault(std::optional<CellFault> fault) { fault_ = fault; }
+
+  private:
+    struct Word
+    {
+        std::uint8_t data = 0;
+        bool parity = false;
+    };
+
+    static bool dataParity(std::uint8_t data);
+    static bool addressParity(std::uint8_t addr);
+    Word applyFault(std::uint8_t addr, Word w) const;
+
+    std::array<Word, kSize> words_;
+    std::optional<CellFault> fault_;
+};
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_MEMORY_HH

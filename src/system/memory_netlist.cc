@@ -1,0 +1,131 @@
+#include "system/memory_netlist.hh"
+
+#include "util/bits.hh"
+
+namespace scal::system
+{
+
+using namespace netlist;
+
+namespace
+{
+
+GateId
+xorFold(Netlist &net, std::vector<GateId> lines)
+{
+    while (lines.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < lines.size(); i += 2)
+            next.push_back(net.addXor({lines[i], lines[i + 1]}));
+        if (lines.size() % 2)
+            next.push_back(lines.back());
+        lines = std::move(next);
+    }
+    return lines[0];
+}
+
+} // namespace
+
+MemoryNetlist
+buildParityMemoryNetlist(int addr_bits, int data_bits)
+{
+    MemoryNetlist mem;
+    mem.addrBits = addr_bits;
+    mem.dataBits = data_bits;
+    Netlist &net = mem.net;
+
+    std::vector<GateId> addr(addr_bits), areq(addr_bits),
+        wdata(data_bits);
+    mem.busAddrInput0 = net.numInputs();
+    for (int i = 0; i < addr_bits; ++i)
+        addr[i] = net.addInput("ab" + std::to_string(i));
+    mem.reqAddrInput0 = net.numInputs();
+    for (int i = 0; i < addr_bits; ++i)
+        areq[i] = net.addInput("ar" + std::to_string(i));
+    mem.dataInput0 = net.numInputs();
+    for (int i = 0; i < data_bits; ++i)
+        wdata[i] = net.addInput("d" + std::to_string(i));
+    mem.weInput = net.numInputs();
+    const GateId we = net.addInput("we");
+
+    std::vector<GateId> naddr(addr_bits);
+    for (int i = 0; i < addr_bits; ++i)
+        naddr[i] = net.addNot(addr[i], "na" + std::to_string(i));
+
+    // Check bit written alongside the data: parity(wdata) xor
+    // parity of the *requester's* address copy — the Dussault fold.
+    std::vector<GateId> pf = wdata;
+    for (int i = 0; i < addr_bits; ++i)
+        pf.push_back(areq[i]);
+    const GateId wcheck = xorFold(net, pf);
+
+    const int words = 1 << addr_bits;
+    const int columns = data_bits + 1; // data plus the check column
+
+    // One-hot decode.
+    std::vector<GateId> select(words);
+    for (int w = 0; w < words; ++w) {
+        std::vector<GateId> lits;
+        for (int i = 0; i < addr_bits; ++i)
+            lits.push_back((w >> i) & 1 ? addr[i] : naddr[i]);
+        select[w] = lits.size() == 1
+                        ? lits[0]
+                        : net.addAnd(lits, "sel" + std::to_string(w));
+    }
+
+    // Storage cells with write-enable recirculation muxes.
+    std::vector<std::vector<GateId>> cell(words,
+                                          std::vector<GateId>(columns));
+    for (int w = 0; w < words; ++w) {
+        const GateId wen = net.addAnd({select[w], we});
+        const GateId nwen = net.addNot(wen);
+        for (int c = 0; c < columns; ++c) {
+            const GateId placeholder = net.addConst(false);
+            // Power-on contents are all-zero data words; their check
+            // bits must fold in the word's address parity so a fresh
+            // read is already a code word.
+            const bool init =
+                c == data_bits &&
+                util::parity(static_cast<std::uint64_t>(w));
+            const GateId ff = net.addDff(
+                placeholder,
+                "m" + std::to_string(w) + "_" + std::to_string(c),
+                LatchMode::EveryPeriod, init);
+            const GateId din = c < data_bits ? wdata[c] : wcheck;
+            const GateId d = net.addOr({net.addAnd({wen, din}),
+                                        net.addAnd({nwen, ff})});
+            net.replaceFanin(ff, 0, d);
+            cell[w][c] = ff;
+        }
+    }
+
+    // Read multiplexers.
+    std::vector<GateId> column_out(columns);
+    for (int c = 0; c < columns; ++c) {
+        std::vector<GateId> taps;
+        for (int w = 0; w < words; ++w)
+            taps.push_back(net.addAnd({select[w], cell[w][c]}));
+        column_out[c] = net.addOr(
+            taps, c < data_bits ? "r" + std::to_string(c) : "rchk");
+    }
+
+    // Read-side check: stored check bit must equal parity(rdata) xor
+    // parity of the requester's address copy.
+    std::vector<GateId> rp;
+    for (int c = 0; c < data_bits; ++c)
+        rp.push_back(column_out[c]);
+    for (int i = 0; i < addr_bits; ++i)
+        rp.push_back(areq[i]);
+    const GateId recomputed = xorFold(net, rp);
+    const GateId ok =
+        net.addXnor({recomputed, column_out[data_bits]}, "chk_ok");
+
+    mem.rdataOutput0 = net.numOutputs();
+    for (int c = 0; c < data_bits; ++c)
+        net.addOutput(column_out[c], "r" + std::to_string(c));
+    mem.chkOkOutput = net.numOutputs();
+    net.addOutput(ok, "chk_ok");
+    return mem;
+}
+
+} // namespace scal::system

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * A gate-level synchronous RAM with the Dussault address-parity fold
+ * of Section 4.3: every stored word carries a check bit covering the
+ * data *and the address it was written to*, so a single stuck address
+ * line — which selects a wrong word whose address differs in one bit
+ * — flips the reconstructed parity and is caught at the read port.
+ *
+ * Structure: one-hot AND decoder over the address literals, one
+ * enable-muxed every-period flip-flop per stored bit (data bits plus
+ * the check bit), and an AND-OR read multiplexer per output column.
+ *
+ * The address arrives twice, as in Dussault's arrangement: the
+ * requester's own copy (areq, used to fold the check bit on writes
+ * and to recompute it on reads) and the bus/decoder copy (abus). A
+ * fault anywhere on the bus copy — the class the fold protects —
+ * swaps whole words and is always caught, because the stored check
+ * encodes the intended address while the recomputation uses the
+ * requester's healthy copy.
+ *
+ * Inputs:  abus[a], areq[a], wdata[b], we
+ * Outputs: rdata[b], chk_ok (1 iff the read word passes the check)
+ */
+
+#ifndef SCAL_SYSTEM_MEMORY_NETLIST_HH
+#define SCAL_SYSTEM_MEMORY_NETLIST_HH
+
+#include "netlist/netlist.hh"
+
+namespace scal::system
+{
+
+struct MemoryNetlist
+{
+    netlist::Netlist net;
+    int addrBits = 0;
+    int dataBits = 0;
+    /** Input indices. */
+    int busAddrInput0 = 0, reqAddrInput0 = 0, dataInput0 = 0,
+        weInput = 0;
+    /** Output indices. */
+    int rdataOutput0 = 0, chkOkOutput = 0;
+};
+
+/** Build a 2^addr_bits x data_bits parity-checked RAM. */
+MemoryNetlist buildParityMemoryNetlist(int addr_bits, int data_bits);
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_MEMORY_NETLIST_HH

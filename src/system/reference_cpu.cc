@@ -1,0 +1,110 @@
+#include "system/reference_cpu.hh"
+
+#include <stdexcept>
+
+namespace scal::system
+{
+
+ReferenceCpu::ReferenceCpu(Program prog) : prog_(std::move(prog))
+{
+}
+
+void
+ReferenceCpu::poke(std::uint8_t addr, std::uint8_t value)
+{
+    mem_[addr] = value;
+}
+
+std::uint8_t
+ReferenceCpu::peek(std::uint8_t addr) const
+{
+    return mem_[addr];
+}
+
+AluOp
+ReferenceCpu::aluOpFor(Op op)
+{
+    switch (op) {
+      case Op::Add:
+      case Op::Addi: return AluOp::Add;
+      case Op::Sub:  return AluOp::Sub;
+      case Op::And:  return AluOp::And;
+      case Op::Or:   return AluOp::Or;
+      case Op::Xor:  return AluOp::Xor;
+      case Op::Shl:  return AluOp::Shl;
+      case Op::Shr:  return AluOp::Shr;
+      case Op::Lda:
+      case Op::Ldi:
+      case Op::Ldp:  return AluOp::PassB;
+      default:
+        throw std::logic_error("not an ALU instruction");
+    }
+}
+
+bool
+ReferenceCpu::step()
+{
+    if (halted_ || pc_ >= prog_.size()) {
+        halted_ = true;
+        return false;
+    }
+    const Instruction inst = prog_[pc_++];
+    switch (inst.op) {
+      case Op::Nop:
+        break;
+      case Op::Halt:
+        halted_ = true;
+        break;
+      case Op::Sta:
+        mem_[inst.operand] = acc_;
+        break;
+      case Op::Stp:
+        mem_[mem_[inst.operand]] = acc_;
+        break;
+      case Op::Out:
+        out_.push_back(acc_);
+        break;
+      case Op::Jmp:
+        pc_ = inst.operand;
+        break;
+      case Op::Jnz:
+        if (!zero_)
+            pc_ = inst.operand;
+        break;
+      case Op::Jz:
+        if (zero_)
+            pc_ = inst.operand;
+        break;
+      default: {
+        const AluOp alu_op = aluOpFor(inst.op);
+        std::uint8_t b;
+        if (inst.op == Op::Ldi || inst.op == Op::Addi)
+            b = inst.operand;
+        else if (inst.op == Op::Ldp)
+            b = mem_[mem_[inst.operand]];
+        else
+            b = mem_[inst.operand];
+        AluResult res = aluReference(alu_op, acc_, b);
+        if (corruptor_)
+            res = corruptor_(alu_op, acc_, b, res);
+        acc_ = res.value;
+        zero_ = res.zero;
+        carry_ = res.carry;
+        break;
+      }
+    }
+    return !halted_;
+}
+
+RunResult
+ReferenceCpu::run(long max_steps)
+{
+    RunResult r;
+    while (r.steps < max_steps && step())
+        ++r.steps;
+    r.halted = halted_;
+    r.output = out_;
+    return r;
+}
+
+} // namespace scal::system

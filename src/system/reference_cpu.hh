@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The behavioral reference CPU: the golden model every protected
+ * configuration is compared against, and the building block of the
+ * TMR and parallel-CPU systems. An optional corruptor hook models a
+ * faulty ALU for the comparison experiments.
+ */
+
+#ifndef SCAL_SYSTEM_REFERENCE_CPU_HH
+#define SCAL_SYSTEM_REFERENCE_CPU_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "system/alu.hh"
+#include "system/isa.hh"
+
+namespace scal::system
+{
+
+struct RunResult
+{
+    std::vector<std::uint8_t> output;
+    bool halted = false;
+    long steps = 0;
+};
+
+class ReferenceCpu
+{
+  public:
+    using Corruptor = std::function<AluResult(AluOp, std::uint8_t,
+                                              std::uint8_t, AluResult)>;
+
+    explicit ReferenceCpu(Program prog);
+
+    /** Install an ALU-result corruption hook (nullptr to clear). */
+    void setCorruptor(Corruptor c) { corruptor_ = std::move(c); }
+
+    /** Preload data memory. */
+    void poke(std::uint8_t addr, std::uint8_t value);
+    std::uint8_t peek(std::uint8_t addr) const;
+
+    /** Execute one instruction; false once halted. */
+    bool step();
+
+    RunResult run(long max_steps = 100000);
+
+    /** Overwrite architectural state (used by the TMR voter). */
+    void forceState(std::uint8_t acc, bool zero, std::uint16_t pc)
+    {
+        acc_ = acc;
+        zero_ = zero;
+        pc_ = pc;
+    }
+
+    std::uint8_t acc() const { return acc_; }
+    std::uint16_t pc() const { return pc_; }
+    bool zeroFlag() const { return zero_; }
+    bool halted() const { return halted_; }
+    const std::vector<std::uint8_t> &output() const { return out_; }
+
+    /** ALU operation and operands for a memory/imm instruction. */
+    static AluOp aluOpFor(Op op);
+
+  private:
+    Program prog_;
+    std::array<std::uint8_t, 256> mem_{};
+    std::uint8_t acc_ = 0;
+    std::uint16_t pc_ = 0;
+    bool zero_ = true;
+    bool carry_ = false;
+    bool halted_ = false;
+    std::vector<std::uint8_t> out_;
+    Corruptor corruptor_;
+};
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_REFERENCE_CPU_HH

@@ -1,0 +1,45 @@
+#include "system/rollback.hh"
+
+namespace scal::system
+{
+
+RollbackResult
+RollbackScalCpu::run(int max_retries, long max_steps)
+{
+    RollbackResult result;
+    long cumulative = 0;
+
+    for (int attempt = 0; attempt <= max_retries; ++attempt) {
+        ScalCpu cpu(prog_);
+        for (auto [addr, value] : data_)
+            cpu.poke(addr, value);
+        if (aluOp_ && fault_) {
+            cpu.injectAluFault(*aluOp_, *fault_);
+            // Translate the cumulative fault window into this
+            // attempt's local step time.
+            const long lo = std::max(0L, faultFrom_ - cumulative);
+            const long hi =
+                faultUntil_ == std::numeric_limits<long>::max()
+                    ? faultUntil_
+                    : std::max(0L, faultUntil_ - cumulative);
+            cpu.setAluFaultWindow(lo, hi);
+        }
+
+        const ScalRunResult r = cpu.run(max_steps);
+        cumulative += r.steps;
+        result.steps = cumulative;
+
+        if (!r.errorDetected) {
+            result.output = r.output;
+            result.halted = r.halted;
+            result.recovered = attempt > 0;
+            return result;
+        }
+        result.lastReason = r.detectReason;
+        ++result.rollbacks;
+    }
+    result.gaveUp = true;
+    return result;
+}
+
+} // namespace scal::system

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Checkpoint-and-rollback recovery on top of SCAL detection — the
+ * direction of Shedletsky's rollback-interval work the thesis cites
+ * ([SHED1]): because a self-checking machine flags the *first*
+ * erroneous word, a checkpointed machine can roll back a bounded
+ * distance and retry. Transient faults are survived outright;
+ * permanent faults are detected again on retry and reported after a
+ * retry budget.
+ */
+
+#ifndef SCAL_SYSTEM_ROLLBACK_HH
+#define SCAL_SYSTEM_ROLLBACK_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "system/scal_cpu.hh"
+
+namespace scal::system
+{
+
+struct RollbackResult : RunResult
+{
+    int rollbacks = 0;        ///< recoveries attempted
+    bool recovered = false;   ///< finished correctly after >=1 rollback
+    bool gaveUp = false;      ///< permanent fault: retry budget spent
+    std::string lastReason;
+};
+
+/**
+ * A SCAL CPU driven under a checkpoint/rollback policy: the program
+ * is (re)started from the beginning — the checkpoint — whenever the
+ * on-line checks fire, up to @p max_retries times. A transient ALU
+ * fault (active only during [fault_from, fault_until) executed
+ * steps, counted cumulatively across retries) is ridden out; a
+ * permanent fault exhausts the budget.
+ *
+ * The model restarts from step 0 rather than a mid-program
+ * checkpoint: with memory effects confined to STA cells the program
+ * itself rewrites, re-execution is idempotent for the standard
+ * workloads, which keeps the recovery semantics transparent.
+ */
+class RollbackScalCpu
+{
+  public:
+    explicit RollbackScalCpu(Program prog) : prog_(std::move(prog)) {}
+
+    void
+    preload(const std::vector<std::pair<std::uint8_t, std::uint8_t>> &d)
+    {
+        data_ = d;
+    }
+
+    /** Fault in one ALU, active while the cumulative executed-step
+     *  counter lies in [from, until). */
+    void
+    injectTransientAluFault(AluOp op, const netlist::Fault &fault,
+                            long from, long until)
+    {
+        aluOp_ = op;
+        fault_ = fault;
+        faultFrom_ = from;
+        faultUntil_ = until;
+    }
+
+    /** Permanent variant. */
+    void
+    injectPermanentAluFault(AluOp op, const netlist::Fault &fault)
+    {
+        injectTransientAluFault(op, fault, 0,
+                                std::numeric_limits<long>::max());
+    }
+
+    RollbackResult run(int max_retries = 3, long max_steps = 100000);
+
+  private:
+    Program prog_;
+    std::vector<std::pair<std::uint8_t, std::uint8_t>> data_;
+    std::optional<AluOp> aluOp_;
+    std::optional<netlist::Fault> fault_;
+    long faultFrom_ = 0;
+    long faultUntil_ = 0;
+};
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_ROLLBACK_HH

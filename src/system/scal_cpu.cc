@@ -1,0 +1,232 @@
+#include "system/scal_cpu.hh"
+
+#include "checker/xor_tree.hh"
+#include "system/alu.hh"
+
+namespace scal::system
+{
+
+using namespace netlist;
+
+struct ScalCpu::AluUnit
+{
+    Netlist net;
+    std::unique_ptr<sim::Evaluator> eval;
+    int width = 8;
+    int chkOutput = -1;
+
+    explicit AluUnit(AluOp op)
+    {
+        net = aluNetlist(op);
+        // Gate-level odd-XOR checker over all datapath outputs; its
+        // single line must alternate along with everything else.
+        std::vector<GateId> monitored;
+        for (GateId g : net.outputs())
+            monitored.push_back(g);
+        const GateId phi = net.inputs().back();
+        const GateId q =
+            checker::appendOddXorChecker(net, monitored, phi);
+        chkOutput = net.numOutputs();
+        net.addOutput(q, "chk");
+        eval = std::make_unique<sim::Evaluator>(net);
+    }
+};
+
+ScalCpu::ScalCpu(Program prog) : prog_(std::move(prog))
+{
+    // ALU units are built lazily: a program typically exercises only
+    // a few operations, and the fault campaigns construct thousands
+    // of ScalCpu instances.
+}
+
+ScalCpu::~ScalCpu() = default;
+
+void
+ScalCpu::poke(std::uint8_t addr, std::uint8_t value)
+{
+    mem_.write(addr, value);
+}
+
+void
+ScalCpu::injectAluFault(AluOp op, const Fault &fault)
+{
+    aluFault_ = {op, fault};
+}
+
+void
+ScalCpu::setAluFaultWindow(long from, long until)
+{
+    faultFrom_ = from;
+    faultUntil_ = until;
+}
+
+void
+ScalCpu::injectMemFault(const ParityMemory::CellFault &fault)
+{
+    mem_.setFault(fault);
+}
+
+ScalCpu::AluUnit &
+ScalCpu::unit(AluOp op)
+{
+    auto &slot = alus_[static_cast<int>(op)];
+    if (!slot)
+        slot = std::make_unique<AluUnit>(op);
+    return *slot;
+}
+
+const Netlist &
+ScalCpu::aluNet(AluOp op)
+{
+    return unit(op).net;
+}
+
+AluResult
+ScalCpu::evalAlu(AluOp op, std::uint8_t a, std::uint8_t b, bool &code_ok,
+                 std::string &reason)
+{
+    AluUnit &unit = this->unit(op);
+    const Fault *fault = nullptr;
+    if (aluFault_ && aluFault_->first == op &&
+        currentStep_ >= faultFrom_ && currentStep_ < faultUntil_) {
+        fault = &aluFault_->second;
+    }
+
+    const int w = unit.width;
+    std::vector<bool> in(2 * w + 1);
+    for (int i = 0; i < w; ++i) {
+        in[i] = (a >> i) & 1;
+        in[w + i] = (b >> i) & 1;
+    }
+    in[2 * w] = false; // φ
+    const auto first = unit.eval->evalOutputs(in, fault);
+    for (auto &&bit : in)
+        bit = !bit;
+    const auto second = unit.eval->evalOutputs(in, fault);
+
+    // Dual-rail-style check: every output, including the XOR checker
+    // line, must alternate across the two periods.
+    code_ok = true;
+    for (std::size_t j = 0; j < first.size(); ++j) {
+        if (first[j] == second[j]) {
+            code_ok = false;
+            reason = "non-alternating ALU output " +
+                     unit.net.outputName(static_cast<int>(j)) + " in " +
+                     aluOpName(op);
+            break;
+        }
+    }
+
+    AluResult res;
+    for (int i = 0; i < w; ++i)
+        if (first[i])
+            res.value |= static_cast<std::uint8_t>(1u << i);
+    res.carry = first[w];
+    res.zero = first[w + 1];
+    return res;
+}
+
+ScalRunResult
+ScalCpu::run(long max_steps)
+{
+    ScalRunResult r;
+    while (!halted_ && r.steps < max_steps && !r.errorDetected) {
+        if (pc_ >= prog_.size()) {
+            halted_ = true;
+            break;
+        }
+        const Instruction inst = prog_[pc_++];
+        ++r.steps;
+        currentStep_ = r.steps;
+        switch (inst.op) {
+          case Op::Nop:
+            break;
+          case Op::Halt:
+            halted_ = true;
+            break;
+          case Op::Sta:
+            mem_.write(inst.operand, acc_);
+            break;
+          case Op::Stp: {
+            bool parity_ok = true;
+            const std::uint8_t ptr =
+                mem_.read(inst.operand, parity_ok);
+            if (!parity_ok) {
+                r.errorDetected = true;
+                r.detectStep = r.steps;
+                r.detectReason = "memory parity violation at pointer " +
+                                 std::to_string(inst.operand);
+                break;
+            }
+            mem_.write(ptr, acc_);
+            break;
+          }
+          case Op::Out:
+            out_.push_back(acc_);
+            break;
+          case Op::Jmp:
+            pc_ = inst.operand;
+            break;
+          case Op::Jnz:
+            if (!zero_)
+                pc_ = inst.operand;
+            break;
+          case Op::Jz:
+            if (zero_)
+                pc_ = inst.operand;
+            break;
+          default: {
+            const AluOp alu_op = ReferenceCpu::aluOpFor(inst.op);
+            std::uint8_t b = inst.operand;
+            const bool reads_mem =
+                inst.op != Op::Ldi && inst.op != Op::Addi &&
+                inst.op != Op::Shl && inst.op != Op::Shr;
+            if (inst.op == Op::Shl || inst.op == Op::Shr)
+                b = 0;
+            if (reads_mem) {
+                bool parity_ok = true;
+                std::uint8_t addr = inst.operand;
+                if (inst.op == Op::Ldp) {
+                    addr = mem_.read(inst.operand, parity_ok);
+                    if (!parity_ok) {
+                        r.errorDetected = true;
+                        r.detectStep = r.steps;
+                        r.detectReason =
+                            "memory parity violation at pointer " +
+                            std::to_string(inst.operand);
+                        break;
+                    }
+                }
+                b = mem_.read(addr, parity_ok);
+                if (!parity_ok) {
+                    r.errorDetected = true;
+                    r.detectStep = r.steps;
+                    r.detectReason = "memory parity violation at " +
+                                     std::to_string(addr);
+                    break;
+                }
+            }
+            bool code_ok = true;
+            std::string reason;
+            const AluResult res =
+                evalAlu(alu_op, acc_, b, code_ok, reason);
+            if (!code_ok) {
+                // The hardcore disables the clock before the wrong
+                // word commits (Section 5.5).
+                r.errorDetected = true;
+                r.detectStep = r.steps;
+                r.detectReason = reason;
+                break;
+            }
+            acc_ = res.value;
+            zero_ = res.zero;
+            break;
+          }
+        }
+    }
+    r.halted = halted_;
+    r.output = out_;
+    return r;
+}
+
+} // namespace scal::system

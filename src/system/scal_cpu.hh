@@ -1,0 +1,92 @@
+/**
+ * @file
+ * The SCAL CPU (Figure 7.3): an accumulator machine whose datapath is
+ * the gate-level self-dual ALU operated in alternating mode — every
+ * ALU instruction evaluates twice, on (a, b, φ=0) and (ā, b̄, φ=1) —
+ * with a dual-rail-style check that every datapath output alternated,
+ * an odd-XOR checker line, and a parity-checked data memory behind
+ * the ALPT/PALT-style encode/decode. Any single stuck-at fault in the
+ * datapath surfaces as a non-code word before a wrong result commits;
+ * the clock-disable hardcore then freezes the machine.
+ */
+
+#ifndef SCAL_SYSTEM_SCAL_CPU_HH
+#define SCAL_SYSTEM_SCAL_CPU_HH
+
+#include <memory>
+#include <limits>
+#include <optional>
+#include <string>
+
+#include "netlist/netlist.hh"
+#include "sim/evaluator.hh"
+#include "system/memory.hh"
+#include "system/reference_cpu.hh"
+
+namespace scal::system
+{
+
+struct ScalRunResult : RunResult
+{
+    bool errorDetected = false;
+    long detectStep = -1;
+    std::string detectReason;
+};
+
+class ScalCpu
+{
+  public:
+    explicit ScalCpu(Program prog);
+    ~ScalCpu();
+
+    void poke(std::uint8_t addr, std::uint8_t value);
+
+    /** Inject a persistent stuck-at fault into one operation's ALU. */
+    void injectAluFault(AluOp op, const netlist::Fault &fault);
+
+    /**
+     * Restrict the injected ALU fault to executed-step window
+     * [from, until) — a transient failure at system level.
+     */
+    void setAluFaultWindow(long from, long until);
+
+    /** Inject a memory cell/bit-line fault. */
+    void injectMemFault(const ParityMemory::CellFault &fault);
+
+    /**
+     * Run until HALT, the step budget, or error detection (the
+     * hardcore disables the clock on the first non-code word).
+     */
+    ScalRunResult run(long max_steps = 100000);
+
+    /** The self-dual ALU netlist used for @p op (for inspection). */
+    const netlist::Netlist &aluNet(AluOp op);
+
+  private:
+    struct AluUnit;
+
+    /** Lazily build the checked datapath for one operation. */
+    AluUnit &unit(AluOp op);
+
+    /** Two-period ALU evaluation with checking. */
+    AluResult evalAlu(AluOp op, std::uint8_t a, std::uint8_t b,
+                      bool &code_ok, std::string &reason);
+
+    Program prog_;
+    ParityMemory mem_;
+    std::unique_ptr<AluUnit> alus_[kNumAluOps];
+    std::optional<std::pair<AluOp, netlist::Fault>> aluFault_;
+    long faultFrom_ = 0;
+    long faultUntil_ = std::numeric_limits<long>::max();
+    long currentStep_ = 0;
+
+    std::uint8_t acc_ = 0;
+    std::uint16_t pc_ = 0;
+    bool zero_ = true;
+    bool halted_ = false;
+    std::vector<std::uint8_t> out_;
+};
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_SCAL_CPU_HH

@@ -1,0 +1,81 @@
+#include "system/tmr.hh"
+
+namespace scal::system
+{
+
+TmrSystem::TmrSystem(const Program &prog)
+    : cpus_(3, ReferenceCpu(prog))
+{
+}
+
+void
+TmrSystem::corruptMember(int which, ReferenceCpu::Corruptor c)
+{
+    cpus_[which].setCorruptor(std::move(c));
+}
+
+void
+TmrSystem::poke(std::uint8_t addr, std::uint8_t value)
+{
+    for (auto &cpu : cpus_)
+        cpu.poke(addr, value);
+}
+
+namespace
+{
+
+template <typename T>
+T
+vote3(T a, T b, T c)
+{
+    return (a == b || a == c) ? a : b;
+}
+
+} // namespace
+
+TmrSystem::TmrResult
+TmrSystem::run(long max_steps)
+{
+    TmrResult r;
+    while (r.steps < max_steps) {
+        bool any = false;
+        for (auto &cpu : cpus_)
+            any |= cpu.step();
+        ++r.steps;
+
+        // Vote and re-synchronize architectural state.
+        const std::uint8_t acc = vote3(cpus_[0].acc(), cpus_[1].acc(),
+                                       cpus_[2].acc());
+        const bool zero = vote3(cpus_[0].zeroFlag(), cpus_[1].zeroFlag(),
+                                cpus_[2].zeroFlag());
+        const std::uint16_t pc =
+            vote3(cpus_[0].pc(), cpus_[1].pc(), cpus_[2].pc());
+        for (auto &cpu : cpus_) {
+            if (cpu.acc() != acc || cpu.zeroFlag() != zero ||
+                cpu.pc() != pc) {
+                ++r.disagreements;
+                cpu.forceState(acc, zero, pc);
+            }
+        }
+        if (!any)
+            break;
+    }
+
+    // Element-wise vote over the output streams.
+    const std::size_t len = std::max(
+        {cpus_[0].output().size(), cpus_[1].output().size(),
+         cpus_[2].output().size()});
+    auto at = [](const std::vector<std::uint8_t> &v, std::size_t i) {
+        return i < v.size() ? v[i] : std::uint8_t{0};
+    };
+    for (std::size_t i = 0; i < len; ++i) {
+        r.output.push_back(vote3(at(cpus_[0].output(), i),
+                                 at(cpus_[1].output(), i),
+                                 at(cpus_[2].output(), i)));
+    }
+    r.halted = cpus_[0].halted() && cpus_[1].halted() &&
+               cpus_[2].halted();
+    return r;
+}
+
+} // namespace scal::system

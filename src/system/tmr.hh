@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Triple modular redundancy baseline (Section 7.4): three CPUs in
+ * lock-step with a bitwise majority voter on architectural effects.
+ * One member may be given a corrupted ALU; the system masks it at 3x
+ * hardware cost.
+ */
+
+#ifndef SCAL_SYSTEM_TMR_HH
+#define SCAL_SYSTEM_TMR_HH
+
+#include "system/reference_cpu.hh"
+
+namespace scal::system
+{
+
+class TmrSystem
+{
+  public:
+    explicit TmrSystem(const Program &prog);
+
+    /** Install an ALU corruptor on member @p which (0..2). */
+    void corruptMember(int which, ReferenceCpu::Corruptor c);
+
+    void poke(std::uint8_t addr, std::uint8_t value);
+
+    struct TmrResult : RunResult
+    {
+        long disagreements = 0; ///< steps where a member was outvoted
+    };
+
+    /**
+     * Run in lock-step; after each step the members' accumulator,
+     * flags and pc are voted and written back, so a faulty member is
+     * continuously re-synchronized.
+     */
+    TmrResult run(long max_steps = 100000);
+
+  private:
+    std::vector<ReferenceCpu> cpus_;
+};
+
+} // namespace scal::system
+
+#endif // SCAL_SYSTEM_TMR_HH

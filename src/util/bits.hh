@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Small bit-manipulation helpers shared across the SCAL libraries.
+ */
+
+#ifndef SCAL_UTIL_BITS_HH
+#define SCAL_UTIL_BITS_HH
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+
+namespace scal::util
+{
+
+/** Number of 64-bit words needed to hold @p nbits bits. */
+constexpr std::size_t
+wordsFor(std::size_t nbits)
+{
+    return (nbits + 63) / 64;
+}
+
+/** Mask selecting the low @p nbits bits of a word (nbits in [0,64]). */
+constexpr std::uint64_t
+lowMask(std::size_t nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << nbits) - 1);
+}
+
+/** Population count of a 64-bit word. */
+inline int
+popcount(std::uint64_t w)
+{
+    return std::popcount(w);
+}
+
+/** Parity (modulo-2 popcount) of a 64-bit word. */
+inline bool
+parity(std::uint64_t w)
+{
+    return std::popcount(w) & 1;
+}
+
+/** Extract bit @p i of @p w. */
+inline bool
+getBit(std::uint64_t w, unsigned i)
+{
+    return (w >> i) & 1;
+}
+
+} // namespace scal::util
+
+#endif // SCAL_UTIL_BITS_HH

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Deterministic pseudo-random generator used by property tests,
+ * random-function generators and the fault-injection campaigns.
+ *
+ * A fixed, seedable generator (xoshiro256**) keeps every experiment in
+ * the repository reproducible bit-for-bit across platforms, which the
+ * standard library engines do not guarantee for distributions.
+ */
+
+#ifndef SCAL_UTIL_RNG_HH
+#define SCAL_UTIL_RNG_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace scal::util
+{
+
+/** xoshiro256** deterministic PRNG. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x5ca1ab1edeadbeefULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform value in [0, bound). @pre bound > 0. */
+    std::uint64_t below(std::uint64_t bound);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t range(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli draw with probability @p p of true. */
+    bool chance(double p);
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Fisher-Yates shuffle of a vector. */
+    template <typename T>
+    void
+    shuffle(std::vector<T> &v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = below(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace scal::util
+
+#endif // SCAL_UTIL_RNG_HH

@@ -1,0 +1,87 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace scal::util
+{
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header))
+{
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    rows_.push_back(std::move(cells));
+}
+
+void
+Table::addRule()
+{
+    rows_.push_back({"\x01"});
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == "\x01")
+            continue;
+        for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto rule = [&] {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < row.size() ? row[c] : "";
+            os << "| " << cell
+               << std::string(widths[c] - cell.size() + 1, ' ');
+        }
+        os << "|\n";
+    };
+
+    rule();
+    emit(header_);
+    rule();
+    for (const auto &row : rows_) {
+        if (row.size() == 1 && row[0] == "\x01")
+            rule();
+        else
+            emit(row);
+    }
+    rule();
+}
+
+std::string
+Table::num(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+Table::num(long long v)
+{
+    return std::to_string(v);
+}
+
+void
+banner(std::ostream &os, const std::string &title)
+{
+    os << '\n' << std::string(72, '=') << '\n'
+       << title << '\n'
+       << std::string(72, '=') << '\n';
+}
+
+} // namespace scal::util

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Plain-text aligned table rendering for the benchmark binaries that
+ * regenerate the paper's tables and figures.
+ */
+
+#ifndef SCAL_UTIL_TABLE_HH
+#define SCAL_UTIL_TABLE_HH
+
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace scal::util
+{
+
+/**
+ * A simple column-aligned ASCII table. Rows are strings; numeric
+ * convenience overloads format with sensible defaults.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header);
+
+    /** Append a row; it may be shorter than the header. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal rule between row groups. */
+    void addRule();
+
+    /** Render with column alignment to @p os. */
+    void print(std::ostream &os) const;
+
+    /** Format helpers. */
+    static std::string num(double v, int precision = 2);
+    static std::string num(long long v);
+
+  private:
+    std::vector<std::string> header_;
+    // A row with the single sentinel cell "\x01" renders as a rule.
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Print a section banner used by every bench binary. */
+void banner(std::ostream &os, const std::string &title);
+
+} // namespace scal::util
+
+#endif // SCAL_UTIL_TABLE_HH

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "system/adr.hh"
+#include "system/campaign.hh"
+#include "system/tmr.hh"
+#include "util/rng.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace system;
+
+TEST(Adr, FaultFreePassesThrough)
+{
+    AdrAlu alu(AluOp::Add);
+    const auto oc = alu.execute(100, 55);
+    EXPECT_FALSE(oc.errorDetected);
+    EXPECT_FALSE(oc.retried);
+    EXPECT_EQ(oc.result.value, 155);
+}
+
+TEST(Adr, CorrectsEverySingleStuckFault)
+{
+    // Shedletsky's claim: duplication detects, the alternate-data
+    // retry corrects — for every single stuck-at in the datapath.
+    for (AluOp op : {AluOp::Add, AluOp::Xor, AluOp::Sub}) {
+        const netlist::Netlist net = aluNetlist(op);
+        util::Rng rng(141);
+        for (const netlist::Fault &fault : net.allFaults()) {
+            AdrAlu alu(op);
+            alu.injectFault(fault);
+            for (int t = 0; t < 8; ++t) {
+                const auto a =
+                    static_cast<std::uint8_t>(rng.below(256));
+                const auto b =
+                    static_cast<std::uint8_t>(rng.below(256));
+                const auto oc = alu.execute(a, b);
+                ASSERT_EQ(oc.result.value,
+                          aluReference(op, a, b).value)
+                    << aluOpName(op);
+            }
+        }
+    }
+}
+
+TEST(Adr, RetryOnlyOnMismatch)
+{
+    // A fault that never fires for these operands must not trigger
+    // the (half-speed) retry path.
+    AdrAlu alu(AluOp::And);
+    const auto oc = alu.execute(0xff, 0xf0);
+    EXPECT_FALSE(oc.retried);
+}
+
+TEST(Fig75, FaultFreeFullSpeed)
+{
+    Fig75Alu alu(AluOp::Add);
+    const auto oc = alu.execute(12, 30);
+    EXPECT_FALSE(oc.mismatch);
+    EXPECT_FALSE(oc.voted);
+    EXPECT_EQ(oc.result.value, 42);
+}
+
+TEST(Fig75, MasksEverySingleStuckFaultInScalCopy)
+{
+    for (AluOp op : {AluOp::Add, AluOp::Or}) {
+        const netlist::Netlist net = aluNetlist(op);
+        util::Rng rng(142);
+        for (const netlist::Fault &fault : net.allFaults()) {
+            Fig75Alu alu(op);
+            alu.injectFault(fault);
+            for (int t = 0; t < 8; ++t) {
+                const auto a =
+                    static_cast<std::uint8_t>(rng.below(256));
+                const auto b =
+                    static_cast<std::uint8_t>(rng.below(256));
+                const auto oc = alu.execute(a, b);
+                ASSERT_EQ(oc.result.value,
+                          aluReference(op, a, b).value)
+                    << aluOpName(op);
+            }
+        }
+    }
+}
+
+TEST(Tmr, FaultFreeLockStep)
+{
+    const Workload wl = standardWorkloads()[1];
+    TmrSystem tmr(wl.prog);
+    for (auto [addr, value] : wl.data)
+        tmr.poke(addr, value);
+    const auto r = tmr.run();
+    EXPECT_EQ(r.output, goldenOutput(wl));
+    EXPECT_EQ(r.disagreements, 0);
+}
+
+TEST(Tmr, MasksOneCorruptMember)
+{
+    const Workload wl = standardWorkloads()[1];
+    for (int member = 0; member < 3; ++member) {
+        TmrSystem tmr(wl.prog);
+        for (auto [addr, value] : wl.data)
+            tmr.poke(addr, value);
+        tmr.corruptMember(member, [](AluOp, std::uint8_t,
+                                     std::uint8_t, AluResult r) {
+            r.value ^= 0x40;
+            r.zero = r.value == 0;
+            return r;
+        });
+        const auto r = tmr.run();
+        EXPECT_EQ(r.output, goldenOutput(wl)) << "member " << member;
+        EXPECT_GT(r.disagreements, 0);
+    }
+}
+
+TEST(Tmr, TwoCorruptMembersDefeatIt)
+{
+    // The boundary of the TMR guarantee.
+    const Workload wl = standardWorkloads()[0];
+    TmrSystem tmr(wl.prog);
+    for (auto [addr, value] : wl.data)
+        tmr.poke(addr, value);
+    auto corrupt = [](AluOp, std::uint8_t, std::uint8_t, AluResult r) {
+        r.value = 0x12; // a constant wrong answer cannot cancel out
+        r.zero = false;
+        return r;
+    };
+    tmr.corruptMember(0, corrupt);
+    tmr.corruptMember(1, corrupt);
+    const auto r = tmr.run();
+    EXPECT_NE(r.output, goldenOutput(wl));
+}
+
+} // namespace
+} // namespace scal

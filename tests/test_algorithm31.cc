@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/algorithm31.hh"
+#include "core/repair.hh"
+#include "fault/campaign.hh"
+#include "netlist/circuits.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using core::Algorithm31Report;
+using core::SiteReport;
+
+const SiteReport *
+siteNamed(const Algorithm31Report &report, const Netlist &net,
+          const std::string &name, bool stem_only = true)
+{
+    for (const SiteReport &sr : report.sites) {
+        if (net.gate(sr.site.driver).name != name)
+            continue;
+        if (stem_only && !sr.site.isStem())
+            continue;
+        return &sr;
+    }
+    return nullptr;
+}
+
+TEST(Algorithm31, AdderIsScal)
+{
+    const Netlist net = circuits::selfDualFullAdder();
+    const auto report = core::runAlgorithm31(net);
+    EXPECT_TRUE(report.alternatingNetwork);
+    EXPECT_TRUE(report.selfChecking());
+    EXPECT_EQ(report.numUnsafeSites, 0);
+    EXPECT_EQ(report.numUntestableSites, 0);
+}
+
+TEST(Algorithm31, Section36Classification)
+{
+    const Netlist net = circuits::section36Network();
+    const auto report = core::runAlgorithm31(net);
+
+    EXPECT_TRUE(report.alternatingNetwork);
+    EXPECT_FALSE(report.selfChecking());
+
+    // Exactly the u/w1/w2 stems are unsafe (w1/w2 s-a-0 force u to a
+    // constant, the same failure mode as u itself).
+    std::vector<std::string> unsafe_names;
+    for (const SiteReport &sr : report.sites)
+        if (!sr.faultSecure)
+            unsafe_names.push_back(net.gate(sr.site.driver).name);
+    std::sort(unsafe_names.begin(), unsafe_names.end());
+    EXPECT_EQ(unsafe_names,
+              (std::vector<std::string>{"u", "w1", "w2"}));
+
+    // The shared t9 stem is the rescued line.
+    const SiteReport *t9 = siteNamed(report, net, "t9");
+    ASSERT_NE(t9, nullptr);
+    EXPECT_TRUE(t9->rescuedByMultiOutput);
+    EXPECT_TRUE(t9->selfChecking());
+    EXPECT_EQ(report.numRescued, 1);
+}
+
+TEST(Algorithm31, Section36PerOutputConditions)
+{
+    const Netlist net = circuits::section36Network();
+    const auto report = core::runAlgorithm31(net);
+    const SiteReport *t9 = siteNamed(report, net, "t9");
+    ASSERT_NE(t9, nullptr);
+    // t9 feeds F2 (no single-output condition) and F3 (condition B).
+    ASSERT_EQ(t9->perOutput.size(), 2u);
+    for (const auto &po : t9->perOutput) {
+        if (po.output == 1) {
+            EXPECT_EQ(po.condition, core::Condition::None);
+        }
+        if (po.output == 2) {
+            EXPECT_EQ(po.condition, core::Condition::B);
+        }
+    }
+}
+
+TEST(Algorithm31, RepairedNetworkIsScal)
+{
+    const auto report =
+        core::runAlgorithm31(circuits::section36NetworkRepaired());
+    EXPECT_TRUE(report.selfChecking());
+    EXPECT_EQ(report.numUnsafeSites, 0);
+}
+
+TEST(Algorithm31, GenericRepairTransformFixesU)
+{
+    // Applying the Figure 3.7 transform automatically (duplicate the
+    // subnetwork behind u, depth 4 reaches back through w1/w2/t9)
+    // must yield a fully self-checking network, matching the
+    // hand-repaired circuit.
+    const Netlist net = circuits::section36Network();
+    const auto lines = circuits::section36Lines(net);
+    const Netlist repaired = core::repairByFanoutSplit(net, lines.u, 4);
+
+    repaired.validate();
+    const auto report = core::runAlgorithm31(repaired);
+    EXPECT_TRUE(report.selfChecking());
+
+    // And it is still functionally the same network.
+    const auto campaign = fault::runAlternatingCampaign(repaired);
+    EXPECT_TRUE(campaign.selfChecking());
+}
+
+TEST(Algorithm31, ShallowRepairIsNotEnough)
+{
+    // Duplicating only the gate driving u (depth 1) moves the problem
+    // to the w1/w2 stems, as the analysis predicts: the repair depth
+    // matters.
+    const Netlist net = circuits::section36Network();
+    const auto lines = circuits::section36Lines(net);
+    const Netlist shallow = core::repairByFanoutSplit(net, lines.u, 1);
+    const auto report = core::runAlgorithm31(shallow);
+    EXPECT_FALSE(report.selfChecking());
+}
+
+TEST(Algorithm31, ReportAgreesWithCampaign)
+{
+    for (const Netlist &net :
+         {circuits::section36Network(),
+          circuits::section36NetworkRepaired(),
+          circuits::selfDualFullAdder()}) {
+        const auto report = core::runAlgorithm31(net);
+        const auto campaign = fault::runAlternatingCampaign(net);
+        EXPECT_EQ(report.selfChecking(), campaign.selfChecking());
+    }
+}
+
+TEST(Algorithm31, PrintReportMentionsVerdicts)
+{
+    const Netlist net = circuits::section36Network();
+    const auto report = core::runAlgorithm31(net);
+    std::ostringstream os;
+    core::printReport(os, net, report);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("NOT self-checking"), std::string::npos);
+    EXPECT_NE(s.find("rescued"), std::string::npos);
+}
+
+TEST(Repair, NoFanoutIsNoOp)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId g = net.addNot(a, "g");
+    net.addOutput(g, "f");
+    const Netlist same = core::repairByFanoutSplit(net, g, 2);
+    EXPECT_EQ(same.numGates(), net.numGates());
+}
+
+TEST(Repair, BadArgumentsThrow)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    net.addOutput(a, "f");
+    EXPECT_THROW(core::repairByFanoutSplit(net, 99, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(core::repairByFanoutSplit(net, a, 0),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace scal

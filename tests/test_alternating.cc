@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "netlist/circuits.hh"
+#include "sim/alternating.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+TEST(Alternating, AdderAlternates)
+{
+    EXPECT_TRUE(sim::isAlternatingNetwork(circuits::selfDualFullAdder()));
+    EXPECT_TRUE(sim::isAlternatingNetwork(circuits::rippleCarryAdder(3)));
+}
+
+TEST(Alternating, NonSelfDualDoesNot)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    net.addOutput(net.addAnd({a, b}), "f");
+    EXPECT_FALSE(sim::isAlternatingNetwork(net));
+}
+
+TEST(Alternating, Section36NetworksAlternate)
+{
+    EXPECT_TRUE(sim::isAlternatingNetwork(circuits::section36Network()));
+    EXPECT_TRUE(
+        sim::isAlternatingNetwork(circuits::section36NetworkRepaired()));
+}
+
+TEST(Alternating, FaultFreeIsCorrectEverywhere)
+{
+    const Netlist net = circuits::selfDualFullAdder();
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        const auto oc = sim::evalAlternating(
+            net, {bool(m & 1), bool(m & 2), bool(m & 4)});
+        for (auto c : oc.classes)
+            EXPECT_EQ(c, sim::PairClass::Correct);
+        for (int j = 0; j < net.numOutputs(); ++j)
+            EXPECT_NE(oc.first[j], oc.second[j]);
+    }
+}
+
+TEST(Alternating, StuckOutputIsNonAlternating)
+{
+    const Netlist net = circuits::selfDualFullAdder();
+    const Fault fault{{net.outputs()[0], FaultSite::kStem, -1}, true};
+    bool saw_nonalt = false;
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        const auto oc = sim::evalAlternating(
+            net, {bool(m & 1), bool(m & 2), bool(m & 4)}, &fault);
+        // The sum output is pinned to 1 in both periods.
+        EXPECT_EQ(oc.first[0], true);
+        EXPECT_EQ(oc.second[0], true);
+        saw_nonalt |= oc.classes[0] == sim::PairClass::NonAlternating;
+        // The carry output is untouched by the sum-stem fault.
+        EXPECT_EQ(oc.classes[1], sim::PairClass::Correct);
+    }
+    EXPECT_TRUE(saw_nonalt);
+}
+
+TEST(Alternating, IncorrectAlternationObservable)
+{
+    // The section 3.6 network's line u stuck-at-0 produces an
+    // incorrectly alternating F2 whenever A ⊕ B = 1.
+    const Netlist net = circuits::section36Network();
+    const auto lines = circuits::section36Lines(net);
+    const Fault fault{{lines.u, FaultSite::kStem, -1}, false};
+
+    bool saw_incorrect = false;
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        const auto oc = sim::evalAlternating(
+            net, {bool(m & 1), bool(m & 2), bool(m & 4)}, &fault);
+        if (oc.classes[1] == sim::PairClass::IncorrectAlternation) {
+            saw_incorrect = true;
+            const bool a = m & 1, b = m & 2;
+            EXPECT_NE(a, b); // only where A xor B
+        }
+    }
+    EXPECT_TRUE(saw_incorrect);
+}
+
+TEST(Alternating, RejectsSequentialNetlist)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId ff = net.addDff(x);
+    net.addOutput(ff, "q");
+    EXPECT_THROW(sim::evalAlternating(net, {true}),
+                 std::invalid_argument);
+}
+
+TEST(Alternating, PairClassNames)
+{
+    EXPECT_STREQ(sim::pairClassName(sim::PairClass::Correct), "correct");
+    EXPECT_STREQ(sim::pairClassName(sim::PairClass::NonAlternating),
+                 "non-alternating");
+    EXPECT_STREQ(
+        sim::pairClassName(sim::PairClass::IncorrectAlternation),
+        "incorrect-alt");
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.hh"
+#include "logic/function_gen.hh"
+#include "netlist/circuits.hh"
+#include "netlist/structure.hh"
+#include "sim/alternating.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using core::Corollary31Form;
+using core::FaultAnalysis;
+using core::ScalAnalyzer;
+
+TEST(Analyzer, RejectsSequential)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId ff = net.addDff(x);
+    net.addOutput(ff, "q");
+    EXPECT_THROW(ScalAnalyzer an(net), std::invalid_argument);
+}
+
+TEST(Analyzer, AlternatingNetworkDetection)
+{
+    ScalAnalyzer adder(circuits::selfDualFullAdder());
+    EXPECT_TRUE(adder.isAlternatingNetwork());
+
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    net.addOutput(net.addAnd({a, b}), "f");
+    ScalAnalyzer an(net);
+    EXPECT_FALSE(an.isAlternatingNetwork());
+}
+
+TEST(Analyzer, LineAlternates)
+{
+    const Netlist net = circuits::section36Network();
+    const auto lines = circuits::section36Lines(net);
+    ScalAnalyzer an(net);
+    // Inputs alternate; t9 = NAND(A,B) alternates (NAND of two vars
+    // is self-dual... check: NAND(Ā,B̄) = A∨B ≠ ¬NAND(A,B) = AB).
+    EXPECT_TRUE(an.lineAlternates(net.inputs()[0]));
+    EXPECT_FALSE(an.lineAlternates(lines.t9));
+    EXPECT_FALSE(an.lineAlternates(lines.u));
+    // The three outputs are self-dual, i.e. alternating lines.
+    for (GateId out : net.outputs())
+        EXPECT_TRUE(an.lineAlternates(out));
+}
+
+TEST(Analyzer, Theorem31PredicateMatchesSimulation)
+{
+    // Bad(X) from the symbolic analysis must coincide with observed
+    // incorrect alternation, fault by fault, input by input.
+    const Netlist net = circuits::section36Network();
+    ScalAnalyzer an(net);
+    for (const Fault &fault : net.allFaults()) {
+        const FaultAnalysis fa = an.analyzeFault(fault);
+        for (std::uint64_t m = 0; m < 8; ++m) {
+            const auto oc = sim::evalAlternating(
+                net, testing::patternOf(m, 3), &fault);
+            for (int j = 0; j < net.numOutputs(); ++j) {
+                ASSERT_EQ(fa.badPerOutput[j].get(m),
+                          oc.classes[j] ==
+                              sim::PairClass::IncorrectAlternation)
+                    << faultToString(net, fault) << " m=" << m;
+                ASSERT_EQ(fa.nonAltPerOutput[j].get(m),
+                          oc.first[j] == oc.second[j]);
+            }
+        }
+    }
+}
+
+TEST(Analyzer, UnsafePredicateIsSystemLevel)
+{
+    // Unsafe(X) = some output incorrectly alternates AND no output
+    // nonalternates: verify on the shared line t9 (rescued) and the
+    // private line u (not rescued).
+    const Netlist net = circuits::section36Network();
+    const auto lines = circuits::section36Lines(net);
+    ScalAnalyzer an(net);
+
+    const FaultAnalysis t9 =
+        an.analyzeFault({{lines.t9, FaultSite::kStem, -1}, false});
+    EXPECT_FALSE(t9.badPerOutput[1].isZero()); // F2 goes bad...
+    EXPECT_TRUE(t9.unsafe.isZero());           // ...but F3 nonalternates
+
+    const FaultAnalysis u =
+        an.analyzeFault({{lines.u, FaultSite::kStem, -1}, false});
+    EXPECT_FALSE(u.badPerOutput[1].isZero());
+    EXPECT_FALSE(u.unsafe.isZero());
+    EXPECT_FALSE(u.selfCheckingWrtFault());
+    EXPECT_TRUE(t9.selfCheckingWrtFault());
+}
+
+TEST(Analyzer, Corollary31FormsAgree)
+{
+    // Term1 ≡ 0 iff Term2 ≡ 0 iff Bad ≡ 0 (the reflection symmetry
+    // the thesis uses to halve the check).
+    const Netlist net = circuits::section36Network();
+    ScalAnalyzer an(net);
+    for (const FaultSite &site : net.faultSites()) {
+        for (bool s : {false, true}) {
+            const FaultAnalysis fa = an.analyzeFault({site, s});
+            for (int j = 0; j < net.numOutputs(); ++j) {
+                const auto t1 =
+                    an.corollary31(site, s, j, Corollary31Form::Term1);
+                const auto t2 =
+                    an.corollary31(site, s, j, Corollary31Form::Term2);
+                ASSERT_EQ(t1.isZero(), t2.isZero());
+                ASSERT_EQ(fa.badPerOutput[j], t1 | t2);
+                // Reflection maps one term onto the other.
+                ASSERT_EQ(t1.reflect(), t2);
+            }
+        }
+    }
+}
+
+TEST(Analyzer, LineRedundant)
+{
+    // The value of g is masked everywhere by the constant-0 AND
+    // input, so g (Theorem 3.4) is redundant; the AND output is not
+    // (forcing it to 1 changes f).
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId g = net.addNot(a, "g");
+    GateId zero = net.addConst(false);
+    GateId masked = net.addAnd({g, zero}, "masked");
+    GateId f = net.addOr({a, masked}, "f"); // = a
+    net.addOutput(f, "f");
+    ScalAnalyzer an(net);
+    EXPECT_TRUE(an.lineRedundant(g));
+    EXPECT_FALSE(an.lineRedundant(masked));
+    EXPECT_FALSE(an.lineRedundant(a));
+}
+
+TEST(Analyzer, TestabilityOnRandomAlternatingNetworks)
+{
+    // On an irredundant self-dual two-level network every fault is
+    // testable (Theorem 3.5).
+    util::Rng rng(61);
+    for (int trial = 0; trial < 8; ++trial) {
+        logic::TruthTable f = logic::randomSelfDual(4, rng);
+        while (!f.allVarsEssential())
+            f = logic::randomSelfDual(4, rng);
+        std::vector<logic::TruthTable> funcs{f};
+        const Netlist net = circuits::twoLevelNetwork(
+            funcs, {"f"}, {"x0", "x1", "x2", "x3"});
+        ScalAnalyzer an(net);
+        for (const Fault &fault : net.allFaults()) {
+            const FaultAnalysis fa = an.analyzeFault(fault);
+            ASSERT_TRUE(fa.testable)
+                << "trial " << trial << " "
+                << faultToString(net, fault);
+        }
+    }
+}
+
+TEST(Analyzer, FaultSecureImpliesNoWrongCodeWordEver)
+{
+    // For every fault the exact analyzer calls fault-secure, no
+    // simulated input pair may produce a wrong alternating word
+    // without a companion non-alternating output.
+    const Netlist net = circuits::section36NetworkRepaired();
+    ScalAnalyzer an(net);
+    for (const Fault &fault : net.allFaults()) {
+        const FaultAnalysis fa = an.analyzeFault(fault);
+        ASSERT_TRUE(fa.faultSecure());
+    }
+}
+
+} // namespace
+} // namespace scal

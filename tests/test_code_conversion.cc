@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "netlist/structure.hh"
+#include "seq/kohavi.hh"
+#include "sim/sequential.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using seq::StateTable;
+using seq::SynthesizedMachine;
+
+std::vector<int>
+randomBits(int n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<int> bits;
+    for (int i = 0; i < n; ++i)
+        bits.push_back(static_cast<int>(rng.below(2)));
+    return bits;
+}
+
+TEST(CodeConversion, MatchesTableOnRandomStreams)
+{
+    const StateTable table = seq::kohaviDetectorTable();
+    const SynthesizedMachine sm = seq::synthesizeCodeConversion(table);
+    sm.net.validate();
+
+    const auto bits = randomBits(2000, 101);
+    const auto run = seq::runAlternating(sm, bits);
+    EXPECT_EQ(run.outputs, table.run(bits));
+    EXPECT_TRUE(run.allAlternated);
+}
+
+TEST(CodeConversion, UsesNPlusOneFlipFlops)
+{
+    const SynthesizedMachine sm = seq::translatorDetector();
+    // n = 2 state bits -> 3 flip-flops (Table 4.1).
+    EXPECT_EQ(sm.net.cost().flipFlops, 3);
+}
+
+TEST(CodeConversion, ExposesCheckPair)
+{
+    const SynthesizedMachine sm = seq::translatorDetector();
+    ASSERT_EQ(sm.checkOutputs.size(), 2u);
+    EXPECT_EQ(sm.net.outputName(sm.checkOutputs[0]), "chk0");
+    EXPECT_EQ(sm.net.outputName(sm.checkOutputs[1]), "chk1");
+}
+
+TEST(CodeConversion, OddStateBitsWork)
+{
+    // A 5..8-state machine has 3 state bits: the odd-word φ padding
+    // path in the translators.
+    util::Rng rng(102);
+    const StateTable table = testing::randomStateTable(6, 1, 1, rng);
+    const SynthesizedMachine sm = seq::synthesizeCodeConversion(table);
+    EXPECT_EQ(sm.net.cost().flipFlops, 4); // 3 data + 1 parity
+
+    const auto bits = randomBits(500, 103);
+    const auto run = seq::runAlternating(sm, bits);
+    EXPECT_EQ(run.outputs, table.run(bits));
+    EXPECT_TRUE(run.allAlternated);
+}
+
+TEST(CodeConversion, SingleFaultsNeverEscapeSilently)
+{
+    const StateTable table = seq::kohaviDetectorTable();
+    const SynthesizedMachine sm = seq::synthesizeCodeConversion(table);
+    const auto bits = randomBits(300, 104);
+    const auto golden = table.run(bits);
+
+    int wrong_then_caught = 0;
+    for (const Fault &fault : sm.net.allFaults()) {
+        const auto run = seq::runAlternating(sm, bits, &fault);
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            if (run.outputs[i] != golden[i]) {
+                ASSERT_FALSE(run.allAlternated)
+                    << faultToString(sm.net, fault);
+                ASSERT_LE(run.firstErrorSymbol, static_cast<long>(i))
+                    << faultToString(sm.net, fault);
+                ++wrong_then_caught;
+                break;
+            }
+        }
+    }
+    EXPECT_GT(wrong_then_caught, 0);
+}
+
+TEST(CodeConversion, CheaperInFlipFlopsThanDualFlipFlop)
+{
+    util::Rng rng(105);
+    for (int states : {4, 6, 8}) {
+        const StateTable table =
+            testing::randomStateTable(states, 1, 1, rng);
+        const auto dff = seq::synthesizeDualFlipFlop(table);
+        const auto cc = seq::synthesizeCodeConversion(table);
+        EXPECT_LT(cc.net.cost().flipFlops,
+                  dff.net.cost().flipFlops)
+            << states << " states";
+    }
+}
+
+TEST(CodeConversion, ThreeImplementationsAgree)
+{
+    const StateTable table = seq::kohaviDetectorTable();
+    const auto bits = randomBits(800, 106);
+    const auto golden = table.run(bits);
+
+    const auto koh = seq::kohaviDetector();
+    sim::SeqSimulator s(koh.net);
+    std::vector<unsigned> koh_out;
+    for (int b : bits) {
+        const auto o = s.stepPeriod({static_cast<bool>(b)});
+        koh_out.push_back(o[koh.zOutputs[0]]);
+    }
+    EXPECT_EQ(koh_out, golden);
+    EXPECT_EQ(seq::runAlternating(seq::reynoldsDetector(), bits).outputs,
+              golden);
+    EXPECT_EQ(
+        seq::runAlternating(seq::translatorDetector(), bits).outputs,
+        golden);
+}
+
+} // namespace
+} // namespace scal

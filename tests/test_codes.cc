@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "codes/codes.hh"
+#include "util/rng.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace codes;
+
+template <typename C>
+void
+roundTrip(const C &code)
+{
+    for (std::uint64_t d = 0; d < (std::uint64_t{1} << code.dataBits());
+         ++d) {
+        const Word w = code.encode(d);
+        ASSERT_EQ(static_cast<int>(w.size()), code.totalBits());
+        ASSERT_EQ(code.check(w), Check::Valid) << code.name() << " " << d;
+        ASSERT_EQ(code.decode(w), d) << code.name() << " " << d;
+    }
+}
+
+TEST(Codes, ParityRoundTripAndSingleErrors)
+{
+    ParityCode code(6);
+    roundTrip(code);
+    EXPECT_EQ(code.checkBits(), 1);
+    EXPECT_TRUE(code.detectsAllSingleErrors());
+}
+
+TEST(Codes, ParityMissesDoubleErrors)
+{
+    ParityCode code(4);
+    Word w = code.encode(0b1010);
+    w[0] = !w[0];
+    w[1] = !w[1];
+    EXPECT_EQ(code.check(w), Check::Valid); // undetected, as expected
+}
+
+TEST(Codes, TwoRailProperties)
+{
+    TwoRailCode code(5);
+    roundTrip(code);
+    EXPECT_TRUE(code.detectsAllSingleErrors());
+    EXPECT_TRUE(code.detectsAllUnidirectionalErrors());
+    EXPECT_DOUBLE_EQ(code.overhead(), 2.0);
+}
+
+TEST(Codes, BergerRoundTrip)
+{
+    for (int n : {3, 4, 7, 8}) {
+        BergerCode code(n);
+        roundTrip(code);
+    }
+}
+
+TEST(Codes, BergerCheckBitsLogarithmic)
+{
+    EXPECT_EQ(BergerCode(3).checkBits(), 2);
+    EXPECT_EQ(BergerCode(4).checkBits(), 3);
+    EXPECT_EQ(BergerCode(7).checkBits(), 3);
+    EXPECT_EQ(BergerCode(8).checkBits(), 4);
+}
+
+TEST(Codes, BergerDetectsAllUnidirectionalErrors)
+{
+    for (int n : {3, 5, 8}) {
+        BergerCode code(n);
+        EXPECT_TRUE(code.detectsAllSingleErrors()) << n;
+        EXPECT_TRUE(code.detectsAllUnidirectionalErrors()) << n;
+    }
+}
+
+TEST(Codes, BergerMissesSomeBidirectionalErrors)
+{
+    // Flip a 1 to 0 and a 0 to 1 in the data: zero count unchanged.
+    BergerCode code(4);
+    Word w = code.encode(0b0101);
+    w[0] = !w[0]; // 1 -> 0
+    w[1] = !w[1]; // 0 -> 1
+    EXPECT_EQ(code.check(w), Check::Valid);
+}
+
+TEST(Codes, MOutOfNRoundTrip)
+{
+    for (auto [m, n] : std::vector<std::pair<int, int>>{
+             {1, 2}, {2, 4}, {2, 5}, {3, 6}}) {
+        MOutOfNCode code(m, n);
+        roundTrip(code);
+    }
+}
+
+TEST(Codes, MOutOfNCapacity)
+{
+    MOutOfNCode code(2, 4); // C(4,2) = 6 codewords -> 2 data bits
+    EXPECT_EQ(code.codewords(), 6u);
+    EXPECT_EQ(code.dataBits(), 2);
+    EXPECT_THROW(code.encode(4), std::out_of_range);
+    EXPECT_THROW(MOutOfNCode(0, 4), std::invalid_argument);
+    EXPECT_THROW(MOutOfNCode(4, 4), std::invalid_argument);
+}
+
+TEST(Codes, MOutOfNDetectsUnidirectional)
+{
+    MOutOfNCode code(2, 5);
+    EXPECT_TRUE(code.detectsAllSingleErrors());
+    EXPECT_TRUE(code.detectsAllUnidirectionalErrors());
+}
+
+TEST(Codes, MOutOfNEncodingsAreDistinctValidWords)
+{
+    MOutOfNCode code(3, 7);
+    std::set<std::vector<bool>> seen;
+    for (std::uint64_t d = 0; d < (std::uint64_t{1} << code.dataBits());
+         ++d) {
+        const Word w = code.encode(d);
+        int ones = 0;
+        for (bool b : w)
+            ones += b;
+        ASSERT_EQ(ones, 3);
+        ASSERT_TRUE(seen.insert(w).second);
+    }
+}
+
+TEST(Codes, AlternatingSharesTwoRailDistanceButHalfTheWires)
+{
+    AlternatingCode alt(6);
+    TwoRailCode rail(6);
+    roundTrip(alt);
+    EXPECT_TRUE(alt.detectsAllSingleErrors());
+    EXPECT_TRUE(alt.detectsAllUnidirectionalErrors());
+    EXPECT_EQ(alt.totalBits(), rail.totalBits());
+    // The thesis's pin-count argument: same information redundancy,
+    // half the simultaneous wires.
+    EXPECT_EQ(alt.wires(), rail.totalBits() / 2);
+}
+
+TEST(Codes, OverheadOrdering)
+{
+    // Parity is the cheapest, Berger logarithmic, duplication 2x.
+    const int n = 8;
+    EXPECT_LT(ParityCode(n).overhead(), BergerCode(n).overhead());
+    EXPECT_LT(BergerCode(n).overhead(), TwoRailCode(n).overhead());
+}
+
+} // namespace
+} // namespace scal

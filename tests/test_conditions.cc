@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "core/conditions.hh"
+#include "logic/function_gen.hh"
+#include "netlist/circuits.hh"
+#include "netlist/structure.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using namespace core;
+
+struct Section36Conditions : ::testing::Test
+{
+    Netlist net = circuits::section36Network();
+    circuits::Section36Lines lines = circuits::section36Lines(net);
+    ScalAnalyzer an{net};
+
+    GateId
+    byName(const std::string &name) const
+    {
+        for (GateId g = 0; g < net.numGates(); ++g)
+            if (net.gate(g).name == name)
+                return g;
+        return kNoGate;
+    }
+};
+
+TEST_F(Section36Conditions, InputsSatisfyA)
+{
+    for (GateId in : net.inputs())
+        EXPECT_TRUE(conditionA(an, {in, FaultSite::kStem, -1}));
+}
+
+TEST_F(Section36Conditions, SharedNandFailsA)
+{
+    EXPECT_FALSE(conditionA(an, {lines.t9, FaultSite::kStem, -1}));
+}
+
+TEST_F(Section36Conditions, F1ProductsSatisfyB)
+{
+    // The AND gates of the two-level F1 cone: single unate paths.
+    for (const char *name : {"a1", "a2", "a3"}) {
+        const GateId g = byName(name);
+        ASSERT_NE(g, kNoGate);
+        EXPECT_TRUE(conditionB(an, {g, FaultSite::kStem, -1}, 0))
+            << name;
+    }
+}
+
+TEST_F(Section36Conditions, T9StemSatisfiesBOnF3Only)
+{
+    const FaultSite t9{lines.t9, FaultSite::kStem, -1};
+    // Within F3's cone, t9 has one path (into the output NAND).
+    EXPECT_TRUE(conditionB(an, t9, 2));
+    // Within F2's cone it fans out to w1 and w2.
+    EXPECT_FALSE(conditionB(an, t9, 1));
+}
+
+TEST_F(Section36Conditions, UStemFailsAllSingleOutputConditions)
+{
+    const FaultSite u{lines.u, FaultSite::kStem, -1};
+    EXPECT_FALSE(conditionA(an, u));
+    EXPECT_FALSE(conditionB(an, u, 1));
+    EXPECT_FALSE(conditionC(an, u, 1)); // unequal-parity reconvergence
+    EXPECT_FALSE(conditionD(an, u, 1));
+    EXPECT_FALSE(conditionE(an, u, 1));
+    EXPECT_FALSE(multiOutputCondition(an, u));
+    EXPECT_EQ(firstSatisfied(an, u, 1), Condition::None);
+}
+
+TEST_F(Section36Conditions, UBranchesAreCovered)
+{
+    // u's branch into p has a single unate path (B); the branch into
+    // v has uniform parity (C covers it before E).
+    const GateId p = byName("p");
+    const GateId v = byName("v");
+    EXPECT_EQ(firstSatisfied(an, {lines.u, p, 0}, 1), Condition::B);
+    EXPECT_EQ(firstSatisfied(an, {lines.u, v, 0}, 1), Condition::C);
+}
+
+TEST_F(Section36Conditions, T9BranchesIntoXorStageSatisfyD)
+{
+    // The branches of t9 into w1/w2 share those NANDs with the
+    // alternating inputs A and B.
+    const GateId w1 = byName("w1");
+    const GateId w2 = byName("w2");
+    EXPECT_EQ(firstSatisfied(an, {lines.t9, w1, 1}, 1), Condition::D);
+    EXPECT_EQ(firstSatisfied(an, {lines.t9, w2, 1}, 1), Condition::D);
+}
+
+TEST_F(Section36Conditions, T9StemRescuedByCorollary32)
+{
+    const FaultSite t9{lines.t9, FaultSite::kStem, -1};
+    EXPECT_EQ(firstSatisfied(an, t9, 1), Condition::None);
+    EXPECT_TRUE(multiOutputCondition(an, t9));
+}
+
+TEST_F(Section36Conditions, ConditionDNeedsStandardGateAndSibling)
+{
+    // An inverter consumer has no sibling: D must fail.
+    const GateId nB = byName("nB");
+    ASSERT_NE(nB, kNoGate);
+    // B's branch into the inverter nB.
+    EXPECT_FALSE(conditionD(an, {net.inputs()[1], nB, 0}, 0));
+}
+
+// Theorems 3.6-3.9 are sufficient: wherever a structural condition
+// A-D holds, the exact condition E (and hence fault security on that
+// output) must hold as well. Sweep over many random netlists whose
+// outputs are self-dual by construction.
+class SufficiencySweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SufficiencySweep, StructuralConditionsImplyE)
+{
+    util::Rng rng(1000 + GetParam());
+
+    // Random two-level self-dual multi-output networks plus the two
+    // handcrafted multi-level examples give a diverse family.
+    std::vector<Netlist> family;
+    {
+        std::vector<logic::TruthTable> funcs{
+            logic::randomSelfDual(4, rng),
+            logic::randomSelfDual(4, rng)};
+        family.push_back(circuits::twoLevelNetwork(
+            funcs, {"f", "g"}, {"x0", "x1", "x2", "x3"}));
+    }
+    family.push_back(circuits::section36Network());
+    family.push_back(circuits::section36NetworkRepaired());
+    family.push_back(circuits::selfDualFullAdder());
+
+    for (const Netlist &net : family) {
+        ScalAnalyzer an(net);
+        for (const FaultSite &site : net.faultSites()) {
+            for (int out : outputsReachedBySite(net, site)) {
+                const bool structural =
+                    conditionA(an, site) || conditionB(an, site, out) ||
+                    conditionC(an, site, out) ||
+                    conditionD(an, site, out);
+                if (structural) {
+                    ASSERT_TRUE(conditionE(an, site, out))
+                        << siteToString(net, site) << " out " << out;
+                }
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SufficiencySweep,
+                         ::testing::Range(0, 12));
+
+} // namespace
+} // namespace scal

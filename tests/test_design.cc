@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/design.hh"
+#include "fault/collapse.hh"
+#include "netlist/circuits.hh"
+#include "logic/function_gen.hh"
+#include "sim/evaluator.hh"
+#include "sim/line_functions.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using logic::TruthTable;
+
+TEST(Design, SelfDualInputNeedsNoPhi)
+{
+    const auto design = core::designScalNetwork(
+        {logic::majorityN(3)}, {"maj"}, {"a", "b", "c"});
+    EXPECT_EQ(design.phiInput, -1);
+    EXPECT_TRUE(design.dualizedOutputs.empty());
+    EXPECT_TRUE(core::verifyScalDesign(design));
+}
+
+TEST(Design, NonSelfDualGetsPhi)
+{
+    const auto design = core::designScalNetwork(
+        {logic::andN(2)}, {"and"}, {"a", "b"});
+    EXPECT_EQ(design.phiInput, 2);
+    EXPECT_EQ(design.dualizedOutputs, std::vector<int>{0});
+    EXPECT_TRUE(core::verifyScalDesign(design));
+
+    // First period computes AND; second its complement.
+    sim::Evaluator ev(design.net);
+    for (int m = 0; m < 4; ++m) {
+        const bool a = m & 1, b = m & 2;
+        EXPECT_EQ(ev.evalOutputs({a, b, false})[0], a && b);
+        EXPECT_EQ(ev.evalOutputs({!a, !b, true})[0], !(a && b));
+    }
+}
+
+TEST(Design, MixedOutputsShareOnePhi)
+{
+    const auto design = core::designScalNetwork(
+        {logic::majorityN(3), logic::andN(3), logic::xorN(3)},
+        {"maj", "and", "xor"}, {"a", "b", "c"});
+    // maj and xor3 are self-dual; only and is dualized.
+    EXPECT_EQ(design.dualizedOutputs, std::vector<int>{1});
+    EXPECT_TRUE(core::verifyScalDesign(design));
+}
+
+TEST(Design, ArgumentValidation)
+{
+    EXPECT_THROW(core::designScalNetwork({}, {}, {}),
+                 std::invalid_argument);
+    EXPECT_THROW(core::designScalNetwork({logic::andN(2)}, {"f"},
+                                         {"a"}),
+                 std::invalid_argument);
+    EXPECT_THROW(core::designScalNetwork(
+                     {logic::andN(2), logic::andN(3)}, {"f", "g"},
+                     {"a", "b"}),
+                 std::invalid_argument);
+}
+
+class DesignSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(DesignSweep, RandomFunctionsAlwaysYieldScalNetworks)
+{
+    // The constructive guarantee: any function set becomes a SCAL
+    // network. Random functions of random arity, multi-output.
+    util::Rng rng(3000 + GetParam());
+    const int n = 2 + static_cast<int>(rng.below(3));
+    const int outs = 1 + static_cast<int>(rng.below(3));
+    std::vector<TruthTable> funcs;
+    std::vector<std::string> out_names, in_names;
+    for (int j = 0; j < outs; ++j) {
+        funcs.push_back(logic::randomFunction(n, rng));
+        out_names.push_back("f" + std::to_string(j));
+    }
+    for (int i = 0; i < n; ++i)
+        in_names.push_back("x" + std::to_string(i));
+
+    const auto design =
+        core::designScalNetwork(funcs, out_names, in_names);
+    ASSERT_TRUE(core::verifyScalDesign(design));
+
+    // And it computes the right functions.
+    const auto lf = sim::computeLineFunctions(design.net);
+    for (int j = 0; j < outs; ++j) {
+        for (std::uint64_t m = 0; m < funcs[j].numMinterms(); ++m)
+            ASSERT_EQ(lf.output[j].get(m), funcs[j].get(m));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DesignSweep, ::testing::Range(0, 12));
+
+TEST(Collapse, ChainOfInvertersCollapsesToTwoClasses)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId g = a;
+    for (int i = 0; i < 4; ++i)
+        g = net.addNot(g);
+    net.addOutput(g, "f");
+
+    const auto res = fault::collapseFaults(net);
+    // 5 lines x 2 faults = 10 faults; the whole chain collapses to
+    // the two polarities of one line.
+    EXPECT_EQ(res.totalFaults, 10);
+    EXPECT_EQ(res.representatives.size(), 2u);
+}
+
+TEST(Collapse, AndGateClassicRule)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addAnd({a, b});
+    net.addOutput(g, "f");
+    const auto res = fault::collapseFaults(net);
+    // 6 faults; a/0 = b/0 = g/0 merge: 4 classes.
+    EXPECT_EQ(res.totalFaults, 6);
+    EXPECT_EQ(res.representatives.size(), 4u);
+}
+
+TEST(Collapse, ClassesAreBehaviorallyEquivalent)
+{
+    util::Rng rng(3100);
+    for (int trial = 0; trial < 10; ++trial) {
+        const Netlist net = testing::randomNetlist(4, 10, rng,
+                                                   /*allow_xor=*/true);
+        const auto lf = sim::computeLineFunctions(net);
+        const auto res = fault::collapseFaults(net);
+        const auto faults = net.allFaults();
+
+        // Every member of a class must produce the same faulty
+        // output functions as its class representative.
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            const auto &rep =
+                res.representatives[res.classOf[i]];
+            const auto fi =
+                sim::faultyOutputFunctions(net, lf, faults[i]);
+            const auto fr = sim::faultyOutputFunctions(net, lf, rep);
+            for (std::size_t j = 0; j < fi.size(); ++j)
+                ASSERT_EQ(fi[j], fr[j]) << "trial " << trial;
+        }
+        EXPECT_LE(res.representatives.size(), faults.size());
+    }
+}
+
+TEST(Collapse, ReducesAdderUniverseSubstantially)
+{
+    const auto res = fault::collapseFaults(
+        netlist::circuits::rippleCarryAdder(4));
+    EXPECT_LT(res.ratio(), 0.8);
+    EXPECT_GT(res.ratio(), 0.2);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "netlist/structure.hh"
+#include "seq/kohavi.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using seq::StateTable;
+using seq::SynthesizedMachine;
+
+std::vector<int>
+randomBits(int n, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<int> bits;
+    for (int i = 0; i < n; ++i)
+        bits.push_back(static_cast<int>(rng.below(2)));
+    return bits;
+}
+
+TEST(DualFlipFlop, MatchesTableOnRandomStreams)
+{
+    const StateTable table = seq::kohaviDetectorTable();
+    const SynthesizedMachine sm = seq::synthesizeDualFlipFlop(table);
+    sm.net.validate();
+
+    const auto bits = randomBits(2000, 81);
+    const auto run = seq::runAlternating(sm, bits);
+    EXPECT_EQ(run.outputs, table.run(bits));
+    EXPECT_TRUE(run.allAlternated);
+}
+
+TEST(DualFlipFlop, DoublesTheFlipFlops)
+{
+    const SynthesizedMachine std_m =
+        seq::synthesizeStandard(seq::kohaviDetectorTable());
+    const SynthesizedMachine dff_m = seq::reynoldsDetector();
+    EXPECT_EQ(dff_m.net.cost().flipFlops,
+              2 * std_m.net.cost().flipFlops);
+}
+
+TEST(DualFlipFlop, ExposesZAndYOutputs)
+{
+    const SynthesizedMachine sm = seq::reynoldsDetector();
+    EXPECT_EQ(sm.zOutputs.size(), 1u);
+    EXPECT_EQ(sm.yOutputs.size(), 2u);
+    EXPECT_GE(sm.phiInput, 0);
+}
+
+TEST(DualFlipFlop, EveryLineOutputAlternatesFaultFree)
+{
+    // All checked outputs (Z and Y) must alternate on every symbol.
+    const SynthesizedMachine sm = seq::reynoldsDetector();
+    const auto run = seq::runAlternating(sm, randomBits(500, 82));
+    EXPECT_TRUE(run.allAlternated);
+    EXPECT_EQ(run.firstErrorSymbol, -1);
+}
+
+TEST(DualFlipFlop, SingleFaultsNeverEscapeSilently)
+{
+    // Sequential fault security: under every single stuck-at fault,
+    // a wrong Z at some symbol must be preceded (or accompanied) by a
+    // non-alternating checked output.
+    const StateTable table = seq::kohaviDetectorTable();
+    const SynthesizedMachine sm = seq::synthesizeDualFlipFlop(table);
+    const auto bits = randomBits(400, 83);
+    const auto golden = table.run(bits);
+
+    int detected = 0, masked = 0;
+    for (const Fault &fault : sm.net.allFaults()) {
+        const auto run = seq::runAlternating(sm, bits, &fault);
+        long first_wrong = -1;
+        for (std::size_t i = 0; i < bits.size(); ++i) {
+            if (run.outputs[i] != golden[i]) {
+                first_wrong = static_cast<long>(i);
+                break;
+            }
+        }
+        if (first_wrong >= 0) {
+            ASSERT_FALSE(run.allAlternated)
+                << faultToString(sm.net, fault);
+            ASSERT_LE(run.firstErrorSymbol, first_wrong)
+                << faultToString(sm.net, fault);
+            ++detected;
+        } else if (!run.allAlternated) {
+            ++detected;
+        } else {
+            ++masked;
+        }
+    }
+    EXPECT_GT(detected, 0);
+}
+
+TEST(DualFlipFlop, RandomTablesStayFaultSecure)
+{
+    util::Rng rng(84);
+    for (int trial = 0; trial < 3; ++trial) {
+        const StateTable table =
+            testing::randomStateTable(4, 1, 1, rng);
+        const SynthesizedMachine sm =
+            seq::synthesizeDualFlipFlop(table);
+        std::vector<int> bits;
+        for (int i = 0; i < 200; ++i)
+            bits.push_back(static_cast<int>(rng.below(2)));
+        const auto golden = table.run(bits);
+        const auto faults = sm.net.allFaults();
+        for (std::size_t k = 0; k < faults.size(); k += 3) {
+            const auto run = seq::runAlternating(sm, bits, &faults[k]);
+            for (std::size_t i = 0; i < bits.size(); ++i) {
+                if (run.outputs[i] != golden[i]) {
+                    ASSERT_FALSE(run.allAlternated);
+                    ASSERT_LE(run.firstErrorSymbol,
+                              static_cast<long>(i));
+                    break;
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include "core/analysis.hh"
+#include "fault/campaign.hh"
+#include "logic/function_gen.hh"
+#include "netlist/circuits.hh"
+#include "netlist/structure.hh"
+#include "sim/alternating.hh"
+#include "sim/evaluator.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+TEST(Campaign, AdderIsSelfChecking)
+{
+    const auto res =
+        fault::runAlternatingCampaign(circuits::selfDualFullAdder());
+    EXPECT_TRUE(res.selfChecking());
+    EXPECT_EQ(res.numUnsafe, 0);
+    EXPECT_EQ(res.numUntestable, 0);
+    EXPECT_GT(res.numDetected, 0);
+    EXPECT_EQ(res.patternsApplied, 8u);
+}
+
+TEST(Campaign, RippleAdderIsSelfChecking)
+{
+    const auto res =
+        fault::runAlternatingCampaign(circuits::rippleCarryAdder(4));
+    EXPECT_TRUE(res.selfChecking());
+}
+
+TEST(Campaign, Section36HasKnownUnsafeFaults)
+{
+    const Netlist net = circuits::section36Network();
+    const auto lines = circuits::section36Lines(net);
+    const auto res = fault::runAlternatingCampaign(net);
+
+    EXPECT_FALSE(res.selfChecking());
+    EXPECT_EQ(res.numUntestable, 0);
+    EXPECT_EQ(res.numUnsafe, 4);
+
+    // Both stuck values of the private XOR-stage line u are unsafe.
+    int u_unsafe = 0;
+    for (const auto &fr : res.faults) {
+        if (fr.outcome != fault::Outcome::Unsafe)
+            continue;
+        if (fr.fault.site.driver == lines.u && fr.fault.site.isStem())
+            ++u_unsafe;
+        EXPECT_FALSE(fr.unsafePatterns.empty());
+    }
+    EXPECT_EQ(u_unsafe, 2);
+}
+
+TEST(Campaign, RepairedSection36IsSelfChecking)
+{
+    const auto res = fault::runAlternatingCampaign(
+        circuits::section36NetworkRepaired());
+    EXPECT_TRUE(res.selfChecking());
+}
+
+TEST(Campaign, RejectsNonAlternatingNetwork)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    net.addOutput(net.addAnd({a, b}), "f");
+    EXPECT_THROW(fault::runAlternatingCampaign(net),
+                 std::invalid_argument);
+}
+
+TEST(Campaign, AgreesWithExactAnalyzer)
+{
+    // The packed simulation campaign and the symbolic Theorem 3.1
+    // analysis must classify every fault identically.
+    const Netlist net = circuits::section36Network();
+    core::ScalAnalyzer an(net);
+    const auto res = fault::runAlternatingCampaign(net);
+
+    for (const auto &fr : res.faults) {
+        const core::FaultAnalysis fa = an.analyzeFault(fr.fault);
+        const bool unsafe = !fa.unsafe.isZero();
+        const bool testable = fa.testable;
+        fault::Outcome expected = fault::Outcome::Untestable;
+        if (unsafe)
+            expected = fault::Outcome::Unsafe;
+        else if (testable)
+            expected = fault::Outcome::Detected;
+        ASSERT_EQ(fr.outcome, expected)
+            << faultToString(net, fr.fault);
+    }
+}
+
+TEST(Campaign, UnsafePatternsReproduce)
+{
+    // Each reported unsafe pattern, when simulated, must yield an
+    // incorrectly alternating word with no non-alternating output.
+    const Netlist net = circuits::section36Network();
+    const auto res = fault::runAlternatingCampaign(net);
+    sim::Evaluator ev(net);
+    for (const auto &fr : res.faults) {
+        for (std::uint64_t m : fr.unsafePatterns) {
+            const auto oc = sim::evalAlternating(
+                net, testing::patternOf(m, net.numInputs()),
+                &fr.fault);
+            bool any_bad = false, any_nonalt = false;
+            for (auto c : oc.classes) {
+                any_bad |= c == sim::PairClass::IncorrectAlternation;
+                any_nonalt |= c == sim::PairClass::NonAlternating;
+            }
+            ASSERT_TRUE(any_bad);
+            ASSERT_FALSE(any_nonalt);
+        }
+    }
+}
+
+TEST(Campaign, UntestableDetection)
+{
+    // A constant-0 OR-input is untestable for s-a-0 (always 0) but
+    // testable for s-a-1.
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId zero = net.addConst(false);
+    GateId g = net.addOr({a, zero}, "g");
+    net.addOutput(g, "f");
+    // f = a: self-dual, alternating.
+    const auto res = fault::runAlternatingCampaign(net);
+    int untestable = 0;
+    for (const auto &fr : res.faults)
+        if (fr.outcome == fault::Outcome::Untestable)
+            ++untestable;
+    EXPECT_GT(untestable, 0);
+    EXPECT_FALSE(res.selfChecking());
+    EXPECT_TRUE(res.faultSecure());
+}
+
+TEST(Campaign, TwoLevelNetworksAlwaysSelfChecking)
+{
+    // Yamamoto's result, validated over random self-dual functions.
+    util::Rng rng(51);
+    for (int trial = 0; trial < 10; ++trial) {
+        const int n = 3 + static_cast<int>(rng.below(2));
+        std::vector<logic::TruthTable> funcs{
+            logic::randomSelfDual(n, rng)};
+        std::vector<std::string> in_names;
+        for (int i = 0; i < n; ++i)
+            in_names.push_back("x" + std::to_string(i));
+        const Netlist net =
+            circuits::twoLevelNetwork(funcs, {"f"}, in_names);
+        const auto res = fault::runAlternatingCampaign(net);
+        ASSERT_TRUE(res.faultSecure()) << "trial " << trial;
+    }
+}
+
+} // namespace
+} // namespace scal

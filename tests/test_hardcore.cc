@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include "checker/hardcore.hh"
+#include "netlist/structure.hh"
+#include "sim/evaluator.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+TEST(Hardcore, Table52TruthTable)
+{
+    // Table 5.2: clk_out = clk ∧ (f ⊕ g).
+    const auto rows = checker::table52();
+    ASSERT_EQ(rows.size(), 8u);
+    for (const auto &row : rows) {
+        EXPECT_EQ(row.out, row.clk && (row.f != row.g));
+    }
+    // The two explicit rows the section calls out: a valid pair
+    // passes the clock, a non-code pair freezes it.
+    EXPECT_TRUE(rows[0b101].out);
+    EXPECT_FALSE(rows[0b111].out);
+}
+
+TEST(Hardcore, LatentFaultsExist)
+{
+    // Theorem 5.2: the module cannot be self-checking — some fault is
+    // unobservable during normal (code-input) operation.
+    const auto latent = checker::latentHardcoreFaults();
+    EXPECT_FALSE(latent.empty());
+}
+
+TEST(Hardcore, XorStuckAtOneIsLatent)
+{
+    const Netlist net = checker::hardcoreModuleNetlist();
+    GateId xor_gate = kNoGate;
+    for (GateId g = 0; g < net.numGates(); ++g)
+        if (net.gate(g).kind == GateKind::Xor)
+            xor_gate = g;
+    ASSERT_NE(xor_gate, kNoGate);
+
+    bool found = false;
+    for (const Fault &f : checker::latentHardcoreFaults())
+        if (f.site.driver == xor_gate && f.value)
+            found = true;
+    EXPECT_TRUE(found);
+}
+
+TEST(Hardcore, LatentFaultBreaksProtectionLater)
+{
+    // The danger Theorem 5.2 describes: with the XOR output stuck at
+    // 1 the clock keeps running even when the checker finally reports
+    // a non-code word.
+    const Netlist net = checker::hardcoreModuleNetlist();
+    GateId xor_gate = kNoGate;
+    for (GateId g = 0; g < net.numGates(); ++g)
+        if (net.gate(g).kind == GateKind::Xor)
+            xor_gate = g;
+    const Fault fault{{xor_gate, FaultSite::kStem, -1}, true};
+
+    sim::Evaluator ev(net);
+    // Non-code checker word arrives: the good module stops the clock,
+    // the faulty one does not.
+    EXPECT_FALSE(ev.evalOutputs({true, true, true})[0]);
+    EXPECT_TRUE(ev.evalOutputs({true, true, true}, &fault)[0]);
+}
+
+TEST(Hardcore, ReplicationMasksSingleModuleFault)
+{
+    const Netlist net = checker::replicatedHardcoreNetlist(3);
+    sim::Evaluator ev(net);
+
+    // Fault the first replica's XOR stuck-at-1; the chain still
+    // freezes the clock on a non-code word.
+    GateId first_xor = kNoGate;
+    for (GateId g = 0; g < net.numGates(); ++g) {
+        if (net.gate(g).kind == GateKind::Xor) {
+            first_xor = g;
+            break;
+        }
+    }
+    const Fault fault{{first_xor, FaultSite::kStem, -1}, true};
+    EXPECT_FALSE(ev.evalOutputs({true, true, true}, &fault)[0]);
+    // And normal operation still passes the clock.
+    EXPECT_TRUE(ev.evalOutputs({true, true, false}, &fault)[0]);
+}
+
+TEST(Hardcore, ReplicationProbabilityModel)
+{
+    EXPECT_DOUBLE_EQ(checker::replicatedFailureProbability(0.1, 1), 0.1);
+    EXPECT_NEAR(checker::replicatedFailureProbability(0.1, 3), 1e-3,
+                1e-12);
+    EXPECT_LT(checker::replicatedFailureProbability(0.5, 10), 1e-2);
+}
+
+TEST(Hardcore, AllSingleInputFaultsObservable)
+{
+    // The module's *interface* faults (clk, f, g lines) are all
+    // observable in normal operation — only the internal state of
+    // the theorem's argument is untestable.
+    const Netlist net = checker::hardcoreModuleNetlist();
+    const auto latent = checker::latentHardcoreFaults();
+    for (const Fault &f : latent) {
+        EXPECT_NE(net.gate(f.site.driver).kind, GateKind::Input)
+            << faultToString(net, f);
+    }
+}
+
+} // namespace
+} // namespace scal

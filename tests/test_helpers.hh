@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Shared generators for the property-test sweeps: random netlists,
+ * random NAND-only networks, random state tables, and brute-force
+ * reference evaluation.
+ */
+
+#ifndef SCAL_TESTS_TEST_HELPERS_HH
+#define SCAL_TESTS_TEST_HELPERS_HH
+
+#include <vector>
+
+#include "netlist/netlist.hh"
+#include "seq/state_table.hh"
+#include "util/rng.hh"
+
+namespace scal::testing
+{
+
+/**
+ * A random combinational netlist over @p num_inputs inputs with
+ * @p num_gates gates drawn from the full gate alphabet (arity 1-3,
+ * odd arity for threshold gates) and 1-3 outputs.
+ */
+inline netlist::Netlist
+randomNetlist(int num_inputs, int num_gates, util::Rng &rng,
+              bool allow_xor = true)
+{
+    using namespace netlist;
+    Netlist net;
+    std::vector<GateId> pool;
+    for (int i = 0; i < num_inputs; ++i)
+        pool.push_back(net.addInput("x" + std::to_string(i)));
+
+    const GateKind kinds[] = {GateKind::And,  GateKind::Or,
+                              GateKind::Nand, GateKind::Nor,
+                              GateKind::Not,  GateKind::Xor,
+                              GateKind::Maj,  GateKind::Min};
+    for (int g = 0; g < num_gates; ++g) {
+        GateKind kind;
+        do {
+            kind = kinds[rng.below(8)];
+        } while (!allow_xor && kind == GateKind::Xor);
+        int arity;
+        switch (kind) {
+          case GateKind::Not:
+            arity = 1;
+            break;
+          case GateKind::Maj:
+          case GateKind::Min:
+            arity = 3;
+            break;
+          default:
+            arity = 2 + static_cast<int>(rng.below(2));
+            break;
+        }
+        std::vector<GateId> fanin;
+        for (int k = 0; k < arity; ++k)
+            fanin.push_back(pool[rng.below(pool.size())]);
+        pool.push_back(net.addGate(kind, std::move(fanin)));
+    }
+    const int num_outputs = 1 + static_cast<int>(rng.below(3));
+    for (int j = 0; j < num_outputs; ++j) {
+        // Bias outputs toward late gates so the cones are deep.
+        const std::size_t lo = pool.size() > 4 ? pool.size() - 4 : 0;
+        const GateId g =
+            pool[lo + rng.below(pool.size() - lo)];
+        net.addOutput(g, "f" + std::to_string(j));
+    }
+    return net;
+}
+
+/** A random NAND+NOT network (for the Chapter 6 conversion sweeps). */
+inline netlist::Netlist
+randomNandNetwork(int num_inputs, int num_gates, util::Rng &rng)
+{
+    using namespace netlist;
+    Netlist net;
+    std::vector<GateId> pool;
+    for (int i = 0; i < num_inputs; ++i)
+        pool.push_back(net.addInput("x" + std::to_string(i)));
+    for (int g = 0; g < num_gates; ++g) {
+        const int arity =
+            rng.chance(0.15) ? 1 : 2 + static_cast<int>(rng.below(2));
+        std::vector<GateId> fanin;
+        for (int k = 0; k < arity; ++k)
+            fanin.push_back(pool[rng.below(pool.size())]);
+        pool.push_back(net.addGate(
+            arity == 1 ? GateKind::Not : GateKind::Nand,
+            std::move(fanin)));
+    }
+    net.addOutput(pool.back(), "f");
+    return net;
+}
+
+/** A random complete Mealy table. */
+inline seq::StateTable
+randomStateTable(int num_states, int input_bits, int output_bits,
+                 util::Rng &rng)
+{
+    seq::StateTable t(num_states, input_bits, output_bits);
+    for (int s = 0; s < num_states; ++s) {
+        for (int i = 0; i < t.numSymbols(); ++i) {
+            t.setTransition(s, i,
+                            static_cast<int>(rng.below(num_states)),
+                            static_cast<unsigned>(
+                                rng.below(1u << output_bits)));
+        }
+    }
+    return t;
+}
+
+/** Input vector for minterm @p m over @p n inputs. */
+inline std::vector<bool>
+patternOf(std::uint64_t m, int n)
+{
+    std::vector<bool> x(n);
+    for (int i = 0; i < n; ++i)
+        x[i] = (m >> i) & 1;
+    return x;
+}
+
+} // namespace scal::testing
+
+#endif // SCAL_TESTS_TEST_HELPERS_HH

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "system/assembler.hh"
+#include "system/isa.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace system;
+
+TEST(Isa, EncodeDecodeRoundTrip)
+{
+    for (int op = 0; op <= static_cast<int>(Op::Halt); ++op) {
+        for (int operand : {0, 1, 127, 255}) {
+            const Instruction inst{static_cast<Op>(op),
+                                   static_cast<std::uint8_t>(operand)};
+            EXPECT_EQ(decode(encode(inst)), inst);
+        }
+    }
+    EXPECT_THROW(decode(0xff00), std::invalid_argument);
+}
+
+TEST(Isa, OpPredicates)
+{
+    EXPECT_TRUE(opUsesAlu(Op::Add));
+    EXPECT_TRUE(opUsesAlu(Op::Ldi));
+    EXPECT_TRUE(opUsesAlu(Op::Shr));
+    EXPECT_FALSE(opUsesAlu(Op::Sta));
+    EXPECT_FALSE(opUsesAlu(Op::Jmp));
+    EXPECT_FALSE(opUsesAlu(Op::Halt));
+    EXPECT_STREQ(opName(Op::Xor), "XOR");
+}
+
+TEST(Assembler, BasicProgram)
+{
+    const Program p = assemble("LDI 5\nADD 10\nOUT\nHALT\n");
+    ASSERT_EQ(p.size(), 4u);
+    EXPECT_EQ(p[0], (Instruction{Op::Ldi, 5}));
+    EXPECT_EQ(p[1], (Instruction{Op::Add, 10}));
+    EXPECT_EQ(p[2], (Instruction{Op::Out, 0}));
+    EXPECT_EQ(p[3], (Instruction{Op::Halt, 0}));
+}
+
+TEST(Assembler, CommentsAndBlankLines)
+{
+    const Program p = assemble(R"(
+        ; a comment
+        LDI 1   ; trailing comment
+
+        HALT
+    )");
+    ASSERT_EQ(p.size(), 2u);
+}
+
+TEST(Assembler, LabelsForwardAndBackward)
+{
+    const Program p = assemble(R"(
+        start:
+            LDI 3
+        loop:
+            SUB 11
+            JNZ loop
+            JMP end
+            NOP
+        end:
+            HALT
+    )");
+    ASSERT_EQ(p.size(), 6u);
+    EXPECT_EQ(p[2], (Instruction{Op::Jnz, 1}));
+    EXPECT_EQ(p[3], (Instruction{Op::Jmp, 5}));
+}
+
+TEST(Assembler, HexLiterals)
+{
+    const Program p = assemble("LDI 0x2a\nHALT");
+    EXPECT_EQ(p[0].operand, 42);
+}
+
+TEST(Assembler, CaseInsensitiveMnemonics)
+{
+    const Program p = assemble("ldi 1\nAdd 2\nhAlT");
+    EXPECT_EQ(p[0].op, Op::Ldi);
+    EXPECT_EQ(p[1].op, Op::Add);
+    EXPECT_EQ(p[2].op, Op::Halt);
+}
+
+TEST(Assembler, Errors)
+{
+    EXPECT_THROW(assemble("FROB 1"), std::runtime_error);
+    EXPECT_THROW(assemble("LDI"), std::runtime_error);
+    EXPECT_THROW(assemble("LDI 300"), std::runtime_error);
+    EXPECT_THROW(assemble("JMP nowhere"), std::runtime_error);
+    EXPECT_THROW(assemble("x: NOP\nx: NOP"), std::runtime_error);
+    EXPECT_THROW(assemble("LDI 1 2"), std::runtime_error);
+}
+
+TEST(Assembler, ErrorCarriesLineNumber)
+{
+    try {
+        assemble("NOP\nNOP\nBAD 1\n");
+        FAIL() << "expected throw";
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(Assembler, DisassembleMentionsOps)
+{
+    const Program p = assemble("LDI 7\nOUT\nHALT");
+    const std::string s = disassemble(p);
+    EXPECT_NE(s.find("LDI 7"), std::string::npos);
+    EXPECT_NE(s.find("HALT"), std::string::npos);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "checker/latching.hh"
+#include "seq/dual_flipflop.hh"
+#include "seq/synthesis.hh"
+#include "sim/line_functions.hh"
+#include "sim/sequential.hh"
+#include "util/rng.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+TEST(LatchingChecker, ValidPairsPassThrough)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId na = net.addNot(a);
+    const auto out =
+        checker::appendLatchingChecker(net, {a, na});
+    net.addOutput(out.r0, "F");
+    net.addOutput(out.r1, "G");
+
+    sim::SeqSimulator s(net);
+    for (int t = 0; t < 10; ++t) {
+        const auto o = s.stepPeriod({t % 2 == 0});
+        ASSERT_NE(o[0], o[1]) << t;
+    }
+}
+
+TEST(LatchingChecker, ErrorSticks)
+{
+    // Drive the pair explicitly: valid, then one non-code period,
+    // then valid again — the output must stay non-code (Figure 5.7:
+    // "Once a faulty output is signalled by the checker it will then
+    // remain at that noncode word").
+    Netlist net;
+    GateId p = net.addInput("p");
+    GateId q = net.addInput("q");
+    const auto out = checker::appendLatchingChecker(net, {p, q});
+    net.addOutput(out.r0, "F");
+    net.addOutput(out.r1, "G");
+
+    sim::SeqSimulator s(net);
+    auto o = s.stepPeriod({true, false});
+    EXPECT_NE(o[0], o[1]);
+    o = s.stepPeriod({true, true}); // the error
+    EXPECT_EQ(o[0], o[1]);
+    for (int t = 0; t < 6; ++t) {
+        o = s.stepPeriod({t % 2 == 0, t % 2 != 0}); // healthy again
+        ASSERT_EQ(o[0], o[1]) << "error did not stick at " << t;
+    }
+}
+
+TEST(LatchingChecker, FinalCheckerMergesSystems)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId na = net.addNot(a);
+    GateId nb = net.addNot(b);
+    const auto final_pair = checker::appendFinalChecker(
+        net, {{a, na}, {b, nb}});
+    net.addOutput(final_pair.r0, "F");
+    net.addOutput(final_pair.r1, "G");
+
+    sim::SeqSimulator s(net);
+    const auto o = s.stepPeriod({true, false});
+    EXPECT_NE(o[0], o[1]);
+}
+
+TEST(SerialAdder, TableAddsStreams)
+{
+    const auto table = seq::serialAdderTable();
+    table.validate();
+    // 13 + 11 = 24, LSB first over 6 cycles.
+    const unsigned x = 13, y = 11;
+    std::vector<int> syms;
+    for (int i = 0; i < 6; ++i)
+        syms.push_back(((x >> i) & 1) | (((y >> i) & 1) << 1));
+    const auto outs = table.run(syms);
+    unsigned sum = 0;
+    for (int i = 0; i < 6; ++i)
+        sum |= outs[i] << i;
+    EXPECT_EQ(sum, 24u);
+}
+
+TEST(SerialAdder, ExcitationAndOutputAreSelfDual)
+{
+    // The paper's "inherently self-dual" case: MAJ next-state and
+    // XOR3 output.
+    const auto mf = seq::machineFunctions(seq::serialAdderTable());
+    EXPECT_TRUE(mf.excitation[0].isSelfDual());
+    EXPECT_TRUE(mf.output[0].isSelfDual());
+}
+
+TEST(SerialAdder, ScalVersionNeedsNoPeriodClockLogic)
+{
+    // Self-dualizing a self-dual function ignores φ, so the dual
+    // flip-flop machine's combinational logic is φ-independent: the
+    // SCAL conversion costs only the extra flip-flop rank.
+    const auto std_m = seq::synthesizeStandard(seq::serialAdderTable());
+    const auto sm = seq::synthesizeDualFlipFlop(seq::serialAdderTable());
+    const auto lf = sim::computeLineFunctions(sm.net);
+    // φ is data input index 2 (variable 2 of the line functions).
+    for (int out : sm.zOutputs)
+        EXPECT_TRUE(lf.output[out].independentOf(2));
+    for (int out : sm.yOutputs)
+        EXPECT_TRUE(lf.output[out].independentOf(2));
+    EXPECT_EQ(sm.net.cost().gates, std_m.net.cost().gates);
+    EXPECT_EQ(sm.net.cost().flipFlops,
+              2 * std_m.net.cost().flipFlops);
+}
+
+TEST(SerialAdder, ScalMachineAddsWithAlternationAndDetectsFaults)
+{
+    const auto table = seq::serialAdderTable();
+    const auto sm = seq::synthesizeDualFlipFlop(table);
+    util::Rng rng(271);
+
+    // Functional equivalence over random streams.
+    std::vector<int> syms;
+    for (int i = 0; i < 500; ++i)
+        syms.push_back(static_cast<int>(rng.below(4)));
+    const auto run = seq::runAlternating(sm, syms);
+    EXPECT_EQ(run.outputs, table.run(syms));
+    EXPECT_TRUE(run.allAlternated);
+
+    // Every fault either never corrupts a sum bit or alarms first.
+    const auto golden = table.run(syms);
+    for (const Fault &fault : sm.net.allFaults()) {
+        const auto r = seq::runAlternating(sm, syms, &fault);
+        for (std::size_t i = 0; i < syms.size(); ++i) {
+            if (r.outputs[i] != golden[i]) {
+                ASSERT_FALSE(r.allAlternated);
+                ASSERT_LE(r.firstErrorSymbol, static_cast<long>(i));
+                break;
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace scal

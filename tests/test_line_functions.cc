@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "logic/function_gen.hh"
+#include "netlist/circuits.hh"
+#include "netlist/structure.hh"
+#include "sim/evaluator.hh"
+#include "sim/line_functions.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using logic::TruthTable;
+using testing::patternOf;
+
+TEST(ApplyKind, MatchesScalarSemantics)
+{
+    const int n = 3;
+    const std::vector<TruthTable> vars{TruthTable::variable(n, 0),
+                                       TruthTable::variable(n, 1),
+                                       TruthTable::variable(n, 2)};
+    EXPECT_EQ(sim::applyKind(GateKind::And, vars), logic::andN(3));
+    EXPECT_EQ(sim::applyKind(GateKind::Nor, vars), logic::norN(3));
+    EXPECT_EQ(sim::applyKind(GateKind::Xor, vars), logic::xorN(3));
+    EXPECT_EQ(sim::applyKind(GateKind::Maj, vars), logic::majorityN(3));
+    EXPECT_EQ(sim::applyKind(GateKind::Min, vars), logic::minorityN(3));
+    EXPECT_EQ(sim::applyKind(GateKind::Not, {vars[1]}),
+              ~TruthTable::variable(n, 1));
+}
+
+TEST(ApplyKind, WideThreshold)
+{
+    const int n = 7;
+    std::vector<TruthTable> vars;
+    for (int i = 0; i < n; ++i)
+        vars.push_back(TruthTable::variable(n, i));
+    EXPECT_EQ(sim::applyKind(GateKind::Maj, vars), logic::majorityN(7));
+    EXPECT_EQ(sim::applyKind(GateKind::Min, vars), logic::minorityN(7));
+}
+
+TEST(LineFunctions, AdderOutputs)
+{
+    const Netlist net = circuits::selfDualFullAdder();
+    const auto lf = sim::computeLineFunctions(net);
+    EXPECT_EQ(lf.output[0], logic::xorN(3));
+    EXPECT_EQ(lf.output[1], logic::majorityN(3));
+}
+
+TEST(LineFunctions, MatchEvaluatorEverywhere)
+{
+    util::Rng rng(41);
+    for (int trial = 0; trial < 20; ++trial) {
+        const Netlist net = testing::randomNetlist(5, 12, rng);
+        const auto lf = sim::computeLineFunctions(net);
+        sim::Evaluator ev(net);
+        for (std::uint64_t m = 0; m < 32; ++m) {
+            const auto lines = ev.evalLines(patternOf(m, 5));
+            for (GateId g = 0; g < net.numGates(); ++g)
+                ASSERT_EQ(lf.line[g].get(m), lines[g]);
+        }
+    }
+}
+
+TEST(LineFunctions, DffTreatedAsExtraVariable)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId ff = net.addDff(x, "s");
+    GateId g = net.addXor({x, ff});
+    net.addOutput(g, "f");
+
+    const auto lf = sim::computeLineFunctions(net);
+    EXPECT_EQ(lf.numVars, 2);
+    EXPECT_EQ(lf.output[0], logic::xorN(2));
+}
+
+TEST(FaultyOutputs, StemMatchesBruteForce)
+{
+    util::Rng rng(42);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Netlist net = testing::randomNetlist(4, 10, rng);
+        const auto lf = sim::computeLineFunctions(net);
+        sim::Evaluator ev(net);
+        for (const Fault &fault : net.allFaults()) {
+            const auto faulty =
+                sim::faultyOutputFunctions(net, lf, fault);
+            for (std::uint64_t m = 0; m < 16; ++m) {
+                const auto out =
+                    ev.evalOutputs(patternOf(m, 4), &fault);
+                for (int j = 0; j < net.numOutputs(); ++j)
+                    ASSERT_EQ(faulty[j].get(m), out[j])
+                        << faultToString(net, fault);
+            }
+        }
+    }
+}
+
+TEST(FaultyOutputs, FaultFreeLinesUntouched)
+{
+    // A fault downstream must not change the reported fault-free base.
+    const Netlist net = circuits::section36Network();
+    const auto lf = sim::computeLineFunctions(net);
+    const auto base_copy = lf.output;
+    const Fault fault{{net.outputs()[1], FaultSite::kStem, -1}, true};
+    (void)sim::faultyOutputFunctions(net, lf, fault);
+    for (int j = 0; j < net.numOutputs(); ++j)
+        EXPECT_EQ(lf.output[j], base_copy[j]);
+}
+
+} // namespace
+} // namespace scal

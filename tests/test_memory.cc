@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "system/memory.hh"
+
+namespace scal
+{
+namespace
+{
+
+using system::ParityMemory;
+
+TEST(ParityMemory, ReadsBackWrites)
+{
+    ParityMemory mem;
+    for (int a = 0; a < 256; a += 17) {
+        mem.write(static_cast<std::uint8_t>(a),
+                  static_cast<std::uint8_t>(a ^ 0x3c));
+    }
+    for (int a = 0; a < 256; a += 17) {
+        bool ok = false;
+        EXPECT_EQ(mem.read(static_cast<std::uint8_t>(a), ok),
+                  static_cast<std::uint8_t>(a ^ 0x3c));
+        EXPECT_TRUE(ok);
+    }
+}
+
+TEST(ParityMemory, FreshMemoryIsCodeValid)
+{
+    ParityMemory mem;
+    for (int a = 0; a < 256; ++a) {
+        bool ok = false;
+        mem.read(static_cast<std::uint8_t>(a), ok);
+        EXPECT_TRUE(ok) << a;
+    }
+}
+
+TEST(ParityMemory, EverySingleDataBitFaultDetected)
+{
+    for (int bit = 0; bit < 8; ++bit) {
+        for (bool v : {false, true}) {
+            ParityMemory mem;
+            mem.write(42, 0x5a);
+            // Only inject when it actually flips the stored bit.
+            const bool stored = (0x5a >> bit) & 1;
+            if (stored == v)
+                continue;
+            mem.setFault(ParityMemory::CellFault{42, bit, v, false});
+            bool ok = true;
+            const auto data = mem.read(42, ok);
+            EXPECT_FALSE(ok) << "bit " << bit;
+            EXPECT_NE(data, 0x5a);
+        }
+    }
+}
+
+TEST(ParityMemory, ParityBitFaultDetected)
+{
+    ParityMemory mem;
+    mem.write(7, 0x13); // odd parity data, odd address parity
+    bool ok = true;
+    mem.read(7, ok);
+    ASSERT_TRUE(ok);
+    // Force the check bit to the wrong polarity.
+    const bool good_parity = true ^ true; // parity(0x13)=1, parity(7)=1
+    mem.setFault(ParityMemory::CellFault{7, 8, !good_parity, false});
+    mem.read(7, ok);
+    EXPECT_FALSE(ok);
+}
+
+TEST(ParityMemory, ColumnFaultHitsEveryAddress)
+{
+    ParityMemory mem;
+    mem.write(1, 0x00);
+    mem.write(2, 0xff);
+    mem.setFault(ParityMemory::CellFault{0, 3, true, true});
+    bool ok1 = true, ok2 = true;
+    EXPECT_EQ(mem.read(1, ok1), 0x08);
+    EXPECT_FALSE(ok1);
+    // Address 2 already has bit 3 set: fault matches stored value,
+    // read stays correct and code-valid.
+    EXPECT_EQ(mem.read(2, ok2), 0xff);
+    EXPECT_TRUE(ok2);
+}
+
+TEST(ParityMemory, FaultOnOtherAddressHarmless)
+{
+    ParityMemory mem;
+    mem.write(10, 0xaa);
+    mem.setFault(ParityMemory::CellFault{11, 0, true, false});
+    bool ok = false;
+    EXPECT_EQ(mem.read(10, ok), 0xaa);
+    EXPECT_TRUE(ok);
+}
+
+TEST(ParityMemory, AddressParityFoldedIn)
+{
+    // The stored check bit differs between addresses of different
+    // parity even for identical data — the Dussault address fold.
+    ParityMemory mem;
+    mem.write(1, 0x01); // addr parity 1, data parity 1 -> check 0
+    mem.write(3, 0x01); // addr parity 0, data parity 1 -> check 1
+    // Cross-wiring the words (simulating an address-decoder fault)
+    // must violate the code: model by reading address 1's cell as if
+    // it were address 3. We emulate via a fault that rewrites the
+    // parity bit to the other address's value.
+    bool ok = true;
+    mem.read(1, ok);
+    ASSERT_TRUE(ok);
+    mem.setFault(ParityMemory::CellFault{1, 8, true, false});
+    mem.read(1, ok);
+    EXPECT_FALSE(ok);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "logic/function_gen.hh"
+#include "logic/minimize.hh"
+#include "util/rng.hh"
+
+namespace scal
+{
+namespace
+{
+
+using logic::Cube;
+using logic::TruthTable;
+
+TEST(Cube, CoversAndLiterals)
+{
+    // x0 ∧ ¬x2 over any arity.
+    Cube c{0b101, 0b001};
+    EXPECT_EQ(c.literals(), 2);
+    EXPECT_TRUE(c.covers(0b001));
+    EXPECT_TRUE(c.covers(0b011));
+    EXPECT_FALSE(c.covers(0b101));
+    EXPECT_FALSE(c.covers(0b000));
+}
+
+TEST(Minimize, ConstantFunctions)
+{
+    EXPECT_TRUE(logic::minimizeSop(TruthTable::constant(3, false)).empty());
+    const auto cover = logic::minimizeSop(TruthTable::constant(3, true));
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_EQ(cover[0].care, 0u); // the universal cube
+}
+
+TEST(Minimize, SingleVariable)
+{
+    const auto cover = logic::minimizeSop(TruthTable::variable(4, 2));
+    ASSERT_EQ(cover.size(), 1u);
+    EXPECT_EQ(cover[0].care, 0b0100u);
+    EXPECT_EQ(cover[0].value & cover[0].care, 0b0100u);
+}
+
+TEST(Minimize, MajorityHasThreeProducts)
+{
+    const auto cover = logic::minimizeSop(logic::majorityN(3));
+    EXPECT_EQ(cover.size(), 3u);
+    for (const Cube &c : cover)
+        EXPECT_EQ(c.literals(), 2);
+}
+
+TEST(Minimize, XorNeedsAllMinterms)
+{
+    // Parity has no mergeable adjacent minterms.
+    const auto cover = logic::minimizeSop(logic::xorN(3));
+    EXPECT_EQ(cover.size(), 4u);
+    for (const Cube &c : cover)
+        EXPECT_EQ(c.literals(), 3);
+}
+
+TEST(Minimize, PrimeImplicantsOfAndOr)
+{
+    EXPECT_EQ(logic::primeImplicants(logic::andN(3)).size(), 1u);
+    EXPECT_EQ(logic::primeImplicants(logic::orN(3)).size(), 3u);
+}
+
+TEST(Minimize, CoverEqualsFunctionRandomSweep)
+{
+    util::Rng rng(21);
+    for (int n = 1; n <= 6; ++n) {
+        for (int trial = 0; trial < 25; ++trial) {
+            const TruthTable f = logic::randomFunction(n, rng);
+            const auto cover = logic::minimizeSop(f);
+            ASSERT_EQ(logic::sopToTable(n, cover), f)
+                << "n=" << n << " trial=" << trial;
+        }
+    }
+}
+
+TEST(Minimize, CoverUsesOnlyPrimes)
+{
+    util::Rng rng(22);
+    for (int trial = 0; trial < 10; ++trial) {
+        const TruthTable f = logic::randomFunction(5, rng);
+        const auto primes = logic::primeImplicants(f);
+        for (const Cube &c : logic::minimizeSop(f)) {
+            bool found = false;
+            for (const Cube &p : primes)
+                found |= p == c;
+            ASSERT_TRUE(found);
+        }
+    }
+}
+
+TEST(Minimize, EveryProductIsAnImplicant)
+{
+    // No chosen product may cover a 0-minterm of the function.
+    util::Rng rng(23);
+    for (int trial = 0; trial < 15; ++trial) {
+        const TruthTable f = logic::randomFunction(4, rng);
+        for (const Cube &c : logic::minimizeSop(f)) {
+            for (std::uint64_t m = 0; m < f.numMinterms(); ++m) {
+                if (c.covers(m)) {
+                    ASSERT_TRUE(f.get(m));
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace scal

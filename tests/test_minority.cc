@@ -1,0 +1,253 @@
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+#include "logic/function_gen.hh"
+#include "minority/convert.hh"
+#include "minority/minimize.hh"
+#include "minority/modules.hh"
+#include "netlist/circuits.hh"
+#include "sim/evaluator.hh"
+#include "sim/line_functions.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using minority::ConversionResult;
+
+TEST(MinorityModules, NandFromMinority)
+{
+    const auto lf = sim::computeLineFunctions(minority::nandFromMinority());
+    EXPECT_EQ(lf.output[0], logic::nandN(2));
+}
+
+TEST(MinorityModules, MajorityFromTwoMinority)
+{
+    const auto lf =
+        sim::computeLineFunctions(minority::majorityFromMinority());
+    EXPECT_EQ(lf.output[0], logic::majorityN(3));
+}
+
+TEST(MinorityModules, CompletenessWitness)
+{
+    EXPECT_TRUE(minority::minorityIsCompleteGateSet());
+}
+
+/** Evaluate a converted network in both periods and compare against
+ *  the original single-period semantics (Theorem 6.2/6.3). */
+void
+expectAlternatingEquivalence(const Netlist &orig,
+                             const ConversionResult &conv)
+{
+    sim::Evaluator ev_orig(orig);
+    sim::Evaluator ev_conv(conv.net);
+    const int n = orig.numInputs();
+    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
+        auto x = testing::patternOf(m, n);
+        const auto want = ev_orig.evalOutputs(x);
+
+        auto in = x;
+        in.push_back(false); // φ = 0
+        const auto p1 = ev_conv.evalOutputs(in);
+        for (int i = 0; i < n; ++i)
+            in[i] = !in[i];
+        in[n] = true;
+        const auto p2 = ev_conv.evalOutputs(in);
+
+        for (int j = 0; j < orig.numOutputs(); ++j) {
+            ASSERT_EQ(p1[j], want[j]) << "m=" << m;
+            ASSERT_EQ(p2[j], !want[j]) << "m=" << m;
+        }
+    }
+}
+
+TEST(Convert, SingleNandGate)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId c = net.addInput("c");
+    net.addOutput(net.addNand({a, b, c}), "f");
+
+    const ConversionResult conv = minority::convertNandNetwork(net);
+    EXPECT_EQ(conv.modules, 1);
+    EXPECT_EQ(conv.moduleInputs, 5); // 2N-1 for N=3
+    expectAlternatingEquivalence(net, conv);
+}
+
+TEST(Convert, SingleNorGate)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    net.addOutput(net.addNor({a, b}), "f");
+
+    const ConversionResult conv = minority::convertNorNetwork(net);
+    EXPECT_EQ(conv.modules, 1);
+    EXPECT_EQ(conv.moduleInputs, 3);
+    expectAlternatingEquivalence(net, conv);
+}
+
+TEST(Convert, NotAsDegenerateCase)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    net.addOutput(net.addNot(a), "f");
+    const ConversionResult conv = minority::convertNandNetwork(net);
+    EXPECT_EQ(conv.modules, 1);
+    EXPECT_EQ(conv.moduleInputs, 1);
+    expectAlternatingEquivalence(net, conv);
+}
+
+TEST(Convert, Fig62Network)
+{
+    const Netlist net = circuits::fig62NandNetwork();
+    // The network computes the 3-input minority function.
+    const auto lf = sim::computeLineFunctions(net);
+    EXPECT_EQ(lf.output[0], logic::minorityN(3));
+
+    const ConversionResult conv = minority::convertNandNetwork(net);
+    expectAlternatingEquivalence(net, conv);
+
+    // Paper counts: four NANDs with nine inputs convert to four
+    // modules with fourteen inputs (the input-rail inverters are the
+    // free dual-rail inputs of 1977 practice: arity-1 modules).
+    int big_modules = 0, big_inputs = 0;
+    for (GateId g = 0; g < conv.net.numGates(); ++g) {
+        const Gate &gate = conv.net.gate(g);
+        if (gate.kind == GateKind::Min && gate.fanin.size() > 1) {
+            ++big_modules;
+            big_inputs += static_cast<int>(gate.fanin.size());
+        }
+    }
+    EXPECT_EQ(big_modules, 4);
+    EXPECT_EQ(big_inputs, 14);
+}
+
+TEST(Convert, MixedNetworksRejected)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addNand({a, b});
+    net.addOutput(net.addNor({g, a}), "f");
+    EXPECT_THROW(minority::convertNandNetwork(net),
+                 std::invalid_argument);
+    EXPECT_THROW(minority::convertNorNetwork(net),
+                 std::invalid_argument);
+    Netlist with_and;
+    GateId x = with_and.addInput("x");
+    GateId y = with_and.addInput("y");
+    with_and.addOutput(with_and.addAnd({x, y}), "f");
+    EXPECT_THROW(minority::convertNandNetwork(with_and),
+                 std::invalid_argument);
+}
+
+class RandomNandSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomNandSweep, ConversionPreservesFunction)
+{
+    util::Rng rng(700 + GetParam());
+    const Netlist net = testing::randomNandNetwork(4, 8, rng);
+    const ConversionResult conv = minority::convertNandNetwork(net);
+    conv.net.validate();
+    expectAlternatingEquivalence(net, conv);
+}
+
+TEST_P(RandomNandSweep, ConvertedNetworkIsSelfChecking)
+{
+    // Theorem 6.2 + Theorem 3.6: every line of the converted network
+    // alternates, so it is self-checking (fault-secure; lines made
+    // redundant by the original network's structure may be
+    // untestable, which does not affect fault security).
+    util::Rng rng(800 + GetParam());
+    const Netlist net = testing::randomNandNetwork(3, 6, rng);
+    const ConversionResult conv = minority::convertNandNetwork(net);
+    const auto res = fault::runAlternatingCampaign(conv.net);
+    ASSERT_TRUE(res.faultSecure());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomNandSweep,
+                         ::testing::Range(0, 10));
+
+TEST(Minimize, MinorityIsSingleModule)
+{
+    const auto plan = minority::findSingleModule(logic::minorityN(3));
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->arity, 3);
+    EXPECT_EQ(plan->phiPads, 0);
+    EXPECT_EQ(plan->notPhiPads, 0);
+}
+
+TEST(Minimize, NandIsSingleModuleWithPad)
+{
+    // NAND(X) alternating-realizes as m3(X ‖ φ): one φ pad.
+    const auto plan = minority::findSingleModule(logic::nandN(2));
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->arity, 3);
+    EXPECT_EQ(plan->phiPads, 1);
+}
+
+TEST(Minimize, NorNeedsNotPhiPad)
+{
+    const auto plan = minority::findSingleModule(logic::norN(2));
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->arity, 3);
+    EXPECT_EQ(plan->notPhiPads, 1);
+}
+
+TEST(Minimize, XorHasNoSingleModule)
+{
+    EXPECT_FALSE(minority::findSingleModule(logic::xorN(2)).has_value());
+    EXPECT_FALSE(minority::findSingleModule(logic::xorN(3)).has_value());
+}
+
+TEST(Minimize, PositiveThresholdNeedsTwoModules)
+{
+    // A minority module is negative unate in its data inputs, so
+    // MAJORITY cannot be a single module (Figure 6.1c needs two).
+    EXPECT_FALSE(
+        minority::findSingleModule(logic::majorityN(3)).has_value());
+}
+
+TEST(Minimize, BuiltPlanIsCorrectAlternatingRealization)
+{
+    for (const auto &f :
+         {logic::minorityN(3), logic::nandN(3), logic::norN(3),
+          logic::minorityN(5), logic::nandN(4)}) {
+        const auto plan = minority::findSingleModule(f);
+        ASSERT_TRUE(plan.has_value());
+        const Netlist net = minority::buildSingleModule(f, *plan);
+        net.validate();
+        sim::Evaluator ev(net);
+        const int n = f.numVars();
+        for (std::uint64_t m = 0; m < f.numMinterms(); ++m) {
+            auto in = testing::patternOf(m, n);
+            in.push_back(false);
+            ASSERT_EQ(ev.evalOutputs(in)[0], f.get(m));
+            for (int i = 0; i < n; ++i)
+                in[i] = !in[i];
+            in[n] = true;
+            ASSERT_EQ(ev.evalOutputs(in)[0], !f.get(m));
+        }
+    }
+}
+
+TEST(Minimize, Fig62MinimalRealization)
+{
+    // The paper's punchline: the four-module direct conversion of the
+    // Figure 6.2 network collapses to a single 3-input module.
+    const Netlist net = circuits::fig62NandNetwork();
+    const auto lf = sim::computeLineFunctions(net);
+    const auto plan = minority::findSingleModule(lf.output[0]);
+    ASSERT_TRUE(plan.has_value());
+    EXPECT_EQ(plan->moduleInputs(), 3);
+}
+
+} // namespace
+} // namespace scal

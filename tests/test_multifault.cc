@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+#include "fault/multi.hh"
+#include "netlist/circuits.hh"
+#include "sim/evaluator.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+TEST(MultiFaultEval, SingleElementListMatchesSingleFault)
+{
+    const Netlist net = circuits::section36Network();
+    sim::Evaluator ev(net);
+    const auto faults = net.allFaults();
+    for (std::size_t k = 0; k < faults.size(); k += 3) {
+        for (std::uint64_t m = 0; m < 8; ++m) {
+            std::vector<bool> x{bool(m & 1), bool(m & 2), bool(m & 4)};
+            ASSERT_EQ(ev.evalOutputs(x, &faults[k]),
+                      ev.evalOutputsMulti(x, {faults[k]}));
+        }
+    }
+}
+
+TEST(MultiFaultEval, TwoFaultsCompose)
+{
+    // Two stem faults pin two independent lines simultaneously.
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId na = net.addNot(a, "na");
+    GateId nb = net.addNot(b, "nb");
+    net.addOutput(net.addAnd({na, nb}), "f");
+    sim::Evaluator ev(net);
+
+    const fault::MultiFault mf{
+        {{na, FaultSite::kStem, -1}, true},
+        {{nb, FaultSite::kStem, -1}, true},
+    };
+    // With both inverters stuck at 1 the AND is always 1.
+    for (int m = 0; m < 4; ++m) {
+        const auto out =
+            ev.evalOutputsMulti({bool(m & 1), bool(m & 2)}, mf);
+        EXPECT_TRUE(out[0]);
+    }
+}
+
+TEST(MultiFaultEval, EmptyListIsFaultFree)
+{
+    const Netlist net = circuits::selfDualFullAdder();
+    sim::Evaluator ev(net);
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        std::vector<bool> x{bool(m & 1), bool(m & 2), bool(m & 4)};
+        EXPECT_EQ(ev.evalOutputs(x), ev.evalOutputsMulti(x, {}));
+    }
+}
+
+TEST(RandomMultiFault, RespectsMultiplicityAndDirection)
+{
+    const Netlist net = circuits::rippleCarryAdder(3);
+    util::Rng rng(201);
+    for (int k = 1; k <= 4; ++k) {
+        const auto mf = fault::randomMultiFault(net, k, true, rng);
+        ASSERT_EQ(static_cast<int>(mf.size()), k);
+        for (const Fault &f : mf)
+            EXPECT_EQ(f.value, mf[0].value); // unidirectional
+        // Distinct sites.
+        for (std::size_t i = 0; i < mf.size(); ++i)
+            for (std::size_t j = i + 1; j < mf.size(); ++j)
+                EXPECT_FALSE(mf[i].site == mf[j].site);
+    }
+    EXPECT_THROW(fault::randomMultiFault(net, 0, false, rng),
+                 std::invalid_argument);
+}
+
+TEST(MultiFaultCampaign, MultiplicityOneMatchesSingleFaultGuarantee)
+{
+    const Netlist net = circuits::section36NetworkRepaired();
+    const auto res =
+        fault::runMultiFaultCampaign(net, 1, false, 300, 7);
+    EXPECT_EQ(res.trials, 300);
+    EXPECT_EQ(res.unsafe, 0);
+    EXPECT_GT(res.detected, 0);
+}
+
+TEST(MultiFaultCampaign, UnsafeEscapesAppearAtHigherMultiplicity)
+{
+    // The thesis's caveat, quantified: beyond single faults the
+    // guarantee is not claimed; a pair of faults can produce a wrong
+    // code word. Verify the campaign *can* find such escapes on the
+    // unrepaired network (which already has unsafe single faults) and
+    // report rates monotonically bounded away from the single-fault
+    // case on at least one circuit.
+    const Netlist net = circuits::section36Network();
+    const auto res1 =
+        fault::runMultiFaultCampaign(net, 1, false, 400, 11);
+    EXPECT_GT(res1.unsafe, 0); // u/w1/w2 stems exist among samples
+    const auto res2 =
+        fault::runMultiFaultCampaign(net, 2, false, 400, 12);
+    EXPECT_GT(res2.unsafe, 0);
+}
+
+TEST(MultiFaultCampaign, DetectionStillDominates)
+{
+    const Netlist net = circuits::rippleCarryAdder(3);
+    for (int k : {2, 3}) {
+        const auto res =
+            fault::runMultiFaultCampaign(net, k, false, 400, 13 + k);
+        EXPECT_GT(res.detected, res.unsafe) << k;
+        EXPECT_LT(res.unsafeRate(), 0.2) << k;
+    }
+}
+
+TEST(MultiFaultCampaign, UnidirectionalGentlerThanUnrestricted)
+{
+    // With a common stuck polarity, conspiring flips are rarer; the
+    // escape rate should not exceed the unrestricted rate by much.
+    const Netlist net = circuits::section36NetworkRepaired();
+    const auto uni =
+        fault::runMultiFaultCampaign(net, 3, true, 600, 21);
+    const auto any =
+        fault::runMultiFaultCampaign(net, 3, false, 600, 21);
+    EXPECT_LE(uni.unsafeRate(), any.unsafeRate() + 0.05);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "netlist/builder.hh"
+#include "netlist/circuits.hh"
+#include "netlist/dot.hh"
+#include "netlist/netlist.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+TEST(Netlist, KindPredicates)
+{
+    EXPECT_TRUE(kindIsUnate(GateKind::Nand));
+    EXPECT_TRUE(kindIsUnate(GateKind::Min));
+    EXPECT_FALSE(kindIsUnate(GateKind::Xor));
+    EXPECT_TRUE(kindIsStandard(GateKind::Not));
+    EXPECT_FALSE(kindIsStandard(GateKind::Xor));
+    EXPECT_FALSE(kindIsStandard(GateKind::Maj));
+    EXPECT_EQ(kindParitySet(GateKind::And), 0b01u);
+    EXPECT_EQ(kindParitySet(GateKind::Nor), 0b10u);
+    EXPECT_EQ(kindParitySet(GateKind::Xor), 0b11u);
+}
+
+TEST(Netlist, EvalKindTruthTables)
+{
+    EXPECT_TRUE(evalKind(GateKind::Nand, {true, false}));
+    EXPECT_FALSE(evalKind(GateKind::Nand, {true, true}));
+    EXPECT_TRUE(evalKind(GateKind::Min, {false, false, true}));
+    EXPECT_FALSE(evalKind(GateKind::Min, {true, true, false}));
+    EXPECT_TRUE(evalKind(GateKind::Maj, {true, true, false}));
+    EXPECT_TRUE(evalKind(GateKind::Xnor, {true, true}));
+    EXPECT_THROW(evalKind(GateKind::Input, {}), std::logic_error);
+}
+
+TEST(Netlist, BuildAndInspect)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addNand({a, b}, "g");
+    net.addOutput(g, "f");
+
+    EXPECT_EQ(net.numGates(), 3);
+    EXPECT_EQ(net.numInputs(), 2);
+    EXPECT_EQ(net.numOutputs(), 1);
+    EXPECT_EQ(net.inputIndex(b), 1);
+    EXPECT_EQ(net.inputIndex(g), -1);
+    EXPECT_EQ(net.gate(g).kind, GateKind::Nand);
+    EXPECT_EQ(net.outputName(0), "f");
+    EXPECT_TRUE(net.isCombinational());
+    net.validate();
+}
+
+TEST(Netlist, DanglingFaninRejected)
+{
+    Netlist net;
+    EXPECT_THROW(net.addNand({0, 1}, "g"), std::logic_error);
+}
+
+TEST(Netlist, TopoOrderRespectsEdges)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId n1 = net.addNot(a);
+    GateId n2 = net.addNot(n1);
+    GateId n3 = net.addAnd({a, n2});
+    net.addOutput(n3, "f");
+    const auto &topo = net.topoOrder();
+    std::vector<int> pos(net.numGates());
+    for (std::size_t i = 0; i < topo.size(); ++i)
+        pos[topo[i]] = static_cast<int>(i);
+    EXPECT_LT(pos[a], pos[n1]);
+    EXPECT_LT(pos[n1], pos[n2]);
+    EXPECT_LT(pos[n2], pos[n3]);
+}
+
+TEST(Netlist, DffBreaksCombinationalCycle)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId placeholder = net.addConst(false);
+    GateId ff = net.addDff(placeholder, "s");
+    GateId g = net.addXor({x, ff});
+    net.replaceFanin(ff, 0, g); // feedback through the flip-flop
+    net.addOutput(g, "f");
+    EXPECT_NO_THROW(net.validate());
+    EXPECT_FALSE(net.isCombinational());
+    EXPECT_EQ(net.flipFlops(), std::vector<GateId>{ff});
+}
+
+TEST(Netlist, ConsumersAndFanout)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addAnd({a, b});
+    GateId h = net.addOr({g, a});
+    net.addOutput(h, "f");
+    net.addOutput(g, "also_g");
+
+    EXPECT_EQ(net.fanoutCount(a), 2); // AND pin + OR pin
+    EXPECT_EQ(net.fanoutCount(g), 2); // OR pin + output tap
+    EXPECT_EQ(net.consumers(g).size(), 1u);
+    EXPECT_EQ(net.outputTaps(g).size(), 1u);
+    EXPECT_EQ(net.fanoutCount(h), 1);
+}
+
+TEST(Netlist, FaultSiteEnumeration)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addAnd({a, b});
+    GateId h = net.addOr({g, a});
+    net.addOutput(h, "f");
+
+    // a fans out (2 dests): stem + 2 branches. b: stem only.
+    // g: stem only (single consumer). h: stem only.
+    const auto sites = net.faultSites();
+    int stems = 0, branches = 0;
+    for (const FaultSite &s : sites) {
+        if (s.isStem())
+            ++stems;
+        else
+            ++branches;
+    }
+    EXPECT_EQ(stems, 4);
+    EXPECT_EQ(branches, 2);
+    EXPECT_EQ(net.allFaults().size(), sites.size() * 2);
+}
+
+TEST(Netlist, OutputTapBranchSites)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId g = net.addNot(a);
+    GateId h = net.addNot(g);
+    net.addOutput(g, "g"); // g drives both h and an output: fans out
+    net.addOutput(h, "h");
+    bool found_tap = false;
+    for (const FaultSite &s : net.faultSites())
+        if (s.consumer == FaultSite::kOutputTap && s.driver == g)
+            found_tap = true;
+    EXPECT_TRUE(found_tap);
+}
+
+TEST(Netlist, CostAccounting)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId n = net.addNot(a);
+    GateId g = net.addAnd({n, b});
+    GateId buf = net.addBuf(g);
+    GateId ff = net.addDff(buf);
+    net.addOutput(ff, "q");
+
+    const auto cost = net.cost();
+    EXPECT_EQ(cost.gates, 2);      // NOT + AND (BUF excluded)
+    EXPECT_EQ(cost.inverters, 1);
+    EXPECT_EQ(cost.flipFlops, 1);
+    EXPECT_EQ(cost.gateInputs, 3); // 1 + 2
+}
+
+TEST(Netlist, ValidateCatchesArityErrors)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    net.addGate(GateKind::Min, {a, a}, "even_minority");
+    EXPECT_THROW(net.validate(), std::logic_error);
+}
+
+TEST(Netlist, ReplaceFaninAndOutput)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addAnd({a, a});
+    net.addOutput(g, "f");
+    net.replaceFanin(g, 1, b);
+    EXPECT_EQ(net.gate(g).fanin[1], b);
+    net.replaceOutput(0, b);
+    EXPECT_EQ(net.outputs()[0], b);
+    EXPECT_THROW(net.replaceFanin(g, 5, a), std::logic_error);
+    EXPECT_THROW(net.replaceOutput(3, a), std::logic_error);
+}
+
+TEST(Builder, ExpressionOperators)
+{
+    Builder b;
+    auto x = b.input("x");
+    auto y = b.input("y");
+    auto f = (x & y) | (~x ^ y);
+    b.output(f, "f");
+    EXPECT_EQ(b.netlist().numOutputs(), 1);
+    EXPECT_GE(b.netlist().numGates(), 6);
+    b.netlist().validate();
+}
+
+TEST(Builder, CrossBuilderSignalRejected)
+{
+    Builder b1, b2;
+    auto x = b1.input("x");
+    auto y = b2.input("y");
+    EXPECT_THROW(b1.andGate({x, y}), std::logic_error);
+}
+
+TEST(Dot, ContainsNodesAndEdges)
+{
+    const Netlist net = circuits::selfDualFullAdder();
+    std::ostringstream os;
+    writeDot(os, net, "adder");
+    const std::string s = os.str();
+    EXPECT_NE(s.find("digraph adder"), std::string::npos);
+    EXPECT_NE(s.find("sum"), std::string::npos);
+    EXPECT_NE(s.find("->"), std::string::npos);
+}
+
+TEST(Circuits, AdderShape)
+{
+    const Netlist net = circuits::selfDualFullAdder();
+    EXPECT_EQ(net.numInputs(), 3);
+    EXPECT_EQ(net.numOutputs(), 2);
+    net.validate();
+}
+
+TEST(Circuits, RippleAdderShape)
+{
+    const Netlist net = circuits::rippleCarryAdder(4);
+    EXPECT_EQ(net.numInputs(), 9);
+    EXPECT_EQ(net.numOutputs(), 5);
+    EXPECT_THROW(circuits::rippleCarryAdder(0), std::invalid_argument);
+}
+
+TEST(Circuits, XorTreeParity)
+{
+    const Netlist net = circuits::xorTree(9, 3);
+    EXPECT_EQ(net.numInputs(), 9);
+    EXPECT_EQ(net.numOutputs(), 1);
+    net.validate();
+}
+
+} // namespace
+} // namespace scal

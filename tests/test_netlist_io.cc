@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "netlist/circuits.hh"
+#include "netlist/io.hh"
+#include "seq/kohavi.hh"
+#include "sim/evaluator.hh"
+#include "sim/sequential.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+TEST(NetlistIo, ParseBasic)
+{
+    const Netlist net = readNetlistFromString(R"(
+        # half adder
+        input a
+        input b
+        gate s xor a b
+        gate c and a b
+        output sum s
+        output carry c
+    )");
+    EXPECT_EQ(net.numInputs(), 2);
+    EXPECT_EQ(net.numOutputs(), 2);
+    sim::Evaluator ev(net);
+    EXPECT_EQ(ev.evalOutputs({true, true}),
+              (std::vector<bool>{false, true}));
+    EXPECT_EQ(ev.evalOutputs({true, false}),
+              (std::vector<bool>{true, false}));
+}
+
+TEST(NetlistIo, ParseConstAndThreshold)
+{
+    const Netlist net = readNetlistFromString(R"(
+        input x
+        input y
+        const zero 0
+        gate m min x y zero
+        output f m
+    )");
+    sim::Evaluator ev(net);
+    // min(x, y, 0) = NAND(x, y) (Figure 6.1d).
+    EXPECT_TRUE(ev.evalOutputs({false, true})[0]);
+    EXPECT_FALSE(ev.evalOutputs({true, true})[0]);
+}
+
+TEST(NetlistIo, DffWithForwardReferenceAndOptions)
+{
+    const Netlist net = readNetlistFromString(R"(
+        input x
+        dff q g phifall init1
+        gate g xor x q
+        output f g
+        output state q
+    )");
+    const auto ffs = net.flipFlops();
+    ASSERT_EQ(ffs.size(), 1u);
+    EXPECT_EQ(net.gate(ffs[0]).latch, LatchMode::PhiFall);
+    EXPECT_TRUE(net.gate(ffs[0]).init);
+}
+
+TEST(NetlistIo, Errors)
+{
+    EXPECT_THROW(readNetlistFromString("bogus x"), std::runtime_error);
+    EXPECT_THROW(readNetlistFromString("input a\ninput a"),
+                 std::runtime_error);
+    EXPECT_THROW(readNetlistFromString("gate g and nope"),
+                 std::runtime_error);
+    EXPECT_THROW(readNetlistFromString("gate g frob a"),
+                 std::runtime_error);
+    EXPECT_THROW(readNetlistFromString("const c 2"),
+                 std::runtime_error);
+    EXPECT_THROW(readNetlistFromString("input a\ndff q a weird"),
+                 std::runtime_error);
+    EXPECT_THROW(readNetlistFromString("output f nothing"),
+                 std::runtime_error);
+}
+
+TEST(NetlistIo, ErrorCarriesLineNumber)
+{
+    try {
+        readNetlistFromString("input a\n\ngate g frob a\n");
+        FAIL();
+    } catch (const std::runtime_error &e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"),
+                  std::string::npos);
+    }
+}
+
+TEST(NetlistIo, RoundTripPreservesCombinationalBehavior)
+{
+    util::Rng rng(231);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Netlist net = testing::randomNetlist(4, 10, rng);
+        const Netlist back =
+            readNetlistFromString(writeNetlistToString(net));
+        ASSERT_EQ(back.numInputs(), net.numInputs());
+        ASSERT_EQ(back.numOutputs(), net.numOutputs());
+        sim::Evaluator e1(net), e2(back);
+        for (std::uint64_t m = 0; m < 16; ++m) {
+            const auto x = testing::patternOf(m, 4);
+            ASSERT_EQ(e1.evalOutputs(x), e2.evalOutputs(x))
+                << "trial " << trial << " m " << m;
+        }
+    }
+}
+
+TEST(NetlistIo, RoundTripPreservesSequentialBehavior)
+{
+    const auto sm = seq::translatorDetector();
+    const Netlist back =
+        readNetlistFromString(writeNetlistToString(sm.net));
+
+    sim::SeqSimulator s1(sm.net, sm.phiInput);
+    sim::SeqSimulator s2(back, sm.phiInput);
+    util::Rng rng(232);
+    for (int t = 0; t < 200; ++t) {
+        std::vector<bool> in(sm.net.numInputs(), false);
+        in[0] = rng.chance(0.5);
+        ASSERT_EQ(s1.stepPeriod(in), s2.stepPeriod(in)) << t;
+    }
+}
+
+TEST(NetlistIo, WriterEmitsStableUniqueNames)
+{
+    // Two anonymous gates plus a user-named one.
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId g1 = net.addNot(a);
+    GateId g2 = net.addNot(g1, "n2");
+    net.addOutput(g2, "f");
+    const std::string text = writeNetlistToString(net);
+    EXPECT_NE(text.find("gate n2 not"), std::string::npos);
+    // Parses back.
+    EXPECT_NO_THROW(readNetlistFromString(text));
+}
+
+} // namespace
+} // namespace scal

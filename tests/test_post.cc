@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "logic/function_gen.hh"
+#include "logic/post.hh"
+#include "util/rng.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace logic;
+
+TEST(Post, ClonePredicates)
+{
+    EXPECT_TRUE(preservesZero(andN(2)));
+    EXPECT_TRUE(preservesOne(andN(2)));
+    EXPECT_FALSE(preservesZero(nandN(2)));
+    EXPECT_FALSE(preservesOne(nandN(2)));
+    EXPECT_TRUE(isMonotone(andN(3)));
+    EXPECT_TRUE(isMonotone(orN(3)));
+    EXPECT_TRUE(isMonotone(majorityN(3)));
+    EXPECT_FALSE(isMonotone(nandN(2)));
+    EXPECT_FALSE(isMonotone(xorN(2)));
+    EXPECT_TRUE(isAffine(xorN(4)));
+    EXPECT_TRUE(isAffine(~xorN(3)));
+    EXPECT_TRUE(isAffine(TruthTable::variable(3, 1)));
+    EXPECT_FALSE(isAffine(andN(2)));
+    EXPECT_FALSE(isAffine(majorityN(3)));
+}
+
+TEST(Post, AffineCharacterization)
+{
+    // Affine iff representable as c ^ XOR of a variable subset:
+    // enumerate all affine functions of 3 vars and check both ways.
+    util::Rng rng(211);
+    int affine_count = 0;
+    for (unsigned bits = 0; bits < 256; ++bits) {
+        TruthTable f(3);
+        for (int m = 0; m < 8; ++m)
+            if ((bits >> m) & 1)
+                f.set(m, true);
+        if (isAffine(f))
+            ++affine_count;
+    }
+    // 2^(n+1) affine functions of n variables.
+    EXPECT_EQ(affine_count, 16);
+}
+
+TEST(Post, NandIsComplete)
+{
+    EXPECT_TRUE(isCompleteGateSet({nandN(2)}));
+    EXPECT_TRUE(isCompleteGateSet({norN(2)}));
+}
+
+TEST(Post, MonotoneSetsIncomplete)
+{
+    const auto pa = analyzeGateSet({andN(2), orN(2), majorityN(3)},
+                                   /*with_constants=*/true);
+    EXPECT_FALSE(pa.complete());
+    EXPECT_TRUE(pa.allMonotone);
+    const auto clones = pa.survivingClones();
+    EXPECT_EQ(clones, std::vector<std::string>{"monotone"});
+}
+
+TEST(Post, AffineSetsIncomplete)
+{
+    EXPECT_FALSE(isCompleteGateSet({xorN(2), ~xorN(2)},
+                                   /*with_constants=*/true));
+}
+
+TEST(Post, MinorityAloneIsOnlyWeaklyComplete)
+{
+    // The Chapter 6 subtlety: the minority module is self-dual, so
+    // {minority} preserves self-duality and cannot be complete by
+    // itself...
+    const auto alone = analyzeGateSet({minorityN(3)});
+    EXPECT_FALSE(alone.complete());
+    EXPECT_EQ(alone.survivingClones(),
+              std::vector<std::string>{"self-dual"});
+
+    // ...but with a constant available (Figure 6.1d ties an input to
+    // 0) it is strongly complete — Theorem 6.1.
+    EXPECT_TRUE(isCompleteGateSet({minorityN(3)},
+                                  /*with_constants=*/true));
+}
+
+TEST(Post, MajorityNotCompleteEvenWithConstants)
+{
+    // Majority is monotone; constants are monotone too.
+    EXPECT_FALSE(isCompleteGateSet({majorityN(3)},
+                                   /*with_constants=*/true));
+}
+
+TEST(Post, RandomSelfDualSetsStayIncompleteWithoutConstants)
+{
+    util::Rng rng(212);
+    for (int trial = 0; trial < 20; ++trial) {
+        std::vector<TruthTable> set;
+        for (int k = 0; k < 3; ++k)
+            set.push_back(randomSelfDual(3, rng));
+        const auto pa = analyzeGateSet(set);
+        EXPECT_TRUE(pa.allSelfDual);
+        EXPECT_FALSE(pa.complete());
+    }
+}
+
+TEST(Post, CompletenessNeedsAllFiveEscapes)
+{
+    // {AND, XOR, 1}: escapes monotone (xor), affine (and),
+    // 0-preserving (const 1), self-dual (and)... but everything
+    // preserves 1? AND(1,1)=1, XOR(1,1)=0: escapes. Complete.
+    EXPECT_TRUE(isCompleteGateSet(
+        {andN(2), xorN(2), TruthTable::constant(0, true)}));
+    // Drop the constant: {AND, XOR} both preserve 0 -> incomplete.
+    EXPECT_FALSE(isCompleteGateSet({andN(2), xorN(2)}));
+}
+
+} // namespace
+} // namespace scal

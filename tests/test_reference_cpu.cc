@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include "system/assembler.hh"
+#include "system/campaign.hh"
+#include "system/reference_cpu.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace system;
+
+TEST(ReferenceCpu, ArithmeticAndFlags)
+{
+    ReferenceCpu cpu(assemble(R"(
+        LDI 200
+        ADDI 56
+        OUT     ; 0 (wrapped)
+        LDI 5
+        SUB 10
+        OUT     ; 5 - mem[10] = 5 - 5 = 0
+        HALT
+    )"));
+    cpu.poke(10, 5);
+    const auto r = cpu.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.output, (std::vector<std::uint8_t>{0, 0}));
+    EXPECT_TRUE(cpu.zeroFlag());
+}
+
+TEST(ReferenceCpu, LoadStore)
+{
+    ReferenceCpu cpu(assemble(R"(
+        LDI 0x55
+        STA 100
+        LDI 0
+        LDA 100
+        OUT
+        HALT
+    )"));
+    cpu.run();
+    EXPECT_EQ(cpu.peek(100), 0x55);
+    EXPECT_EQ(cpu.output(), (std::vector<std::uint8_t>{0x55}));
+}
+
+TEST(ReferenceCpu, LogicAndShifts)
+{
+    ReferenceCpu cpu(assemble(R"(
+        LDI 0b11001100
+        AND 20
+        OUT
+        OR 21
+        OUT
+        XOR 22
+        OUT
+        SHL
+        OUT
+        SHR
+        OUT
+        HALT
+    )"));
+    cpu.poke(20, 0xf0);
+    cpu.poke(21, 0x0f);
+    cpu.poke(22, 0xff);
+    const auto r = cpu.run();
+    std::uint8_t v = 0xcc & 0xf0;
+    std::vector<std::uint8_t> want{v};
+    v |= 0x0f;
+    want.push_back(v);
+    v ^= 0xff;
+    want.push_back(v);
+    v = static_cast<std::uint8_t>(v << 1);
+    want.push_back(v);
+    v >>= 1;
+    want.push_back(v);
+    EXPECT_EQ(r.output, want);
+}
+
+TEST(ReferenceCpu, LoopWithBranch)
+{
+    // Count down from 5, outputting each value.
+    ReferenceCpu cpu(assemble(R"(
+            LDI 5
+        loop:
+            OUT
+            SUB 11
+            JNZ loop
+            OUT
+            HALT
+    )"));
+    cpu.poke(11, 1);
+    const auto r = cpu.run();
+    EXPECT_EQ(r.output, (std::vector<std::uint8_t>{5, 4, 3, 2, 1, 0}));
+}
+
+TEST(ReferenceCpu, JzTaken)
+{
+    ReferenceCpu cpu(assemble(R"(
+        LDI 0
+        JZ skip
+        LDI 99
+        OUT
+    skip:
+        LDI 7
+        OUT
+        HALT
+    )"));
+    EXPECT_EQ(cpu.run().output, (std::vector<std::uint8_t>{7}));
+}
+
+TEST(ReferenceCpu, FallsOffEndHalts)
+{
+    ReferenceCpu cpu(assemble("NOP\nNOP"));
+    const auto r = cpu.run();
+    EXPECT_TRUE(r.halted);
+    EXPECT_EQ(r.steps, 2);
+}
+
+TEST(ReferenceCpu, StepBudgetStopsRunaway)
+{
+    ReferenceCpu cpu(assemble("here: JMP here"));
+    const auto r = cpu.run(100);
+    EXPECT_FALSE(r.halted);
+    EXPECT_EQ(r.steps, 100);
+}
+
+TEST(ReferenceCpu, CorruptorHookAppliesToAluOps)
+{
+    ReferenceCpu cpu(assemble("LDI 1\nADDI 1\nOUT\nHALT"));
+    cpu.setCorruptor([](AluOp op, std::uint8_t, std::uint8_t,
+                        AluResult r) {
+        if (op == AluOp::Add)
+            r.value ^= 0x80;
+        return r;
+    });
+    EXPECT_EQ(cpu.run().output, (std::vector<std::uint8_t>{0x82}));
+}
+
+TEST(ReferenceCpu, PointerLoadStore)
+{
+    ReferenceCpu cpu(assemble(R"(
+        LDI 100
+        STA 15     ; ptr = 100
+        LDI 0x3c
+        STP 15     ; mem[100] = 0x3c
+        LDI 0
+        LDP 15     ; acc = mem[100]
+        OUT
+        HALT
+    )"));
+    const auto r = cpu.run();
+    EXPECT_EQ(r.output, (std::vector<std::uint8_t>{0x3c}));
+    EXPECT_EQ(cpu.peek(100), 0x3c);
+}
+
+TEST(ReferenceCpu, ArraySumWorkloadGolden)
+{
+    const auto wls = standardWorkloads();
+    const Workload &wl = wls.back();
+    ASSERT_EQ(wl.name, "arraysum");
+    unsigned want = 0;
+    for (int i = 0; i < 8; ++i)
+        want = (want + (31 * i + 7)) & 0xff;
+    const auto out = goldenOutput(wl);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0], want);
+}
+
+TEST(ReferenceCpu, AluOpForMapping)
+{
+    EXPECT_EQ(ReferenceCpu::aluOpFor(Op::Add), AluOp::Add);
+    EXPECT_EQ(ReferenceCpu::aluOpFor(Op::Addi), AluOp::Add);
+    EXPECT_EQ(ReferenceCpu::aluOpFor(Op::Lda), AluOp::PassB);
+    EXPECT_THROW(ReferenceCpu::aluOpFor(Op::Jmp), std::logic_error);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "system/campaign.hh"
+#include "system/rollback.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace system;
+
+netlist::Fault
+sumBitFault(AluOp op, int bit, bool value)
+{
+    const netlist::Netlist alu = aluNetlist(op);
+    return {{alu.outputs()[bit], netlist::FaultSite::kStem, -1}, value};
+}
+
+TEST(Rollback, FaultFreeRunsClean)
+{
+    const Workload wl = standardWorkloads()[1]; // fib12
+    RollbackScalCpu cpu(wl.prog);
+    cpu.preload(wl.data);
+    const auto r = cpu.run();
+    EXPECT_EQ(r.output, goldenOutput(wl));
+    EXPECT_EQ(r.rollbacks, 0);
+    EXPECT_FALSE(r.recovered);
+    EXPECT_FALSE(r.gaveUp);
+}
+
+TEST(Rollback, TransientFaultIsRiddenOut)
+{
+    const Workload wl = standardWorkloads()[1];
+    RollbackScalCpu cpu(wl.prog);
+    cpu.preload(wl.data);
+    // A glitch active during cumulative steps [5, 9): detected in
+    // attempt 0, gone by the retry.
+    cpu.injectTransientAluFault(AluOp::Add,
+                                sumBitFault(AluOp::Add, 0, true), 5, 9);
+    const auto r = cpu.run();
+    EXPECT_EQ(r.output, goldenOutput(wl));
+    EXPECT_GE(r.rollbacks, 1);
+    EXPECT_TRUE(r.recovered);
+    EXPECT_FALSE(r.gaveUp);
+}
+
+TEST(Rollback, PermanentFaultExhaustsBudget)
+{
+    const Workload wl = standardWorkloads()[0]; // sum8
+    RollbackScalCpu cpu(wl.prog);
+    cpu.preload(wl.data);
+    cpu.injectPermanentAluFault(AluOp::Add,
+                                sumBitFault(AluOp::Add, 3, false));
+    const auto r = cpu.run(/*max_retries=*/2);
+    EXPECT_TRUE(r.gaveUp);
+    EXPECT_EQ(r.rollbacks, 3); // initial attempt + 2 retries all failed
+    EXPECT_FALSE(r.recovered);
+    EXPECT_NE(r.lastReason.find("non-alternating"), std::string::npos);
+}
+
+TEST(Rollback, MaskedTransientNeedsNoRollback)
+{
+    // A glitch in an ALU the program touches only outside the window.
+    const Workload wl = standardWorkloads()[0];
+    RollbackScalCpu cpu(wl.prog);
+    cpu.preload(wl.data);
+    cpu.injectTransientAluFault(AluOp::Xor,
+                                sumBitFault(AluOp::Xor, 0, true), 0, 3);
+    const auto r = cpu.run();
+    EXPECT_EQ(r.output, goldenOutput(wl));
+    EXPECT_EQ(r.rollbacks, 0);
+}
+
+TEST(Rollback, SweepOverTransientWindows)
+{
+    // Every single-step glitch anywhere in the run either has no
+    // effect or is recovered; none ever corrupts the output.
+    const Workload wl = standardWorkloads()[2]; // mul5
+    const auto golden = goldenOutput(wl);
+    const netlist::Fault fault = sumBitFault(AluOp::Add, 1, true);
+    int recovered = 0;
+    for (long at = 0; at < 8; ++at) {
+        RollbackScalCpu cpu(wl.prog);
+        cpu.preload(wl.data);
+        cpu.injectTransientAluFault(AluOp::Add, fault, at, at + 1);
+        const auto r = cpu.run();
+        ASSERT_FALSE(r.gaveUp) << "window at " << at;
+        ASSERT_EQ(r.output, golden) << "window at " << at;
+        recovered += r.recovered;
+    }
+    EXPECT_GT(recovered, 0);
+}
+
+TEST(ScalCpu, FaultWindowSemantics)
+{
+    const Workload wl = standardWorkloads()[0];
+    ScalCpu cpu(wl.prog);
+    for (auto [a, v] : wl.data)
+        cpu.poke(a, v);
+    cpu.injectAluFault(AluOp::Add, sumBitFault(AluOp::Add, 0, true));
+    cpu.setAluFaultWindow(1000, 2000); // never reached
+    const auto r = cpu.run();
+    EXPECT_FALSE(r.errorDetected);
+    EXPECT_EQ(r.output, goldenOutput(wl));
+}
+
+} // namespace
+} // namespace scal

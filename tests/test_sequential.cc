@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "sim/sequential.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+TEST(SeqSimulator, EveryPeriodLatch)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId ff = net.addDff(x, "q");
+    net.addOutput(ff, "q");
+
+    sim::SeqSimulator s(net);
+    EXPECT_FALSE(s.stepPeriod({true})[0]);  // still the init value
+    EXPECT_TRUE(s.stepPeriod({false})[0]);  // captured the 1
+    EXPECT_FALSE(s.stepPeriod({false})[0]);
+}
+
+TEST(SeqSimulator, InitValue)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId ff = net.addDff(x, "q", LatchMode::EveryPeriod, true);
+    net.addOutput(ff, "q");
+    sim::SeqSimulator s(net);
+    EXPECT_TRUE(s.stepPeriod({false})[0]);
+    s.reset();
+    EXPECT_TRUE(s.state()[0]);
+}
+
+TEST(SeqSimulator, PhiRiseLatchesOncePerSymbol)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    net.addInput("phi"); // driven by the simulator
+    GateId ff = net.addDff(x, "q", LatchMode::PhiRise);
+    net.addOutput(ff, "q");
+
+    sim::SeqSimulator s(net, 1);
+    // Period 1 (φ=0): eligible to latch at its end.
+    s.stepPeriod({true, false});
+    EXPECT_TRUE(s.state()[0]);
+    // Period 2 (φ=1): not eligible; the 0 is not captured.
+    s.stepPeriod({false, false});
+    EXPECT_TRUE(s.state()[0]);
+    // Next period 1 captures again.
+    s.stepPeriod({false, false});
+    EXPECT_FALSE(s.state()[0]);
+}
+
+TEST(SeqSimulator, PhiFallLatchesAtSymbolEnd)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    net.addInput("phi");
+    GateId ff = net.addDff(x, "q", LatchMode::PhiFall);
+    net.addOutput(ff, "q");
+
+    sim::SeqSimulator s(net, 1);
+    s.stepPeriod({true, false}); // φ=0 period: no capture
+    EXPECT_FALSE(s.state()[0]);
+    s.stepPeriod({true, false}); // φ=1 period: capture at its end
+    EXPECT_TRUE(s.state()[0]);
+}
+
+TEST(SeqSimulator, PhiDrivenAutomatically)
+{
+    Netlist net;
+    net.addInput("x");
+    GateId phi = net.addInput("phi");
+    net.addOutput(phi, "phi_echo");
+
+    sim::SeqSimulator s(net, 1);
+    EXPECT_FALSE(s.stepPeriod({false, true})[0]); // overridden to 0
+    EXPECT_TRUE(s.stepPeriod({false, false})[0]); // overridden to 1
+    EXPECT_FALSE(s.stepPeriod({false, true})[0]);
+    EXPECT_TRUE(s.phase());
+}
+
+TEST(SeqSimulator, PersistentFaultAppliesEveryPeriod)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId g = net.addNot(x, "g");
+    net.addOutput(g, "f");
+
+    sim::SeqSimulator s(net);
+    s.setFault(Fault{{g, FaultSite::kStem, -1}, false});
+    EXPECT_FALSE(s.stepPeriod({false})[0]); // would be 1 fault-free
+    EXPECT_FALSE(s.stepPeriod({true})[0]);
+}
+
+TEST(SeqSimulator, FaultOnDffDataPin)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId buf = net.addBuf(x, "d");
+    GateId other = net.addNot(buf);
+    GateId ff = net.addDff(buf, "q");
+    net.addOutput(ff, "q");
+    net.addOutput(other, "n");
+
+    sim::SeqSimulator s(net);
+    s.setFault(Fault{{buf, ff, 0}, true});
+    s.stepPeriod({false});
+    // The branch into the flip-flop is stuck at 1...
+    EXPECT_TRUE(s.state()[0]);
+    // ...but the other consumer of the line saw the true 0.
+    EXPECT_TRUE(s.stepPeriod({false})[1]);
+}
+
+TEST(SeqSimulator, SetStateAndReset)
+{
+    Netlist net;
+    GateId x = net.addInput("x");
+    GateId ff = net.addDff(x, "q");
+    net.addOutput(ff, "q");
+    sim::SeqSimulator s(net);
+    s.setState({true});
+    EXPECT_TRUE(s.stepPeriod({false})[0]);
+    s.reset();
+    EXPECT_FALSE(s.phase());
+    EXPECT_FALSE(s.state()[0]);
+    EXPECT_THROW(s.setState({true, false}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "seq/state_table.hh"
+
+namespace scal
+{
+namespace
+{
+
+using seq::StateTable;
+
+TEST(StateTable, ShapeAndAccess)
+{
+    StateTable t(3, 2, 1);
+    EXPECT_EQ(t.numStates(), 3);
+    EXPECT_EQ(t.numSymbols(), 4);
+    EXPECT_EQ(t.stateBits(), 2);
+    t.setTransition(0, 0, 1, 1);
+    EXPECT_EQ(t.next(0, 0), 1);
+    EXPECT_EQ(t.output(0, 0), 1u);
+    EXPECT_THROW(t.setTransition(3, 0, 0, 0), std::out_of_range);
+    EXPECT_THROW(t.setTransition(0, 4, 0, 0), std::out_of_range);
+}
+
+TEST(StateTable, StateBitsRounding)
+{
+    EXPECT_EQ(StateTable(2, 1, 1).stateBits(), 1);
+    EXPECT_EQ(StateTable(4, 1, 1).stateBits(), 2);
+    EXPECT_EQ(StateTable(5, 1, 1).stateBits(), 3);
+    EXPECT_EQ(StateTable(8, 1, 1).stateBits(), 3);
+}
+
+TEST(StateTable, ValidateCatchesHoles)
+{
+    StateTable t(2, 1, 1);
+    t.setTransition(0, 0, 1, 0);
+    EXPECT_THROW(t.validate(), std::logic_error);
+    t.setTransition(0, 1, 0, 0);
+    t.setTransition(1, 0, 0, 0);
+    t.setTransition(1, 1, 1, 1);
+    EXPECT_NO_THROW(t.validate());
+}
+
+TEST(StateTable, KohaviDetectsExactly0101)
+{
+    const StateTable t = seq::kohaviDetectorTable();
+    t.validate();
+
+    // The canonical sequence.
+    EXPECT_EQ(t.run({0, 1, 0, 1}),
+              (std::vector<unsigned>{0, 0, 0, 1}));
+    // Overlapping detections: 010101 detects at positions 3 and 5.
+    EXPECT_EQ(t.run({0, 1, 0, 1, 0, 1}),
+              (std::vector<unsigned>{0, 0, 0, 1, 0, 1}));
+    // No false positives on 0011 or 1111.
+    EXPECT_EQ(t.run({0, 0, 1, 1}),
+              (std::vector<unsigned>{0, 0, 0, 0}));
+    EXPECT_EQ(t.run({1, 1, 1, 1}),
+              (std::vector<unsigned>{0, 0, 0, 0}));
+}
+
+TEST(StateTable, KohaviMatchesSlidingWindowOracle)
+{
+    const StateTable t = seq::kohaviDetectorTable();
+    // Deterministic pseudo-random bits.
+    std::vector<int> bits;
+    unsigned x = 12345;
+    for (int i = 0; i < 500; ++i) {
+        x = x * 1103515245 + 12345;
+        bits.push_back((x >> 16) & 1);
+    }
+    const auto outs = t.run(bits);
+    for (std::size_t i = 0; i < bits.size(); ++i) {
+        const bool expect = i >= 3 && bits[i - 3] == 0 &&
+                            bits[i - 2] == 1 && bits[i - 1] == 0 &&
+                            bits[i] == 1;
+        ASSERT_EQ(outs[i], expect ? 1u : 0u) << "position " << i;
+    }
+}
+
+TEST(StateTable, StateNames)
+{
+    const StateTable t = seq::kohaviDetectorTable();
+    EXPECT_EQ(t.stateName(0), "A");
+    EXPECT_EQ(t.stateName(3), "D");
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "netlist/circuits.hh"
+#include "netlist/structure.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+/** a, b -> g = AND -> h = NOT -> out ; plus separate cone k = OR(b,c). */
+struct TwoConesFixture : ::testing::Test
+{
+    Netlist net;
+    GateId a, b, c, g, h, k;
+
+    void
+    SetUp() override
+    {
+        a = net.addInput("a");
+        b = net.addInput("b");
+        c = net.addInput("c");
+        g = net.addAnd({a, b}, "g");
+        h = net.addNot(g, "h");
+        k = net.addOr({b, c}, "k");
+        net.addOutput(h, "f0");
+        net.addOutput(k, "f1");
+    }
+};
+
+TEST_F(TwoConesFixture, OutputCone)
+{
+    const auto cone0 = outputCone(net, 0);
+    EXPECT_TRUE(cone0[a]);
+    EXPECT_TRUE(cone0[b]);
+    EXPECT_FALSE(cone0[c]);
+    EXPECT_TRUE(cone0[g]);
+    EXPECT_TRUE(cone0[h]);
+    EXPECT_FALSE(cone0[k]);
+
+    const auto cone1 = outputCone(net, 1);
+    EXPECT_FALSE(cone1[a]);
+    EXPECT_TRUE(cone1[b]);
+    EXPECT_TRUE(cone1[c]);
+}
+
+TEST_F(TwoConesFixture, OutputsReachedBySite)
+{
+    EXPECT_EQ(outputsReachedBySite(net, {a, FaultSite::kStem, -1}),
+              (std::vector<int>{0}));
+    EXPECT_EQ(outputsReachedBySite(net, {b, FaultSite::kStem, -1}),
+              (std::vector<int>{0, 1}));
+    EXPECT_EQ(outputsReachedBySite(net, {b, k, 0}),
+              (std::vector<int>{1}));
+    EXPECT_EQ(outputsReachedBySite(net, {b, g, 1}),
+              (std::vector<int>{0}));
+    EXPECT_EQ(
+        outputsReachedBySite(net, {k, FaultSite::kOutputTap, 1}),
+        (std::vector<int>{1}));
+}
+
+TEST_F(TwoConesFixture, SingleUnatePath)
+{
+    // a -> g -> h -> out0: single path, all unate.
+    EXPECT_TRUE(singleUnatePathToOutput(net, {a, FaultSite::kStem, -1}, 0));
+    // b fans out across cones but within cone 0 it has a single path.
+    EXPECT_TRUE(singleUnatePathToOutput(net, {b, g, 1}, 0));
+    EXPECT_TRUE(
+        singleUnatePathToOutput(net, {b, FaultSite::kStem, -1}, 0));
+    // c is not in cone 0 at all.
+    EXPECT_FALSE(
+        singleUnatePathToOutput(net, {c, FaultSite::kStem, -1}, 0));
+}
+
+TEST_F(TwoConesFixture, PathParity)
+{
+    // a through AND (even) then NOT (odd): overall odd.
+    EXPECT_EQ(pathParitySet(net, {a, FaultSite::kStem, -1}, 0), 0b10u);
+    // b to output 1 through OR: even.
+    EXPECT_EQ(pathParitySet(net, {b, k, 0}, 1), 0b01u);
+    // unreachable.
+    EXPECT_EQ(pathParitySet(net, {c, FaultSite::kStem, -1}, 0), 0u);
+}
+
+TEST(Structure, FanoutBlocksSingleUnatePath)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addAnd({a, b}, "g");
+    GateId p = net.addNot(g, "p");
+    GateId q = net.addNot(g, "q");
+    GateId f = net.addAnd({p, q}, "f");
+    net.addOutput(f, "f");
+    // The stem of g fans out inside the cone.
+    EXPECT_FALSE(
+        singleUnatePathToOutput(net, {g, FaultSite::kStem, -1}, 0));
+    // But each branch of g is a single path.
+    EXPECT_TRUE(singleUnatePathToOutput(net, {g, p, 0}, 0));
+    EXPECT_TRUE(singleUnatePathToOutput(net, {g, q, 0}, 0));
+}
+
+TEST(Structure, XorBlocksUnatePathButKeepsReachability)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addXor({a, b}, "g");
+    GateId h = net.addNot(g, "h");
+    net.addOutput(h, "f");
+    EXPECT_FALSE(
+        singleUnatePathToOutput(net, {a, FaultSite::kStem, -1}, 0));
+    // Parity through XOR is indeterminate: both parities.
+    EXPECT_EQ(pathParitySet(net, {a, FaultSite::kStem, -1}, 0), 0b11u);
+}
+
+TEST(Structure, ReconvergentEqualParity)
+{
+    // g feeds two NAND paths of equal (odd+odd) parity into an AND.
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addAnd({a, b}, "g");
+    GateId p = net.addNand({g, a}, "p");
+    GateId q = net.addNand({g, b}, "q");
+    GateId f = net.addAnd({p, q}, "f");
+    net.addOutput(f, "f");
+    EXPECT_EQ(pathParitySet(net, {g, FaultSite::kStem, -1}, 0), 0b10u);
+}
+
+TEST(Structure, ReconvergentUnequalParity)
+{
+    // One inverting and one non-inverting path.
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId b = net.addInput("b");
+    GateId g = net.addAnd({a, b}, "g");
+    GateId p = net.addNand({g, a}, "p"); // odd
+    GateId q = net.addAnd({g, b}, "q");  // even
+    GateId f = net.addOr({p, q}, "f");
+    net.addOutput(f, "f");
+    EXPECT_EQ(pathParitySet(net, {g, FaultSite::kStem, -1}, 0), 0b11u);
+}
+
+TEST(Structure, OutputTapTrivialPath)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId g = net.addNot(a, "g");
+    GateId h = net.addNot(g, "h");
+    net.addOutput(g, "f0");
+    net.addOutput(h, "f1");
+    EXPECT_TRUE(singleUnatePathToOutput(
+        net, {g, FaultSite::kOutputTap, 0}, 0));
+    EXPECT_FALSE(singleUnatePathToOutput(
+        net, {g, FaultSite::kOutputTap, 0}, 1));
+    EXPECT_EQ(pathParitySet(net, {g, FaultSite::kOutputTap, 0}, 0),
+              0b01u);
+}
+
+TEST(Structure, SiteAndFaultStrings)
+{
+    Netlist net;
+    GateId a = net.addInput("alpha");
+    GateId g = net.addNot(a, "g");
+    GateId h = net.addNot(g);
+    net.addOutput(g, "f");
+    net.addOutput(h, "fh");
+    const std::string stem =
+        siteToString(net, {a, FaultSite::kStem, -1});
+    EXPECT_NE(stem.find("alpha"), std::string::npos);
+    EXPECT_NE(stem.find("stem"), std::string::npos);
+    const std::string tap =
+        siteToString(net, {g, FaultSite::kOutputTap, 0});
+    EXPECT_NE(tap.find("out[f]"), std::string::npos);
+    const std::string fs = faultToString(net, {{a, g, 0}, true});
+    EXPECT_NE(fs.find("s-a-1"), std::string::npos);
+}
+
+TEST(Structure, Section36ConeSharing)
+{
+    const Netlist net = circuits::section36Network();
+    const auto lines = circuits::section36Lines(net);
+    ASSERT_NE(lines.t9, kNoGate);
+    // t9 is shared between the F2 and F3 cones but not F1's.
+    EXPECT_FALSE(outputCone(net, 0)[lines.t9]);
+    EXPECT_TRUE(outputCone(net, 1)[lines.t9]);
+    EXPECT_TRUE(outputCone(net, 2)[lines.t9]);
+    // u is private to F2.
+    EXPECT_EQ(outputsReachedBySite(
+                  net, {lines.u, FaultSite::kStem, -1}),
+              (std::vector<int>{1}));
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "seq/synthesis.hh"
+#include "sim/sequential.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using seq::MachineFunctions;
+using seq::StateTable;
+using seq::SynthesizedMachine;
+
+std::vector<unsigned>
+runStandard(const SynthesizedMachine &sm, const std::vector<int> &symbols)
+{
+    sim::SeqSimulator simulator(sm.net);
+    std::vector<unsigned> outs;
+    for (int sym : symbols) {
+        std::vector<bool> in(sm.net.numInputs(), false);
+        for (int i = 0; i < sm.dataInputs; ++i)
+            in[i] = (sym >> i) & 1;
+        const auto out = simulator.stepPeriod(in);
+        unsigned z = 0;
+        for (std::size_t j = 0; j < sm.zOutputs.size(); ++j)
+            if (out[sm.zOutputs[j]])
+                z |= 1u << j;
+        outs.push_back(z);
+    }
+    return outs;
+}
+
+TEST(MachineFunctions, KohaviExcitation)
+{
+    const MachineFunctions mf =
+        seq::machineFunctions(seq::kohaviDetectorTable());
+    EXPECT_EQ(mf.inputBits, 1);
+    EXPECT_EQ(mf.stateBits, 2);
+    ASSERT_EQ(mf.excitation.size(), 2u);
+    ASSERT_EQ(mf.output.size(), 1u);
+    // Variables: (x, y0, y1). State D=3, input 1 -> next C=2, out 1.
+    const std::uint64_t m = 1u | (3u << 1);
+    EXPECT_FALSE(mf.excitation[0].get(m));
+    EXPECT_TRUE(mf.excitation[1].get(m));
+    EXPECT_TRUE(mf.output[0].get(m));
+}
+
+TEST(Synthesis, KohaviMachineMatchesTable)
+{
+    const StateTable table = seq::kohaviDetectorTable();
+    const SynthesizedMachine sm = seq::synthesizeStandard(table);
+    sm.net.validate();
+
+    util::Rng rng(71);
+    std::vector<int> symbols;
+    for (int i = 0; i < 1000; ++i)
+        symbols.push_back(static_cast<int>(rng.below(2)));
+    EXPECT_EQ(runStandard(sm, symbols), table.run(symbols));
+}
+
+TEST(Synthesis, CostIsTwoFlipFlops)
+{
+    const SynthesizedMachine sm =
+        seq::synthesizeStandard(seq::kohaviDetectorTable());
+    EXPECT_EQ(sm.net.cost().flipFlops, 2);
+    EXPECT_GT(sm.net.cost().gates, 0);
+}
+
+class RandomTableSweep : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomTableSweep, SynthesisMatchesBehavioralModel)
+{
+    util::Rng rng(500 + GetParam());
+    const int states = 2 + static_cast<int>(rng.below(6));
+    const int in_bits = 1 + static_cast<int>(rng.below(2));
+    const int out_bits = 1 + static_cast<int>(rng.below(2));
+    const StateTable table =
+        testing::randomStateTable(states, in_bits, out_bits, rng);
+    const SynthesizedMachine sm = seq::synthesizeStandard(table);
+    sm.net.validate();
+
+    std::vector<int> symbols;
+    for (int i = 0; i < 300; ++i)
+        symbols.push_back(static_cast<int>(rng.below(table.numSymbols())));
+    ASSERT_EQ(runStandard(sm, symbols), table.run(symbols));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTableSweep,
+                         ::testing::Range(0, 16));
+
+} // namespace
+} // namespace scal

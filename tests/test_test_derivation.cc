@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/test_derivation.hh"
+#include "netlist/circuits.hh"
+#include "netlist/structure.hh"
+#include "sim/alternating.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using core::ScalAnalyzer;
+using core::Theorem32Symbols;
+
+TEST(Theorem32, AdderLinesAllTestable)
+{
+    const Netlist net = circuits::selfDualFullAdder();
+    ScalAnalyzer an(net);
+    for (const FaultSite &site : net.faultSites()) {
+        for (int out : outputsReachedBySite(net, site)) {
+            const Theorem32Symbols sym =
+                core::deriveTheorem32(an, site, out);
+            EXPECT_FALSE(sym.redundant());
+            // E ≡ 0 / F ≡ 0: no incorrect alternation possible, so
+            // the A∨B / C∨D inputs are genuine tests.
+            EXPECT_TRUE(sym.e.isZero()) << siteToString(net, site);
+            EXPECT_TRUE(sym.f.isZero()) << siteToString(net, site);
+        }
+    }
+}
+
+TEST(Theorem32, EZeroMatchesBadPredicate)
+{
+    // E = A ∧ B is exactly the incorrect-alternation predicate for
+    // s-a-0; same for F and s-a-1 (Theorem 3.1 vs Theorem 3.2).
+    const Netlist net = circuits::section36Network();
+    ScalAnalyzer an(net);
+    for (const FaultSite &site : net.faultSites()) {
+        for (int out : outputsReachedBySite(net, site)) {
+            const Theorem32Symbols sym =
+                core::deriveTheorem32(an, site, out);
+            const auto bad0 =
+                an.analyzeFault({site, false}).badPerOutput[out];
+            const auto bad1 =
+                an.analyzeFault({site, true}).badPerOutput[out];
+            ASSERT_EQ(sym.e, bad0) << siteToString(net, site);
+            ASSERT_EQ(sym.f, bad1) << siteToString(net, site);
+        }
+    }
+}
+
+TEST(Theorem32, DerivedTestsDetectTheFault)
+{
+    // Each derived s-a-0 test pattern, applied as an alternating
+    // pair, must expose the fault on the analyzed output.
+    const Netlist net = circuits::selfDualFullAdder();
+    ScalAnalyzer an(net);
+    int checked = 0;
+    for (const FaultSite &site : net.faultSites()) {
+        for (int out : outputsReachedBySite(net, site)) {
+            const Theorem32Symbols sym =
+                core::deriveTheorem32(an, site, out);
+            if (!sym.testableS0())
+                continue;
+            const Fault fault{site, false};
+            for (std::uint64_t m : sym.testsS0()) {
+                const auto oc = sim::evalAlternating(
+                    net, testing::patternOf(m, 3), &fault);
+                ASSERT_NE(oc.classes[out], sim::PairClass::Correct)
+                    << siteToString(net, site) << " m=" << m;
+                ++checked;
+            }
+        }
+    }
+    EXPECT_GT(checked, 50);
+}
+
+TEST(Theorem32, RedundantLineHasNoTests)
+{
+    Netlist net;
+    GateId a = net.addInput("a");
+    GateId dead = net.addNot(a, "dead");
+    GateId zero = net.addConst(false);
+    GateId masked = net.addAnd({dead, zero}, "masked");
+    GateId f = net.addOr({a, masked}, "f");
+    net.addOutput(f, "f");
+    ScalAnalyzer an(net);
+    const Theorem32Symbols sym = core::deriveTheorem32(
+        an, {dead, FaultSite::kStem, -1}, 0);
+    EXPECT_TRUE(sym.redundant());
+    EXPECT_TRUE(sym.testsS0().empty());
+    // Theorem 3.4: A ∨ C ≡ 0 means the output ignores the line.
+    EXPECT_TRUE((sym.a | sym.c).isZero());
+}
+
+TEST(Theorem32, NetworkTestsCoverEveryTestableFault)
+{
+    const Netlist net = circuits::section36NetworkRepaired();
+    ScalAnalyzer an(net);
+    for (const Fault &fault : net.allFaults()) {
+        const auto tests = core::networkTests(an, fault);
+        ASSERT_FALSE(tests.empty()) << faultToString(net, fault);
+        // Every reported test yields a non-alternating word.
+        const auto oc = sim::evalAlternating(
+            net, testing::patternOf(tests[0], 3), &fault);
+        bool nonalt = false;
+        for (int j = 0; j < net.numOutputs(); ++j)
+            nonalt |= oc.first[j] == oc.second[j];
+        ASSERT_TRUE(nonalt) << faultToString(net, fault);
+    }
+}
+
+TEST(Theorem32, TestPairsComeInComplementaryPairs)
+{
+    // If X detects a fault then so does X̄ (whichever member of the
+    // alternating pair is "first" is irrelevant, as the thesis notes).
+    const Netlist net = circuits::selfDualFullAdder();
+    ScalAnalyzer an(net);
+    const auto faults = net.allFaults();
+    for (std::size_t k = 0; k < faults.size(); k += 5) {
+        const auto tests = core::networkTests(an, faults[k]);
+        std::set<std::uint64_t> set(tests.begin(), tests.end());
+        for (std::uint64_t m : tests)
+            ASSERT_TRUE(set.count(~m & 7))
+                << faultToString(net, faults[k]);
+    }
+}
+
+} // namespace
+} // namespace scal

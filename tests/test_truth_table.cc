@@ -1,0 +1,255 @@
+#include <gtest/gtest.h>
+
+#include "logic/function_gen.hh"
+#include "logic/truth_table.hh"
+#include "util/rng.hh"
+
+namespace scal
+{
+namespace
+{
+
+using logic::TruthTable;
+
+TEST(TruthTable, ConstantAndCount)
+{
+    EXPECT_TRUE(TruthTable::constant(3, false).isZero());
+    EXPECT_TRUE(TruthTable::constant(3, true).isOne());
+    EXPECT_EQ(TruthTable::constant(7, true).count(), 128u);
+    EXPECT_EQ(TruthTable::constant(0, true).count(), 1u);
+}
+
+TEST(TruthTable, VariableProjection)
+{
+    for (int n = 1; n <= 8; ++n) {
+        for (int i = 0; i < n; ++i) {
+            const TruthTable v = TruthTable::variable(n, i);
+            for (std::uint64_t m = 0; m < v.numMinterms(); ++m)
+                ASSERT_EQ(v.get(m), static_cast<bool>((m >> i) & 1));
+        }
+    }
+}
+
+TEST(TruthTable, FromStringRoundTrip)
+{
+    const TruthTable t = TruthTable::fromString("0110");
+    EXPECT_EQ(t.numVars(), 2);
+    EXPECT_EQ(t, logic::xorN(2));
+    EXPECT_EQ(t.toString(), "0110");
+}
+
+TEST(TruthTable, FromStringRejectsBadInput)
+{
+    EXPECT_THROW(TruthTable::fromString("011"), std::invalid_argument);
+    EXPECT_THROW(TruthTable::fromString("01x0"), std::invalid_argument);
+}
+
+TEST(TruthTable, FromMinterms)
+{
+    const TruthTable t = TruthTable::fromMinterms(3, {2, 5, 6, 7});
+    EXPECT_EQ(t.minterms(),
+              (std::vector<std::uint64_t>{2, 5, 6, 7}));
+    EXPECT_THROW(TruthTable::fromMinterms(2, {4}), std::out_of_range);
+}
+
+TEST(TruthTable, BooleanOps)
+{
+    const TruthTable a = TruthTable::variable(2, 0);
+    const TruthTable b = TruthTable::variable(2, 1);
+    EXPECT_EQ((a & b).minterms(), (std::vector<std::uint64_t>{3}));
+    EXPECT_EQ((a | b).count(), 3u);
+    EXPECT_EQ((a ^ b), logic::xorN(2));
+    EXPECT_EQ((~a & ~b).minterms(), (std::vector<std::uint64_t>{0}));
+}
+
+TEST(TruthTable, ArityMismatchThrows)
+{
+    TruthTable a(2), b(3);
+    EXPECT_THROW(a & b, std::invalid_argument);
+}
+
+TEST(TruthTable, ReflectIsComplementedInputEvaluation)
+{
+    util::Rng rng(11);
+    for (int n = 1; n <= 9; ++n) {
+        const TruthTable f = logic::randomFunction(n, rng);
+        const TruthTable r = f.reflect();
+        const std::uint64_t mask = f.numMinterms() - 1;
+        for (std::uint64_t m = 0; m < f.numMinterms(); ++m)
+            ASSERT_EQ(r.get(m), f.get(~m & mask));
+    }
+}
+
+TEST(TruthTable, ReflectIsInvolution)
+{
+    util::Rng rng(12);
+    for (int trial = 0; trial < 20; ++trial) {
+        const TruthTable f = logic::randomFunction(6, rng);
+        EXPECT_EQ(f.reflect().reflect(), f);
+    }
+}
+
+TEST(TruthTable, DualIsInvolution)
+{
+    util::Rng rng(13);
+    for (int trial = 0; trial < 20; ++trial) {
+        const TruthTable f = logic::randomFunction(7, rng);
+        EXPECT_EQ(f.dual().dual(), f);
+    }
+}
+
+TEST(TruthTable, DualOfAndIsOr)
+{
+    EXPECT_EQ(logic::andN(4).dual(), logic::orN(4));
+    EXPECT_EQ(logic::orN(4).dual(), logic::andN(4));
+}
+
+TEST(TruthTable, KnownSelfDualFunctions)
+{
+    EXPECT_TRUE(logic::xorN(3).isSelfDual());
+    EXPECT_FALSE(logic::xorN(2).isSelfDual());
+    EXPECT_TRUE(logic::majorityN(3).isSelfDual());
+    EXPECT_TRUE(logic::minorityN(5).isSelfDual());
+    EXPECT_FALSE(logic::andN(2).isSelfDual());
+    EXPECT_TRUE(TruthTable::variable(4, 2).isSelfDual());
+}
+
+TEST(TruthTable, SelfDualIffHalfMinterms)
+{
+    util::Rng rng(14);
+    for (int trial = 0; trial < 50; ++trial) {
+        const TruthTable f = logic::randomSelfDual(6, rng);
+        ASSERT_TRUE(f.isSelfDual());
+        ASSERT_EQ(f.count(), f.numMinterms() / 2);
+    }
+}
+
+TEST(TruthTable, SelfDualizeYamamoto)
+{
+    util::Rng rng(15);
+    for (int trial = 0; trial < 30; ++trial) {
+        const int n = 1 + static_cast<int>(rng.below(7));
+        const TruthTable f = logic::randomFunction(n, rng);
+        const TruthTable sd = f.selfDualize();
+        ASSERT_TRUE(sd.isSelfDual());
+        // φ = 0 half equals f.
+        for (std::uint64_t m = 0; m < f.numMinterms(); ++m)
+            ASSERT_EQ(sd.get(m), f.get(m));
+        // φ = 1 half equals ¬f(X̄).
+        const TruthTable second = ~f.reflect();
+        for (std::uint64_t m = 0; m < f.numMinterms(); ++m)
+            ASSERT_EQ(sd.get(f.numMinterms() + m), second.get(m));
+    }
+}
+
+TEST(TruthTable, SelfDualizePreservesSelfDual)
+{
+    // For an already self-dual f, the extension is φ̄f ∨ φf = f.
+    util::Rng rng(16);
+    const TruthTable f = logic::randomSelfDual(5, rng);
+    const TruthTable sd = f.selfDualize();
+    EXPECT_TRUE(sd.independentOf(5));
+}
+
+TEST(TruthTable, Cofactor)
+{
+    const TruthTable f = logic::majorityN(3);
+    const TruthTable x1 = TruthTable::variable(3, 1);
+    const TruthTable x2 = TruthTable::variable(3, 2);
+    EXPECT_EQ(f.cofactor(0, true), x1 | x2);
+    EXPECT_EQ(f.cofactor(0, false), x1 & x2);
+}
+
+TEST(TruthTable, ShannonExpansion)
+{
+    util::Rng rng(17);
+    for (int trial = 0; trial < 20; ++trial) {
+        const TruthTable f = logic::randomFunction(6, rng);
+        const int i = static_cast<int>(rng.below(6));
+        const TruthTable xi = TruthTable::variable(6, i);
+        const TruthTable rebuilt =
+            (xi & f.cofactor(i, true)) | (~xi & f.cofactor(i, false));
+        ASSERT_EQ(rebuilt, f);
+    }
+}
+
+TEST(TruthTable, IndependentOf)
+{
+    const TruthTable f =
+        TruthTable::variable(4, 1) & TruthTable::variable(4, 3);
+    EXPECT_TRUE(f.independentOf(0));
+    EXPECT_TRUE(f.independentOf(2));
+    EXPECT_FALSE(f.independentOf(1));
+    EXPECT_FALSE(f.allVarsEssential());
+    EXPECT_TRUE(logic::xorN(4).allVarsEssential());
+}
+
+TEST(TruthTable, ExtendTo)
+{
+    const TruthTable f = logic::andN(2);
+    const TruthTable g = f.extendTo(4);
+    EXPECT_EQ(g.numVars(), 4);
+    for (std::uint64_t m = 0; m < 16; ++m)
+        ASSERT_EQ(g.get(m), f.get(m & 3));
+    EXPECT_TRUE(g.independentOf(2));
+    EXPECT_TRUE(g.independentOf(3));
+}
+
+TEST(TruthTable, Compose)
+{
+    // MAJ(a&b, a|b, c) should equal MAJ... check against brute force.
+    const TruthTable a = TruthTable::variable(3, 0);
+    const TruthTable b = TruthTable::variable(3, 1);
+    const TruthTable c = TruthTable::variable(3, 2);
+    const TruthTable f = logic::majorityN(3);
+    const TruthTable composed =
+        TruthTable::compose(f, {a & b, a | b, c});
+    for (std::uint64_t m = 0; m < 8; ++m) {
+        const bool aa = m & 1, bb = m & 2, cc = m & 4;
+        const int ones = (aa && bb) + (aa || bb) + cc;
+        ASSERT_EQ(composed.get(m), ones >= 2);
+    }
+}
+
+TEST(TruthTable, DeMorganProperty)
+{
+    util::Rng rng(18);
+    for (int trial = 0; trial < 30; ++trial) {
+        const TruthTable f = logic::randomFunction(6, rng);
+        const TruthTable g = logic::randomFunction(6, rng);
+        ASSERT_EQ(~(f & g), ~f | ~g);
+        ASSERT_EQ(~(f | g), ~f & ~g);
+        ASSERT_EQ(f ^ g, (f & ~g) | (~f & g));
+    }
+}
+
+TEST(TruthTable, DualDistributes)
+{
+    // (f AND g)^d = f^d OR g^d.
+    util::Rng rng(19);
+    for (int trial = 0; trial < 20; ++trial) {
+        const TruthTable f = logic::randomFunction(5, rng);
+        const TruthTable g = logic::randomFunction(5, rng);
+        ASSERT_EQ((f & g).dual(), f.dual() | g.dual());
+    }
+}
+
+TEST(FunctionGen, Arity0AndLargeTables)
+{
+    const TruthTable t0 = TruthTable::constant(0, true);
+    EXPECT_EQ(t0.numMinterms(), 1u);
+    const TruthTable big = logic::xorN(14);
+    EXPECT_EQ(big.count(), big.numMinterms() / 2);
+    EXPECT_TRUE(big.isSelfDual() == (14 % 2 == 1) || !big.isSelfDual());
+}
+
+TEST(FunctionGen, ThresholdDefinitions)
+{
+    const TruthTable maj = logic::majorityN(5);
+    const TruthTable min = logic::minorityN(5);
+    EXPECT_EQ(maj, ~min); // odd arity: no ties
+    EXPECT_EQ(maj.reflect(), min);
+}
+
+} // namespace
+} // namespace scal

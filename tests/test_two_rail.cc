@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "checker/two_rail.hh"
+#include "netlist/structure.hh"
+#include "sim/evaluator.hh"
+#include "sim/sequential.hh"
+#include "util/rng.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+using checker::RailPair;
+
+TEST(TwoRail, ModuleTruthTable)
+{
+    const Netlist net = checker::twoRailCheckerNetlist(2);
+    sim::Evaluator ev(net);
+    for (int m = 0; m < 16; ++m) {
+        const bool a0 = m & 1, a1 = m & 2, b0 = m & 4, b1 = m & 8;
+        const auto out = ev.evalOutputs({a0, a1, b0, b1});
+        const bool in_code = (a0 != a1) && (b0 != b1);
+        const bool out_code = out[0] != out[1];
+        // Code in -> code out; non-code in -> non-code out.
+        ASSERT_EQ(in_code, out_code) << m;
+    }
+}
+
+TEST(TwoRail, ModuleCostIsSixGates)
+{
+    const Netlist net = checker::twoRailCheckerNetlist(2);
+    EXPECT_EQ(net.cost().gates, 6);
+    EXPECT_EQ(checker::twoRailGateCost(2), 6);
+    EXPECT_EQ(checker::twoRailGateCost(9), 48); // the Section 5.4 case
+}
+
+TEST(TwoRail, TreePreservesCodeProperty)
+{
+    for (int pairs : {3, 4, 5, 8}) {
+        const Netlist net = checker::twoRailCheckerNetlist(pairs);
+        EXPECT_EQ(net.cost().gates, (pairs - 1) * 6) << pairs;
+        sim::Evaluator ev(net);
+        util::Rng rng(111);
+        for (int trial = 0; trial < 200; ++trial) {
+            std::vector<bool> in(2 * pairs);
+            bool in_code = true;
+            for (int p = 0; p < pairs; ++p) {
+                const int kind = static_cast<int>(rng.below(4));
+                in[2 * p] = kind & 1;
+                in[2 * p + 1] = kind & 2;
+                in_code &= in[2 * p] != in[2 * p + 1];
+            }
+            const auto out = ev.evalOutputs(in);
+            ASSERT_EQ(in_code, out[0] != out[1]);
+        }
+    }
+}
+
+TEST(TwoRail, ModuleIsSelfTesting)
+{
+    // Totally self-checking: every internal single stuck-at fault is
+    // observable as a non-code output under some code input.
+    const Netlist net = checker::twoRailCheckerNetlist(3);
+    sim::Evaluator ev(net);
+
+    for (const Fault &fault : net.allFaults()) {
+        bool tested = false;
+        for (int m = 0; m < 64 && !tested; ++m) {
+            std::vector<bool> in(6);
+            bool code = true;
+            for (int p = 0; p < 3; ++p) {
+                in[2 * p] = (m >> (2 * p)) & 1;
+                in[2 * p + 1] = (m >> (2 * p + 1)) & 1;
+                code &= in[2 * p] != in[2 * p + 1];
+            }
+            if (!code)
+                continue;
+            const auto good = ev.evalOutputs(in);
+            const auto bad = ev.evalOutputs(in, &fault);
+            if (good != bad)
+                tested = true;
+        }
+        EXPECT_TRUE(tested) << faultToString(net, fault);
+    }
+}
+
+TEST(TwoRail, ModuleIsFaultSecureOnCodeInputs)
+{
+    // No single fault may map a code input to a *wrong code* output:
+    // the faulty output is either correct or non-code.
+    const Netlist net = checker::twoRailCheckerNetlist(2);
+    sim::Evaluator ev(net);
+    for (const Fault &fault : net.allFaults()) {
+        for (int m = 0; m < 16; ++m) {
+            std::vector<bool> in{bool(m & 1), bool(m & 2), bool(m & 4),
+                                 bool(m & 8)};
+            if (in[0] == in[1] || in[2] == in[3])
+                continue;
+            const auto good = ev.evalOutputs(in);
+            const auto bad = ev.evalOutputs(in, &fault);
+            const bool bad_is_code = bad[0] != bad[1];
+            ASSERT_TRUE(bad == good || !bad_is_code)
+                << faultToString(net, fault) << " m=" << m;
+        }
+    }
+}
+
+TEST(TwoRail, AlternatingCheckerFlagsNonAlternatingLine)
+{
+    // Reynolds' arrangement: monitor two lines over two periods; the
+    // flip-flops capture the first period on the rise of φ.
+    Netlist net;
+    GateId d0 = net.addInput("d0");
+    GateId d1 = net.addInput("d1");
+    net.addInput("phi");
+    RailPair fg = checker::appendAlternatingChecker(net, {d0, d1});
+    net.addOutput(fg.r0, "f");
+    net.addOutput(fg.r1, "g");
+
+    sim::SeqSimulator s(net, 2);
+    // Symbol with both lines alternating: valid pair in period 2.
+    s.stepPeriod({true, false, false});
+    auto out = s.stepPeriod({false, true, false});
+    EXPECT_NE(out[0], out[1]);
+
+    // Now d1 fails to alternate: non-code pair in period 2.
+    s.stepPeriod({true, true, false});
+    out = s.stepPeriod({false, true, false});
+    EXPECT_EQ(out[0], out[1]);
+}
+
+TEST(TwoRail, Fig51cAlternatingOutputConversion)
+{
+    // Healthy pairs give q = (1, 0); a non-code pair in the second
+    // period freezes q at (1, 1).
+    Netlist net;
+    GateId f = net.addInput("f");
+    GateId g = net.addInput("g");
+    GateId phi = net.addInput("phi");
+    GateId q = checker::appendAlternatingOutput(net, {f, g}, phi);
+    net.addOutput(q, "q");
+
+    sim::Evaluator ev(net);
+    // Period 1 (φ=0): q is 1 regardless.
+    EXPECT_TRUE(ev.evalOutputs({true, false, false})[0]);
+    EXPECT_TRUE(ev.evalOutputs({true, true, false})[0]);
+    // Period 2 (φ=1): q = 0 iff the pair is valid.
+    EXPECT_FALSE(ev.evalOutputs({true, false, true})[0]);
+    EXPECT_FALSE(ev.evalOutputs({false, true, true})[0]);
+    EXPECT_TRUE(ev.evalOutputs({true, true, true})[0]);
+    EXPECT_TRUE(ev.evalOutputs({false, false, true})[0]);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bits.hh"
+#include "util/rng.hh"
+#include "util/table.hh"
+
+namespace scal
+{
+namespace
+{
+
+TEST(Bits, WordsFor)
+{
+    EXPECT_EQ(util::wordsFor(0), 0u);
+    EXPECT_EQ(util::wordsFor(1), 1u);
+    EXPECT_EQ(util::wordsFor(64), 1u);
+    EXPECT_EQ(util::wordsFor(65), 2u);
+    EXPECT_EQ(util::wordsFor(128), 2u);
+}
+
+TEST(Bits, LowMask)
+{
+    EXPECT_EQ(util::lowMask(0), 0u);
+    EXPECT_EQ(util::lowMask(1), 1u);
+    EXPECT_EQ(util::lowMask(8), 0xffu);
+    EXPECT_EQ(util::lowMask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, Parity)
+{
+    EXPECT_FALSE(util::parity(0));
+    EXPECT_TRUE(util::parity(1));
+    EXPECT_TRUE(util::parity(0b1110110));
+    EXPECT_FALSE(util::parity(0b11));
+}
+
+TEST(Rng, Deterministic)
+{
+    util::Rng a(7), b(7);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    util::Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowInRange)
+{
+    util::Rng rng(3);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    util::Rng rng(4);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 500; ++i)
+        seen.insert(rng.below(5));
+    EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive)
+{
+    util::Rng rng(5);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.range(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= v == -2;
+        saw_hi |= v == 2;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformInUnit)
+{
+    util::Rng rng(6);
+    double sum = 0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(Rng, ShufflePermutes)
+{
+    util::Rng rng(8);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    EXPECT_NE(v, sorted); // astronomically unlikely to be identity
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Table, RendersAligned)
+{
+    util::Table t({"name", "value"});
+    t.addRow({"x", "1"});
+    t.addRule();
+    t.addRow({"longer-name", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("| name"), std::string::npos);
+    EXPECT_NE(s.find("longer-name"), std::string::npos);
+    // All lines share the same width.
+    std::istringstream is(s);
+    std::string line;
+    std::size_t width = 0;
+    while (std::getline(is, line)) {
+        if (width == 0)
+            width = line.size();
+        EXPECT_EQ(line.size(), width);
+    }
+}
+
+TEST(Table, NumberFormatting)
+{
+    EXPECT_EQ(util::Table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(util::Table::num(static_cast<long long>(42)), "42");
+    EXPECT_EQ(util::Table::num(1.0, 0), "1");
+}
+
+TEST(Table, ShortRowsPad)
+{
+    util::Table t({"a", "b", "c"});
+    t.addRow({"only"});
+    std::ostringstream os;
+    t.print(os);
+    EXPECT_NE(os.str().find("only"), std::string::npos);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,191 @@
+/**
+ * @file
+ * scal_cli — command-line front end to the SCAL library.
+ *
+ *   scal_cli analyze  <netlist|->        Algorithm 3.1 line report
+ *   scal_cli campaign <netlist|->        exhaustive stuck-at campaign
+ *   scal_cli tests    <netlist|-> <line> Theorem 3.2 test derivation
+ *   scal_cli repair   <netlist|-> <line> [depth]   Figure 3.7 repair
+ *   scal_cli convert-minority <netlist|->          Theorem 6.2
+ *   scal_cli dot      <netlist|->        Graphviz export
+ *   scal_cli selftest                    quick built-in sanity check
+ *
+ * Netlists use the line format of netlist/io.hh; "-" reads stdin.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/algorithm31.hh"
+#include "core/repair.hh"
+#include "core/test_derivation.hh"
+#include "fault/campaign.hh"
+#include "minority/convert.hh"
+#include "netlist/circuits.hh"
+#include "netlist/dot.hh"
+#include "netlist/io.hh"
+#include "netlist/structure.hh"
+#include "sim/alternating.hh"
+
+using namespace scal;
+using namespace scal::netlist;
+
+namespace
+{
+
+Netlist
+load(const std::string &path)
+{
+    if (path == "-")
+        return readNetlist(std::cin);
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open " + path);
+    return readNetlist(in);
+}
+
+GateId
+byName(const Netlist &net, const std::string &name)
+{
+    for (GateId g = 0; g < net.numGates(); ++g)
+        if (net.gate(g).name == name)
+            return g;
+    throw std::runtime_error("no line named " + name);
+}
+
+int
+cmdAnalyze(const Netlist &net)
+{
+    std::cout << "network: " << net.numInputs() << " inputs, "
+              << net.cost().gates << " gates, " << net.numOutputs()
+              << " outputs\n"
+              << "alternating network (all outputs self-dual): "
+              << (sim::isAlternatingNetwork(net) ? "yes" : "NO")
+              << "\n\n";
+    const auto report = core::runAlgorithm31(net);
+    core::printReport(std::cout, net, report);
+    return report.selfChecking() ? 0 : 2;
+}
+
+int
+cmdCampaign(const Netlist &net)
+{
+    const auto res = fault::runAlternatingCampaign(net);
+    std::cout << "patterns applied: " << res.patternsApplied << "\n"
+              << "faults: " << res.faults.size() << "\n"
+              << "detected: " << res.numDetected << "\n"
+              << "unsafe: " << res.numUnsafe << "\n"
+              << "untestable: " << res.numUntestable << "\n";
+    for (const auto &fr : res.faults) {
+        if (fr.outcome == fault::Outcome::Unsafe)
+            std::cout << "  UNSAFE " << faultToString(net, fr.fault)
+                      << "\n";
+    }
+    std::cout << (res.selfChecking() ? "SELF-CHECKING"
+                                     : "NOT self-checking")
+              << "\n";
+    return res.selfChecking() ? 0 : 2;
+}
+
+int
+cmdTests(const Netlist &net, const std::string &line)
+{
+    core::ScalAnalyzer an(net);
+    const GateId g = byName(net, line);
+    for (bool s : {false, true}) {
+        const Fault fault{{g, FaultSite::kStem, -1}, s};
+        const auto tests = core::networkTests(an, fault);
+        std::cout << line << " s-a-" << s << ":";
+        if (tests.empty()) {
+            const auto fa = an.analyzeFault(fault);
+            if (!fa.unsafe.isZero()) {
+                std::cout << " NO TEST — the fault can only appear "
+                             "as a wrong code word (unsafe)";
+            } else {
+                std::cout << " untestable (redundant line)";
+            }
+        }
+        for (std::uint64_t m : tests)
+            std::cout << " " << m;
+        std::cout << "\n";
+    }
+    return 0;
+}
+
+int
+cmdRepair(const Netlist &net, const std::string &line, int depth)
+{
+    const Netlist repaired =
+        core::repairByFanoutSplit(net, byName(net, line), depth);
+    writeNetlist(std::cout, repaired);
+    return 0;
+}
+
+int
+cmdConvertMinority(const Netlist &net)
+{
+    const auto conv = minority::convertNandNetwork(net);
+    std::cerr << "modules: " << conv.modules
+              << ", module inputs: " << conv.moduleInputs << "\n";
+    writeNetlist(std::cout, conv.net);
+    return 0;
+}
+
+int
+cmdSelfTest()
+{
+    // Round-trip the Section 3.6 network through the text format and
+    // confirm the known verdicts survive.
+    const Netlist net = circuits::section36Network();
+    const Netlist back =
+        readNetlistFromString(writeNetlistToString(net));
+    const auto broken = fault::runAlternatingCampaign(back);
+    const auto fixed = fault::runAlternatingCampaign(
+        circuits::section36NetworkRepaired());
+    const bool ok = !broken.selfChecking() && broken.numUnsafe == 4 &&
+                    fixed.selfChecking();
+    std::cout << (ok ? "selftest ok" : "selftest FAILED") << "\n";
+    return ok ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    try {
+        const std::string cmd = argc > 1 ? argv[1] : "";
+        if (cmd == "selftest")
+            return cmdSelfTest();
+        if (argc < 3) {
+            std::cerr << "usage: scal_cli "
+                         "{analyze|campaign|tests|repair|"
+                         "convert-minority|dot|selftest} <netlist|-> "
+                         "[args]\n";
+            return 64;
+        }
+        const Netlist net = load(argv[2]);
+        if (cmd == "analyze")
+            return cmdAnalyze(net);
+        if (cmd == "campaign")
+            return cmdCampaign(net);
+        if (cmd == "tests" && argc > 3)
+            return cmdTests(net, argv[3]);
+        if (cmd == "repair" && argc > 3)
+            return cmdRepair(net, argv[3],
+                             argc > 4 ? std::stoi(argv[4]) : 4);
+        if (cmd == "convert-minority")
+            return cmdConvertMinority(net);
+        if (cmd == "dot") {
+            writeDot(std::cout, net);
+            return 0;
+        }
+        std::cerr << "unknown command " << cmd << "\n";
+        return 64;
+    } catch (const std::exception &e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
