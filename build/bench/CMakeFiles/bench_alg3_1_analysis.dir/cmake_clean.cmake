@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alg3_1_analysis.dir/bench_alg3_1_analysis.cc.o"
+  "CMakeFiles/bench_alg3_1_analysis.dir/bench_alg3_1_analysis.cc.o.d"
+  "bench_alg3_1_analysis"
+  "bench_alg3_1_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alg3_1_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

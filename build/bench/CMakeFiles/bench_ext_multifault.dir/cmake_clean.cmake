@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_multifault.dir/bench_ext_multifault.cc.o"
+  "CMakeFiles/bench_ext_multifault.dir/bench_ext_multifault.cc.o.d"
+  "bench_ext_multifault"
+  "bench_ext_multifault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_multifault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

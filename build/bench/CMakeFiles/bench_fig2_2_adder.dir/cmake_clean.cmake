@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_2_adder.dir/bench_fig2_2_adder.cc.o"
+  "CMakeFiles/bench_fig2_2_adder.dir/bench_fig2_2_adder.cc.o.d"
+  "bench_fig2_2_adder"
+  "bench_fig2_2_adder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_2_adder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_1_tests.dir/bench_fig3_1_tests.cc.o"
+  "CMakeFiles/bench_fig3_1_tests.dir/bench_fig3_1_tests.cc.o.d"
+  "bench_fig3_1_tests"
+  "bench_fig3_1_tests.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_1_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_10_seqdet.dir/bench_fig4_10_seqdet.cc.o"
+  "CMakeFiles/bench_fig4_10_seqdet.dir/bench_fig4_10_seqdet.cc.o.d"
+  "bench_fig4_10_seqdet"
+  "bench_fig4_10_seqdet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_10_seqdet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

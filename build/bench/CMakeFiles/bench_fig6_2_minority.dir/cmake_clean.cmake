@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_2_minority.dir/bench_fig6_2_minority.cc.o"
+  "CMakeFiles/bench_fig6_2_minority.dir/bench_fig6_2_minority.cc.o.d"
+  "bench_fig6_2_minority"
+  "bench_fig6_2_minority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_2_minority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

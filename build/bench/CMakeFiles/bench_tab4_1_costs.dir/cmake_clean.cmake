@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab4_1_costs.dir/bench_tab4_1_costs.cc.o"
+  "CMakeFiles/bench_tab4_1_costs.dir/bench_tab4_1_costs.cc.o.d"
+  "bench_tab4_1_costs"
+  "bench_tab4_1_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab4_1_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tab5_1_xor.cc" "bench/CMakeFiles/bench_tab5_1_xor.dir/bench_tab5_1_xor.cc.o" "gcc" "bench/CMakeFiles/bench_tab5_1_xor.dir/bench_tab5_1_xor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_codes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_system.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_minority.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_1_xor.dir/bench_tab5_1_xor.cc.o"
+  "CMakeFiles/bench_tab5_1_xor.dir/bench_tab5_1_xor.cc.o.d"
+  "bench_tab5_1_xor"
+  "bench_tab5_1_xor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_1_xor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tab5_2_hardcore.dir/bench_tab5_2_hardcore.cc.o"
+  "CMakeFiles/bench_tab5_2_hardcore.dir/bench_tab5_2_hardcore.cc.o.d"
+  "bench_tab5_2_hardcore"
+  "bench_tab5_2_hardcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tab5_2_hardcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_network.dir/analyze_network.cpp.o"
+  "CMakeFiles/analyze_network.dir/analyze_network.cpp.o.d"
+  "analyze_network"
+  "analyze_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minority_synthesis.dir/minority_synthesis.cpp.o"
+  "CMakeFiles/minority_synthesis.dir/minority_synthesis.cpp.o.d"
+  "minority_synthesis"
+  "minority_synthesis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minority_synthesis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

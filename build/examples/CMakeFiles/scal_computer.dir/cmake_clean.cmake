@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_computer.dir/scal_computer.cpp.o"
+  "CMakeFiles/scal_computer.dir/scal_computer.cpp.o.d"
+  "scal_computer"
+  "scal_computer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_computer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for scal_computer.
+# This may be replaced when dependencies are built.

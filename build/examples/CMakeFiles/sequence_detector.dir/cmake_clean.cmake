@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sequence_detector.dir/sequence_detector.cpp.o"
+  "CMakeFiles/sequence_detector.dir/sequence_detector.cpp.o.d"
+  "sequence_detector"
+  "sequence_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sequence_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

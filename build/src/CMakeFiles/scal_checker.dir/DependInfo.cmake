@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/checker/hardcore.cc" "src/CMakeFiles/scal_checker.dir/checker/hardcore.cc.o" "gcc" "src/CMakeFiles/scal_checker.dir/checker/hardcore.cc.o.d"
+  "/root/repo/src/checker/latching.cc" "src/CMakeFiles/scal_checker.dir/checker/latching.cc.o" "gcc" "src/CMakeFiles/scal_checker.dir/checker/latching.cc.o.d"
+  "/root/repo/src/checker/mixed.cc" "src/CMakeFiles/scal_checker.dir/checker/mixed.cc.o" "gcc" "src/CMakeFiles/scal_checker.dir/checker/mixed.cc.o.d"
+  "/root/repo/src/checker/two_rail.cc" "src/CMakeFiles/scal_checker.dir/checker/two_rail.cc.o" "gcc" "src/CMakeFiles/scal_checker.dir/checker/two_rail.cc.o.d"
+  "/root/repo/src/checker/xor_tree.cc" "src/CMakeFiles/scal_checker.dir/checker/xor_tree.cc.o" "gcc" "src/CMakeFiles/scal_checker.dir/checker/xor_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

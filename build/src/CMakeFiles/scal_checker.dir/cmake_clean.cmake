@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_checker.dir/checker/hardcore.cc.o"
+  "CMakeFiles/scal_checker.dir/checker/hardcore.cc.o.d"
+  "CMakeFiles/scal_checker.dir/checker/latching.cc.o"
+  "CMakeFiles/scal_checker.dir/checker/latching.cc.o.d"
+  "CMakeFiles/scal_checker.dir/checker/mixed.cc.o"
+  "CMakeFiles/scal_checker.dir/checker/mixed.cc.o.d"
+  "CMakeFiles/scal_checker.dir/checker/two_rail.cc.o"
+  "CMakeFiles/scal_checker.dir/checker/two_rail.cc.o.d"
+  "CMakeFiles/scal_checker.dir/checker/xor_tree.cc.o"
+  "CMakeFiles/scal_checker.dir/checker/xor_tree.cc.o.d"
+  "libscal_checker.a"
+  "libscal_checker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_checker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_codes.dir/codes/codes.cc.o"
+  "CMakeFiles/scal_codes.dir/codes/codes.cc.o.d"
+  "libscal_codes.a"
+  "libscal_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/algorithm31.cc" "src/CMakeFiles/scal_core.dir/core/algorithm31.cc.o" "gcc" "src/CMakeFiles/scal_core.dir/core/algorithm31.cc.o.d"
+  "/root/repo/src/core/analysis.cc" "src/CMakeFiles/scal_core.dir/core/analysis.cc.o" "gcc" "src/CMakeFiles/scal_core.dir/core/analysis.cc.o.d"
+  "/root/repo/src/core/conditions.cc" "src/CMakeFiles/scal_core.dir/core/conditions.cc.o" "gcc" "src/CMakeFiles/scal_core.dir/core/conditions.cc.o.d"
+  "/root/repo/src/core/design.cc" "src/CMakeFiles/scal_core.dir/core/design.cc.o" "gcc" "src/CMakeFiles/scal_core.dir/core/design.cc.o.d"
+  "/root/repo/src/core/repair.cc" "src/CMakeFiles/scal_core.dir/core/repair.cc.o" "gcc" "src/CMakeFiles/scal_core.dir/core/repair.cc.o.d"
+  "/root/repo/src/core/test_derivation.cc" "src/CMakeFiles/scal_core.dir/core/test_derivation.cc.o" "gcc" "src/CMakeFiles/scal_core.dir/core/test_derivation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

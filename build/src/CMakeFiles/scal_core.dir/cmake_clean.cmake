@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_core.dir/core/algorithm31.cc.o"
+  "CMakeFiles/scal_core.dir/core/algorithm31.cc.o.d"
+  "CMakeFiles/scal_core.dir/core/analysis.cc.o"
+  "CMakeFiles/scal_core.dir/core/analysis.cc.o.d"
+  "CMakeFiles/scal_core.dir/core/conditions.cc.o"
+  "CMakeFiles/scal_core.dir/core/conditions.cc.o.d"
+  "CMakeFiles/scal_core.dir/core/design.cc.o"
+  "CMakeFiles/scal_core.dir/core/design.cc.o.d"
+  "CMakeFiles/scal_core.dir/core/repair.cc.o"
+  "CMakeFiles/scal_core.dir/core/repair.cc.o.d"
+  "CMakeFiles/scal_core.dir/core/test_derivation.cc.o"
+  "CMakeFiles/scal_core.dir/core/test_derivation.cc.o.d"
+  "libscal_core.a"
+  "libscal_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

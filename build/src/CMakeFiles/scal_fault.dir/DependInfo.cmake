@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/campaign.cc" "src/CMakeFiles/scal_fault.dir/fault/campaign.cc.o" "gcc" "src/CMakeFiles/scal_fault.dir/fault/campaign.cc.o.d"
+  "/root/repo/src/fault/collapse.cc" "src/CMakeFiles/scal_fault.dir/fault/collapse.cc.o" "gcc" "src/CMakeFiles/scal_fault.dir/fault/collapse.cc.o.d"
+  "/root/repo/src/fault/fault.cc" "src/CMakeFiles/scal_fault.dir/fault/fault.cc.o" "gcc" "src/CMakeFiles/scal_fault.dir/fault/fault.cc.o.d"
+  "/root/repo/src/fault/multi.cc" "src/CMakeFiles/scal_fault.dir/fault/multi.cc.o" "gcc" "src/CMakeFiles/scal_fault.dir/fault/multi.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_fault.dir/fault/campaign.cc.o"
+  "CMakeFiles/scal_fault.dir/fault/campaign.cc.o.d"
+  "CMakeFiles/scal_fault.dir/fault/collapse.cc.o"
+  "CMakeFiles/scal_fault.dir/fault/collapse.cc.o.d"
+  "CMakeFiles/scal_fault.dir/fault/fault.cc.o"
+  "CMakeFiles/scal_fault.dir/fault/fault.cc.o.d"
+  "CMakeFiles/scal_fault.dir/fault/multi.cc.o"
+  "CMakeFiles/scal_fault.dir/fault/multi.cc.o.d"
+  "libscal_fault.a"
+  "libscal_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

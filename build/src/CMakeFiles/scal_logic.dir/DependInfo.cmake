@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/logic/function_gen.cc" "src/CMakeFiles/scal_logic.dir/logic/function_gen.cc.o" "gcc" "src/CMakeFiles/scal_logic.dir/logic/function_gen.cc.o.d"
+  "/root/repo/src/logic/minimize.cc" "src/CMakeFiles/scal_logic.dir/logic/minimize.cc.o" "gcc" "src/CMakeFiles/scal_logic.dir/logic/minimize.cc.o.d"
+  "/root/repo/src/logic/post.cc" "src/CMakeFiles/scal_logic.dir/logic/post.cc.o" "gcc" "src/CMakeFiles/scal_logic.dir/logic/post.cc.o.d"
+  "/root/repo/src/logic/truth_table.cc" "src/CMakeFiles/scal_logic.dir/logic/truth_table.cc.o" "gcc" "src/CMakeFiles/scal_logic.dir/logic/truth_table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_logic.dir/logic/function_gen.cc.o"
+  "CMakeFiles/scal_logic.dir/logic/function_gen.cc.o.d"
+  "CMakeFiles/scal_logic.dir/logic/minimize.cc.o"
+  "CMakeFiles/scal_logic.dir/logic/minimize.cc.o.d"
+  "CMakeFiles/scal_logic.dir/logic/post.cc.o"
+  "CMakeFiles/scal_logic.dir/logic/post.cc.o.d"
+  "CMakeFiles/scal_logic.dir/logic/truth_table.cc.o"
+  "CMakeFiles/scal_logic.dir/logic/truth_table.cc.o.d"
+  "libscal_logic.a"
+  "libscal_logic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_logic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/minority/convert.cc" "src/CMakeFiles/scal_minority.dir/minority/convert.cc.o" "gcc" "src/CMakeFiles/scal_minority.dir/minority/convert.cc.o.d"
+  "/root/repo/src/minority/minimize.cc" "src/CMakeFiles/scal_minority.dir/minority/minimize.cc.o" "gcc" "src/CMakeFiles/scal_minority.dir/minority/minimize.cc.o.d"
+  "/root/repo/src/minority/modules.cc" "src/CMakeFiles/scal_minority.dir/minority/modules.cc.o" "gcc" "src/CMakeFiles/scal_minority.dir/minority/modules.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

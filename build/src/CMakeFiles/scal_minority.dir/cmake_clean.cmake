@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_minority.dir/minority/convert.cc.o"
+  "CMakeFiles/scal_minority.dir/minority/convert.cc.o.d"
+  "CMakeFiles/scal_minority.dir/minority/minimize.cc.o"
+  "CMakeFiles/scal_minority.dir/minority/minimize.cc.o.d"
+  "CMakeFiles/scal_minority.dir/minority/modules.cc.o"
+  "CMakeFiles/scal_minority.dir/minority/modules.cc.o.d"
+  "libscal_minority.a"
+  "libscal_minority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_minority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/builder.cc" "src/CMakeFiles/scal_netlist.dir/netlist/builder.cc.o" "gcc" "src/CMakeFiles/scal_netlist.dir/netlist/builder.cc.o.d"
+  "/root/repo/src/netlist/circuits.cc" "src/CMakeFiles/scal_netlist.dir/netlist/circuits.cc.o" "gcc" "src/CMakeFiles/scal_netlist.dir/netlist/circuits.cc.o.d"
+  "/root/repo/src/netlist/dot.cc" "src/CMakeFiles/scal_netlist.dir/netlist/dot.cc.o" "gcc" "src/CMakeFiles/scal_netlist.dir/netlist/dot.cc.o.d"
+  "/root/repo/src/netlist/io.cc" "src/CMakeFiles/scal_netlist.dir/netlist/io.cc.o" "gcc" "src/CMakeFiles/scal_netlist.dir/netlist/io.cc.o.d"
+  "/root/repo/src/netlist/netlist.cc" "src/CMakeFiles/scal_netlist.dir/netlist/netlist.cc.o" "gcc" "src/CMakeFiles/scal_netlist.dir/netlist/netlist.cc.o.d"
+  "/root/repo/src/netlist/structure.cc" "src/CMakeFiles/scal_netlist.dir/netlist/structure.cc.o" "gcc" "src/CMakeFiles/scal_netlist.dir/netlist/structure.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

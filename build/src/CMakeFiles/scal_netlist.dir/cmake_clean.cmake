@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_netlist.dir/netlist/builder.cc.o"
+  "CMakeFiles/scal_netlist.dir/netlist/builder.cc.o.d"
+  "CMakeFiles/scal_netlist.dir/netlist/circuits.cc.o"
+  "CMakeFiles/scal_netlist.dir/netlist/circuits.cc.o.d"
+  "CMakeFiles/scal_netlist.dir/netlist/dot.cc.o"
+  "CMakeFiles/scal_netlist.dir/netlist/dot.cc.o.d"
+  "CMakeFiles/scal_netlist.dir/netlist/io.cc.o"
+  "CMakeFiles/scal_netlist.dir/netlist/io.cc.o.d"
+  "CMakeFiles/scal_netlist.dir/netlist/netlist.cc.o"
+  "CMakeFiles/scal_netlist.dir/netlist/netlist.cc.o.d"
+  "CMakeFiles/scal_netlist.dir/netlist/structure.cc.o"
+  "CMakeFiles/scal_netlist.dir/netlist/structure.cc.o.d"
+  "libscal_netlist.a"
+  "libscal_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

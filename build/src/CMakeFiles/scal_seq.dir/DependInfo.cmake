@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/seq/code_conversion.cc" "src/CMakeFiles/scal_seq.dir/seq/code_conversion.cc.o" "gcc" "src/CMakeFiles/scal_seq.dir/seq/code_conversion.cc.o.d"
+  "/root/repo/src/seq/cost_model.cc" "src/CMakeFiles/scal_seq.dir/seq/cost_model.cc.o" "gcc" "src/CMakeFiles/scal_seq.dir/seq/cost_model.cc.o.d"
+  "/root/repo/src/seq/dual_flipflop.cc" "src/CMakeFiles/scal_seq.dir/seq/dual_flipflop.cc.o" "gcc" "src/CMakeFiles/scal_seq.dir/seq/dual_flipflop.cc.o.d"
+  "/root/repo/src/seq/kohavi.cc" "src/CMakeFiles/scal_seq.dir/seq/kohavi.cc.o" "gcc" "src/CMakeFiles/scal_seq.dir/seq/kohavi.cc.o.d"
+  "/root/repo/src/seq/registers.cc" "src/CMakeFiles/scal_seq.dir/seq/registers.cc.o" "gcc" "src/CMakeFiles/scal_seq.dir/seq/registers.cc.o.d"
+  "/root/repo/src/seq/state_table.cc" "src/CMakeFiles/scal_seq.dir/seq/state_table.cc.o" "gcc" "src/CMakeFiles/scal_seq.dir/seq/state_table.cc.o.d"
+  "/root/repo/src/seq/synthesis.cc" "src/CMakeFiles/scal_seq.dir/seq/synthesis.cc.o" "gcc" "src/CMakeFiles/scal_seq.dir/seq/synthesis.cc.o.d"
+  "/root/repo/src/seq/translators.cc" "src/CMakeFiles/scal_seq.dir/seq/translators.cc.o" "gcc" "src/CMakeFiles/scal_seq.dir/seq/translators.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_seq.dir/seq/code_conversion.cc.o"
+  "CMakeFiles/scal_seq.dir/seq/code_conversion.cc.o.d"
+  "CMakeFiles/scal_seq.dir/seq/cost_model.cc.o"
+  "CMakeFiles/scal_seq.dir/seq/cost_model.cc.o.d"
+  "CMakeFiles/scal_seq.dir/seq/dual_flipflop.cc.o"
+  "CMakeFiles/scal_seq.dir/seq/dual_flipflop.cc.o.d"
+  "CMakeFiles/scal_seq.dir/seq/kohavi.cc.o"
+  "CMakeFiles/scal_seq.dir/seq/kohavi.cc.o.d"
+  "CMakeFiles/scal_seq.dir/seq/registers.cc.o"
+  "CMakeFiles/scal_seq.dir/seq/registers.cc.o.d"
+  "CMakeFiles/scal_seq.dir/seq/state_table.cc.o"
+  "CMakeFiles/scal_seq.dir/seq/state_table.cc.o.d"
+  "CMakeFiles/scal_seq.dir/seq/synthesis.cc.o"
+  "CMakeFiles/scal_seq.dir/seq/synthesis.cc.o.d"
+  "CMakeFiles/scal_seq.dir/seq/translators.cc.o"
+  "CMakeFiles/scal_seq.dir/seq/translators.cc.o.d"
+  "libscal_seq.a"
+  "libscal_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/alternating.cc" "src/CMakeFiles/scal_sim.dir/sim/alternating.cc.o" "gcc" "src/CMakeFiles/scal_sim.dir/sim/alternating.cc.o.d"
+  "/root/repo/src/sim/evaluator.cc" "src/CMakeFiles/scal_sim.dir/sim/evaluator.cc.o" "gcc" "src/CMakeFiles/scal_sim.dir/sim/evaluator.cc.o.d"
+  "/root/repo/src/sim/line_functions.cc" "src/CMakeFiles/scal_sim.dir/sim/line_functions.cc.o" "gcc" "src/CMakeFiles/scal_sim.dir/sim/line_functions.cc.o.d"
+  "/root/repo/src/sim/packed.cc" "src/CMakeFiles/scal_sim.dir/sim/packed.cc.o" "gcc" "src/CMakeFiles/scal_sim.dir/sim/packed.cc.o.d"
+  "/root/repo/src/sim/sequential.cc" "src/CMakeFiles/scal_sim.dir/sim/sequential.cc.o" "gcc" "src/CMakeFiles/scal_sim.dir/sim/sequential.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_sim.dir/sim/alternating.cc.o"
+  "CMakeFiles/scal_sim.dir/sim/alternating.cc.o.d"
+  "CMakeFiles/scal_sim.dir/sim/evaluator.cc.o"
+  "CMakeFiles/scal_sim.dir/sim/evaluator.cc.o.d"
+  "CMakeFiles/scal_sim.dir/sim/line_functions.cc.o"
+  "CMakeFiles/scal_sim.dir/sim/line_functions.cc.o.d"
+  "CMakeFiles/scal_sim.dir/sim/packed.cc.o"
+  "CMakeFiles/scal_sim.dir/sim/packed.cc.o.d"
+  "CMakeFiles/scal_sim.dir/sim/sequential.cc.o"
+  "CMakeFiles/scal_sim.dir/sim/sequential.cc.o.d"
+  "libscal_sim.a"
+  "libscal_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/system/adr.cc" "src/CMakeFiles/scal_system.dir/system/adr.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/adr.cc.o.d"
+  "/root/repo/src/system/alu.cc" "src/CMakeFiles/scal_system.dir/system/alu.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/alu.cc.o.d"
+  "/root/repo/src/system/assembler.cc" "src/CMakeFiles/scal_system.dir/system/assembler.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/assembler.cc.o.d"
+  "/root/repo/src/system/campaign.cc" "src/CMakeFiles/scal_system.dir/system/campaign.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/campaign.cc.o.d"
+  "/root/repo/src/system/cost.cc" "src/CMakeFiles/scal_system.dir/system/cost.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/cost.cc.o.d"
+  "/root/repo/src/system/isa.cc" "src/CMakeFiles/scal_system.dir/system/isa.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/isa.cc.o.d"
+  "/root/repo/src/system/memory.cc" "src/CMakeFiles/scal_system.dir/system/memory.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/memory.cc.o.d"
+  "/root/repo/src/system/memory_netlist.cc" "src/CMakeFiles/scal_system.dir/system/memory_netlist.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/memory_netlist.cc.o.d"
+  "/root/repo/src/system/reference_cpu.cc" "src/CMakeFiles/scal_system.dir/system/reference_cpu.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/reference_cpu.cc.o.d"
+  "/root/repo/src/system/rollback.cc" "src/CMakeFiles/scal_system.dir/system/rollback.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/rollback.cc.o.d"
+  "/root/repo/src/system/scal_cpu.cc" "src/CMakeFiles/scal_system.dir/system/scal_cpu.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/scal_cpu.cc.o.d"
+  "/root/repo/src/system/tmr.cc" "src/CMakeFiles/scal_system.dir/system/tmr.cc.o" "gcc" "src/CMakeFiles/scal_system.dir/system/tmr.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/scal_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_checker.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_logic.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/scal_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

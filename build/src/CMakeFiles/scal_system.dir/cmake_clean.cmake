@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_system.dir/system/adr.cc.o"
+  "CMakeFiles/scal_system.dir/system/adr.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/alu.cc.o"
+  "CMakeFiles/scal_system.dir/system/alu.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/assembler.cc.o"
+  "CMakeFiles/scal_system.dir/system/assembler.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/campaign.cc.o"
+  "CMakeFiles/scal_system.dir/system/campaign.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/cost.cc.o"
+  "CMakeFiles/scal_system.dir/system/cost.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/isa.cc.o"
+  "CMakeFiles/scal_system.dir/system/isa.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/memory.cc.o"
+  "CMakeFiles/scal_system.dir/system/memory.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/memory_netlist.cc.o"
+  "CMakeFiles/scal_system.dir/system/memory_netlist.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/reference_cpu.cc.o"
+  "CMakeFiles/scal_system.dir/system/reference_cpu.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/rollback.cc.o"
+  "CMakeFiles/scal_system.dir/system/rollback.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/scal_cpu.cc.o"
+  "CMakeFiles/scal_system.dir/system/scal_cpu.cc.o.d"
+  "CMakeFiles/scal_system.dir/system/tmr.cc.o"
+  "CMakeFiles/scal_system.dir/system/tmr.cc.o.d"
+  "libscal_system.a"
+  "libscal_system.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_system.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_util.dir/util/rng.cc.o"
+  "CMakeFiles/scal_util.dir/util/rng.cc.o.d"
+  "CMakeFiles/scal_util.dir/util/table.cc.o"
+  "CMakeFiles/scal_util.dir/util/table.cc.o.d"
+  "libscal_util.a"
+  "libscal_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

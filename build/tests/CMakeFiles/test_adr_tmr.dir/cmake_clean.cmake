@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adr_tmr.dir/test_adr_tmr.cc.o"
+  "CMakeFiles/test_adr_tmr.dir/test_adr_tmr.cc.o.d"
+  "test_adr_tmr"
+  "test_adr_tmr.pdb"
+  "test_adr_tmr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adr_tmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

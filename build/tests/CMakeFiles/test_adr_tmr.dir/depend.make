@@ -1,0 +1,2 @@
+# Empty dependencies file for test_adr_tmr.
+# This may be replaced when dependencies are built.

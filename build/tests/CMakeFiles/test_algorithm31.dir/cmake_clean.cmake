@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algorithm31.dir/test_algorithm31.cc.o"
+  "CMakeFiles/test_algorithm31.dir/test_algorithm31.cc.o.d"
+  "test_algorithm31"
+  "test_algorithm31.pdb"
+  "test_algorithm31[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algorithm31.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

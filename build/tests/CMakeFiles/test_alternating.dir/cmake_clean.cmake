@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alternating.dir/test_alternating.cc.o"
+  "CMakeFiles/test_alternating.dir/test_alternating.cc.o.d"
+  "test_alternating"
+  "test_alternating.pdb"
+  "test_alternating[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alternating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

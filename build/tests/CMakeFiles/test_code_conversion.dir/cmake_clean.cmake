@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_code_conversion.dir/test_code_conversion.cc.o"
+  "CMakeFiles/test_code_conversion.dir/test_code_conversion.cc.o.d"
+  "test_code_conversion"
+  "test_code_conversion.pdb"
+  "test_code_conversion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_code_conversion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dual_flipflop.dir/test_dual_flipflop.cc.o"
+  "CMakeFiles/test_dual_flipflop.dir/test_dual_flipflop.cc.o.d"
+  "test_dual_flipflop"
+  "test_dual_flipflop.pdb"
+  "test_dual_flipflop[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dual_flipflop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hardcore.dir/test_hardcore.cc.o"
+  "CMakeFiles/test_hardcore.dir/test_hardcore.cc.o.d"
+  "test_hardcore"
+  "test_hardcore.pdb"
+  "test_hardcore[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hardcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_latching_serial.dir/test_latching_serial.cc.o"
+  "CMakeFiles/test_latching_serial.dir/test_latching_serial.cc.o.d"
+  "test_latching_serial"
+  "test_latching_serial.pdb"
+  "test_latching_serial[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_latching_serial.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_line_functions.dir/test_line_functions.cc.o"
+  "CMakeFiles/test_line_functions.dir/test_line_functions.cc.o.d"
+  "test_line_functions"
+  "test_line_functions.pdb"
+  "test_line_functions[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_line_functions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_memory_netlist.dir/test_memory_netlist.cc.o"
+  "CMakeFiles/test_memory_netlist.dir/test_memory_netlist.cc.o.d"
+  "test_memory_netlist"
+  "test_memory_netlist.pdb"
+  "test_memory_netlist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_memory_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_minority.dir/test_minority.cc.o"
+  "CMakeFiles/test_minority.dir/test_minority.cc.o.d"
+  "test_minority"
+  "test_minority.pdb"
+  "test_minority[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_minority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

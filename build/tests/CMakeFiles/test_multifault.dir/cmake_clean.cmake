@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multifault.dir/test_multifault.cc.o"
+  "CMakeFiles/test_multifault.dir/test_multifault.cc.o.d"
+  "test_multifault"
+  "test_multifault.pdb"
+  "test_multifault[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multifault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

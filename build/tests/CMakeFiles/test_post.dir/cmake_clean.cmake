@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_post.dir/test_post.cc.o"
+  "CMakeFiles/test_post.dir/test_post.cc.o.d"
+  "test_post"
+  "test_post.pdb"
+  "test_post[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_post.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reference_cpu.dir/test_reference_cpu.cc.o"
+  "CMakeFiles/test_reference_cpu.dir/test_reference_cpu.cc.o.d"
+  "test_reference_cpu"
+  "test_reference_cpu.pdb"
+  "test_reference_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reference_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_scal_cpu.dir/test_scal_cpu.cc.o"
+  "CMakeFiles/test_scal_cpu.dir/test_scal_cpu.cc.o.d"
+  "test_scal_cpu"
+  "test_scal_cpu.pdb"
+  "test_scal_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_scal_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_state_table.dir/test_state_table.cc.o"
+  "CMakeFiles/test_state_table.dir/test_state_table.cc.o.d"
+  "test_state_table"
+  "test_state_table.pdb"
+  "test_state_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_state_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_system_cost.dir/test_system_cost.cc.o"
+  "CMakeFiles/test_system_cost.dir/test_system_cost.cc.o.d"
+  "test_system_cost"
+  "test_system_cost.pdb"
+  "test_system_cost[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_system_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

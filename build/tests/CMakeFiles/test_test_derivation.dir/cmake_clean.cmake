@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_test_derivation.dir/test_test_derivation.cc.o"
+  "CMakeFiles/test_test_derivation.dir/test_test_derivation.cc.o.d"
+  "test_test_derivation"
+  "test_test_derivation.pdb"
+  "test_test_derivation[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_test_derivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

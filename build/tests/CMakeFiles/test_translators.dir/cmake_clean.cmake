@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_translators.dir/test_translators.cc.o"
+  "CMakeFiles/test_translators.dir/test_translators.cc.o.d"
+  "test_translators"
+  "test_translators.pdb"
+  "test_translators[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_translators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

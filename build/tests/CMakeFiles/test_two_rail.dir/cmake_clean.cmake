@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_two_rail.dir/test_two_rail.cc.o"
+  "CMakeFiles/test_two_rail.dir/test_two_rail.cc.o.d"
+  "test_two_rail"
+  "test_two_rail.pdb"
+  "test_two_rail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_two_rail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scal_cli.dir/scal_cli.cc.o"
+  "CMakeFiles/scal_cli.dir/scal_cli.cc.o.d"
+  "scal_cli"
+  "scal_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scal_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
