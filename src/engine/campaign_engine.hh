@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The parallel campaign engine: deterministic fan-out of a campaign
+ * over an index space (fault classes, trials, fault sites...) and the
+ * deterministic merge of the per-chunk results.
+ *
+ * Determinism contract: chunks are contiguous slices produced by
+ * engine/partition, each chunk's work is a pure function of its slice
+ * (workers share no mutable state), and mapChunks() returns the
+ * per-chunk results ordered by chunk index regardless of completion
+ * order. Callers concatenate or fold those results in chunk order, so
+ * the same (netlist, seed, maxPatterns) triple yields a bit-identical
+ * campaign result at any thread count.
+ */
+
+#ifndef SCAL_ENGINE_CAMPAIGN_ENGINE_HH
+#define SCAL_ENGINE_CAMPAIGN_ENGINE_HH
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <vector>
+
+#include "engine/partition.hh"
+#include "engine/progress.hh"
+#include "engine/thread_pool.hh"
+
+namespace scal::engine
+{
+
+struct EngineOptions
+{
+    /** Worker threads; <= 0 means hardware_concurrency. */
+    int jobs = 0;
+    /** Queue chunks per worker (oversubscription for balance). */
+    int chunksPerWorker = 4;
+    /** Lower bound on items per chunk. */
+    std::size_t minGrain = 8;
+    /**
+     * Period of the stderr progress report; zero disables it (the
+     * tracker still counts, it just never prints).
+     */
+    std::chrono::milliseconds progressInterval{0};
+};
+
+class CampaignEngine
+{
+  public:
+    explicit CampaignEngine(const EngineOptions &opts = {});
+
+    int jobs() const { return pool_.size(); }
+    ProgressTracker &progress() { return progress_; }
+
+    /**
+     * Run @p fn(chunk, chunkIndex) over a sharding of [0, n) and
+     * return the per-chunk results in chunk-index order. Exceptions
+     * from any chunk rethrow here after all chunks finish or drain.
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    mapChunks(std::size_t n, Fn fn)
+    {
+        const std::vector<Chunk> chunks =
+            planShards(n, pool_.size(), opts_.chunksPerWorker,
+                       opts_.minGrain);
+        std::vector<std::future<R>> futures;
+        futures.reserve(chunks.size());
+        for (std::size_t c = 0; c < chunks.size(); ++c) {
+            const Chunk chunk = chunks[c];
+            futures.push_back(
+                pool_.submit([fn, chunk, c]() { return fn(chunk, c); }));
+        }
+        std::vector<R> results;
+        results.reserve(futures.size());
+        for (auto &f : futures)
+            results.push_back(f.get());
+        return results;
+    }
+
+    /** Start/stop the periodic reporter per opts_.progressInterval. */
+    void beginCampaign(std::uint64_t total_units);
+    CampaignStats endCampaign(std::uint64_t total_faults,
+                              std::uint64_t simulated_faults,
+                              std::uint64_t patterns_applied);
+
+  private:
+    EngineOptions opts_;
+    ThreadPool pool_;
+    ProgressTracker progress_;
+};
+
+} // namespace scal::engine
+
+#endif // SCAL_ENGINE_CAMPAIGN_ENGINE_HH

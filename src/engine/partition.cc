@@ -1,0 +1,42 @@
+#include "engine/partition.hh"
+
+#include <algorithm>
+
+namespace scal::engine
+{
+
+std::vector<Chunk>
+partitionRange(std::size_t n, int parts)
+{
+    std::vector<Chunk> chunks;
+    if (n == 0 || parts <= 0)
+        return chunks;
+    const std::size_t p =
+        std::min<std::size_t>(static_cast<std::size_t>(parts), n);
+    const std::size_t base = n / p;
+    const std::size_t extra = n % p;
+    std::size_t at = 0;
+    for (std::size_t i = 0; i < p; ++i) {
+        const std::size_t len = base + (i < extra ? 1 : 0);
+        chunks.push_back({at, at + len});
+        at += len;
+    }
+    return chunks;
+}
+
+std::vector<Chunk>
+planShards(std::size_t n, int workers, int chunksPerWorker,
+           std::size_t minGrain)
+{
+    if (n == 0)
+        return {};
+    const int w = std::max(workers, 1);
+    const int over = std::max(chunksPerWorker, 1);
+    std::size_t parts = static_cast<std::size_t>(w) *
+                        static_cast<std::size_t>(over);
+    if (minGrain > 0)
+        parts = std::min(parts, std::max<std::size_t>(n / minGrain, 1));
+    return partitionRange(n, static_cast<int>(parts));
+}
+
+} // namespace scal::engine

@@ -1,0 +1,180 @@
+#include "engine/progress.hh"
+
+#include <iostream>
+#include <sstream>
+
+namespace scal::engine
+{
+
+namespace
+{
+
+double
+rate(std::uint64_t n, double seconds)
+{
+    return seconds > 0 ? static_cast<double>(n) / seconds : 0;
+}
+
+void
+jsonField(std::ostream &os, const char *key, double v, bool last = false)
+{
+    os << "\"" << key << "\": " << v << (last ? "" : ", ");
+}
+
+void
+jsonField(std::ostream &os, const char *key, std::uint64_t v,
+          bool last = false)
+{
+    os << "\"" << key << "\": " << v << (last ? "" : ", ");
+}
+
+} // namespace
+
+double
+ProgressSnapshot::faultsPerSecond() const
+{
+    return rate(faultsDone, elapsedSeconds);
+}
+
+double
+ProgressSnapshot::patternsPerSecond() const
+{
+    return rate(patternsApplied, elapsedSeconds);
+}
+
+double
+ProgressSnapshot::fraction() const
+{
+    return faultsTotal
+               ? static_cast<double>(faultsDone) / faultsTotal
+               : 0;
+}
+
+std::string
+CampaignStats::toJson() const
+{
+    std::ostringstream os;
+    os << "{";
+    jsonField(os, "jobs", static_cast<std::uint64_t>(jobs));
+    jsonField(os, "total_faults", totalFaults);
+    jsonField(os, "simulated_faults", simulatedFaults);
+    jsonField(os, "patterns_applied", patternsApplied);
+    jsonField(os, "collapse_ratio", collapseRatio);
+    jsonField(os, "elapsed_seconds", elapsedSeconds);
+    jsonField(os, "faults_per_second", faultsPerSecond);
+    jsonField(os, "patterns_per_second", patternsPerSecond, true);
+    os << "}";
+    return os.str();
+}
+
+ProgressTracker::ProgressTracker()
+    : start_(std::chrono::steady_clock::now())
+{
+}
+
+ProgressTracker::~ProgressTracker() { stopReporter(); }
+
+void
+ProgressTracker::start(std::uint64_t faults_total)
+{
+    faultsDone_.store(0, std::memory_order_relaxed);
+    patternsApplied_.store(0, std::memory_order_relaxed);
+    unsafe_.store(0, std::memory_order_relaxed);
+    faultsTotal_ = faults_total;
+    start_ = std::chrono::steady_clock::now();
+}
+
+void
+ProgressTracker::addFaultsDone(std::uint64_t n)
+{
+    faultsDone_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+ProgressTracker::addPatterns(std::uint64_t n)
+{
+    patternsApplied_.fetch_add(n, std::memory_order_relaxed);
+}
+
+void
+ProgressTracker::addUnsafe(std::uint64_t n)
+{
+    unsafe_.fetch_add(n, std::memory_order_relaxed);
+}
+
+ProgressSnapshot
+ProgressTracker::snapshot() const
+{
+    ProgressSnapshot s;
+    s.faultsDone = faultsDone_.load(std::memory_order_relaxed);
+    s.faultsTotal = faultsTotal_;
+    s.patternsApplied = patternsApplied_.load(std::memory_order_relaxed);
+    s.unsafeSoFar = unsafe_.load(std::memory_order_relaxed);
+    s.elapsedSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    return s;
+}
+
+std::string
+ProgressTracker::toJson() const
+{
+    const ProgressSnapshot s = snapshot();
+    std::ostringstream os;
+    os << "{";
+    jsonField(os, "faults_done", s.faultsDone);
+    jsonField(os, "faults_total", s.faultsTotal);
+    jsonField(os, "patterns_applied", s.patternsApplied);
+    jsonField(os, "unsafe_so_far", s.unsafeSoFar);
+    jsonField(os, "elapsed_seconds", s.elapsedSeconds);
+    jsonField(os, "faults_per_second", s.faultsPerSecond(), true);
+    os << "}";
+    return os.str();
+}
+
+void
+ProgressTracker::startReporter(std::chrono::milliseconds interval,
+                               Callback cb)
+{
+    stopReporter();
+    if (!cb) {
+        cb = [](const ProgressSnapshot &s) {
+            std::cerr << "[campaign] " << s.faultsDone << "/"
+                      << s.faultsTotal << " fault classes ("
+                      << static_cast<int>(s.fraction() * 100) << "%), "
+                      << s.unsafeSoFar << " unsafe, "
+                      << static_cast<std::uint64_t>(s.faultsPerSecond())
+                      << " faults/s\n";
+        };
+    }
+    {
+        std::lock_guard<std::mutex> lock(reporterMutex_);
+        reporting_ = true;
+    }
+    reporter_ = std::thread([this, interval, cb] {
+        std::unique_lock<std::mutex> lock(reporterMutex_);
+        for (;;) {
+            if (reporterStop_.wait_for(lock, interval,
+                                       [this] { return !reporting_; }))
+                return;
+            cb(snapshot());
+        }
+    });
+}
+
+void
+ProgressTracker::stopReporter()
+{
+    {
+        std::lock_guard<std::mutex> lock(reporterMutex_);
+        if (!reporting_ && !reporter_.joinable())
+            return;
+        reporting_ = false;
+    }
+    reporterStop_.notify_all();
+    if (reporter_.joinable())
+        reporter_.join();
+}
+
+} // namespace scal::engine

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Observability for long fault campaigns: lock-free counters the
+ * workers bump as they go, wall-clock throughput derived from them,
+ * an optional periodic progress callback (default: one stderr line),
+ * and a JSON stats dump for machine consumers (`scal_cli campaign
+ * --json` embeds it).
+ *
+ * Everything here is measurement only — nothing feeds back into the
+ * simulation, so campaign results stay bit-identical whether or not a
+ * tracker is attached.
+ */
+
+#ifndef SCAL_ENGINE_PROGRESS_HH
+#define SCAL_ENGINE_PROGRESS_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace scal::engine
+{
+
+/** Point-in-time view of a running (or finished) campaign. */
+struct ProgressSnapshot
+{
+    std::uint64_t faultsDone = 0;     ///< fault classes fully classified
+    std::uint64_t faultsTotal = 0;    ///< classes scheduled
+    std::uint64_t patternsApplied = 0;///< alternating pairs simulated
+    std::uint64_t unsafeSoFar = 0;    ///< unsafe verdicts so far
+    double elapsedSeconds = 0;
+
+    double faultsPerSecond() const;
+    double patternsPerSecond() const;
+    /** 0..1, or 0 when faultsTotal is unknown. */
+    double fraction() const;
+};
+
+/**
+ * Final per-campaign statistics, embedded in campaign results. Unlike
+ * the result payload these carry wall-clock timing, so they are
+ * explicitly excluded from the determinism guarantee.
+ */
+struct CampaignStats
+{
+    int jobs = 1;                  ///< worker threads used
+    std::uint64_t totalFaults = 0; ///< faults in the full universe
+    std::uint64_t simulatedFaults = 0; ///< after equivalence collapsing
+    std::uint64_t patternsApplied = 0;
+    double collapseRatio = 1.0; ///< simulated / total
+    double elapsedSeconds = 0;
+    double faultsPerSecond = 0;   ///< total faults classified per sec
+    double patternsPerSecond = 0; ///< pattern pairs per sec per fault set
+
+    std::string toJson() const;
+};
+
+class ProgressTracker
+{
+  public:
+    using Callback = std::function<void(const ProgressSnapshot &)>;
+
+    ProgressTracker();
+    ~ProgressTracker();
+
+    ProgressTracker(const ProgressTracker &) = delete;
+    ProgressTracker &operator=(const ProgressTracker &) = delete;
+
+    /** Reset the clock and the counters; set the denominator. */
+    void start(std::uint64_t faults_total);
+
+    /** @name Worker-side increments (thread-safe, relaxed order). */
+    /** @{ */
+    void addFaultsDone(std::uint64_t n);
+    void addPatterns(std::uint64_t n);
+    void addUnsafe(std::uint64_t n);
+    /** @} */
+
+    ProgressSnapshot snapshot() const;
+    std::string toJson() const;
+
+    /**
+     * Fire @p cb every @p interval until stopReporter() (or
+     * destruction). A null @p cb writes a one-line summary to stderr.
+     */
+    void startReporter(std::chrono::milliseconds interval,
+                       Callback cb = nullptr);
+    void stopReporter();
+
+  private:
+    std::atomic<std::uint64_t> faultsDone_{0};
+    std::atomic<std::uint64_t> patternsApplied_{0};
+    std::atomic<std::uint64_t> unsafe_{0};
+    std::uint64_t faultsTotal_ = 0;
+    std::chrono::steady_clock::time_point start_;
+
+    std::thread reporter_;
+    std::mutex reporterMutex_;
+    std::condition_variable reporterStop_;
+    bool reporting_ = false;
+};
+
+} // namespace scal::engine
+
+#endif // SCAL_ENGINE_PROGRESS_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Fixed-size worker pool behind the parallel campaign engine.
+ *
+ * Tasks are queued at chunk granularity (the partition layer hands
+ * each worker a contiguous slice of fault space), so a single shared
+ * deque with one lock per pop behaves like a work-stealing scheduler
+ * without its complexity: workers that finish early simply pull the
+ * next pending chunk. Submission from inside a worker is allowed
+ * (tasks only enqueue, never wait on the queue), exceptions propagate
+ * through the returned future, and the destructor drains every queued
+ * task before joining.
+ */
+
+#ifndef SCAL_ENGINE_THREAD_POOL_HH
+#define SCAL_ENGINE_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace scal::engine
+{
+
+/** @return @p jobs, or hardware_concurrency (min 1) when jobs <= 0. */
+int resolveJobs(int jobs);
+
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers; threads <= 0 means resolveJobs(0). */
+    explicit ThreadPool(int threads);
+
+    /** Drains all queued work, then joins every worker. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    /**
+     * Enqueue a callable; its result (or exception) is delivered
+     * through the returned future. Safe to call from inside a task.
+     */
+    template <typename Fn>
+    auto
+    submit(Fn &&fn) -> std::future<std::invoke_result_t<Fn>>
+    {
+        using R = std::invoke_result_t<Fn>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<Fn>(fn));
+        std::future<R> fut = task->get_future();
+        enqueue([task]() { (*task)(); });
+        return fut;
+    }
+
+    /** Block until the queue is empty and every worker is idle. */
+    void waitIdle();
+
+  private:
+    void enqueue(std::function<void()> task);
+    void workerLoop();
+
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    mutable std::mutex mutex_;
+    std::condition_variable wake_;
+    std::condition_variable idle_;
+    int busy_ = 0;
+    bool stopping_ = false;
+};
+
+} // namespace scal::engine
+
+#endif // SCAL_ENGINE_THREAD_POOL_HH

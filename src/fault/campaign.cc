@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "engine/campaign_engine.hh"
+#include "fault/collapse.hh"
 #include "sim/alternating.hh"
 #include "sim/packed.hh"
 #include "util/rng.hh"
@@ -11,33 +13,166 @@ namespace scal::fault
 
 using namespace netlist;
 
-CampaignResult
-runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
+namespace
 {
-    if (!net.isCombinational())
-        throw std::invalid_argument("campaign needs combinational netlist");
-    if (!sim::isAlternatingNetwork(net) && net.numInputs() <= 20)
-        throw std::invalid_argument(
-            "campaign target is not an alternating network "
-            "(some output is not self-dual)");
 
+/** Per-fault verdict accumulated over the whole pattern space. */
+struct Verdict
+{
+    bool tested = false;
+    bool unsafe = false;
+    std::vector<std::uint64_t> unsafePatterns;
+};
+
+/**
+ * One 64-lane packed input block with its fault-free outputs. Built
+ * once before fan-out and shared read-only by every worker, so the
+ * good-value simulation and the Rng draw happen exactly once per
+ * pattern regardless of the chunk count.
+ */
+struct PatternBlock
+{
+    std::vector<std::uint64_t> in;   ///< per-input packed word
+    std::vector<std::uint64_t> good; ///< per-output fault-free word
+    /** Raw per-lane pattern words (sampled mode only; exhaustive
+     *  patterns are first + lane). */
+    std::vector<std::uint64_t> base;
+    std::uint64_t first = 0;
+    int lanes = 64;
+
+    std::uint64_t
+    laneMask() const
+    {
+        return lanes == 64 ? ~std::uint64_t{0}
+                           : ((std::uint64_t{1} << lanes) - 1);
+    }
+
+    std::uint64_t
+    patternAt(int lane) const
+    {
+        return base.empty() ? first + static_cast<std::uint64_t>(lane)
+                            : base[lane];
+    }
+};
+
+/** Serial pre-pass: the pattern stream and the good outputs. The Rng
+ *  consumption order matches the serial reference loop exactly. */
+std::vector<PatternBlock>
+buildBlocks(const Netlist &net, bool exhaustive,
+            std::uint64_t num_patterns, std::uint64_t seed)
+{
     const int ni = net.numInputs();
-    const bool exhaustive =
-        ni < 63 && (std::uint64_t{1} << ni) <= opts.maxPatterns;
-    const std::uint64_t num_patterns =
-        exhaustive ? (std::uint64_t{1} << ni) : opts.maxPatterns;
+    sim::PackedEvaluator pe(net);
+    util::Rng rng(seed);
 
+    std::vector<PatternBlock> blocks;
+    blocks.reserve(
+        static_cast<std::size_t>((num_patterns + 63) / 64));
+    for (std::uint64_t base = 0; base < num_patterns; base += 64) {
+        PatternBlock blk;
+        blk.first = base;
+        blk.lanes =
+            static_cast<int>(std::min<std::uint64_t>(64, num_patterns -
+                                                             base));
+        blk.in.assign(ni, 0);
+        if (!exhaustive)
+            blk.base.resize(blk.lanes);
+        for (int lane = 0; lane < blk.lanes; ++lane) {
+            const std::uint64_t pat =
+                exhaustive ? base + lane : rng.next();
+            if (!exhaustive)
+                blk.base[lane] = pat;
+            for (int i = 0; i < ni; ++i)
+                if ((pat >> i) & 1)
+                    blk.in[i] |= std::uint64_t{1} << lane;
+        }
+        blk.good = pe.evalOutputs(blk.in);
+        blocks.push_back(std::move(blk));
+    }
+    return blocks;
+}
+
+/**
+ * Classify faults[begin, end) over the shared pattern blocks. Each
+ * call owns its evaluator; everything else it reads is immutable, so
+ * a fault's verdict cannot depend on which chunk simulated it.
+ */
+std::vector<Verdict>
+classifyChunk(const Netlist &net, const std::vector<Fault> &faults,
+              std::size_t begin, std::size_t end,
+              const std::vector<PatternBlock> &blocks,
+              const CampaignOptions &opts,
+              engine::ProgressTracker *progress)
+{
+    const int ni = net.numInputs();
+    sim::PackedEvaluator pe(net);
+
+    std::vector<Verdict> out(end - begin);
+    std::vector<std::uint64_t> inbar(ni);
+
+    for (const PatternBlock &blk : blocks) {
+        const std::uint64_t lane_mask = blk.laneMask();
+        for (int i = 0; i < ni; ++i)
+            inbar[i] = ~blk.in[i];
+
+        for (std::size_t k = begin; k < end; ++k) {
+            const Fault &f = faults[k];
+            const auto f1 = pe.evalOutputs(blk.in, &f);
+            const auto f2 = pe.evalOutputs(inbar, &f);
+
+            std::uint64_t any_err = 0, nonalt = 0, incorrect = 0;
+            for (int j = 0; j < net.numOutputs(); ++j) {
+                const std::uint64_t err1 = f1[j] ^ blk.good[j];
+                const std::uint64_t err2 = f2[j] ^ ~blk.good[j];
+                any_err |= err1 | err2;
+                nonalt |= ~(f1[j] ^ f2[j]);
+                incorrect |= err1 & err2;
+            }
+            any_err &= lane_mask;
+            nonalt &= lane_mask;
+            incorrect &= lane_mask;
+
+            Verdict &v = out[k - begin];
+            if (any_err)
+                v.tested = true;
+            const std::uint64_t unsafe_lanes = incorrect & ~nonalt;
+            if (unsafe_lanes) {
+                if (!v.unsafe && progress)
+                    progress->addUnsafe(1);
+                v.unsafe = true;
+                for (int lane = 0; lane < blk.lanes; ++lane) {
+                    if (static_cast<int>(v.unsafePatterns.size()) >=
+                        opts.keepUnsafeExamples)
+                        break;
+                    if ((unsafe_lanes >> lane) & 1)
+                        v.unsafePatterns.push_back(blk.patternAt(lane));
+                }
+            }
+        }
+        if (progress)
+            progress->addPatterns(static_cast<std::uint64_t>(blk.lanes));
+    }
+    if (progress)
+        progress->addFaultsDone(end - begin);
+    return out;
+}
+
+/**
+ * The original single-threaded loop, kept verbatim as the jobs == 1
+ * reference path: every fault simulated individually, no collapsing,
+ * no pool. The jobs > 1 path must match it bit for bit.
+ */
+std::vector<Verdict>
+classifySlice(const Netlist &net, const std::vector<Fault> &faults,
+              std::size_t begin, std::size_t end, bool exhaustive,
+              std::uint64_t num_patterns, const CampaignOptions &opts,
+              engine::ProgressTracker *progress)
+{
+    const int ni = net.numInputs();
     sim::PackedEvaluator pe(net);
     util::Rng rng(opts.seed);
 
-    const std::vector<Fault> faults = net.allFaults();
-    CampaignResult result;
-    result.faults.resize(faults.size());
-    for (std::size_t k = 0; k < faults.size(); ++k)
-        result.faults[k].fault = faults[k];
-    std::vector<bool> tested(faults.size(), false);
-    std::vector<bool> unsafe(faults.size(), false);
-
+    std::vector<Verdict> out(end - begin);
     std::vector<std::uint64_t> in(ni), inbar(ni);
     std::vector<std::uint64_t> pattern_base(64);
 
@@ -51,7 +186,7 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
         for (int lane = 0; lane < lanes; ++lane) {
             const std::uint64_t pat =
                 exhaustive ? base + lane : rng.next();
-            pattern_base[lane] = exhaustive ? base + lane : pat;
+            pattern_base[lane] = pat;
             for (int i = 0; i < ni; ++i)
                 if ((pat >> i) & 1)
                     in[i] |= std::uint64_t{1} << lane;
@@ -64,7 +199,7 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
 
         const auto good1 = pe.evalOutputs(in);
 
-        for (std::size_t k = 0; k < faults.size(); ++k) {
+        for (std::size_t k = begin; k < end; ++k) {
             const Fault &f = faults[k];
             const auto f1 = pe.evalOutputs(in, &f);
             const auto f2 = pe.evalOutputs(inbar, &f);
@@ -81,37 +216,150 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
             nonalt &= lane_mask;
             incorrect &= lane_mask;
 
+            Verdict &v = out[k - begin];
             if (any_err)
-                tested[k] = true;
+                v.tested = true;
             const std::uint64_t unsafe_lanes = incorrect & ~nonalt;
             if (unsafe_lanes) {
-                unsafe[k] = true;
-                auto &ex = result.faults[k].unsafePatterns;
+                if (!v.unsafe && progress)
+                    progress->addUnsafe(1);
+                v.unsafe = true;
                 for (int lane = 0; lane < lanes; ++lane) {
-                    if (static_cast<int>(ex.size()) >=
+                    if (static_cast<int>(v.unsafePatterns.size()) >=
                         opts.keepUnsafeExamples)
                         break;
                     if ((unsafe_lanes >> lane) & 1)
-                        ex.push_back(pattern_base[lane]);
+                        v.unsafePatterns.push_back(pattern_base[lane]);
                 }
             }
         }
+        if (progress)
+            progress->addPatterns(static_cast<std::uint64_t>(lanes));
     }
+    if (progress)
+        progress->addFaultsDone(end - begin);
+    return out;
+}
 
-    result.patternsApplied = num_patterns;
-    for (std::size_t k = 0; k < faults.size(); ++k) {
+/** Fold expanded per-fault verdicts into the result counters. */
+void
+finalizeResult(CampaignResult &result,
+               const std::vector<Verdict *> &verdictOf)
+{
+    for (std::size_t k = 0; k < result.faults.size(); ++k) {
+        const Verdict &v = *verdictOf[k];
         Outcome o = Outcome::Untestable;
-        if (unsafe[k])
+        if (v.unsafe)
             o = Outcome::Unsafe;
-        else if (tested[k])
+        else if (v.tested)
             o = Outcome::Detected;
         result.faults[k].outcome = o;
+        result.faults[k].unsafePatterns = v.unsafePatterns;
         switch (o) {
           case Outcome::Untestable: ++result.numUntestable; break;
           case Outcome::Detected:   ++result.numDetected; break;
           case Outcome::Unsafe:     ++result.numUnsafe; break;
         }
     }
+}
+
+} // namespace
+
+CampaignResult
+runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
+{
+    if (!net.isCombinational())
+        throw std::invalid_argument("campaign needs combinational netlist");
+    if (opts.checkAlternating && net.numInputs() <= 20 &&
+        !sim::isAlternatingNetwork(net))
+        throw std::invalid_argument(
+            "campaign target is not an alternating network "
+            "(some output is not self-dual)");
+
+    const int ni = net.numInputs();
+    const bool exhaustive =
+        ni < 63 && (std::uint64_t{1} << ni) <= opts.maxPatterns;
+    const std::uint64_t num_patterns =
+        exhaustive ? (std::uint64_t{1} << ni) : opts.maxPatterns;
+
+    const std::vector<Fault> faults = net.allFaults();
+    CampaignResult result;
+    result.faults.resize(faults.size());
+    for (std::size_t k = 0; k < faults.size(); ++k)
+        result.faults[k].fault = faults[k];
+    result.patternsApplied = num_patterns;
+
+    const int jobs = engine::resolveJobs(opts.jobs);
+    if (jobs <= 1) {
+        engine::ProgressTracker progress;
+        progress.start(faults.size());
+        if (opts.progressInterval.count() > 0)
+            progress.startReporter(opts.progressInterval);
+        std::vector<Verdict> verdicts = classifySlice(
+            net, faults, 0, faults.size(), exhaustive, num_patterns,
+            opts, &progress);
+        progress.stopReporter();
+        std::vector<Verdict *> verdictOf(faults.size());
+        for (std::size_t k = 0; k < faults.size(); ++k)
+            verdictOf[k] = &verdicts[k];
+        finalizeResult(result, verdictOf);
+        const auto s = progress.snapshot();
+        result.stats.jobs = 1;
+        result.stats.totalFaults = faults.size();
+        result.stats.simulatedFaults = faults.size();
+        result.stats.patternsApplied = num_patterns;
+        result.stats.collapseRatio = 1.0;
+        result.stats.elapsedSeconds = s.elapsedSeconds;
+        result.stats.faultsPerSecond = s.faultsPerSecond();
+        result.stats.patternsPerSecond = s.patternsPerSecond();
+        return result;
+    }
+
+    // Parallel path: collapse the universe, shard the representative
+    // classes across the pool, then expand class verdicts back over
+    // the full fault list in allFaults() order. Equivalent faults
+    // produce the same faulty global function, so expansion is exact
+    // — the determinism tests cross-check this against jobs == 1.
+    const CollapseResult col = collapseFaults(net);
+
+    // Warm the netlist's lazily built caches (topo order, consumer
+    // lists) before fan-out so workers only ever read them, and
+    // simulate the fault-free outputs once for all chunks.
+    net.topoOrder();
+    const std::vector<PatternBlock> blocks =
+        buildBlocks(net, exhaustive, num_patterns, opts.seed);
+
+    engine::EngineOptions eopts;
+    eopts.jobs = jobs;
+    eopts.chunksPerWorker = opts.chunksPerWorker;
+    eopts.progressInterval = opts.progressInterval;
+    engine::CampaignEngine eng(eopts);
+    eng.beginCampaign(col.representatives.size());
+
+    auto chunkVerdicts = eng.mapChunks<std::vector<Verdict>>(
+        col.representatives.size(),
+        [&](engine::Chunk chunk, std::size_t) {
+            return classifyChunk(net, col.representatives, chunk.begin,
+                                 chunk.end, blocks, opts,
+                                 &eng.progress());
+        });
+
+    // Deterministic merge: concatenate chunk results in chunk order,
+    // then map every original fault to its class verdict.
+    std::vector<Verdict *> repVerdict;
+    repVerdict.reserve(col.representatives.size());
+    for (auto &chunk : chunkVerdicts)
+        for (Verdict &v : chunk)
+            repVerdict.push_back(&v);
+
+    std::vector<Verdict *> verdictOf(faults.size());
+    for (std::size_t k = 0; k < faults.size(); ++k)
+        verdictOf[k] = repVerdict[col.classOf[k]];
+    finalizeResult(result, verdictOf);
+
+    result.stats = eng.endCampaign(faults.size(),
+                                   col.representatives.size(),
+                                   num_patterns);
     return result;
 }
 

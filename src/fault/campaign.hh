@@ -4,13 +4,22 @@
  * single stuck-at fault at each stem/branch site, apply every
  * alternating input pair (X, X̄) and classify the fault per the
  * self-checking definitions of Chapter 2/3.
+ *
+ * Campaigns route through the parallel engine (src/engine): the fault
+ * universe is equivalence-collapsed, sharded into chunks, and each
+ * chunk is simulated by a worker with the 64-way packed evaluator.
+ * Results are merged deterministically, so the same (netlist, seed,
+ * maxPatterns) triple yields a bit-identical CampaignResult at any
+ * jobs count. jobs == 1 runs the original single-threaded loop.
  */
 
 #ifndef SCAL_FAULT_CAMPAIGN_HH
 #define SCAL_FAULT_CAMPAIGN_HH
 
+#include <chrono>
 #include <cstdint>
 
+#include "engine/progress.hh"
 #include "fault/fault.hh"
 
 namespace scal::fault
@@ -26,6 +35,24 @@ struct CampaignOptions
     std::uint64_t seed = 1;
     /** Keep at most this many unsafe example patterns per fault. */
     int keepUnsafeExamples = 4;
+    /**
+     * Verify the precondition that every output is self-dual
+     * (exhaustive, serial). Disable for large nets already known to
+     * be alternating, e.g. in benchmarks.
+     */
+    bool checkAlternating = true;
+    /**
+     * Worker threads: 0 = hardware_concurrency, 1 = the serial
+     * reference path (no collapsing, no pool).
+     */
+    int jobs = 0;
+    /** Oversubscription factor for the engine's shard plan. */
+    int chunksPerWorker = 4;
+    /**
+     * Period of the engine's stderr progress line; zero (default)
+     * disables reporting.
+     */
+    std::chrono::milliseconds progressInterval{0};
 };
 
 struct CampaignResult
@@ -35,6 +62,11 @@ struct CampaignResult
     int numUntestable = 0;
     int numDetected = 0;
     int numUnsafe = 0;
+    /**
+     * Wall-clock/throughput stats from the engine. Everything else in
+     * this struct is deterministic; stats is explicitly not.
+     */
+    engine::CampaignStats stats;
 
     /**
      * Definition 2.4 verdict: self-checking iff every fault is

@@ -1,7 +1,9 @@
 #include "fault/multi.hh"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "engine/campaign_engine.hh"
 #include "sim/alternating.hh"
 #include "sim/evaluator.hh"
 
@@ -9,6 +11,55 @@ namespace scal::fault
 {
 
 using namespace netlist;
+
+namespace
+{
+
+/** One trial's verdict, independent of every other trial. */
+enum class TrialOutcome
+{
+    Masked,
+    Detected,
+    Unsafe,
+};
+
+TrialOutcome
+classifyTrial(const Netlist &net, sim::Evaluator &ev,
+              const std::vector<std::vector<bool>> &good,
+              const MultiFault &mf)
+{
+    const int ni = net.numInputs();
+    const std::uint64_t patterns = std::uint64_t{1} << ni;
+
+    bool any_err = false, any_unsafe = false;
+    for (std::uint64_t m = 0; m < patterns && !any_unsafe; ++m) {
+        std::vector<bool> x(ni), xb(ni);
+        for (int i = 0; i < ni; ++i) {
+            x[i] = (m >> i) & 1;
+            xb[i] = !x[i];
+        }
+        const auto f1 = ev.evalOutputsMulti(x, mf);
+        const auto f2 = ev.evalOutputsMulti(xb, mf);
+
+        bool nonalt = false, bad = false;
+        for (int j = 0; j < net.numOutputs(); ++j) {
+            const bool err1 = f1[j] != good[m][j];
+            const bool err2 = f2[j] == good[m][j];
+            any_err |= err1 || err2;
+            if (f1[j] == f2[j])
+                nonalt = true;
+            else if (err1 && err2)
+                bad = true;
+        }
+        if (bad && !nonalt)
+            any_unsafe = true;
+    }
+    if (any_unsafe)
+        return TrialOutcome::Unsafe;
+    return any_err ? TrialOutcome::Detected : TrialOutcome::Masked;
+}
+
+} // namespace
 
 MultiFault
 randomMultiFault(const Netlist &net, int multiplicity,
@@ -36,7 +87,8 @@ randomMultiFault(const Netlist &net, int multiplicity,
 
 MultiFaultCampaignResult
 runMultiFaultCampaign(const Netlist &net, int multiplicity,
-                      bool unidirectional, int trials, std::uint64_t seed)
+                      bool unidirectional, int trials, std::uint64_t seed,
+                      int jobs)
 {
     if (!net.isCombinational() || net.numInputs() > 16)
         throw std::invalid_argument("multi-fault campaign scope");
@@ -55,41 +107,58 @@ runMultiFaultCampaign(const Netlist &net, int multiplicity,
         good[m] = ev.evalOutputs(x);
     }
 
+    // Draw every trial's fault set up front: the Rng stream is the
+    // same one the serial loop consumed, so the sampled fault space
+    // is independent of the jobs count.
+    std::vector<MultiFault> drawn;
+    drawn.reserve(static_cast<std::size_t>(std::max(trials, 0)));
+    for (int t = 0; t < trials; ++t)
+        drawn.push_back(
+            randomMultiFault(net, multiplicity, unidirectional, rng));
+
     MultiFaultCampaignResult res;
-    for (int t = 0; t < trials; ++t) {
-        const MultiFault mf =
-            randomMultiFault(net, multiplicity, unidirectional, rng);
-
-        bool any_err = false, any_unsafe = false;
-        for (std::uint64_t m = 0; m < patterns && !any_unsafe; ++m) {
-            std::vector<bool> x(ni), xb(ni);
-            for (int i = 0; i < ni; ++i) {
-                x[i] = (m >> i) & 1;
-                xb[i] = !x[i];
+    const int workers = engine::resolveJobs(jobs);
+    if (workers <= 1 || drawn.size() < 2) {
+        for (const MultiFault &mf : drawn) {
+            ++res.trials;
+            switch (classifyTrial(net, ev, good, mf)) {
+              case TrialOutcome::Unsafe:   ++res.unsafe; break;
+              case TrialOutcome::Detected: ++res.detected; break;
+              case TrialOutcome::Masked:   ++res.masked; break;
             }
-            const auto f1 = ev.evalOutputsMulti(x, mf);
-            const auto f2 = ev.evalOutputsMulti(xb, mf);
-
-            bool nonalt = false, bad = false;
-            for (int j = 0; j < net.numOutputs(); ++j) {
-                const bool err1 = f1[j] != good[m][j];
-                const bool err2 = f2[j] == good[m][j];
-                any_err |= err1 || err2;
-                if (f1[j] == f2[j])
-                    nonalt = true;
-                else if (err1 && err2)
-                    bad = true;
-            }
-            if (bad && !nonalt)
-                any_unsafe = true;
         }
-        ++res.trials;
-        if (any_unsafe)
-            ++res.unsafe;
-        else if (any_err)
-            ++res.detected;
-        else
-            ++res.masked;
+        return res;
+    }
+
+    net.topoOrder(); // warm lazy caches before fan-out
+
+    engine::EngineOptions eopts;
+    eopts.jobs = workers;
+    eopts.minGrain = 1;
+    engine::CampaignEngine eng(eopts);
+    eng.beginCampaign(drawn.size());
+
+    auto chunkCounts = eng.mapChunks<MultiFaultCampaignResult>(
+        drawn.size(), [&](engine::Chunk chunk, std::size_t) {
+            sim::Evaluator worker_ev(net);
+            MultiFaultCampaignResult part;
+            for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
+                ++part.trials;
+                switch (classifyTrial(net, worker_ev, good, drawn[t])) {
+                  case TrialOutcome::Unsafe:   ++part.unsafe; break;
+                  case TrialOutcome::Detected: ++part.detected; break;
+                  case TrialOutcome::Masked:   ++part.masked; break;
+                }
+                eng.progress().addFaultsDone(1);
+            }
+            return part;
+        });
+
+    for (const MultiFaultCampaignResult &part : chunkCounts) {
+        res.trials += part.trials;
+        res.masked += part.masked;
+        res.detected += part.detected;
+        res.unsafe += part.unsafe;
     }
     return res;
 }

@@ -43,11 +43,17 @@ struct MultiFaultCampaignResult
  * Monte-Carlo campaign: @p trials random multiple faults of fixed
  * @p multiplicity, each classified over every alternating input pair
  * (exhaustive in the inputs, sampled in the fault space).
+ *
+ * With @p jobs != 1 the trial fault sets are drawn up front (same Rng
+ * stream as the serial loop) and classified in parallel through the
+ * campaign engine; the outcome counts are identical at any jobs count
+ * because each trial's classification is independent. jobs == 0 means
+ * hardware_concurrency.
  * @pre net is combinational with <= 16 inputs and self-dual outputs.
  */
 MultiFaultCampaignResult runMultiFaultCampaign(
     const netlist::Netlist &net, int multiplicity, bool unidirectional,
-    int trials, std::uint64_t seed = 1);
+    int trials, std::uint64_t seed = 1, int jobs = 0);
 
 } // namespace scal::fault
 

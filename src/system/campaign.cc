@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "engine/campaign_engine.hh"
 #include "netlist/structure.hh"
 #include "system/assembler.hh"
 
@@ -235,37 +236,96 @@ class UncheckedCpu
     Fault fault_;
 };
 
+/** One fault's end-to-end verdict plus its detection latency. */
+struct PerFault
+{
+    SystemOutcome outcome = SystemOutcome::Masked;
+    long detectStep = 0;
+    bool countsDetectStep = false;
+};
+
+/**
+ * Classify every fault with @p fn — serially for jobs <= 1, through
+ * the campaign engine otherwise. Each fault's run is an independent
+ * CPU instance; per-chunk results concatenate back in fault-list
+ * order, so the reduction downstream sees the same sequence at any
+ * jobs count.
+ */
+template <typename Fn>
+std::vector<PerFault>
+classifyAllFaults(const std::vector<Fault> &faults, int jobs, Fn fn)
+{
+    std::vector<PerFault> per(faults.size());
+    const int workers = engine::resolveJobs(jobs);
+    if (workers <= 1 || faults.size() < 2) {
+        for (std::size_t k = 0; k < faults.size(); ++k)
+            per[k] = fn(faults[k]);
+        return per;
+    }
+
+    engine::EngineOptions eopts;
+    eopts.jobs = workers;
+    eopts.minGrain = 1;
+    engine::CampaignEngine eng(eopts);
+    eng.beginCampaign(faults.size());
+    auto chunks = eng.mapChunks<std::vector<PerFault>>(
+        faults.size(), [&](engine::Chunk chunk, std::size_t) {
+            std::vector<PerFault> out(chunk.size());
+            for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+                out[k - chunk.begin] = fn(faults[k]);
+                eng.progress().addFaultsDone(1);
+            }
+            return out;
+        });
+    std::size_t at = 0;
+    for (const auto &chunk : chunks)
+        for (const PerFault &p : chunk)
+            per[at++] = p;
+    return per;
+}
+
 } // namespace
 
 SystemCampaignResult
-runScalCampaign(const Workload &wl, AluOp op)
+runScalCampaign(const Workload &wl, AluOp op,
+                const SystemCampaignOptions &opts)
 {
     const auto golden = goldenOutput(wl);
     const Netlist alu = aluNetlist(op);
+    const std::vector<Fault> faults = alu.allFaults();
 
-    SystemCampaignResult res;
-    double detect_steps = 0;
-    for (const Fault &fault : alu.allFaults()) {
+    const auto classify = [&](const Fault &fault) {
         ScalCpu cpu(wl.prog);
         for (auto [addr, value] : wl.data)
             cpu.poke(addr, value);
         cpu.injectAluFault(op, fault);
         const ScalRunResult run = cpu.run(wl.maxSteps);
 
-        SystemOutcome oc;
+        PerFault pf;
         if (run.errorDetected) {
-            oc = isPrefixOf(run.output, golden)
-                     ? SystemOutcome::Detected
-                     : SystemOutcome::SilentCorruption;
-            detect_steps += static_cast<double>(run.detectStep);
+            pf.outcome = isPrefixOf(run.output, golden)
+                             ? SystemOutcome::Detected
+                             : SystemOutcome::SilentCorruption;
+            pf.detectStep = run.detectStep;
+            pf.countsDetectStep = true;
         } else if (run.halted && run.output == golden) {
-            oc = SystemOutcome::Masked;
+            pf.outcome = SystemOutcome::Masked;
         } else {
-            oc = SystemOutcome::SilentCorruption;
+            pf.outcome = SystemOutcome::SilentCorruption;
         }
+        return pf;
+    };
+    const std::vector<PerFault> per =
+        classifyAllFaults(faults, opts.jobs, classify);
 
+    SystemCampaignResult res;
+    double detect_steps = 0;
+    for (std::size_t k = 0; k < faults.size(); ++k) {
+        const PerFault &pf = per[k];
+        if (pf.countsDetectStep)
+            detect_steps += static_cast<double>(pf.detectStep);
         ++res.total;
-        switch (oc) {
+        switch (pf.outcome) {
           case SystemOutcome::Masked:
             ++res.masked;
             break;
@@ -274,7 +334,7 @@ runScalCampaign(const Workload &wl, AluOp op)
             break;
           case SystemOutcome::SilentCorruption:
             ++res.silent;
-            res.silentFaults.push_back(faultToString(alu, fault));
+            res.silentFaults.push_back(faultToString(alu, faults[k]));
             break;
         }
     }
@@ -284,24 +344,36 @@ runScalCampaign(const Workload &wl, AluOp op)
 }
 
 SystemCampaignResult
-runUncheckedCampaign(const Workload &wl, AluOp op)
+runUncheckedCampaign(const Workload &wl, AluOp op,
+                     const SystemCampaignOptions &opts)
 {
     const auto golden = goldenOutput(wl);
     const Netlist alu = aluNetlistUnchecked(op);
+    const std::vector<Fault> faults = alu.allFaults();
 
-    SystemCampaignResult res;
-    for (const Fault &fault : alu.allFaults()) {
+    const auto classify = [&](const Fault &fault) {
         UncheckedCpu wrapper(wl.prog, op, fault);
         for (auto [addr, value] : wl.data)
             wrapper.cpu().poke(addr, value);
         const RunResult run = wrapper.cpu().run(wl.maxSteps);
 
+        PerFault pf;
+        pf.outcome = (run.halted && run.output == golden)
+                         ? SystemOutcome::Masked
+                         : SystemOutcome::SilentCorruption;
+        return pf;
+    };
+    const std::vector<PerFault> per =
+        classifyAllFaults(faults, opts.jobs, classify);
+
+    SystemCampaignResult res;
+    for (std::size_t k = 0; k < faults.size(); ++k) {
         ++res.total;
-        if (run.halted && run.output == golden) {
+        if (per[k].outcome == SystemOutcome::Masked) {
             ++res.masked;
         } else {
             ++res.silent;
-            res.silentFaults.push_back(faultToString(alu, fault));
+            res.silentFaults.push_back(faultToString(alu, faults[k]));
         }
     }
     return res;

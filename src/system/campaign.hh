@@ -53,18 +53,32 @@ std::vector<Workload> standardWorkloads();
 /** Golden output of a workload. */
 std::vector<std::uint8_t> goldenOutput(const Workload &wl);
 
+struct SystemCampaignOptions
+{
+    /**
+     * Worker threads for the per-fault program runs: 0 =
+     * hardware_concurrency, 1 = serial. Each fault's run is an
+     * independent CPU instance and results are reduced in fault-list
+     * order, so the result is identical at any jobs count.
+     */
+    int jobs = 0;
+};
+
 /**
  * Inject every stuck-at fault of the SCAL ALU for @p op and classify
  * each via the SCAL CPU's on-line checks against the golden run.
  */
-SystemCampaignResult runScalCampaign(const Workload &wl, AluOp op);
+SystemCampaignResult runScalCampaign(const Workload &wl, AluOp op,
+                                     const SystemCampaignOptions &opts = {});
 
 /**
  * The unprotected baseline: same faults applied to a CPU that uses
  * the same gate-level datapath but no checking at all (single-period
  * evaluation, no parity, no alternation).
  */
-SystemCampaignResult runUncheckedCampaign(const Workload &wl, AluOp op);
+SystemCampaignResult runUncheckedCampaign(
+    const Workload &wl, AluOp op,
+    const SystemCampaignOptions &opts = {});
 
 } // namespace scal::system
 

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "engine/campaign_engine.hh"
+#include "engine/partition.hh"
+#include "engine/progress.hh"
+
+namespace scal
+{
+namespace
+{
+
+TEST(Partition, CoversRangeExactly)
+{
+    for (std::size_t n : {1u, 2u, 7u, 64u, 1000u}) {
+        for (int parts : {1, 2, 3, 8, 17}) {
+            const auto chunks = engine::partitionRange(n, parts);
+            ASSERT_FALSE(chunks.empty());
+            EXPECT_LE(chunks.size(),
+                      static_cast<std::size_t>(parts));
+            std::size_t at = 0;
+            std::size_t lo = n, hi = 0;
+            for (const auto &c : chunks) {
+                EXPECT_EQ(c.begin, at);
+                EXPECT_GT(c.size(), 0u);
+                lo = std::min(lo, c.size());
+                hi = std::max(hi, c.size());
+                at = c.end;
+            }
+            EXPECT_EQ(at, n);
+            EXPECT_LE(hi - lo, 1u) << n << "/" << parts;
+        }
+    }
+}
+
+TEST(Partition, EmptyAndDegenerate)
+{
+    EXPECT_TRUE(engine::partitionRange(0, 4).empty());
+    EXPECT_TRUE(engine::partitionRange(10, 0).empty());
+    EXPECT_EQ(engine::partitionRange(3, 10).size(), 3u);
+}
+
+TEST(Partition, PlanShardsRespectsMinGrain)
+{
+    // 100 items, 8 workers x 4 oversubscription would be 32 chunks,
+    // but minGrain 16 caps the plan at 6 chunks.
+    const auto chunks = engine::planShards(100, 8, 4, 16);
+    EXPECT_EQ(chunks.size(), 6u);
+    std::size_t total = 0;
+    for (const auto &c : chunks)
+        total += c.size();
+    EXPECT_EQ(total, 100u);
+}
+
+TEST(Partition, PlanShardsOversubscribes)
+{
+    const auto chunks = engine::planShards(1000, 4, 4, 8);
+    EXPECT_EQ(chunks.size(), 16u);
+}
+
+TEST(Progress, CountersAndSnapshot)
+{
+    engine::ProgressTracker t;
+    t.start(10);
+    t.addFaultsDone(3);
+    t.addPatterns(128);
+    t.addUnsafe(1);
+    const auto s = t.snapshot();
+    EXPECT_EQ(s.faultsDone, 3u);
+    EXPECT_EQ(s.faultsTotal, 10u);
+    EXPECT_EQ(s.patternsApplied, 128u);
+    EXPECT_EQ(s.unsafeSoFar, 1u);
+    EXPECT_DOUBLE_EQ(s.fraction(), 0.3);
+    EXPECT_GE(s.elapsedSeconds, 0.0);
+}
+
+TEST(Progress, JsonHasAllFields)
+{
+    engine::ProgressTracker t;
+    t.start(4);
+    t.addFaultsDone(4);
+    const std::string json = t.toJson();
+    for (const char *key :
+         {"faults_done", "faults_total", "patterns_applied",
+          "unsafe_so_far", "elapsed_seconds", "faults_per_second"})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(Progress, PeriodicReporterFires)
+{
+    engine::ProgressTracker t;
+    t.start(100);
+    std::atomic<int> fired{0};
+    t.startReporter(std::chrono::milliseconds(5),
+                    [&](const engine::ProgressSnapshot &) {
+                        fired.fetch_add(1);
+                    });
+    while (fired.load() < 2)
+        std::this_thread::yield();
+    t.stopReporter();
+    EXPECT_GE(fired.load(), 2);
+}
+
+TEST(Progress, CampaignStatsJson)
+{
+    engine::CampaignStats st;
+    st.jobs = 8;
+    st.totalFaults = 100;
+    st.simulatedFaults = 60;
+    st.collapseRatio = 0.6;
+    const std::string json = st.toJson();
+    for (const char *key :
+         {"\"jobs\": 8", "\"total_faults\": 100",
+          "\"simulated_faults\": 60", "collapse_ratio",
+          "elapsed_seconds", "faults_per_second",
+          "patterns_per_second"})
+        EXPECT_NE(json.find(key), std::string::npos) << key;
+}
+
+TEST(CampaignEngine, MapChunksMergesInChunkOrder)
+{
+    engine::EngineOptions opts;
+    opts.jobs = 4;
+    opts.minGrain = 1;
+    engine::CampaignEngine eng(opts);
+    EXPECT_EQ(eng.jobs(), 4);
+
+    // Each chunk returns its own slice; concatenation in chunk order
+    // must rebuild the identity sequence whatever the completion
+    // order was.
+    auto chunks = eng.mapChunks<std::vector<std::size_t>>(
+        257, [](engine::Chunk c, std::size_t) {
+            std::vector<std::size_t> out;
+            for (std::size_t i = c.begin; i < c.end; ++i)
+                out.push_back(i);
+            return out;
+        });
+    std::vector<std::size_t> merged;
+    for (const auto &c : chunks)
+        merged.insert(merged.end(), c.begin(), c.end());
+    ASSERT_EQ(merged.size(), 257u);
+    for (std::size_t i = 0; i < merged.size(); ++i)
+        EXPECT_EQ(merged[i], i);
+}
+
+TEST(CampaignEngine, ChunkExceptionRethrows)
+{
+    engine::EngineOptions opts;
+    opts.jobs = 2;
+    opts.minGrain = 1;
+    engine::CampaignEngine eng(opts);
+    EXPECT_THROW(eng.mapChunks<int>(16,
+                                    [](engine::Chunk c, std::size_t) {
+                                        if (c.begin == 0)
+                                            throw std::runtime_error(
+                                                "chunk boom");
+                                        return 1;
+                                    }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace scal

@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "engine/thread_pool.hh"
+
+namespace scal
+{
+namespace
+{
+
+TEST(ThreadPool, ResolveJobs)
+{
+    EXPECT_GE(engine::resolveJobs(0), 1);
+    EXPECT_GE(engine::resolveJobs(-3), 1);
+    EXPECT_EQ(engine::resolveJobs(5), 5);
+    EXPECT_EQ(engine::resolveJobs(1), 1);
+}
+
+TEST(ThreadPool, SubmitReturnsResults)
+{
+    engine::ThreadPool pool(4);
+    EXPECT_EQ(pool.size(), 4);
+    std::vector<std::future<int>> futures;
+    for (int i = 0; i < 100; ++i)
+        futures.push_back(pool.submit([i]() { return i * i; }));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(futures[i].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitFromWorker)
+{
+    engine::ThreadPool pool(2);
+    std::atomic<int> ran{0};
+    // A task enqueues a child task into its own pool; neither blocks
+    // on the other, so this must complete even with one worker.
+    auto parent = pool.submit([&]() {
+        ran.fetch_add(1);
+        return pool.submit([&]() {
+            ran.fetch_add(1);
+            return 7;
+        });
+    });
+    std::future<int> child = parent.get();
+    EXPECT_EQ(child.get(), 7);
+    EXPECT_EQ(ran.load(), 2);
+}
+
+TEST(ThreadPool, SubmitFromWorkerSingleThread)
+{
+    engine::ThreadPool pool(1);
+    std::atomic<bool> child_ran{false};
+    auto parent = pool.submit([&]() {
+        pool.submit([&]() { child_ran.store(true); });
+    });
+    parent.get();
+    pool.waitIdle();
+    EXPECT_TRUE(child_ran.load());
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    engine::ThreadPool pool(2);
+    auto bad = pool.submit([]() -> int {
+        throw std::runtime_error("task boom");
+    });
+    auto good = pool.submit([]() { return 3; });
+    EXPECT_THROW(
+        {
+            try {
+                bad.get();
+            } catch (const std::runtime_error &e) {
+                EXPECT_STREQ(e.what(), "task boom");
+                throw;
+            }
+        },
+        std::runtime_error);
+    // A throwing task must not take the worker (or the pool) down.
+    EXPECT_EQ(good.get(), 3);
+    auto after = pool.submit([]() { return 4; });
+    EXPECT_EQ(after.get(), 4);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork)
+{
+    std::atomic<int> done{0};
+    {
+        engine::ThreadPool pool(2);
+        for (int i = 0; i < 64; ++i) {
+            pool.submit([&]() {
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(200));
+                done.fetch_add(1);
+            });
+        }
+        // Destructor runs with most of the queue still pending.
+    }
+    EXPECT_EQ(done.load(), 64);
+}
+
+TEST(ThreadPool, WaitIdle)
+{
+    engine::ThreadPool pool(3);
+    std::atomic<int> done{0};
+    for (int i = 0; i < 32; ++i)
+        pool.submit([&]() { done.fetch_add(1); });
+    pool.waitIdle();
+    EXPECT_EQ(done.load(), 32);
+}
+
+} // namespace
+} // namespace scal

@@ -3,7 +3,9 @@
  * scal_cli — command-line front end to the SCAL library.
  *
  *   scal_cli analyze  <netlist|->        Algorithm 3.1 line report
- *   scal_cli campaign <netlist|->        exhaustive stuck-at campaign
+ *   scal_cli campaign <netlist|-> [--jobs N] [--json] [--verbose]
+ *                     [--seed N] [--max-patterns N] [--progress]
+ *                                        exhaustive stuck-at campaign
  *   scal_cli tests    <netlist|-> <line> Theorem 3.2 test derivation
  *   scal_cli repair   <netlist|-> <line> [depth]   Figure 3.7 repair
  *   scal_cli convert-minority <netlist|->          Theorem 6.2
@@ -69,19 +71,129 @@ cmdAnalyze(const Netlist &net)
     return report.selfChecking() ? 0 : 2;
 }
 
-int
-cmdCampaign(const Netlist &net)
+struct CampaignFlags
 {
-    const auto res = fault::runAlternatingCampaign(net);
+    fault::CampaignOptions opts;
+    bool json = false;
+    bool verbose = false;
+};
+
+CampaignFlags
+parseCampaignFlags(int argc, char **argv, int first)
+{
+    CampaignFlags flags;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *name) {
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(name) +
+                                         " needs a value");
+            return std::string(argv[++i]);
+        };
+        const auto number = [&](const char *name) -> std::uint64_t {
+            const std::string v = value(name);
+            try {
+                std::size_t pos = 0;
+                const std::uint64_t n = std::stoull(v, &pos);
+                if (pos != v.size())
+                    throw std::invalid_argument(v);
+                return n;
+            } catch (const std::exception &) {
+                throw std::runtime_error(std::string(name) +
+                                         " needs a number, got '" + v +
+                                         "'");
+            }
+        };
+        if (arg == "--jobs")
+            flags.opts.jobs = static_cast<int>(number("--jobs"));
+        else if (arg == "--seed")
+            flags.opts.seed = number("--seed");
+        else if (arg == "--max-patterns")
+            flags.opts.maxPatterns = number("--max-patterns");
+        else if (arg == "--progress")
+            flags.opts.progressInterval = std::chrono::seconds(1);
+        else if (arg == "--json")
+            flags.json = true;
+        else if (arg == "--verbose")
+            flags.verbose = true;
+        else
+            throw std::runtime_error("unknown campaign flag " + arg);
+    }
+    return flags;
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+int
+cmdCampaign(const Netlist &net, const CampaignFlags &flags)
+{
+    const auto res = fault::runAlternatingCampaign(net, flags.opts);
+
+    if (flags.json) {
+        std::cout << "{\n"
+                  << "  \"patterns_applied\": " << res.patternsApplied
+                  << ",\n"
+                  << "  \"faults\": " << res.faults.size() << ",\n"
+                  << "  \"detected\": " << res.numDetected << ",\n"
+                  << "  \"unsafe\": " << res.numUnsafe << ",\n"
+                  << "  \"untestable\": " << res.numUntestable << ",\n"
+                  << "  \"self_checking\": "
+                  << (res.selfChecking() ? "true" : "false") << ",\n"
+                  << "  \"unsafe_faults\": [";
+        bool first = true;
+        for (const auto &fr : res.faults) {
+            if (fr.outcome != fault::Outcome::Unsafe)
+                continue;
+            std::cout << (first ? "" : ", ") << "\""
+                      << jsonEscape(faultToString(net, fr.fault))
+                      << "\"";
+            first = false;
+        }
+        std::cout << "],\n"
+                  << "  \"stats\": " << res.stats.toJson() << "\n"
+                  << "}\n";
+        return res.selfChecking() ? 0 : 2;
+    }
+
     std::cout << "patterns applied: " << res.patternsApplied << "\n"
               << "faults: " << res.faults.size() << "\n"
               << "detected: " << res.numDetected << "\n"
               << "unsafe: " << res.numUnsafe << "\n"
-              << "untestable: " << res.numUntestable << "\n";
-    for (const auto &fr : res.faults) {
-        if (fr.outcome == fault::Outcome::Unsafe)
-            std::cout << "  UNSAFE " << faultToString(net, fr.fault)
-                      << "\n";
+              << "untestable: " << res.numUntestable << "\n"
+              << "jobs: " << res.stats.jobs << ", "
+              << res.stats.simulatedFaults
+              << " fault classes simulated (collapse ratio "
+              << res.stats.collapseRatio << "), "
+              << res.stats.elapsedSeconds << " s\n";
+    if (flags.verbose) {
+        // The per-fault classification table the campaign computed.
+        for (const auto &fr : res.faults) {
+            std::cout << "  " << faultToString(net, fr.fault) << ": "
+                      << fault::outcomeName(fr.outcome);
+            if (!fr.unsafePatterns.empty()) {
+                std::cout << " (unsafe at";
+                for (std::uint64_t m : fr.unsafePatterns)
+                    std::cout << " " << m;
+                std::cout << ")";
+            }
+            std::cout << "\n";
+        }
+    } else {
+        for (const auto &fr : res.faults) {
+            if (fr.outcome == fault::Outcome::Unsafe)
+                std::cout << "  UNSAFE "
+                          << faultToString(net, fr.fault) << "\n";
+        }
     }
     std::cout << (res.selfChecking() ? "SELF-CHECKING"
                                      : "NOT self-checking")
@@ -170,7 +282,7 @@ main(int argc, char **argv)
         if (cmd == "analyze")
             return cmdAnalyze(net);
         if (cmd == "campaign")
-            return cmdCampaign(net);
+            return cmdCampaign(net, parseCampaignFlags(argc, argv, 3));
         if (cmd == "tests" && argc > 3)
             return cmdTests(net, argv[3]);
         if (cmd == "repair" && argc > 3)
