@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Fault-simulation kernel benchmark: the pre-change reference kernel
+ * (PackedEvaluator full resimulation per fault per 64-lane block —
+ * exactly the inner loop the campaign used to run) against the
+ * cone-restricted FaultSimulator, on the paper's circuits. Verdict
+ * masks are cross-checked between the two kernels, and the results
+ * are emitted as machine-readable JSON (stdout and a file) so CI can
+ * archive the numbers.
+ *
+ * Usage: bench_fault_sim [--max-patterns N] [--out FILE]
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "netlist/circuits.hh"
+#include "sim/fault_sim.hh"
+#include "sim/flat.hh"
+#include "sim/packed.hh"
+#include "system/alu.hh"
+#include "util/rng.hh"
+
+using namespace scal;
+using netlist::Fault;
+using netlist::Netlist;
+
+namespace
+{
+
+struct Scenario
+{
+    std::string name;
+    Netlist net;
+};
+
+/** Packed 64-lane input blocks, exhaustive or seeded-sampled. */
+std::vector<std::vector<std::uint64_t>>
+buildBlocks(int ni, std::uint64_t max_patterns, std::uint64_t &applied)
+{
+    const bool exhaustive =
+        ni < 63 && (std::uint64_t{1} << ni) <= max_patterns;
+    applied = exhaustive ? (std::uint64_t{1} << ni) : max_patterns;
+    util::Rng rng(1);
+    std::vector<std::vector<std::uint64_t>> blocks;
+    for (std::uint64_t base = 0; base < applied; base += 64) {
+        const std::uint64_t lanes =
+            std::min<std::uint64_t>(64, applied - base);
+        std::vector<std::uint64_t> in(ni, 0);
+        for (std::uint64_t l = 0; l < lanes; ++l) {
+            const std::uint64_t pat = exhaustive ? base + l : rng.next();
+            for (int i = 0; i < ni; ++i)
+                if ((pat >> i) & 1)
+                    in[i] |= std::uint64_t{1} << l;
+        }
+        blocks.push_back(std::move(in));
+    }
+    return blocks;
+}
+
+/** Fold one fault's per-output words into the alternating masks. */
+void
+foldMasks(const std::vector<std::uint64_t> &f1,
+          const std::vector<std::uint64_t> &f2,
+          const std::vector<std::uint64_t> &good,
+          sim::AlternatingMasks &m)
+{
+    for (std::size_t j = 0; j < f1.size(); ++j) {
+        const std::uint64_t err1 = f1[j] ^ good[j];
+        const std::uint64_t err2 = f2[j] ^ ~good[j];
+        m.anyErr |= err1 | err2;
+        m.nonAlt |= ~(f1[j] ^ f2[j]);
+        m.incorrect |= err1 & err2;
+    }
+}
+
+/** The campaign inner loop as it was before the cone kernel: full
+ *  packed resimulation of the whole netlist, twice per fault per
+ *  block. Returns a digest of all verdict masks for cross-checking. */
+std::uint64_t
+runReferenceKernel(const Netlist &net, const std::vector<Fault> &faults,
+                   const std::vector<std::vector<std::uint64_t>> &blocks)
+{
+    const sim::PackedEvaluator pe(net);
+    std::vector<sim::AlternatingMasks> verdict(faults.size());
+    for (const auto &in : blocks) {
+        std::vector<std::uint64_t> inbar(in.size());
+        for (std::size_t i = 0; i < in.size(); ++i)
+            inbar[i] = ~in[i];
+        const auto good = pe.evalOutputs(in);
+        for (std::size_t k = 0; k < faults.size(); ++k) {
+            const auto f1 = pe.evalOutputs(in, &faults[k]);
+            const auto f2 = pe.evalOutputs(inbar, &faults[k]);
+            foldMasks(f1, f2, good, verdict[k]);
+        }
+    }
+    std::uint64_t digest = 0;
+    for (const auto &m : verdict) {
+        digest ^= m.anyErr * 0x9e3779b97f4a7c15ULL;
+        digest ^= m.nonAlt * 0xc2b2ae3d27d4eb4fULL;
+        digest ^= m.incorrect * 0x165667b19e3779f9ULL;
+        digest = (digest << 7) | (digest >> 57);
+    }
+    return digest;
+}
+
+/** The cone-restricted kernel the campaign runs now. */
+std::uint64_t
+runConeKernel(const sim::FlatNetlist &flat,
+              const std::vector<Fault> &faults,
+              const std::vector<std::vector<std::uint64_t>> &blocks)
+{
+    sim::FaultSimulator fs(flat);
+    std::vector<sim::AlternatingMasks> verdict(faults.size());
+    for (const auto &in : blocks) {
+        fs.setAlternatingBlock(in);
+        for (std::size_t k = 0; k < faults.size(); ++k) {
+            const sim::AlternatingMasks m =
+                fs.classifyAlternating(faults[k]);
+            verdict[k].anyErr |= m.anyErr;
+            verdict[k].nonAlt |= m.nonAlt;
+            verdict[k].incorrect |= m.incorrect;
+        }
+    }
+    std::uint64_t digest = 0;
+    for (const auto &m : verdict) {
+        digest ^= m.anyErr * 0x9e3779b97f4a7c15ULL;
+        digest ^= m.nonAlt * 0xc2b2ae3d27d4eb4fULL;
+        digest ^= m.incorrect * 0x165667b19e3779f9ULL;
+        digest = (digest << 7) | (digest >> 57);
+    }
+    return digest;
+}
+
+/** Best-of-N wall-clock seconds for one kernel run. */
+template <typename Fn>
+double
+timeBest(Fn &&fn, int reps)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+struct Row
+{
+    std::string name;
+    std::size_t gates = 0;
+    std::size_t faults = 0;
+    std::uint64_t patterns = 0;
+    double refSeconds = 0;
+    double coneSeconds = 0;
+
+    double refThroughput() const
+    {
+        return static_cast<double>(faults) *
+               static_cast<double>(patterns) / refSeconds;
+    }
+    double coneThroughput() const
+    {
+        return static_cast<double>(faults) *
+               static_cast<double>(patterns) / coneSeconds;
+    }
+    double speedup() const { return refSeconds / coneSeconds; }
+};
+
+void
+emitJson(std::ostream &os, const std::vector<Row> &rows)
+{
+    double log_sum = 0;
+    os << "{\n  \"benchmark\": \"fault_sim\",\n  \"unit\": "
+          "\"faults*patterns/s\",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        log_sum += std::log(r.speedup());
+        os << "    {\"name\": \"" << r.name << "\", \"gates\": "
+           << r.gates << ", \"faults\": " << r.faults
+           << ", \"patterns\": " << r.patterns
+           << ", \"ref_seconds\": " << r.refSeconds
+           << ", \"cone_seconds\": " << r.coneSeconds
+           << ", \"ref_throughput\": " << r.refThroughput()
+           << ", \"cone_throughput\": " << r.coneThroughput()
+           << ", \"speedup\": " << r.speedup() << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"geomean_speedup\": "
+       << std::exp(log_sum / static_cast<double>(rows.size()))
+       << "\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t max_patterns = std::uint64_t{1} << 14;
+    std::string out_path = "BENCH_fault_sim.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--max-patterns") && i + 1 < argc)
+            max_patterns = std::strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+    }
+
+    std::vector<Scenario> scenarios;
+    scenarios.push_back(
+        {"section36", netlist::circuits::section36Network()});
+    scenarios.push_back(
+        {"rca16", netlist::circuits::rippleCarryAdder(16)});
+    scenarios.push_back(
+        {"alu_add8", system::aluNetlist(system::AluOp::Add, 8)});
+
+    std::vector<Row> rows;
+    for (const Scenario &sc : scenarios) {
+        const std::vector<Fault> faults = sc.net.allFaults();
+        std::uint64_t applied = 0;
+        const auto blocks =
+            buildBlocks(sc.net.numInputs(), max_patterns, applied);
+        const sim::FlatNetlist flat(sc.net);
+
+        // Verdicts must agree before timing means anything.
+        const std::uint64_t want =
+            runReferenceKernel(sc.net, faults, blocks);
+        const std::uint64_t got = runConeKernel(flat, faults, blocks);
+        if (want != got) {
+            std::cerr << "FATAL: kernel mismatch on " << sc.name
+                      << "\n";
+            return 1;
+        }
+
+        Row row;
+        row.name = sc.name;
+        row.gates = static_cast<std::size_t>(sc.net.numGates());
+        row.faults = faults.size();
+        row.patterns = applied;
+        row.refSeconds = timeBest(
+            [&] { runReferenceKernel(sc.net, faults, blocks); }, 3);
+        row.coneSeconds = timeBest(
+            [&] { runConeKernel(flat, faults, blocks); }, 3);
+        rows.push_back(row);
+        std::cerr << sc.name << ": ref " << row.refSeconds << "s, cone "
+                  << row.coneSeconds << "s, speedup " << row.speedup()
+                  << "x\n";
+    }
+
+    emitJson(std::cout, rows);
+    std::ofstream f(out_path);
+    emitJson(f, rows);
+    return 0;
+}

@@ -5,7 +5,8 @@
 #include "engine/campaign_engine.hh"
 #include "fault/collapse.hh"
 #include "sim/alternating.hh"
-#include "sim/packed.hh"
+#include "sim/fault_sim.hh"
+#include "sim/flat.hh"
 #include "util/rng.hh"
 
 namespace scal::fault
@@ -33,7 +34,6 @@ struct Verdict
 struct PatternBlock
 {
     std::vector<std::uint64_t> in;   ///< per-input packed word
-    std::vector<std::uint64_t> good; ///< per-output fault-free word
     /** Raw per-lane pattern words (sampled mode only; exhaustive
      *  patterns are first + lane). */
     std::vector<std::uint64_t> base;
@@ -55,14 +55,13 @@ struct PatternBlock
     }
 };
 
-/** Serial pre-pass: the pattern stream and the good outputs. The Rng
- *  consumption order matches the serial reference loop exactly. */
+/** Serial pre-pass: the packed pattern stream. The Rng consumption
+ *  order matches the original serial loop exactly; the fault-free
+ *  values are cached per worker by FaultSimulator::setAlternatingBlock. */
 std::vector<PatternBlock>
-buildBlocks(const Netlist &net, bool exhaustive,
-            std::uint64_t num_patterns, std::uint64_t seed)
+buildBlocks(int ni, bool exhaustive, std::uint64_t num_patterns,
+            std::uint64_t seed)
 {
-    const int ni = net.numInputs();
-    sim::PackedEvaluator pe(net);
     util::Rng rng(seed);
 
     std::vector<PatternBlock> blocks;
@@ -86,155 +85,65 @@ buildBlocks(const Netlist &net, bool exhaustive,
                 if ((pat >> i) & 1)
                     blk.in[i] |= std::uint64_t{1} << lane;
         }
-        blk.good = pe.evalOutputs(blk.in);
         blocks.push_back(std::move(blk));
     }
     return blocks;
 }
 
 /**
- * Classify faults[begin, end) over the shared pattern blocks. Each
- * call owns its evaluator; everything else it reads is immutable, so
- * a fault's verdict cannot depend on which chunk simulated it.
+ * Fold one block's lane masks into a fault's running verdict — the
+ * single copy of the kernel both the serial and the sharded paths
+ * run (it used to be pasted into each).
  */
-std::vector<Verdict>
-classifyChunk(const Netlist &net, const std::vector<Fault> &faults,
-              std::size_t begin, std::size_t end,
-              const std::vector<PatternBlock> &blocks,
-              const CampaignOptions &opts,
-              engine::ProgressTracker *progress)
+void
+accumulateVerdict(const sim::AlternatingMasks &m, const PatternBlock &blk,
+                  const CampaignOptions &opts,
+                  engine::ProgressTracker *progress, Verdict &v)
 {
-    const int ni = net.numInputs();
-    sim::PackedEvaluator pe(net);
-
-    std::vector<Verdict> out(end - begin);
-    std::vector<std::uint64_t> inbar(ni);
-
-    for (const PatternBlock &blk : blocks) {
-        const std::uint64_t lane_mask = blk.laneMask();
-        for (int i = 0; i < ni; ++i)
-            inbar[i] = ~blk.in[i];
-
-        for (std::size_t k = begin; k < end; ++k) {
-            const Fault &f = faults[k];
-            const auto f1 = pe.evalOutputs(blk.in, &f);
-            const auto f2 = pe.evalOutputs(inbar, &f);
-
-            std::uint64_t any_err = 0, nonalt = 0, incorrect = 0;
-            for (int j = 0; j < net.numOutputs(); ++j) {
-                const std::uint64_t err1 = f1[j] ^ blk.good[j];
-                const std::uint64_t err2 = f2[j] ^ ~blk.good[j];
-                any_err |= err1 | err2;
-                nonalt |= ~(f1[j] ^ f2[j]);
-                incorrect |= err1 & err2;
-            }
-            any_err &= lane_mask;
-            nonalt &= lane_mask;
-            incorrect &= lane_mask;
-
-            Verdict &v = out[k - begin];
-            if (any_err)
-                v.tested = true;
-            const std::uint64_t unsafe_lanes = incorrect & ~nonalt;
-            if (unsafe_lanes) {
-                if (!v.unsafe && progress)
-                    progress->addUnsafe(1);
-                v.unsafe = true;
-                for (int lane = 0; lane < blk.lanes; ++lane) {
-                    if (static_cast<int>(v.unsafePatterns.size()) >=
-                        opts.keepUnsafeExamples)
-                        break;
-                    if ((unsafe_lanes >> lane) & 1)
-                        v.unsafePatterns.push_back(blk.patternAt(lane));
-                }
-            }
+    const std::uint64_t lane_mask = blk.laneMask();
+    if (m.anyErr & lane_mask)
+        v.tested = true;
+    const std::uint64_t unsafe_lanes = m.unsafe() & lane_mask;
+    if (unsafe_lanes) {
+        if (!v.unsafe && progress)
+            progress->addUnsafe(1);
+        v.unsafe = true;
+        for (int lane = 0; lane < blk.lanes; ++lane) {
+            if (static_cast<int>(v.unsafePatterns.size()) >=
+                opts.keepUnsafeExamples)
+                break;
+            if ((unsafe_lanes >> lane) & 1)
+                v.unsafePatterns.push_back(blk.patternAt(lane));
         }
-        if (progress)
-            progress->addPatterns(static_cast<std::uint64_t>(blk.lanes));
     }
-    if (progress)
-        progress->addFaultsDone(end - begin);
-    return out;
 }
 
 /**
- * The original single-threaded loop, kept verbatim as the jobs == 1
- * reference path: every fault simulated individually, no collapsing,
- * no pool. The jobs > 1 path must match it bit for bit.
+ * Classify faults[begin, end) over the shared pattern blocks with the
+ * cone-restricted simulator. Each call owns its FaultSimulator (and
+ * so its memoized cones and scratch); everything else it reads is
+ * immutable, so a fault's verdict cannot depend on which chunk
+ * simulated it. jobs == 1 runs this same function over the whole
+ * fault list.
  */
 std::vector<Verdict>
-classifySlice(const Netlist &net, const std::vector<Fault> &faults,
-              std::size_t begin, std::size_t end, bool exhaustive,
-              std::uint64_t num_patterns, const CampaignOptions &opts,
+classifyChunk(const sim::FlatNetlist &flat,
+              const std::vector<Fault> &faults, std::size_t begin,
+              std::size_t end, const std::vector<PatternBlock> &blocks,
+              const CampaignOptions &opts,
               engine::ProgressTracker *progress)
 {
-    const int ni = net.numInputs();
-    sim::PackedEvaluator pe(net);
-    util::Rng rng(opts.seed);
+    sim::FaultSimulator fs(flat);
 
     std::vector<Verdict> out(end - begin);
-    std::vector<std::uint64_t> in(ni), inbar(ni);
-    std::vector<std::uint64_t> pattern_base(64);
-
-    for (std::uint64_t base = 0; base < num_patterns; base += 64) {
-        const int lanes =
-            static_cast<int>(std::min<std::uint64_t>(64, num_patterns -
-                                                             base));
-        // Build the packed input block.
-        for (int i = 0; i < ni; ++i)
-            in[i] = 0;
-        for (int lane = 0; lane < lanes; ++lane) {
-            const std::uint64_t pat =
-                exhaustive ? base + lane : rng.next();
-            pattern_base[lane] = pat;
-            for (int i = 0; i < ni; ++i)
-                if ((pat >> i) & 1)
-                    in[i] |= std::uint64_t{1} << lane;
-        }
-        const std::uint64_t lane_mask =
-            lanes == 64 ? ~std::uint64_t{0}
-                        : ((std::uint64_t{1} << lanes) - 1);
-        for (int i = 0; i < ni; ++i)
-            inbar[i] = ~in[i];
-
-        const auto good1 = pe.evalOutputs(in);
-
+    for (const PatternBlock &blk : blocks) {
+        fs.setAlternatingBlock(blk.in);
         for (std::size_t k = begin; k < end; ++k) {
-            const Fault &f = faults[k];
-            const auto f1 = pe.evalOutputs(in, &f);
-            const auto f2 = pe.evalOutputs(inbar, &f);
-
-            std::uint64_t any_err = 0, nonalt = 0, incorrect = 0;
-            for (int j = 0; j < net.numOutputs(); ++j) {
-                const std::uint64_t err1 = f1[j] ^ good1[j];
-                const std::uint64_t err2 = f2[j] ^ ~good1[j];
-                any_err |= err1 | err2;
-                nonalt |= ~(f1[j] ^ f2[j]);
-                incorrect |= err1 & err2;
-            }
-            any_err &= lane_mask;
-            nonalt &= lane_mask;
-            incorrect &= lane_mask;
-
-            Verdict &v = out[k - begin];
-            if (any_err)
-                v.tested = true;
-            const std::uint64_t unsafe_lanes = incorrect & ~nonalt;
-            if (unsafe_lanes) {
-                if (!v.unsafe && progress)
-                    progress->addUnsafe(1);
-                v.unsafe = true;
-                for (int lane = 0; lane < lanes; ++lane) {
-                    if (static_cast<int>(v.unsafePatterns.size()) >=
-                        opts.keepUnsafeExamples)
-                        break;
-                    if ((unsafe_lanes >> lane) & 1)
-                        v.unsafePatterns.push_back(pattern_base[lane]);
-                }
-            }
+            accumulateVerdict(fs.classifyAlternating(faults[k]), blk,
+                              opts, progress, out[k - begin]);
         }
         if (progress)
-            progress->addPatterns(static_cast<std::uint64_t>(lanes));
+            progress->addPatterns(static_cast<std::uint64_t>(blk.lanes));
     }
     if (progress)
         progress->addFaultsDone(end - begin);
@@ -289,15 +198,23 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
         result.faults[k].fault = faults[k];
     result.patternsApplied = num_patterns;
 
+    // Compile the netlist once; the flat image and the pattern blocks
+    // are shared read-only by every worker.
+    const sim::FlatNetlist flat(net);
+    const std::vector<PatternBlock> blocks =
+        buildBlocks(ni, exhaustive, num_patterns, opts.seed);
+
     const int jobs = engine::resolveJobs(opts.jobs);
     if (jobs <= 1) {
+        // Serial reference path: every fault simulated individually,
+        // no collapsing, no pool.
         engine::ProgressTracker progress;
         progress.start(faults.size());
         if (opts.progressInterval.count() > 0)
             progress.startReporter(opts.progressInterval);
-        std::vector<Verdict> verdicts = classifySlice(
-            net, faults, 0, faults.size(), exhaustive, num_patterns,
-            opts, &progress);
+        std::vector<Verdict> verdicts =
+            classifyChunk(flat, faults, 0, faults.size(), blocks, opts,
+                          &progress);
         progress.stopReporter();
         std::vector<Verdict *> verdictOf(faults.size());
         for (std::size_t k = 0; k < faults.size(); ++k)
@@ -322,13 +239,6 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
     // — the determinism tests cross-check this against jobs == 1.
     const CollapseResult col = collapseFaults(net);
 
-    // Warm the netlist's lazily built caches (topo order, consumer
-    // lists) before fan-out so workers only ever read them, and
-    // simulate the fault-free outputs once for all chunks.
-    net.topoOrder();
-    const std::vector<PatternBlock> blocks =
-        buildBlocks(net, exhaustive, num_patterns, opts.seed);
-
     engine::EngineOptions eopts;
     eopts.jobs = jobs;
     eopts.chunksPerWorker = opts.chunksPerWorker;
@@ -339,7 +249,7 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
     auto chunkVerdicts = eng.mapChunks<std::vector<Verdict>>(
         col.representatives.size(),
         [&](engine::Chunk chunk, std::size_t) {
-            return classifyChunk(net, col.representatives, chunk.begin,
+            return classifyChunk(flat, col.representatives, chunk.begin,
                                  chunk.end, blocks, opts,
                                  &eng.progress());
         });

@@ -5,7 +5,8 @@
 
 #include "engine/campaign_engine.hh"
 #include "sim/alternating.hh"
-#include "sim/evaluator.hh"
+#include "sim/fault_sim.hh"
+#include "sim/flat.hh"
 
 namespace scal::fault
 {
@@ -23,39 +24,57 @@ enum class TrialOutcome
     Unsafe,
 };
 
-TrialOutcome
-classifyTrial(const Netlist &net, sim::Evaluator &ev,
-              const std::vector<std::vector<bool>> &good,
-              const MultiFault &mf)
+/** The exhaustive pattern space packed into 64-lane blocks (lane ℓ of
+ *  block b carries pattern 64·b + ℓ), shared read-only by workers. */
+std::vector<std::vector<std::uint64_t>>
+packPatternBlocks(int ni)
 {
-    const int ni = net.numInputs();
     const std::uint64_t patterns = std::uint64_t{1} << ni;
-
-    bool any_err = false, any_unsafe = false;
-    for (std::uint64_t m = 0; m < patterns && !any_unsafe; ++m) {
-        std::vector<bool> x(ni), xb(ni);
-        for (int i = 0; i < ni; ++i) {
-            x[i] = (m >> i) & 1;
-            xb[i] = !x[i];
+    std::vector<std::vector<std::uint64_t>> blocks;
+    blocks.reserve(static_cast<std::size_t>((patterns + 63) / 64));
+    for (std::uint64_t base = 0; base < patterns; base += 64) {
+        const int lanes = static_cast<int>(
+            std::min<std::uint64_t>(64, patterns - base));
+        std::vector<std::uint64_t> in(ni, 0);
+        for (int lane = 0; lane < lanes; ++lane) {
+            const std::uint64_t pat = base + lane;
+            for (int i = 0; i < ni; ++i)
+                if ((pat >> i) & 1)
+                    in[i] |= std::uint64_t{1} << lane;
         }
-        const auto f1 = ev.evalOutputsMulti(x, mf);
-        const auto f2 = ev.evalOutputsMulti(xb, mf);
-
-        bool nonalt = false, bad = false;
-        for (int j = 0; j < net.numOutputs(); ++j) {
-            const bool err1 = f1[j] != good[m][j];
-            const bool err2 = f2[j] == good[m][j];
-            any_err |= err1 || err2;
-            if (f1[j] == f2[j])
-                nonalt = true;
-            else if (err1 && err2)
-                bad = true;
-        }
-        if (bad && !nonalt)
-            any_unsafe = true;
+        blocks.push_back(std::move(in));
     }
-    if (any_unsafe)
-        return TrialOutcome::Unsafe;
+    return blocks;
+}
+
+/**
+ * Word-parallel version of the scalar trial loop: 64 alternating
+ * pairs per cone-restricted simulation instead of one pair per full
+ * resimulation. Patterns ascend exactly as before, and the first
+ * unsafe block ends the trial (outcome-equivalent to the scalar
+ * pattern-level break: Unsafe dominates every later observation).
+ */
+TrialOutcome
+classifyTrial(sim::FaultSimulator &fs,
+              const std::vector<std::vector<std::uint64_t>> &blocks,
+              std::uint64_t patterns, const MultiFault &mf)
+{
+    bool any_err = false;
+    std::uint64_t base = 0;
+    for (const auto &in : blocks) {
+        const int lanes = static_cast<int>(
+            std::min<std::uint64_t>(64, patterns - base));
+        const std::uint64_t lane_mask =
+            lanes == 64 ? ~std::uint64_t{0}
+                        : ((std::uint64_t{1} << lanes) - 1);
+        fs.setAlternatingBlock(in);
+        const sim::AlternatingMasks m =
+            fs.classifyAlternating(mf.data(), mf.size());
+        if (m.unsafe() & lane_mask)
+            return TrialOutcome::Unsafe;
+        any_err |= (m.anyErr & lane_mask) != 0;
+        base += 64;
+    }
     return any_err ? TrialOutcome::Detected : TrialOutcome::Masked;
 }
 
@@ -93,19 +112,14 @@ runMultiFaultCampaign(const Netlist &net, int multiplicity,
     if (!net.isCombinational() || net.numInputs() > 16)
         throw std::invalid_argument("multi-fault campaign scope");
 
-    sim::Evaluator ev(net);
     util::Rng rng(seed);
     const int ni = net.numInputs();
     const std::uint64_t patterns = std::uint64_t{1} << ni;
 
-    // Fault-free first-period outputs per pattern.
-    std::vector<std::vector<bool>> good(patterns);
-    for (std::uint64_t m = 0; m < patterns; ++m) {
-        std::vector<bool> x(ni);
-        for (int i = 0; i < ni; ++i)
-            x[i] = (m >> i) & 1;
-        good[m] = ev.evalOutputs(x);
-    }
+    // Compile once; blocks and the flat image are shared read-only.
+    const sim::FlatNetlist flat(net);
+    const std::vector<std::vector<std::uint64_t>> blocks =
+        packPatternBlocks(ni);
 
     // Draw every trial's fault set up front: the Rng stream is the
     // same one the serial loop consumed, so the sampled fault space
@@ -119,9 +133,10 @@ runMultiFaultCampaign(const Netlist &net, int multiplicity,
     MultiFaultCampaignResult res;
     const int workers = engine::resolveJobs(jobs);
     if (workers <= 1 || drawn.size() < 2) {
+        sim::FaultSimulator fs(flat);
         for (const MultiFault &mf : drawn) {
             ++res.trials;
-            switch (classifyTrial(net, ev, good, mf)) {
+            switch (classifyTrial(fs, blocks, patterns, mf)) {
               case TrialOutcome::Unsafe:   ++res.unsafe; break;
               case TrialOutcome::Detected: ++res.detected; break;
               case TrialOutcome::Masked:   ++res.masked; break;
@@ -129,8 +144,6 @@ runMultiFaultCampaign(const Netlist &net, int multiplicity,
         }
         return res;
     }
-
-    net.topoOrder(); // warm lazy caches before fan-out
 
     engine::EngineOptions eopts;
     eopts.jobs = workers;
@@ -140,11 +153,11 @@ runMultiFaultCampaign(const Netlist &net, int multiplicity,
 
     auto chunkCounts = eng.mapChunks<MultiFaultCampaignResult>(
         drawn.size(), [&](engine::Chunk chunk, std::size_t) {
-            sim::Evaluator worker_ev(net);
+            sim::FaultSimulator fs(flat);
             MultiFaultCampaignResult part;
             for (std::size_t t = chunk.begin; t < chunk.end; ++t) {
                 ++part.trials;
-                switch (classifyTrial(net, worker_ev, good, drawn[t])) {
+                switch (classifyTrial(fs, blocks, patterns, drawn[t])) {
                   case TrialOutcome::Unsafe:   ++part.unsafe; break;
                   case TrialOutcome::Detected: ++part.detected; break;
                   case TrialOutcome::Masked:   ++part.masked; break;

@@ -8,9 +8,12 @@ namespace scal::sim
 
 using namespace netlist;
 
-Evaluator::Evaluator(const Netlist &net) : net_(net), ffs_(net.flipFlops())
+Evaluator::Evaluator(const Netlist &net)
+    : net_(net), ffs_(net.flipFlops()), ffIndex_(net.numGates(), -1)
 {
     net_.validate();
+    for (std::size_t i = 0; i < ffs_.size(); ++i)
+        ffIndex_[ffs_[i]] = static_cast<int>(i);
 }
 
 std::vector<bool>
@@ -45,12 +48,7 @@ Evaluator::evalLinesImpl(const std::vector<bool> &inputs,
             value[g] = inputs[net_.inputIndex(g)];
             break;
           case GateKind::Dff:
-            for (std::size_t i = 0; i < ffs_.size(); ++i) {
-                if (ffs_[i] == g) {
-                    value[g] = (*dff_state)[i];
-                    break;
-                }
-            }
+            value[g] = (*dff_state)[ffIndex_[g]];
             break;
           default: {
             in.assign(gate.fanin.size(), false);

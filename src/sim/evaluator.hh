@@ -62,6 +62,8 @@ class Evaluator
 
     const netlist::Netlist &net_;
     std::vector<netlist::GateId> ffs_;
+    /** GateId -> index within ffs_, or -1 (no per-Dff linear scan). */
+    std::vector<int> ffIndex_;
 };
 
 } // namespace scal::sim

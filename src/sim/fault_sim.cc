@@ -1,0 +1,375 @@
+#include "sim/fault_sim.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/packed.hh"
+
+namespace scal::sim
+{
+
+using namespace netlist;
+
+namespace
+{
+
+constexpr std::uint64_t kOnes = ~std::uint64_t{0};
+
+/** Word evaluation of one gate kind; bit-identical to PackedEvaluator. */
+std::uint64_t
+evalGateWord(GateKind kind, const std::uint64_t *in, int arity)
+{
+    std::uint64_t v = 0;
+    switch (kind) {
+      case GateKind::Buf:
+        v = in[0];
+        break;
+      case GateKind::Not:
+        v = ~in[0];
+        break;
+      case GateKind::And:
+        v = kOnes;
+        for (int k = 0; k < arity; ++k)
+            v &= in[k];
+        break;
+      case GateKind::Nand:
+        v = kOnes;
+        for (int k = 0; k < arity; ++k)
+            v &= in[k];
+        v = ~v;
+        break;
+      case GateKind::Or:
+        for (int k = 0; k < arity; ++k)
+            v |= in[k];
+        break;
+      case GateKind::Nor:
+        for (int k = 0; k < arity; ++k)
+            v |= in[k];
+        v = ~v;
+        break;
+      case GateKind::Xor:
+        for (int k = 0; k < arity; ++k)
+            v ^= in[k];
+        break;
+      case GateKind::Xnor:
+        for (int k = 0; k < arity; ++k)
+            v ^= in[k];
+        v = ~v;
+        break;
+      case GateKind::Maj:
+        v = thresholdWord(in, static_cast<std::size_t>(arity), true);
+        break;
+      case GateKind::Min:
+        v = thresholdWord(in, static_cast<std::size_t>(arity), false);
+        break;
+      default:
+        break;
+    }
+    return v;
+}
+
+} // namespace
+
+FaultSimulator::FaultSimulator(const FlatNetlist &flat) : flat_(flat)
+{
+    const int n = flat_.numGates();
+    for (int s = 0; s < 2; ++s) {
+        goodLines_[s].assign(n, 0);
+        goodOut_[s].assign(flat_.numOutputs(), 0);
+        outBuf_[s].assign(flat_.numOutputs(), 0);
+    }
+    faulty_.assign(n, 0);
+    stamp_.assign(n, 0);
+    forced_.assign(n, 0);
+    coneCache_.resize(n);
+    coneBuilt_.assign(n, 0);
+    visitStamp_.assign(n, 0);
+    inScratch_.assign(std::max(1, flat_.maxArity()), 0);
+    inbarScratch_.assign(flat_.numInputs(), 0);
+    stack_.reserve(n);
+    unionCone_.reserve(n);
+}
+
+void
+FaultSimulator::bumpEpoch()
+{
+    if (++epoch_ == 0) { // wraparound: stale stamps would alias
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        std::fill(forced_.begin(), forced_.end(), 0);
+        epoch_ = 1;
+    }
+}
+
+void
+FaultSimulator::evalGood(int phase, const std::uint64_t *inputs,
+                         const std::uint64_t *dff_state)
+{
+    std::uint64_t *lines = goodLines_[phase].data();
+    for (GateId g : flat_.topoOrder()) {
+        std::uint64_t v = 0;
+        switch (flat_.kind(g)) {
+          case GateKind::Input:
+            v = inputs[flat_.inputIndex(g)];
+            break;
+          case GateKind::Dff:
+            v = dff_state[flat_.ffIndex(g)];
+            break;
+          case GateKind::Const0:
+            v = 0;
+            break;
+          case GateKind::Const1:
+            v = kOnes;
+            break;
+          default: {
+            const GateId *fi = flat_.fanins(g);
+            const int a = flat_.arity(g);
+            std::uint64_t *in = inScratch_.data();
+            for (int k = 0; k < a; ++k)
+                in[k] = lines[fi[k]];
+            v = evalGateWord(flat_.kind(g), in, a);
+            break;
+          }
+        }
+        lines[g] = v;
+    }
+    for (int j = 0; j < flat_.numOutputs(); ++j)
+        goodOut_[phase][j] = lines[flat_.output(j)];
+}
+
+void
+FaultSimulator::setBaseline(const std::vector<std::uint64_t> &inputs,
+                            const std::vector<std::uint64_t> *dff_state)
+{
+    if (static_cast<int>(inputs.size()) != flat_.numInputs())
+        throw std::invalid_argument("input vector size mismatch");
+    if (flat_.numFlipFlops() > 0 &&
+        (!dff_state ||
+         static_cast<int>(dff_state->size()) != flat_.numFlipFlops())) {
+        throw std::invalid_argument("missing flip-flop state");
+    }
+    evalGood(0, inputs.data(), dff_state ? dff_state->data() : nullptr);
+}
+
+void
+FaultSimulator::setAlternatingBlock(const std::vector<std::uint64_t> &inputs)
+{
+    if (static_cast<int>(inputs.size()) != flat_.numInputs())
+        throw std::invalid_argument("input vector size mismatch");
+    if (flat_.numFlipFlops() > 0)
+        throw std::invalid_argument(
+            "alternating block needs a combinational netlist");
+    evalGood(0, inputs.data(), nullptr);
+    for (int i = 0; i < flat_.numInputs(); ++i)
+        inbarScratch_[i] = ~inputs[i];
+    evalGood(1, inbarScratch_.data(), nullptr);
+}
+
+const std::vector<GateId> &
+FaultSimulator::cone(GateId seed)
+{
+    if (!coneBuilt_[seed]) {
+        if (++visitEpoch_ == 0) {
+            std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
+            visitEpoch_ = 1;
+        }
+        auto &c = coneCache_[seed];
+        stack_.clear();
+        stack_.push_back(seed);
+        visitStamp_[seed] = visitEpoch_;
+        while (!stack_.empty()) {
+            const GateId g = stack_.back();
+            stack_.pop_back();
+            c.push_back(g);
+            const GateId *cs = flat_.consumers(g);
+            for (int k = 0; k < flat_.fanoutDegree(g); ++k) {
+                if (visitStamp_[cs[k]] != visitEpoch_) {
+                    visitStamp_[cs[k]] = visitEpoch_;
+                    stack_.push_back(cs[k]);
+                }
+            }
+        }
+        std::sort(c.begin(), c.end(), [this](GateId a, GateId b) {
+            return flat_.topoPos(a) < flat_.topoPos(b);
+        });
+        coneBuilt_[seed] = 1;
+    }
+    return coneCache_[seed];
+}
+
+void
+FaultSimulator::simulate(int phase, const Fault *faults,
+                         std::size_t num_faults)
+{
+    bumpEpoch();
+    const std::uint64_t *good = goodLines_[phase].data();
+
+    // Sort injections: stems force their line now, branch faults are
+    // applied while their consuming gate recomputes, output taps at
+    // output assembly.
+    branchInj_.clear();
+    tapInj_.clear();
+    std::int64_t frontier = 0; // differing gates' unprocessed cone edges
+    int last_branch_pos = -1;
+    GateId single_seed = kNoGate;
+    bool multi_seed = false;
+    auto note_seed = [&](GateId s) {
+        if (single_seed == kNoGate)
+            single_seed = s;
+        else if (single_seed != s)
+            multi_seed = true;
+    };
+    for (std::size_t k = 0; k < num_faults; ++k) {
+        const Fault &f = faults[k];
+        const std::uint64_t w = f.value ? kOnes : 0;
+        if (f.site.isStem()) {
+            const GateId g = f.site.driver;
+            forced_[g] = epoch_;
+            if (w != good[g]) {
+                faulty_[g] = w;
+                stamp_[g] = epoch_;
+                frontier += flat_.fanoutDegree(g);
+            }
+            note_seed(g);
+        } else if (f.site.consumer == FaultSite::kOutputTap) {
+            tapInj_.push_back({f.site.pin, f.site.driver, w});
+        } else if (flat_.kind(f.site.consumer) != GateKind::Dff) {
+            // A Dff's D-pin branch fault has no combinational effect
+            // this period (the Dff output comes from the state
+            // vector), matching the reference evaluators.
+            branchInj_.push_back(
+                {f.site.consumer, f.site.driver, f.site.pin, w});
+            last_branch_pos = std::max(
+                last_branch_pos, flat_.topoPos(f.site.consumer));
+            note_seed(f.site.consumer);
+        }
+    }
+
+    if (frontier != 0 || !branchInj_.empty()) {
+        // Worklist: the memoized cone for a single seed, the sorted
+        // union of cones otherwise.
+        const std::vector<GateId> *work;
+        if (!multi_seed) {
+            work = &cone(single_seed);
+        } else {
+            if (++visitEpoch_ == 0) {
+                std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
+                visitEpoch_ = 1;
+            }
+            unionCone_.clear();
+            stack_.clear();
+            for (std::size_t k = 0; k < num_faults; ++k) {
+                const Fault &f = faults[k];
+                GateId s = kNoGate;
+                if (f.site.isStem())
+                    s = f.site.driver;
+                else if (f.site.consumer != FaultSite::kOutputTap &&
+                         flat_.kind(f.site.consumer) != GateKind::Dff)
+                    s = f.site.consumer;
+                if (s != kNoGate && visitStamp_[s] != visitEpoch_) {
+                    visitStamp_[s] = visitEpoch_;
+                    stack_.push_back(s);
+                }
+            }
+            while (!stack_.empty()) {
+                const GateId g = stack_.back();
+                stack_.pop_back();
+                unionCone_.push_back(g);
+                const GateId *cs = flat_.consumers(g);
+                for (int k = 0; k < flat_.fanoutDegree(g); ++k) {
+                    if (visitStamp_[cs[k]] != visitEpoch_) {
+                        visitStamp_[cs[k]] = visitEpoch_;
+                        stack_.push_back(cs[k]);
+                    }
+                }
+            }
+            std::sort(unionCone_.begin(), unionCone_.end(),
+                      [this](GateId a, GateId b) {
+                          return flat_.topoPos(a) < flat_.topoPos(b);
+                      });
+            work = &unionCone_;
+        }
+
+        for (const GateId g : *work) {
+            // Consume the frontier edges feeding this gate.
+            const GateId *fi = flat_.fanins(g);
+            const int a = flat_.arity(g);
+            int ndiff = 0;
+            for (int k = 0; k < a; ++k)
+                if (stamp_[fi[k]] == epoch_)
+                    ++ndiff;
+            frontier -= ndiff;
+
+            if (forced_[g] != epoch_) {
+                bool is_branch_target = false;
+                if (!branchInj_.empty()) {
+                    for (const BranchInjection &b : branchInj_)
+                        if (b.consumer == g)
+                            is_branch_target = true;
+                }
+                if (ndiff || is_branch_target) {
+                    std::uint64_t *in = inScratch_.data();
+                    for (int k = 0; k < a; ++k) {
+                        const GateId d = fi[k];
+                        in[k] = stamp_[d] == epoch_ ? faulty_[d]
+                                                    : good[d];
+                    }
+                    if (is_branch_target) {
+                        for (const BranchInjection &b : branchInj_) {
+                            if (b.consumer == g && b.pin < a &&
+                                fi[b.pin] == b.driver) {
+                                in[b.pin] = b.word;
+                            }
+                        }
+                    }
+                    const std::uint64_t v =
+                        evalGateWord(flat_.kind(g), in, a);
+                    if (v != good[g]) {
+                        faulty_[g] = v;
+                        stamp_[g] = epoch_;
+                        frontier += flat_.fanoutDegree(g);
+                    }
+                }
+            }
+            // Frontier dead and every injection behind us: all
+            // remaining cone gates keep their fault-free values.
+            if (frontier == 0 && flat_.topoPos(g) >= last_branch_pos)
+                break;
+        }
+    }
+
+    // Output assembly (with output-tap overrides, reference order).
+    std::uint64_t *out = outBuf_[phase].data();
+    for (int j = 0; j < flat_.numOutputs(); ++j) {
+        const GateId g = flat_.output(j);
+        out[j] = stamp_[g] == epoch_ ? faulty_[g] : good[g];
+    }
+    for (const TapInjection &t : tapInj_) {
+        if (t.outputIdx >= 0 && t.outputIdx < flat_.numOutputs() &&
+            flat_.output(t.outputIdx) == t.driver) {
+            out[t.outputIdx] = t.word;
+        }
+    }
+}
+
+AlternatingMasks
+FaultSimulator::classifyAlternating(const Fault *faults,
+                                    std::size_t num_faults)
+{
+    simulate(0, faults, num_faults);
+    simulate(1, faults, num_faults);
+    const std::uint64_t *f1 = outBuf_[0].data();
+    const std::uint64_t *f2 = outBuf_[1].data();
+    const std::uint64_t *good = goodOut_[0].data();
+
+    AlternatingMasks m;
+    for (int j = 0; j < flat_.numOutputs(); ++j) {
+        const std::uint64_t err1 = f1[j] ^ good[j];
+        const std::uint64_t err2 = f2[j] ^ ~good[j];
+        m.anyErr |= err1 | err2;
+        m.nonAlt |= ~(f1[j] ^ f2[j]);
+        m.incorrect |= err1 & err2;
+    }
+    return m;
+}
+
+} // namespace scal::sim

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Cone-restricted incremental fault simulation (single-fault
+ * propagation) over a FlatNetlist.
+ *
+ * The fault campaigns used to resimulate the whole circuit, with
+ * freshly heap-allocated line vectors, for every fault x 64-lane
+ * pattern block. FaultSimulator inverts that cost model:
+ *
+ *  1. the fault-free circuit is evaluated ONCE per pattern block and
+ *     its line values cached (two phases for alternating campaigns:
+ *     the block and its complement),
+ *  2. each fault's structural fanout cone is precomputed, sorted in
+ *     topological order, and memoized per fault site (stem faults key
+ *     on the driver, branch faults on the consuming gate),
+ *  3. injecting a fault resimulates cone gates only, reading all
+ *     other lines from the cached good values, and short-circuits as
+ *     soon as the frontier of differing 64-lane words goes empty —
+ *     for the common case of an unexcited fault that is a single word
+ *     compare.
+ *
+ * All scratch buffers are preallocated in the constructor; the
+ * per-fault hot path performs no heap allocation. Results are
+ * bit-identical to PackedEvaluator, which stays in the tree as the
+ * reference oracle (tests/test_fault_sim_equiv.cc cross-checks every
+ * fault of every covered circuit).
+ *
+ * One FlatNetlist may be shared read-only by many FaultSimulators
+ * (one per worker thread); the simulator itself is not thread-safe.
+ */
+
+#ifndef SCAL_SIM_FAULT_SIM_HH
+#define SCAL_SIM_FAULT_SIM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/flat.hh"
+
+namespace scal::sim
+{
+
+/**
+ * Per-lane verdict masks of one alternating pair (X, X̄) under one
+ * fault, before lane masking: a lane bit is set in anyErr when either
+ * period's outputs deviate from the fault-free pair, in nonAlt when
+ * some output fails to alternate (the checkable symptom), and in
+ * incorrect when some output is wrong in both periods.
+ */
+struct AlternatingMasks
+{
+    std::uint64_t anyErr = 0;
+    std::uint64_t nonAlt = 0;
+    std::uint64_t incorrect = 0;
+
+    /** Lanes where the wrong answer still alternates: the escapes. */
+    std::uint64_t unsafe() const { return incorrect & ~nonAlt; }
+};
+
+class FaultSimulator
+{
+  public:
+    explicit FaultSimulator(const FlatNetlist &flat);
+
+    /**
+     * Evaluate and cache the fault-free circuit for one packed input
+     * block (phase 0 only). Dff gates read @p dff_state, ordered as
+     * net.flipFlops().
+     */
+    void setBaseline(const std::vector<std::uint64_t> &inputs,
+                     const std::vector<std::uint64_t> *dff_state = nullptr);
+
+    /**
+     * Cache both phases of an alternating block: phase 0 is @p
+     * inputs, phase 1 its bitwise complement. Combinational nets
+     * only.
+     */
+    void setAlternatingBlock(const std::vector<std::uint64_t> &inputs);
+
+    /** Cached fault-free output words of @p phase. */
+    const std::vector<std::uint64_t> &goodOutputs(int phase = 0) const
+    {
+        return goodOut_[phase];
+    }
+    /** Cached fault-free line words of @p phase. */
+    const std::vector<std::uint64_t> &goodLines(int phase = 0) const
+    {
+        return goodLines_[phase];
+    }
+
+    /**
+     * Output words under @p fault against the cached @p phase
+     * baseline. The returned buffer is owned by the simulator and
+     * valid until the next faultOutputs() call on the same phase.
+     */
+    const std::vector<std::uint64_t> &
+    faultOutputs(const netlist::Fault &fault, int phase = 0)
+    {
+        simulate(phase, &fault, 1);
+        return outBuf_[phase];
+    }
+
+    /** Multiple simultaneous faults (the Definition 2.3 model). */
+    const std::vector<std::uint64_t> &
+    faultOutputs(const netlist::Fault *faults, std::size_t num_faults,
+                 int phase = 0)
+    {
+        simulate(phase, faults, num_faults);
+        return outBuf_[phase];
+    }
+
+    /**
+     * The campaign kernel: simulate @p fault against both cached
+     * phases and fold the outputs into per-lane verdict masks.
+     * @pre setAlternatingBlock() was called for the current block.
+     */
+    AlternatingMasks classifyAlternating(const netlist::Fault &fault)
+    {
+        return classifyAlternating(&fault, 1);
+    }
+    AlternatingMasks classifyAlternating(const netlist::Fault *faults,
+                                         std::size_t num_faults);
+
+    const FlatNetlist &flat() const { return flat_; }
+
+  private:
+    void evalGood(int phase, const std::uint64_t *inputs,
+                  const std::uint64_t *dff_state);
+    void simulate(int phase, const netlist::Fault *faults,
+                  std::size_t num_faults);
+    const std::vector<netlist::GateId> &cone(netlist::GateId seed);
+    void bumpEpoch();
+
+    const FlatNetlist &flat_;
+
+    /** Cached fault-free values, one slot per phase. */
+    std::vector<std::uint64_t> goodLines_[2];
+    std::vector<std::uint64_t> goodOut_[2];
+    std::vector<std::uint64_t> outBuf_[2];
+
+    /** Copy-on-write faulty values: valid iff stamp_[g] == epoch_. */
+    std::vector<std::uint64_t> faulty_;
+    std::vector<std::uint32_t> stamp_;
+    /** Stem-forced gates this epoch (skip recompute). */
+    std::vector<std::uint32_t> forced_;
+    std::uint32_t epoch_ = 0;
+
+    /** Memoized per-site fanout cones, keyed by seed gate. */
+    std::vector<std::vector<netlist::GateId>> coneCache_;
+    std::vector<std::uint8_t> coneBuilt_;
+    std::vector<std::uint32_t> visitStamp_;
+    std::uint32_t visitEpoch_ = 0;
+
+    /** Preallocated hot-path scratch. */
+    std::vector<std::uint64_t> inScratch_;
+    std::vector<std::uint64_t> inbarScratch_;
+    std::vector<netlist::GateId> stack_;
+    std::vector<netlist::GateId> unionCone_;
+
+    struct BranchInjection
+    {
+        netlist::GateId consumer;
+        netlist::GateId driver;
+        int pin;
+        std::uint64_t word;
+    };
+    struct TapInjection
+    {
+        int outputIdx;
+        netlist::GateId driver;
+        std::uint64_t word;
+    };
+    std::vector<BranchInjection> branchInj_;
+    std::vector<TapInjection> tapInj_;
+};
+
+} // namespace scal::sim
+
+#endif // SCAL_SIM_FAULT_SIM_HH

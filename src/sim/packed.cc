@@ -7,33 +7,24 @@ namespace scal::sim
 
 using namespace netlist;
 
-namespace
-{
-
-/**
- * Bit-sliced counter threshold: given per-input 64-lane words, return
- * a word whose lane bit is 1 iff the number of 1 inputs in that lane
- * satisfies the MAJ (>) or MIN (<) comparison against arity/2.
- */
 std::uint64_t
-thresholdWord(const std::vector<std::uint64_t> &in, bool majority)
+thresholdWord(const std::uint64_t *in, std::size_t n, bool majority)
 {
     // Ripple-add each input word into a bit-sliced accumulator.
-    std::vector<std::uint64_t> acc; // acc[k] = bit k of per-lane count
-    for (std::uint64_t w : in) {
-        std::uint64_t carry = w;
-        for (std::size_t k = 0; k < acc.size() && carry; ++k) {
+    std::uint64_t acc[32]; // acc[k] = bit k of per-lane count
+    std::size_t bits = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        std::uint64_t carry = in[i];
+        for (std::size_t k = 0; k < bits && carry; ++k) {
             std::uint64_t s = acc[k] ^ carry;
             carry = acc[k] & carry;
             acc[k] = s;
         }
         if (carry)
-            acc.push_back(carry);
+            acc[bits++] = carry;
     }
     // Odd arity means no ties: MAJ = count > floor(n/2), MIN = ¬MAJ.
-    const std::uint64_t n = in.size();
     std::uint64_t gt = 0, eqsofar = ~std::uint64_t{0};
-    const std::size_t bits = acc.size();
     for (std::size_t k = bits; k-- > 0;) {
         const std::uint64_t cnt = acc[k];
         const std::uint64_t thr_bit =
@@ -44,12 +35,12 @@ thresholdWord(const std::vector<std::uint64_t> &in, bool majority)
     return majority ? gt : ~gt;
 }
 
-} // namespace
-
 PackedEvaluator::PackedEvaluator(const Netlist &net)
-    : net_(net), ffs_(net.flipFlops())
+    : net_(net), ffs_(net.flipFlops()), ffIndex_(net.numGates(), -1)
 {
     net_.validate();
+    for (std::size_t i = 0; i < ffs_.size(); ++i)
+        ffIndex_[ffs_[i]] = static_cast<int>(i);
 }
 
 std::vector<std::uint64_t>
@@ -75,12 +66,7 @@ PackedEvaluator::evalLines(const std::vector<std::uint64_t> &inputs,
             v = inputs[net_.inputIndex(g)];
             break;
           case GateKind::Dff:
-            for (std::size_t i = 0; i < ffs_.size(); ++i) {
-                if (ffs_[i] == g) {
-                    v = (*dff_state)[i];
-                    break;
-                }
-            }
+            v = (*dff_state)[ffIndex_[g]];
             break;
           case GateKind::Const0:
             v = 0;
@@ -137,10 +123,10 @@ PackedEvaluator::evalLines(const std::vector<std::uint64_t> &inputs,
                 v = ~v;
                 break;
               case GateKind::Maj:
-                v = thresholdWord(in, true);
+                v = thresholdWord(in.data(), in.size(), true);
                 break;
               case GateKind::Min:
-                v = thresholdWord(in, false);
+                v = thresholdWord(in.data(), in.size(), false);
                 break;
               default:
                 break;

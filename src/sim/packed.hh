@@ -16,6 +16,16 @@
 namespace scal::sim
 {
 
+/**
+ * Bit-sliced counter threshold: given @p n per-input 64-lane words,
+ * return a word whose lane bit is 1 iff the number of 1 inputs in
+ * that lane satisfies the MAJ (>) or MIN (<) comparison against
+ * n/2. Shared by every word-parallel evaluator so the Maj/Min
+ * semantics cannot drift between kernels.
+ */
+std::uint64_t thresholdWord(const std::uint64_t *in, std::size_t n,
+                            bool majority);
+
 class PackedEvaluator
 {
   public:
@@ -39,6 +49,8 @@ class PackedEvaluator
   private:
     const netlist::Netlist &net_;
     std::vector<netlist::GateId> ffs_;
+    /** GateId -> index within ffs_, or -1 (no per-Dff linear scan). */
+    std::vector<int> ffIndex_;
 };
 
 } // namespace scal::sim

@@ -4,6 +4,8 @@
 
 #include "engine/campaign_engine.hh"
 #include "netlist/structure.hh"
+#include "sim/fault_sim.hh"
+#include "sim/flat.hh"
 #include "system/assembler.hh"
 
 namespace scal::system
@@ -203,25 +205,34 @@ class UncheckedCpu
     UncheckedCpu(Program prog, AluOp faulty_op, const Fault &fault)
         : cpu_(std::move(prog)), faultyOp_(faulty_op),
           net_(aluNetlistUnchecked(faulty_op)),
-          eval_(std::make_unique<sim::Evaluator>(net_)), fault_(fault)
+          flat_(std::make_unique<sim::FlatNetlist>(net_)),
+          fs_(std::make_unique<sim::FaultSimulator>(*flat_)),
+          fault_(fault), inw_(net_.numInputs(), 0)
     {
         cpu_.setCorruptor([this](AluOp op, std::uint8_t a,
                                  std::uint8_t b, AluResult good) {
             if (op != faultyOp_)
                 return good;
-            std::vector<bool> in(17);
-            for (int i = 0; i < 8; ++i) {
-                in[i] = (a >> i) & 1;
-                in[8 + i] = (b >> i) & 1;
+            // Broadcast each scalar bit across the word; the faulty
+            // evaluation then only resimulates the fault's cone on
+            // each of the thousands of corruptor calls a run makes.
+            for (auto &w : inw_)
+                w = 0;
+            const std::uint64_t ones = ~std::uint64_t{0};
+            for (int i = 0; i < 8 && i < static_cast<int>(inw_.size());
+                 ++i) {
+                inw_[i] = (a >> i) & 1 ? ones : 0;
+                if (8 + i < static_cast<int>(inw_.size()))
+                    inw_[8 + i] = (b >> i) & 1 ? ones : 0;
             }
-            in.resize(net_.numInputs());
-            const auto outs = eval_->evalOutputs(in, &fault_);
+            fs_->setBaseline(inw_);
+            const auto &outs = fs_->faultOutputs(fault_);
             AluResult res;
             for (int i = 0; i < 8; ++i)
-                if (outs[i])
+                if (outs[i] & 1)
                     res.value |= static_cast<std::uint8_t>(1u << i);
-            res.carry = outs[8];
-            res.zero = outs[9];
+            res.carry = outs[8] & 1;
+            res.zero = outs[9] & 1;
             return res;
         });
     }
@@ -232,8 +243,10 @@ class UncheckedCpu
     ReferenceCpu cpu_;
     AluOp faultyOp_;
     Netlist net_;
-    std::unique_ptr<sim::Evaluator> eval_;
+    std::unique_ptr<sim::FlatNetlist> flat_;
+    std::unique_ptr<sim::FaultSimulator> fs_;
     Fault fault_;
+    std::vector<std::uint64_t> inw_;
 };
 
 /** One fault's end-to-end verdict plus its detection latency. */

@@ -1,6 +1,8 @@
 #include "system/scal_cpu.hh"
 
 #include "checker/xor_tree.hh"
+#include "sim/fault_sim.hh"
+#include "sim/flat.hh"
 #include "system/alu.hh"
 
 namespace scal::system
@@ -11,7 +13,9 @@ using namespace netlist;
 struct ScalCpu::AluUnit
 {
     Netlist net;
-    std::unique_ptr<sim::Evaluator> eval;
+    std::unique_ptr<sim::FlatNetlist> flat;
+    std::unique_ptr<sim::FaultSimulator> fs;
+    std::vector<std::uint64_t> inw;
     int width = 8;
     int chkOutput = -1;
 
@@ -28,7 +32,9 @@ struct ScalCpu::AluUnit
             checker::appendOddXorChecker(net, monitored, phi);
         chkOutput = net.numOutputs();
         net.addOutput(q, "chk");
-        eval = std::make_unique<sim::Evaluator>(net);
+        flat = std::make_unique<sim::FlatNetlist>(net);
+        fs = std::make_unique<sim::FaultSimulator>(*flat);
+        inw.assign(static_cast<std::size_t>(net.numInputs()), 0);
     }
 };
 
@@ -93,22 +99,28 @@ ScalCpu::evalAlu(AluOp op, std::uint8_t a, std::uint8_t b, bool &code_ok,
     }
 
     const int w = unit.width;
-    std::vector<bool> in(2 * w + 1);
+    const std::uint64_t ones = ~std::uint64_t{0};
+    std::vector<std::uint64_t> &in = unit.inw;
+    for (auto &word : in)
+        word = 0;
     for (int i = 0; i < w; ++i) {
-        in[i] = (a >> i) & 1;
-        in[w + i] = (b >> i) & 1;
+        in[i] = (a >> i) & 1 ? ones : 0;
+        in[w + i] = (b >> i) & 1 ? ones : 0;
     }
-    in[2 * w] = false; // φ
-    const auto first = unit.eval->evalOutputs(in, fault);
-    for (auto &&bit : in)
-        bit = !bit;
-    const auto second = unit.eval->evalOutputs(in, fault);
+    in[2 * w] = 0; // φ; the complemented second period drives it high
+    unit.fs->setAlternatingBlock(in);
+    const std::vector<std::uint64_t> &first =
+        fault ? unit.fs->faultOutputs(*fault, 0)
+              : unit.fs->goodOutputs(0);
+    const std::vector<std::uint64_t> &second =
+        fault ? unit.fs->faultOutputs(*fault, 1)
+              : unit.fs->goodOutputs(1);
 
     // Dual-rail-style check: every output, including the XOR checker
     // line, must alternate across the two periods.
     code_ok = true;
     for (std::size_t j = 0; j < first.size(); ++j) {
-        if (first[j] == second[j]) {
+        if (((first[j] ^ second[j]) & 1) == 0) {
             code_ok = false;
             reason = "non-alternating ALU output " +
                      unit.net.outputName(static_cast<int>(j)) + " in " +
@@ -119,10 +131,10 @@ ScalCpu::evalAlu(AluOp op, std::uint8_t a, std::uint8_t b, bool &code_ok,
 
     AluResult res;
     for (int i = 0; i < w; ++i)
-        if (first[i])
+        if (first[i] & 1)
             res.value |= static_cast<std::uint8_t>(1u << i);
-    res.carry = first[w];
-    res.zero = first[w + 1];
+    res.carry = first[w] & 1;
+    res.zero = first[w + 1] & 1;
     return res;
 }
 
