@@ -8,6 +8,8 @@
 
 #include <iostream>
 
+#include "fault/seq_campaign.hh"
+#include "seq/dual_flipflop.hh"
 #include "seq/kohavi.hh"
 #include "sim/sequential.hh"
 #include "util/rng.hh"
@@ -133,5 +135,39 @@ main()
                  "single stuck-at fault ever produces a wrong "
                  "detector output without a preceding (or "
                  "simultaneous) non-code word on the checked lines.\n";
+
+    util::banner(std::cout,
+                 "Packed sequential campaigns (64 random lanes x 256 "
+                 "symbols, fault::runSequentialCampaign)");
+    util::Table ct({"machine", "faults", "detected", "unsafe",
+                    "untestable", "mean alarm period"});
+    for (const auto &[name, sm] :
+         std::vector<std::pair<std::string, const SynthesizedMachine *>>{
+             {"dual flip-flop (Fig 4.9)", &rey},
+             {"code conversion (Fig 4.10)", &tra}}) {
+        fault::SeqCampaignOptions opts;
+        opts.symbols = 256;
+        opts.seed = 2026;
+        opts.jobs = 1;
+        const auto res = fault::runSequentialCampaign(
+            sm->net, campaignSpec(*sm), opts);
+        ct.addRow({name, util::Table::num((long long)res.faults.size()),
+                   util::Table::num((long long)res.numDetected),
+                   util::Table::num((long long)res.numUnsafe),
+                   util::Table::num((long long)res.numUntestable),
+                   util::Table::num(res.meanAlarmPeriod, 2)});
+        std::cout << name
+                  << " — first-alarm latency (log2 period buckets):";
+        for (int k = 0; k < fault::kLatencyBuckets; ++k)
+            if (res.latencyHistogram[k])
+                std::cout << "  2^" << k << ":"
+                          << res.latencyHistogram[k];
+        std::cout << "\n";
+    }
+    ct.print(std::cout);
+    std::cout << "\nNearly every (fault, lane) first alarm lands in "
+                 "the lowest buckets: the packed campaign quantifies "
+                 "the paper's \"detected within a symbol or two\" "
+                 "claim across 64 independent streams.\n";
     return 0;
 }

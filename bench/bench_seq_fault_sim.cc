@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Sequential fault-simulation kernel benchmark: the scalar reference
+ * (one SeqSimulator per lane, symbol-major, exactly the loop the
+ * sequential sweeps used to run) against the packed cone-restricted
+ * campaign kernel, on the Figure 4.10 code-conversion detector and an
+ * ALU-scale self-dual accumulator. Both sides fold their per-symbol
+ * alarm/wrong masks through the shared SeqVerdictAccumulator, so the
+ * per-fault verdicts — and their digests — must agree exactly before
+ * any timing is reported. Emits machine-readable JSON (stdout and a
+ * file) so CI can archive the numbers.
+ *
+ * Usage: bench_seq_fault_sim [--symbols N] [--lanes N] [--out FILE]
+ */
+
+#include <array>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fault/seq_campaign.hh"
+#include "seq/dual_flipflop.hh"
+#include "seq/kohavi.hh"
+#include "seq/registers.hh"
+#include "sim/sequential.hh"
+
+using namespace scal;
+using netlist::Fault;
+using netlist::Netlist;
+
+namespace
+{
+
+struct Scenario
+{
+    std::string name;
+    seq::SynthesizedMachine sm;
+};
+
+struct ScalarVerdict
+{
+    fault::Outcome outcome = fault::Outcome::Untestable;
+    long firstAlarm = -1;
+    long firstEscape = -1;
+    std::array<long, 64> laneAlarm{};
+};
+
+/**
+ * The pre-change reference: every lane is its own scalar SeqSimulator
+ * replayed over the whole stream for every fault, with the same
+ * verdict and stop rules as the packed campaign.
+ */
+std::vector<ScalarVerdict>
+runScalarOracle(const Netlist &net, const fault::SeqCampaignSpec &spec,
+                const fault::SeqCampaignOptions &opts,
+                const std::vector<std::vector<std::uint64_t>> &words)
+{
+    const int ni = net.numInputs();
+    const int no = net.numOutputs();
+    const int lanes = opts.lanes;
+    const std::uint64_t lane_mask =
+        lanes == 64 ? ~std::uint64_t{0}
+                    : (std::uint64_t{1} << lanes) - 1;
+
+    std::vector<int> data = spec.dataOutputs;
+    std::vector<int> alt = spec.altOutputs;
+    if (data.empty())
+        for (int j = 0; j < no; ++j)
+            data.push_back(j);
+    if (alt.empty())
+        for (int j = 0; j < no; ++j)
+            alt.push_back(j);
+    std::vector<char> hold(ni, 0);
+    for (int i : spec.holdInputs)
+        hold[i] = 1;
+
+    const auto laneInputs = [&](long s, bool phase2, int lane) {
+        std::vector<bool> in(ni, false);
+        for (int i = 0; i < ni; ++i) {
+            bool v = (words[s][i] >> lane) & 1;
+            if (phase2 && i != spec.phiInput && !hold[i])
+                v = !v;
+            in[i] = v;
+        }
+        return in;
+    };
+
+    // Fault-free outputs, per lane per period.
+    const long symbols = opts.symbols;
+    std::vector<std::uint8_t> good(
+        static_cast<std::size_t>(lanes) * 2 * symbols * no);
+    const auto goodAt = [&](int lane, long t) {
+        return good.data() +
+               (static_cast<std::size_t>(lane) * 2 * symbols + t) * no;
+    };
+    std::vector<std::unique_ptr<sim::SeqSimulator>> sims;
+    for (int l = 0; l < lanes; ++l)
+        sims.push_back(
+            std::make_unique<sim::SeqSimulator>(net, spec.phiInput));
+    for (int l = 0; l < lanes; ++l) {
+        for (long s = 0; s < symbols; ++s) {
+            for (int ph = 0; ph < 2; ++ph) {
+                const auto out =
+                    sims[l]->stepPeriod(laneInputs(s, ph, l));
+                for (int j = 0; j < no; ++j)
+                    goodAt(l, 2 * s + ph)[j] = out[j];
+            }
+        }
+    }
+
+    std::vector<ScalarVerdict> verdicts;
+    std::vector<std::vector<bool>> out0(lanes), out1(lanes);
+    for (const Fault &fl : net.allFaults()) {
+        for (int l = 0; l < lanes; ++l) {
+            sims[l]->reset();
+            sims[l]->setFault(fl);
+            sims[l]->setFaultWindow(opts.faultStart, opts.faultEnd);
+        }
+        fault::SeqVerdictAccumulator acc(lane_mask, opts.dropDetected);
+        for (long s = 0; s < symbols; ++s) {
+            std::uint64_t alarm = 0, wrong = 0;
+            for (int l = 0; l < lanes; ++l) {
+                out0[l] = sims[l]->stepPeriod(laneInputs(s, 0, l));
+                out1[l] = sims[l]->stepPeriod(laneInputs(s, 1, l));
+                bool a = false;
+                for (int j : alt)
+                    a |= out0[l][j] == out1[l][j];
+                for (std::size_t c = 0; c + 1 < spec.codePairs.size();
+                     c += 2) {
+                    a |= out0[l][spec.codePairs[c]] ==
+                         out0[l][spec.codePairs[c + 1]];
+                    a |= out1[l][spec.codePairs[c]] ==
+                         out1[l][spec.codePairs[c + 1]];
+                }
+                bool w = false;
+                for (int j : data)
+                    w |= out0[l][j] !=
+                         static_cast<bool>(goodAt(l, 2 * s)[j]);
+                if (a)
+                    alarm |= std::uint64_t{1} << l;
+                if (w)
+                    wrong |= std::uint64_t{1} << l;
+            }
+            if (!acc.addSymbol(s, alarm, wrong))
+                break;
+        }
+        ScalarVerdict v;
+        v.outcome = acc.outcome();
+        v.firstAlarm = acc.firstAlarmPeriod();
+        v.firstEscape = acc.firstEscapePeriod();
+        for (int l = 0; l < 64; ++l)
+            v.laneAlarm[l] = acc.laneFirstAlarm(l);
+        verdicts.push_back(v);
+    }
+    return verdicts;
+}
+
+std::uint64_t
+mix(std::uint64_t d, std::uint64_t v)
+{
+    d ^= (v + 1) * 0x9e3779b97f4a7c15ULL;
+    return (d << 7) | (d >> 57);
+}
+
+std::uint64_t
+digestScalar(const std::vector<ScalarVerdict> &vs, int lanes)
+{
+    std::uint64_t d = 0;
+    std::array<std::uint64_t, fault::kLatencyBuckets> hist{};
+    for (const auto &v : vs) {
+        d = mix(d, static_cast<std::uint64_t>(v.outcome));
+        d = mix(d, static_cast<std::uint64_t>(v.firstAlarm));
+        d = mix(d, static_cast<std::uint64_t>(v.firstEscape));
+        for (int l = 0; l < lanes; ++l)
+            if (v.laneAlarm[l] >= 0)
+                ++hist[fault::latencyBucket(v.laneAlarm[l])];
+    }
+    for (std::uint64_t h : hist)
+        d = mix(d, h);
+    return d;
+}
+
+std::uint64_t
+digestPacked(const fault::SeqCampaignResult &res)
+{
+    std::uint64_t d = 0;
+    for (const auto &v : res.faults) {
+        d = mix(d, static_cast<std::uint64_t>(v.outcome));
+        d = mix(d, static_cast<std::uint64_t>(v.firstAlarmPeriod));
+        d = mix(d, static_cast<std::uint64_t>(v.firstEscapePeriod));
+    }
+    for (std::uint64_t h : res.latencyHistogram)
+        d = mix(d, h);
+    return d;
+}
+
+template <typename Fn>
+double
+timeBest(Fn &&fn, int reps)
+{
+    double best = 1e300;
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        best = std::min(
+            best, std::chrono::duration<double>(t1 - t0).count());
+    }
+    return best;
+}
+
+struct Row
+{
+    std::string name;
+    std::size_t gates = 0;
+    std::size_t faults = 0;
+    long symbols = 0;
+    int lanes = 0;
+    double scalarSeconds = 0;
+    double packedSeconds = 0;
+    std::vector<std::pair<int, double>> jobsSeconds;
+
+    double speedup() const { return scalarSeconds / packedSeconds; }
+};
+
+void
+emitJson(std::ostream &os, const std::vector<Row> &rows)
+{
+    double log_sum = 0;
+    os << "{\n  \"benchmark\": \"seq_fault_sim\",\n  \"unit\": "
+          "\"seconds\",\n  \"scenarios\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        const Row &r = rows[i];
+        log_sum += std::log(r.speedup());
+        os << "    {\"name\": \"" << r.name << "\", \"gates\": "
+           << r.gates << ", \"faults\": " << r.faults
+           << ", \"symbols\": " << r.symbols
+           << ", \"lanes\": " << r.lanes
+           << ", \"scalar_seconds\": " << r.scalarSeconds
+           << ", \"packed_seconds\": " << r.packedSeconds
+           << ", \"speedup\": " << r.speedup()
+           << ", \"jobs_seconds\": {";
+        for (std::size_t k = 0; k < r.jobsSeconds.size(); ++k)
+            os << (k ? ", " : "") << "\"" << r.jobsSeconds[k].first
+               << "\": " << r.jobsSeconds[k].second;
+        os << "}}" << (i + 1 < rows.size() ? "," : "") << "\n";
+    }
+    os << "  ],\n  \"geomean_speedup\": "
+       << std::exp(log_sum / static_cast<double>(rows.size()))
+       << "\n}\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    long symbols = 128;
+    int lanes = 64;
+    std::string out_path = "BENCH_seq_fault_sim.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--symbols") && i + 1 < argc)
+            symbols = std::strtol(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--lanes") && i + 1 < argc)
+            lanes = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            out_path = argv[++i];
+    }
+
+    std::vector<Scenario> scenarios;
+    scenarios.push_back({"fig4_10_translator", seq::translatorDetector()});
+    scenarios.push_back({"accumulator16", seq::selfDualAccumulator(16)});
+
+    std::vector<Row> rows;
+    for (const Scenario &sc : scenarios) {
+        const fault::SeqCampaignSpec spec = seq::campaignSpec(sc.sm);
+        fault::SeqCampaignOptions opts;
+        opts.symbols = symbols;
+        opts.lanes = lanes;
+        opts.seed = 7;
+        opts.jobs = 1;
+        const auto words = fault::buildSymbolWords(
+            sc.sm.net.numInputs(), spec.phiInput, symbols, opts.seed);
+
+        // Verdicts must agree before timing means anything.
+        const auto scalar =
+            runScalarOracle(sc.sm.net, spec, opts, words);
+        const auto packed =
+            fault::runSequentialCampaign(sc.sm.net, spec, opts);
+        if (digestScalar(scalar, lanes) != digestPacked(packed)) {
+            std::cerr << "FATAL: verdict digest mismatch on " << sc.name
+                      << "\n";
+            return 1;
+        }
+
+        Row row;
+        row.name = sc.name;
+        row.gates = static_cast<std::size_t>(sc.sm.net.numGates());
+        row.faults = packed.faults.size();
+        row.symbols = symbols;
+        row.lanes = lanes;
+        row.scalarSeconds = timeBest(
+            [&] { runScalarOracle(sc.sm.net, spec, opts, words); }, 1);
+        row.packedSeconds = timeBest(
+            [&] { fault::runSequentialCampaign(sc.sm.net, spec, opts); },
+            3);
+        for (int j : {2, 4, 8}) {
+            fault::SeqCampaignOptions jopts = opts;
+            jopts.jobs = j;
+            row.jobsSeconds.emplace_back(
+                j, timeBest(
+                       [&] {
+                           fault::runSequentialCampaign(sc.sm.net, spec,
+                                                        jopts);
+                       },
+                       3));
+        }
+        rows.push_back(row);
+        std::cerr << sc.name << ": scalar " << row.scalarSeconds
+                  << "s, packed " << row.packedSeconds << "s, speedup "
+                  << row.speedup() << "x\n";
+    }
+
+    emitJson(std::cout, rows);
+    std::ofstream f(out_path);
+    emitJson(f, rows);
+    return 0;
+}

@@ -1,8 +1,11 @@
 #include "checker/hardcore.hh"
 
 #include <cmath>
+#include <cstdint>
 
 #include "sim/evaluator.hh"
+#include "sim/fault_sim.hh"
+#include "sim/flat.hh"
 
 namespace scal::checker
 {
@@ -39,22 +42,35 @@ std::vector<Fault>
 latentHardcoreFaults()
 {
     const Netlist net = hardcoreModuleNetlist();
-    sim::Evaluator ev(net);
+    const sim::FlatNetlist flat(net);
+    sim::FaultSimulator fsim(flat);
+
+    // Normal operation: the checker pair is a code word (f ≠ g).
+    // Pack the four code-word patterns (clk × (f,g) ∈ {(0,1),(1,0)})
+    // into lanes and compare every fault in one word op each.
+    std::vector<std::uint64_t> in(net.numInputs(), 0);
+    std::uint64_t lane_mask = 0;
+    int lane = 0;
+    for (int m = 0; m < 8; ++m) {
+        const bool clk = m & 4, f = m & 2, g = m & 1;
+        if (f == g)
+            continue;
+        if (clk)
+            in[0] |= std::uint64_t{1} << lane;
+        if (f)
+            in[1] |= std::uint64_t{1} << lane;
+        if (g)
+            in[2] |= std::uint64_t{1} << lane;
+        lane_mask |= std::uint64_t{1} << lane;
+        ++lane;
+    }
+    fsim.setBaseline(in);
+
     std::vector<Fault> latent;
     for (const Fault &fault : net.allFaults()) {
-        bool observable = false;
-        // Normal operation: the checker pair is a code word (f ≠ g).
-        for (int m = 0; m < 8; ++m) {
-            const bool clk = m & 4, f = m & 2, g = m & 1;
-            if (f == g)
-                continue;
-            const std::vector<bool> in{clk, f, g};
-            if (ev.evalOutputs(in)[0] != ev.evalOutputs(in, &fault)[0]) {
-                observable = true;
-                break;
-            }
-        }
-        if (!observable)
+        const std::uint64_t diff =
+            fsim.faultOutputs(fault)[0] ^ fsim.goodOutputs()[0];
+        if (!(diff & lane_mask))
             latent.push_back(fault);
     }
     return latent;

@@ -1,0 +1,339 @@
+#include "fault/seq_campaign.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "engine/campaign_engine.hh"
+#include "fault/collapse.hh"
+#include "sim/flat.hh"
+#include "sim/seq_fault_sim.hh"
+#include "util/rng.hh"
+
+namespace scal::fault
+{
+
+using namespace netlist;
+
+namespace
+{
+
+/** Spec with defaults resolved against the netlist. */
+struct ResolvedSpec
+{
+    std::vector<int> dataOutputs;
+    std::vector<int> altOutputs;
+    std::vector<int> codePairs;
+    std::uint64_t laneMask = 0;
+};
+
+/** Per-representative verdict payload, merged deterministically. */
+struct RepVerdict
+{
+    Outcome outcome = Outcome::Untestable;
+    long firstAlarm = -1;
+    long firstEscape = -1;
+    std::array<long, 64> laneAlarm{};
+    long periodsSimulated = 0;
+    long periodsSkipped = 0;
+};
+
+/** Alarm word of one symbol's two output-word rows. */
+std::uint64_t
+alarmWord(const ResolvedSpec &rs, const std::uint64_t *p0,
+          const std::uint64_t *p1)
+{
+    std::uint64_t alarm = 0;
+    for (const int j : rs.altOutputs)
+        alarm |= ~(p0[j] ^ p1[j]);
+    for (std::size_t c = 0; c + 1 < rs.codePairs.size(); c += 2) {
+        const int p = rs.codePairs[c], q = rs.codePairs[c + 1];
+        alarm |= ~(p0[p] ^ p0[q]);
+        alarm |= ~(p1[p] ^ p1[q]);
+    }
+    return alarm;
+}
+
+/**
+ * Classify faults[begin, end) against the shared trace. Each call
+ * owns its SeqFaultSimulator; everything it reads is immutable, so a
+ * fault's verdict cannot depend on which chunk simulated it. The
+ * packed kernel only reports periods whose outputs differ from the
+ * trace; undelivered halves of a symbol are read from the trace
+ * (bit-identical by the kernel's contract), and symbols with no
+ * delivery at all contribute nothing — valid because the fault-free
+ * machine is alarm-free (checked by runSequentialCampaign) and
+ * trivially has no wrong data words.
+ */
+std::vector<RepVerdict>
+classifySeqChunk(const sim::SeqGoodTrace &trace, const ResolvedSpec &rs,
+                 const std::vector<Fault> &faults, std::size_t begin,
+                 std::size_t end, const SeqCampaignOptions &opts,
+                 engine::ProgressTracker *progress)
+{
+    sim::SeqFaultSimulator fsim(trace);
+    const int no = trace.flat().numOutputs();
+    std::vector<std::uint64_t> buf0(no), buf1(no);
+
+    std::vector<RepVerdict> out(end - begin);
+    for (std::size_t k = begin; k < end; ++k) {
+        SeqVerdictAccumulator acc(rs.laneMask, opts.dropDetected);
+        long pending = -1;
+        bool have0 = false, have1 = false;
+
+        auto flush = [&](long s) -> bool {
+            const std::uint64_t *p0 =
+                have0 ? buf0.data() : trace.outputs(2 * s);
+            const std::uint64_t *p1 =
+                have1 ? buf1.data() : trace.outputs(2 * s + 1);
+            std::uint64_t wrong = 0;
+            const std::uint64_t *g0 = trace.outputs(2 * s);
+            for (const int j : rs.dataOutputs)
+                wrong |= p0[j] ^ g0[j];
+            have0 = have1 = false;
+            pending = -1;
+            return acc.addSymbol(s, alarmWord(rs, p0, p1), wrong);
+        };
+
+        fsim.runFault(
+            faults[k],
+            [&](long t, std::uint64_t, const std::uint64_t *outs) {
+                const long s = t / 2;
+                if (pending >= 0 && pending != s && !flush(pending))
+                    return false;
+                pending = s;
+                if (t & 1) {
+                    std::copy(outs, outs + no, buf1.begin());
+                    have1 = true;
+                    return flush(s);
+                }
+                std::copy(outs, outs + no, buf0.begin());
+                have0 = true;
+                return true;
+            },
+            opts.faultStart, opts.faultEnd);
+        if (pending >= 0)
+            flush(pending); // trailing phase-0-only divergence
+
+        RepVerdict &rv = out[k - begin];
+        rv.outcome = acc.outcome();
+        rv.firstAlarm = acc.firstAlarmPeriod();
+        rv.firstEscape = acc.firstEscapePeriod();
+        for (int l = 0; l < opts.lanes; ++l)
+            rv.laneAlarm[l] = acc.laneFirstAlarm(l);
+        rv.periodsSimulated = fsim.periodsSimulated();
+        rv.periodsSkipped = fsim.periodsSkipped();
+        if (progress) {
+            progress->addPatterns(
+                static_cast<std::uint64_t>(fsim.periodsSimulated()));
+            if (rv.outcome == Outcome::Unsafe)
+                progress->addUnsafe(1);
+        }
+    }
+    if (progress)
+        progress->addFaultsDone(end - begin);
+    return out;
+}
+
+/** Fold expanded per-fault verdicts into the result. */
+void
+finalizeSeqResult(SeqCampaignResult &result,
+                  const std::vector<const RepVerdict *> &verdictOf,
+                  int lanes)
+{
+    std::uint64_t lat_sum = 0;
+    for (std::size_t k = 0; k < result.faults.size(); ++k) {
+        const RepVerdict &rv = *verdictOf[k];
+        result.faults[k].outcome = rv.outcome;
+        result.faults[k].firstAlarmPeriod = rv.firstAlarm;
+        result.faults[k].firstEscapePeriod = rv.firstEscape;
+        switch (rv.outcome) {
+          case Outcome::Untestable: ++result.numUntestable; break;
+          case Outcome::Detected:   ++result.numDetected; break;
+          case Outcome::Unsafe:     ++result.numUnsafe; break;
+        }
+        for (int l = 0; l < lanes; ++l) {
+            const long p = rv.laneAlarm[l];
+            if (p >= 0) {
+                ++result.latencyHistogram[latencyBucket(p)];
+                ++result.alarmLaneCount;
+                lat_sum += static_cast<std::uint64_t>(p);
+            }
+        }
+    }
+    if (result.alarmLaneCount)
+        result.meanAlarmPeriod =
+            static_cast<double>(lat_sum) /
+            static_cast<double>(result.alarmLaneCount);
+}
+
+} // namespace
+
+std::vector<std::vector<std::uint64_t>>
+buildSymbolWords(int num_inputs, int phi_input, long symbols,
+                 std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<std::vector<std::uint64_t>> words(
+        static_cast<std::size_t>(symbols));
+    for (auto &w : words) {
+        w.assign(static_cast<std::size_t>(num_inputs), 0);
+        for (int i = 0; i < num_inputs; ++i)
+            if (i != phi_input)
+                w[i] = rng.next();
+    }
+    return words;
+}
+
+SeqCampaignResult
+runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
+                      const SeqCampaignOptions &opts)
+{
+    if (opts.lanes < 1 || opts.lanes > 64)
+        throw std::invalid_argument("lanes must be in 1..64");
+    if (opts.symbols < 1)
+        throw std::invalid_argument("need at least one symbol");
+
+    const int ni = net.numInputs();
+    const int no = net.numOutputs();
+    const sim::FlatNetlist flat(net);
+
+    ResolvedSpec rs;
+    rs.dataOutputs = spec.dataOutputs;
+    rs.altOutputs = spec.altOutputs;
+    rs.codePairs = spec.codePairs;
+    if (rs.dataOutputs.empty())
+        for (int j = 0; j < no; ++j)
+            rs.dataOutputs.push_back(j);
+    if (rs.altOutputs.empty())
+        for (int j = 0; j < no; ++j)
+            rs.altOutputs.push_back(j);
+    rs.laneMask = opts.lanes == 64
+                      ? ~std::uint64_t{0}
+                      : ((std::uint64_t{1} << opts.lanes) - 1);
+    auto check_output = [no](int j) {
+        if (j < 0 || j >= no)
+            throw std::invalid_argument("output index out of range");
+    };
+    for (const int j : rs.dataOutputs)
+        check_output(j);
+    for (const int j : rs.altOutputs)
+        check_output(j);
+    for (const int j : rs.codePairs)
+        check_output(j);
+    std::vector<std::uint8_t> hold(static_cast<std::size_t>(ni), 0);
+    for (const int i : spec.holdInputs) {
+        if (i < 0 || i >= ni)
+            throw std::invalid_argument("hold input index out of range");
+        hold[i] = 1;
+    }
+
+    // Serial pre-pass: the per-symbol input words and the fault-free
+    // trace, built exactly once and shared read-only by all workers.
+    const auto words =
+        buildSymbolWords(ni, spec.phiInput, opts.symbols, opts.seed);
+    sim::SeqGoodTrace trace(flat, spec.phiInput);
+    trace.reservePeriods(2 * opts.symbols);
+    std::vector<std::uint64_t> inbar(static_cast<std::size_t>(ni));
+    for (long s = 0; s < opts.symbols; ++s) {
+        trace.stepPeriod(words[s].data());
+        for (int i = 0; i < ni; ++i)
+            inbar[i] = (i == spec.phiInput || hold[i])
+                           ? words[s][i]
+                           : ~words[s][i];
+        trace.stepPeriod(inbar.data());
+    }
+
+    // Precondition for skipping symbols the fault never touches: the
+    // fault-free machine must be alarm-free on every symbol.
+    for (long s = 0; s < opts.symbols; ++s) {
+        if (alarmWord(rs, trace.outputs(2 * s), trace.outputs(2 * s + 1)) &
+            rs.laneMask) {
+            throw std::invalid_argument(
+                "fault-free machine raises an alarm: not an "
+                "alternating (SCAL) machine under this spec");
+        }
+    }
+
+    const std::vector<Fault> faults = net.allFaults();
+    SeqCampaignResult result;
+    result.faults.resize(faults.size());
+    for (std::size_t k = 0; k < faults.size(); ++k)
+        result.faults[k].fault = faults[k];
+    result.symbols = opts.symbols;
+    result.lanes = opts.lanes;
+
+    const std::uint64_t lane_symbols =
+        static_cast<std::uint64_t>(opts.symbols) *
+        static_cast<std::uint64_t>(opts.lanes);
+
+    const int jobs = engine::resolveJobs(opts.jobs);
+    if (jobs <= 1) {
+        // Serial reference path: every fault simulated individually.
+        engine::ProgressTracker progress;
+        progress.start(faults.size());
+        if (opts.progressInterval.count() > 0)
+            progress.startReporter(opts.progressInterval);
+        const std::vector<RepVerdict> verdicts = classifySeqChunk(
+            trace, rs, faults, 0, faults.size(), opts, &progress);
+        progress.stopReporter();
+        std::vector<const RepVerdict *> verdictOf(faults.size());
+        for (std::size_t k = 0; k < faults.size(); ++k) {
+            verdictOf[k] = &verdicts[k];
+            result.periodsSimulated += verdicts[k].periodsSimulated;
+            result.periodsSkipped += verdicts[k].periodsSkipped;
+        }
+        finalizeSeqResult(result, verdictOf, opts.lanes);
+        const auto s = progress.snapshot();
+        result.stats.jobs = 1;
+        result.stats.totalFaults = faults.size();
+        result.stats.simulatedFaults = faults.size();
+        result.stats.patternsApplied = lane_symbols;
+        result.stats.collapseRatio = 1.0;
+        result.stats.elapsedSeconds = s.elapsedSeconds;
+        result.stats.faultsPerSecond = s.faultsPerSecond();
+        result.stats.patternsPerSecond = s.patternsPerSecond();
+        return result;
+    }
+
+    // Parallel path: collapse, shard the representatives, merge in
+    // chunk order, expand class verdicts over allFaults() order. The
+    // collapsing equivalences are all same-line-function equivalences
+    // (Dffs collapse nothing), so they hold per period and therefore
+    // over any sequence.
+    const CollapseResult col = collapseFaults(net);
+
+    engine::EngineOptions eopts;
+    eopts.jobs = jobs;
+    eopts.chunksPerWorker = opts.chunksPerWorker;
+    eopts.progressInterval = opts.progressInterval;
+    engine::CampaignEngine eng(eopts);
+    eng.beginCampaign(col.representatives.size());
+
+    auto chunkVerdicts = eng.mapChunks<std::vector<RepVerdict>>(
+        col.representatives.size(),
+        [&](engine::Chunk chunk, std::size_t) {
+            return classifySeqChunk(trace, rs, col.representatives,
+                                    chunk.begin, chunk.end, opts,
+                                    &eng.progress());
+        });
+
+    std::vector<const RepVerdict *> repVerdict;
+    repVerdict.reserve(col.representatives.size());
+    for (const auto &chunk : chunkVerdicts) {
+        for (const RepVerdict &v : chunk) {
+            repVerdict.push_back(&v);
+            result.periodsSimulated += v.periodsSimulated;
+            result.periodsSkipped += v.periodsSkipped;
+        }
+    }
+    std::vector<const RepVerdict *> verdictOf(faults.size());
+    for (std::size_t k = 0; k < faults.size(); ++k)
+        verdictOf[k] = repVerdict[col.classOf[k]];
+    finalizeSeqResult(result, verdictOf, opts.lanes);
+
+    result.stats = eng.endCampaign(
+        faults.size(), col.representatives.size(), lane_symbols);
+    return result;
+}
+
+} // namespace scal::fault

@@ -1,0 +1,250 @@
+/**
+ * @file
+ * Sequential alternating-logic fault campaigns (Chapter 4/5): drive a
+ * machine with 64 independent random alternating symbol streams at
+ * once, replay every stuck-at fault with the packed cone-restricted
+ * sequential kernel (sim/seq_fault_sim), and classify each fault by
+ * the self-checking definitions — did a wrong data word ever escape
+ * without a prior or simultaneous alarm on the checked lines?
+ *
+ * Campaigns route through the parallel engine exactly like the
+ * combinational ones: fault collapsing, contiguous sharding,
+ * chunk-ordered merge — the same (netlist, spec, options) triple
+ * yields a bit-identical SeqCampaignResult at any jobs count
+ * (tests/test_seq_fault_sim_equiv.cc asserts this and the scalar
+ * SeqSimulator oracle equality).
+ *
+ * On top of the verdicts the campaign reports detection latency: for
+ * every (fault, lane) the period of the first non-code symptom,
+ * folded into a log2 histogram — the paper's "error detected within
+ * one symbol" claim made measurable at scale.
+ */
+
+#ifndef SCAL_FAULT_SEQ_CAMPAIGN_HH
+#define SCAL_FAULT_SEQ_CAMPAIGN_HH
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "engine/progress.hh"
+#include "fault/fault.hh"
+
+namespace scal::fault
+{
+
+/**
+ * What to drive and what to check. Every primary input except the φ
+ * input receives an independent random bit per symbol per lane,
+ * applied as the alternating pair (X, X̄) over the symbol's two
+ * periods; inputs listed in holdInputs (non-alternating controls,
+ * e.g. a register's load line) keep their phase-0 value in phase 1.
+ */
+struct SeqCampaignSpec
+{
+    /** Input index of the period clock φ, or -1 if there is none. */
+    int phiInput = -1;
+    /** Inputs held constant across both periods of a symbol. */
+    std::vector<int> holdInputs;
+    /**
+     * Output indices carrying data (compared against the fault-free
+     * machine in phase 0). Empty = all outputs.
+     */
+    std::vector<int> dataOutputs;
+    /**
+     * Output indices that must alternate across the symbol's two
+     * periods (Z and Y lines). Empty = all outputs.
+     */
+    std::vector<int> altOutputs;
+    /**
+     * Flattened (p, q) checker pairs: each period must carry a
+     * 1-out-of-2 word on every pair.
+     */
+    std::vector<int> codePairs;
+};
+
+struct SeqCampaignOptions
+{
+    /** Symbols per lane; one symbol = two simulator periods. */
+    long symbols = 256;
+    /** Independent random streams packed per word (1..64). */
+    int lanes = 64;
+    std::uint64_t seed = 1;
+    /** Fault activity window [start, end) in periods (transients). */
+    long faultStart = 0;
+    long faultEnd = std::numeric_limits<long>::max();
+    /**
+     * Retire a fault once every lane has alarmed. Purely a work
+     * saving: nothing observable can change afterwards (escapes need
+     * an unalarmed lane, and all first alarms are already recorded),
+     * so results are bit-identical either way.
+     */
+    bool dropDetected = true;
+    /** 0 = hardware_concurrency, 1 = serial (no collapsing). */
+    int jobs = 0;
+    int chunksPerWorker = 4;
+    std::chrono::milliseconds progressInterval{0};
+};
+
+/** log2 detection-latency buckets: bucket k holds first-alarm periods
+ *  p with floor(log2(p+1)) == k. 16 buckets cover 65534 periods. */
+inline constexpr int kLatencyBuckets = 16;
+
+inline int
+latencyBucket(long period)
+{
+    int b = 0;
+    for (long v = period + 1; v > 1; v >>= 1)
+        ++b;
+    return b < kLatencyBuckets ? b : kLatencyBuckets - 1;
+}
+
+struct SeqFaultVerdict
+{
+    netlist::Fault fault;
+    Outcome outcome = Outcome::Untestable;
+    /** Earliest period with an alarm in any lane, or -1. */
+    long firstAlarmPeriod = -1;
+    /** Earliest period a wrong data word escaped unalarmed, or -1. */
+    long firstEscapePeriod = -1;
+};
+
+struct SeqCampaignResult
+{
+    std::vector<SeqFaultVerdict> faults;
+    long symbols = 0;
+    int lanes = 0;
+    int numUntestable = 0;
+    int numDetected = 0;
+    int numUnsafe = 0;
+    /** Per-(fault, lane) first-alarm periods, log2-bucketed. */
+    std::array<std::uint64_t, kLatencyBuckets> latencyHistogram{};
+    /** Number of (fault, lane) first alarms recorded. */
+    std::uint64_t alarmLaneCount = 0;
+    /** Mean first-alarm period over those, in periods. */
+    double meanAlarmPeriod = 0;
+    /**
+     * Kernel work counters. These depend on collapsing (jobs > 1
+     * simulates representatives only), so unlike everything above
+     * they are NOT part of the determinism contract across jobs.
+     */
+    long periodsSimulated = 0;
+    long periodsSkipped = 0;
+    /** Wall-clock stats; explicitly non-deterministic. */
+    engine::CampaignStats stats;
+
+    bool faultSecure() const { return numUnsafe == 0; }
+    bool selfChecking() const
+    {
+        return numUnsafe == 0 && numUntestable == 0;
+    }
+};
+
+/**
+ * The shared verdict state machine, fed one symbol at a time with the
+ * packed per-lane alarm and wrong-data masks. Both the packed
+ * campaign and the scalar SeqSimulator oracle (tests, benchmarks)
+ * fold through this one implementation, so their outcome semantics
+ * cannot drift apart.
+ *
+ * Rules, per symbol s (periods 2s and 2s+1):
+ *  - lanes newly alarmed record first-alarm period 2s+1;
+ *  - a wrong data word in a lane with no alarm at or before this
+ *    symbol is an escape: the fault is Unsafe and the run stops
+ *    (nothing can redeem it);
+ *  - with dropDetected, once every lane has alarmed the run stops
+ *    (nothing observable can still change);
+ *  - at end of stream: alarmed somewhere → Detected, else Untestable.
+ */
+class SeqVerdictAccumulator
+{
+  public:
+    SeqVerdictAccumulator(std::uint64_t lane_mask, bool drop_detected)
+        : laneMask_(lane_mask), drop_(drop_detected)
+    {
+        laneAlarm_.fill(-1);
+    }
+
+    /** Returns false when the run may stop (verdict is final). */
+    bool
+    addSymbol(long symbol, std::uint64_t alarm_mask,
+              std::uint64_t wrong_mask)
+    {
+        alarm_mask &= laneMask_;
+        wrong_mask &= laneMask_;
+        std::uint64_t fresh = alarm_mask & ~alarmed_;
+        if (fresh) {
+            const long p = 2 * symbol + 1;
+            if (firstAlarm_ < 0)
+                firstAlarm_ = p;
+            while (fresh) {
+                const int lane = countrZero(fresh);
+                laneAlarm_[lane] = p;
+                fresh &= fresh - 1;
+            }
+            alarmed_ |= alarm_mask;
+        }
+        if (wrong_mask & ~alarmed_) {
+            escaped_ = true;
+            firstEscape_ = 2 * symbol;
+            return false;
+        }
+        return !(drop_ && alarmed_ == laneMask_);
+    }
+
+    Outcome
+    outcome() const
+    {
+        if (escaped_)
+            return Outcome::Unsafe;
+        return alarmed_ ? Outcome::Detected : Outcome::Untestable;
+    }
+    long firstAlarmPeriod() const { return firstAlarm_; }
+    long firstEscapePeriod() const { return firstEscape_; }
+    std::uint64_t alarmedLanes() const { return alarmed_; }
+    /** First-alarm period of @p lane, or -1. */
+    long laneFirstAlarm(int lane) const { return laneAlarm_[lane]; }
+
+  private:
+    static int
+    countrZero(std::uint64_t v)
+    {
+        int n = 0;
+        while (!(v & 1)) {
+            v >>= 1;
+            ++n;
+        }
+        return n;
+    }
+
+    std::uint64_t laneMask_;
+    bool drop_;
+    std::uint64_t alarmed_ = 0;
+    bool escaped_ = false;
+    long firstAlarm_ = -1;
+    long firstEscape_ = -1;
+    std::array<long, 64> laneAlarm_;
+};
+
+/**
+ * The deterministic per-symbol input words every lane receives:
+ * words[s][i] is the packed phase-0 bit word of input i at symbol s
+ * (the φ slot, if any, is left zero — the trace drives it). Exposed
+ * so the scalar oracle in tests and benchmarks can replay the exact
+ * streams the campaign generates.
+ */
+std::vector<std::vector<std::uint64_t>>
+buildSymbolWords(int num_inputs, int phi_input, long symbols,
+                 std::uint64_t seed);
+
+/** Run the campaign over all stuck-at faults of @p net. */
+SeqCampaignResult
+runSequentialCampaign(const netlist::Netlist &net,
+                      const SeqCampaignSpec &spec,
+                      const SeqCampaignOptions &opts = {});
+
+} // namespace scal::fault
+
+#endif // SCAL_FAULT_SEQ_CAMPAIGN_HH

@@ -1,7 +1,10 @@
 #include "seq/dual_flipflop.hh"
 
+#include <algorithm>
+#include <cstdint>
+
 #include "netlist/circuits.hh"
-#include "sim/sequential.hh"
+#include "sim/seq_fault_sim.hh"
 
 namespace scal::seq
 {
@@ -64,47 +67,89 @@ AlternatingRun
 runAlternating(const SynthesizedMachine &sm, const std::vector<int> &symbols,
                const Fault *fault)
 {
-    sim::SeqSimulator simulator(sm.net, sm.phiInput);
-    if (fault)
-        simulator.setFault(*fault);
+    // Drive the packed kernel with every lane carrying the same
+    // stream; lane 0 is read back. The fault-free trace is evaluated
+    // once and the fault (if any) replayed over it cone-restricted —
+    // the scalar SeqSimulator semantics, word at a time.
+    const sim::FlatNetlist flat(sm.net);
+    sim::SeqGoodTrace trace(flat, sm.phiInput);
+    const long nsym = static_cast<long>(symbols.size());
+    trace.reservePeriods(2 * nsym);
+
+    std::vector<std::uint64_t> in(sm.net.numInputs(), 0);
+    for (int sym : symbols) {
+        for (int i = 0; i < sm.dataInputs; ++i)
+            in[i] = ((sym >> i) & 1) ? ~std::uint64_t{0} : 0;
+        trace.stepPeriod(in.data());
+        for (int i = 0; i < sm.dataInputs; ++i)
+            in[i] = ~in[i];
+        trace.stepPeriod(in.data());
+    }
+
+    // Faulty outputs default to the trace; the sink only fires on
+    // periods that actually diverge.
+    const int no = sm.net.numOutputs();
+    std::vector<std::uint64_t> fout(
+        static_cast<std::size_t>(2 * nsym) * no);
+    for (long t = 0; t < 2 * nsym; ++t) {
+        std::copy(trace.outputs(t), trace.outputs(t) + no,
+                  fout.begin() + static_cast<std::size_t>(t) * no);
+    }
+    if (fault) {
+        sim::SeqFaultSimulator fsim(trace);
+        fsim.runFault(*fault,
+                      [&](long t, std::uint64_t, const std::uint64_t *o) {
+                          std::copy(o, o + no,
+                                    fout.begin() +
+                                        static_cast<std::size_t>(t) * no);
+                          return true;
+                      });
+    }
 
     AlternatingRun run;
-    long index = 0;
-    for (int sym : symbols) {
-        std::vector<bool> in(sm.net.numInputs(), false);
-        for (int i = 0; i < sm.dataInputs; ++i)
-            in[i] = (sym >> i) & 1;
-        const auto out1 = simulator.stepPeriod(in);
-        for (int i = 0; i < sm.dataInputs; ++i)
-            in[i] = !in[i];
-        const auto out2 = simulator.stepPeriod(in);
-
+    const auto bit = [&](long t, int j) {
+        return (fout[static_cast<std::size_t>(t) * no + j] & 1) != 0;
+    };
+    for (long s = 0; s < nsym; ++s) {
+        const long t1 = 2 * s, t2 = 2 * s + 1;
         unsigned z = 0;
         for (std::size_t j = 0; j < sm.zOutputs.size(); ++j)
-            if (out1[sm.zOutputs[j]])
+            if (bit(t1, sm.zOutputs[j]))
                 z |= 1u << j;
         run.outputs.push_back(z);
 
         bool ok = true;
         for (int j : sm.zOutputs)
-            ok &= out1[j] != out2[j];
+            ok &= bit(t1, j) != bit(t2, j);
         for (int j : sm.yOutputs)
-            ok &= out1[j] != out2[j];
+            ok &= bit(t1, j) != bit(t2, j);
         // Checker code outputs come in (p, q) pairs; each period must
         // carry a 1-out-of-2 word.
         for (std::size_t c = 0; c + 1 < sm.checkOutputs.size(); c += 2) {
-            ok &= out1[sm.checkOutputs[c]] !=
-                  out1[sm.checkOutputs[c + 1]];
-            ok &= out2[sm.checkOutputs[c]] !=
-                  out2[sm.checkOutputs[c + 1]];
+            ok &= bit(t1, sm.checkOutputs[c]) !=
+                  bit(t1, sm.checkOutputs[c + 1]);
+            ok &= bit(t2, sm.checkOutputs[c]) !=
+                  bit(t2, sm.checkOutputs[c + 1]);
         }
         if (!ok && run.allAlternated) {
             run.allAlternated = false;
-            run.firstErrorSymbol = index;
+            run.firstErrorSymbol = s;
         }
-        ++index;
     }
     return run;
+}
+
+fault::SeqCampaignSpec
+campaignSpec(const SynthesizedMachine &sm)
+{
+    fault::SeqCampaignSpec spec;
+    spec.phiInput = sm.phiInput;
+    spec.dataOutputs = sm.zOutputs;
+    spec.altOutputs = sm.zOutputs;
+    spec.altOutputs.insert(spec.altOutputs.end(), sm.yOutputs.begin(),
+                           sm.yOutputs.end());
+    spec.codePairs = sm.checkOutputs;
+    return spec;
 }
 
 } // namespace scal::seq

@@ -10,6 +10,7 @@
 #ifndef SCAL_SEQ_DUAL_FLIPFLOP_HH
 #define SCAL_SEQ_DUAL_FLIPFLOP_HH
 
+#include "fault/seq_campaign.hh"
 #include "seq/synthesis.hh"
 
 namespace scal::seq
@@ -41,6 +42,13 @@ struct AlternatingRun
 AlternatingRun runAlternating(const SynthesizedMachine &sm,
                               const std::vector<int> &symbols,
                               const netlist::Fault *fault = nullptr);
+
+/**
+ * The campaign spec a synthesized machine implies: Z outputs are the
+ * data word, Z and Y must alternate, checkOutputs are the (p, q) code
+ * pairs, and φ is the machine's clock input.
+ */
+fault::SeqCampaignSpec campaignSpec(const SynthesizedMachine &sm);
 
 } // namespace scal::seq
 

@@ -59,4 +59,44 @@ selfDualStatusRegister(int bits)
     return net;
 }
 
+SynthesizedMachine
+selfDualAccumulator(int width)
+{
+    // Dual-rank state as in synthesizeDualFlipFlop: the second rank
+    // feeds operand A back, the first rank (init 1 = complement of
+    // the initial zero word) keeps the state alternating in unison
+    // with the inputs.
+    SynthesizedMachine sm;
+    Netlist &net = sm.net;
+    sm.phiInput = -1;
+    sm.dataInputs = width + 1;
+
+    std::vector<GateId> b(width);
+    for (int i = 0; i < width; ++i)
+        b[i] = net.addInput("b" + std::to_string(i));
+    GateId carry = net.addInput("cin");
+
+    std::vector<GateId> rank1(width), a(width);
+    for (int i = 0; i < width; ++i) {
+        const GateId placeholder = net.addConst(false);
+        rank1[i] = net.addDff(placeholder, "a" + std::to_string(i) + "_1",
+                              LatchMode::EveryPeriod, /*init=*/true);
+        a[i] = net.addDff(rank1[i], "a" + std::to_string(i) + "_2",
+                          LatchMode::EveryPeriod, /*init=*/false);
+    }
+
+    for (int i = 0; i < width; ++i) {
+        const std::string n = std::to_string(i);
+        GateId sum = net.addXor({a[i], b[i], carry}, "sum" + n);
+        GateId cout = net.addMaj({a[i], b[i], carry}, "carry" + n);
+        net.replaceFanin(rank1[i], 0, sum);
+        sm.zOutputs.push_back(net.numOutputs());
+        net.addOutput(sum, "s" + n);
+        carry = cout;
+    }
+    sm.zOutputs.push_back(net.numOutputs());
+    net.addOutput(carry, "cout");
+    return sm;
+}
+
 } // namespace scal::seq

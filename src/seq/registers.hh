@@ -15,6 +15,7 @@
 #define SCAL_SEQ_REGISTERS_HH
 
 #include "netlist/netlist.hh"
+#include "seq/synthesis.hh"
 
 namespace scal::seq
 {
@@ -34,6 +35,18 @@ netlist::Netlist selfDualShiftRegister(int stages);
  * values in alternating form.
  */
 netlist::Netlist selfDualStatusRegister(int bits);
+
+/**
+ * An ALU-scale self-dual sequential machine: a @p width-bit ripple-
+ * carry accumulator (A ← A + B + cin each symbol) held in dual-rank
+ * every-period flip-flops. Sum (Xor) and carry (Maj) are self-dual,
+ * so with alternating operands the whole datapath alternates — the
+ * Section 7 composition of a SCAL ALU with Figure 7.4-style
+ * registers, sized for fault-campaign benchmarks. Inputs b0..b{w-1}
+ * and cin all alternate; outputs are the sum word and the carry out,
+ * all listed as data (Z) lines.
+ */
+SynthesizedMachine selfDualAccumulator(int width);
 
 } // namespace scal::seq
 

@@ -16,8 +16,9 @@ Evaluator::Evaluator(const Netlist &net)
         ffIndex_[ffs_[i]] = static_cast<int>(i);
 }
 
-std::vector<bool>
-Evaluator::evalLinesImpl(const std::vector<bool> &inputs,
+void
+Evaluator::evalLinesImpl(std::vector<bool> &value,
+                         const std::vector<bool> &inputs,
                          const Fault *faults, std::size_t num_faults,
                          const std::vector<bool> *dff_state) const
 {
@@ -39,8 +40,11 @@ Evaluator::evalLinesImpl(const std::vector<bool> &inputs,
         }
     };
 
-    std::vector<bool> value(net_.numGates(), false);
-    std::vector<bool> in(8);
+    value.assign(net_.numGates(), false);
+    // Per-call scratch would churn the heap once per period in the
+    // sequential hot loop; thread_local keeps evalLines const and
+    // thread-safe.
+    static thread_local std::vector<bool> in;
     for (GateId g : net_.topoOrder()) {
         const Gate &gate = net_.gate(g);
         switch (gate.kind) {
@@ -70,14 +74,24 @@ Evaluator::evalLinesImpl(const std::vector<bool> &inputs,
                 value[g] = f.value;
         }
     }
-    return value;
 }
 
 std::vector<bool>
 Evaluator::evalLines(const std::vector<bool> &inputs, const Fault *fault,
                      const std::vector<bool> *dff_state) const
 {
-    return evalLinesImpl(inputs, fault, fault ? 1 : 0, dff_state);
+    std::vector<bool> value;
+    evalLinesImpl(value, inputs, fault, fault ? 1 : 0, dff_state);
+    return value;
+}
+
+void
+Evaluator::evalLinesInto(std::vector<bool> &lines,
+                         const std::vector<bool> &inputs,
+                         const Fault *fault,
+                         const std::vector<bool> *dff_state) const
+{
+    evalLinesImpl(lines, inputs, fault, fault ? 1 : 0, dff_state);
 }
 
 std::vector<bool>
@@ -85,7 +99,9 @@ Evaluator::evalLinesMulti(const std::vector<bool> &inputs,
                           const std::vector<Fault> &faults,
                           const std::vector<bool> *dff_state) const
 {
-    return evalLinesImpl(inputs, faults.data(), faults.size(), dff_state);
+    std::vector<bool> value;
+    evalLinesImpl(value, inputs, faults.data(), faults.size(), dff_state);
+    return value;
 }
 
 std::vector<bool>

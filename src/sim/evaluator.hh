@@ -30,6 +30,16 @@ class Evaluator
         const netlist::Fault *fault = nullptr,
         const std::vector<bool> *dff_state = nullptr) const;
 
+    /**
+     * As evalLines(), but (re)filling a caller-owned buffer instead
+     * of allocating the result — the hot-loop variant SeqSimulator
+     * steps through once per period.
+     */
+    void evalLinesInto(std::vector<bool> &lines,
+                       const std::vector<bool> &inputs,
+                       const netlist::Fault *fault = nullptr,
+                       const std::vector<bool> *dff_state = nullptr) const;
+
     /** Primary output values, including output-tap faults. */
     std::vector<bool> evalOutputs(
         const std::vector<bool> &inputs,
@@ -52,10 +62,11 @@ class Evaluator
     const netlist::Netlist &net() const { return net_; }
 
   private:
-    std::vector<bool> evalLinesImpl(
-        const std::vector<bool> &inputs, const netlist::Fault *faults,
-        std::size_t num_faults,
-        const std::vector<bool> *dff_state) const;
+    void evalLinesImpl(std::vector<bool> &value,
+                       const std::vector<bool> &inputs,
+                       const netlist::Fault *faults,
+                       std::size_t num_faults,
+                       const std::vector<bool> *dff_state) const;
     std::vector<bool> outputsFromLines(const std::vector<bool> &lines,
                                        const netlist::Fault *faults,
                                        std::size_t num_faults) const;

@@ -3,70 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "sim/packed.hh"
+#include "sim/gate_eval.hh"
 
 namespace scal::sim
 {
 
 using namespace netlist;
+using detail::evalGateWord;
+using detail::kAllOnes;
 
 namespace
 {
 
-constexpr std::uint64_t kOnes = ~std::uint64_t{0};
-
-/** Word evaluation of one gate kind; bit-identical to PackedEvaluator. */
-std::uint64_t
-evalGateWord(GateKind kind, const std::uint64_t *in, int arity)
-{
-    std::uint64_t v = 0;
-    switch (kind) {
-      case GateKind::Buf:
-        v = in[0];
-        break;
-      case GateKind::Not:
-        v = ~in[0];
-        break;
-      case GateKind::And:
-        v = kOnes;
-        for (int k = 0; k < arity; ++k)
-            v &= in[k];
-        break;
-      case GateKind::Nand:
-        v = kOnes;
-        for (int k = 0; k < arity; ++k)
-            v &= in[k];
-        v = ~v;
-        break;
-      case GateKind::Or:
-        for (int k = 0; k < arity; ++k)
-            v |= in[k];
-        break;
-      case GateKind::Nor:
-        for (int k = 0; k < arity; ++k)
-            v |= in[k];
-        v = ~v;
-        break;
-      case GateKind::Xor:
-        for (int k = 0; k < arity; ++k)
-            v ^= in[k];
-        break;
-      case GateKind::Xnor:
-        for (int k = 0; k < arity; ++k)
-            v ^= in[k];
-        v = ~v;
-        break;
-      case GateKind::Maj:
-        v = thresholdWord(in, static_cast<std::size_t>(arity), true);
-        break;
-      case GateKind::Min:
-        v = thresholdWord(in, static_cast<std::size_t>(arity), false);
-        break;
-      default:
-        break;
-    }
-    return v;
-}
+constexpr std::uint64_t kOnes = kAllOnes;
 
 } // namespace
 

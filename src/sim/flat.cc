@@ -91,9 +91,14 @@ FlatNetlist::FlatNetlist(const Netlist &net)
     for (std::size_t i = 0; i < net.inputs().size(); ++i)
         inputIndex_[net.inputs()[i]] = static_cast<std::int32_t>(i);
     ffIndex_.assign(n_, -1);
-    for (GateId g = 0; g < n_; ++g)
-        if (kinds_[g] == GateKind::Dff)
+    for (GateId g = 0; g < n_; ++g) {
+        if (kinds_[g] == GateKind::Dff) {
             ffIndex_[g] = nff_++;
+            ffGates_.push_back(g);
+            ffLatch_.push_back(net.gate(g).latch);
+            ffInit_.push_back(net.gate(g).init ? 1 : 0);
+        }
+    }
 
     outputs_ = net.outputs();
 }

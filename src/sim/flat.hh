@@ -100,6 +100,18 @@ class FlatNetlist
     /** Index of @p g within the flip-flop state vector, or -1. */
     int ffIndex(netlist::GateId g) const { return ffIndex_[g]; }
 
+    /** @name Flip-flop tables, indexed as net.flipFlops() */
+    /** @{ */
+    netlist::GateId ffGate(int i) const { return ffGates_[i]; }
+    /** The gate driving flip-flop @p i's D pin. */
+    netlist::GateId ffDriver(int i) const
+    {
+        return fanins_[faninOff_[ffGates_[i]]];
+    }
+    netlist::LatchMode ffLatch(int i) const { return ffLatch_[i]; }
+    bool ffInit(int i) const { return ffInit_[i] != 0; }
+    /** @} */
+
     /** Driving gate of primary output @p j. */
     netlist::GateId output(int j) const { return outputs_[j]; }
     const std::vector<netlist::GateId> &outputs() const
@@ -121,6 +133,9 @@ class FlatNetlist
     std::vector<std::int32_t> level_;
     std::vector<std::int32_t> inputIndex_;
     std::vector<std::int32_t> ffIndex_;
+    std::vector<netlist::GateId> ffGates_;
+    std::vector<netlist::LatchMode> ffLatch_;
+    std::vector<std::uint8_t> ffInit_;
     std::vector<netlist::GateId> outputs_;
 };
 

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Word-parallel gate evaluation shared by the packed simulation
+ * kernels (FaultSimulator, SeqGoodTrace/SeqFaultSimulator). One copy
+ * of the 64-lane gate semantics, bit-identical to PackedEvaluator, so
+ * the kernels cannot drift apart.
+ */
+
+#ifndef SCAL_SIM_GATE_EVAL_HH
+#define SCAL_SIM_GATE_EVAL_HH
+
+#include <cstdint>
+
+#include "netlist/netlist.hh"
+#include "sim/packed.hh"
+
+namespace scal::sim::detail
+{
+
+inline constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+
+/** Evaluate one gate kind over @p arity packed 64-lane input words. */
+inline std::uint64_t
+evalGateWord(netlist::GateKind kind, const std::uint64_t *in, int arity)
+{
+    using netlist::GateKind;
+    std::uint64_t v = 0;
+    switch (kind) {
+      case GateKind::Buf:
+        v = in[0];
+        break;
+      case GateKind::Not:
+        v = ~in[0];
+        break;
+      case GateKind::And:
+        v = kAllOnes;
+        for (int k = 0; k < arity; ++k)
+            v &= in[k];
+        break;
+      case GateKind::Nand:
+        v = kAllOnes;
+        for (int k = 0; k < arity; ++k)
+            v &= in[k];
+        v = ~v;
+        break;
+      case GateKind::Or:
+        for (int k = 0; k < arity; ++k)
+            v |= in[k];
+        break;
+      case GateKind::Nor:
+        for (int k = 0; k < arity; ++k)
+            v |= in[k];
+        v = ~v;
+        break;
+      case GateKind::Xor:
+        for (int k = 0; k < arity; ++k)
+            v ^= in[k];
+        break;
+      case GateKind::Xnor:
+        for (int k = 0; k < arity; ++k)
+            v ^= in[k];
+        v = ~v;
+        break;
+      case GateKind::Maj:
+        v = thresholdWord(in, static_cast<std::size_t>(arity), true);
+        break;
+      case GateKind::Min:
+        v = thresholdWord(in, static_cast<std::size_t>(arity), false);
+        break;
+      default:
+        break;
+    }
+    return v;
+}
+
+} // namespace scal::sim::detail
+
+#endif // SCAL_SIM_GATE_EVAL_HH

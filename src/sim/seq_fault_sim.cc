@@ -1,0 +1,402 @@
+#include "sim/seq_fault_sim.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sim/gate_eval.hh"
+
+namespace scal::sim
+{
+
+using namespace netlist;
+using detail::evalGateWord;
+using detail::kAllOnes;
+
+SeqGoodTrace::SeqGoodTrace(const FlatNetlist &flat, int phi_input)
+    : flat_(flat), phiInput_(phi_input), n_(flat.numGates()),
+      no_(flat.numOutputs()), nff_(flat.numFlipFlops())
+{
+    if (phi_input >= flat.numInputs())
+        throw std::invalid_argument("phi input index out of range");
+    inScratch_.assign(std::max(1, flat_.maxArity()), 0);
+    reset();
+}
+
+void
+SeqGoodTrace::reset()
+{
+    periods_ = 0;
+    lines_.clear();
+    outs_.clear();
+    state_.assign(nff_, 0);
+    for (int i = 0; i < nff_; ++i)
+        state_[i] = flat_.ffInit(i) ? kAllOnes : 0;
+}
+
+void
+SeqGoodTrace::reservePeriods(long periods)
+{
+    const auto p = static_cast<std::size_t>(periods);
+    lines_.reserve(p * n_);
+    outs_.reserve(p * no_);
+    state_.reserve((p + 1) * nff_);
+}
+
+void
+SeqGoodTrace::stepPeriod(const std::uint64_t *inputs)
+{
+    const long t = periods_;
+    const bool phase = phaseAt(t);
+    const std::uint64_t phi_word = phase ? kAllOnes : 0;
+
+    lines_.resize(static_cast<std::size_t>(t + 1) * n_);
+    outs_.resize(static_cast<std::size_t>(t + 1) * no_);
+    state_.resize(static_cast<std::size_t>(t + 2) * nff_);
+
+    std::uint64_t *lines = lines_.data() + static_cast<std::size_t>(t) * n_;
+    const std::uint64_t *st =
+        state_.data() + static_cast<std::size_t>(t) * nff_;
+
+    for (GateId g : flat_.topoOrder()) {
+        std::uint64_t v = 0;
+        switch (flat_.kind(g)) {
+          case GateKind::Input: {
+            const int idx = flat_.inputIndex(g);
+            v = idx == phiInput_ ? phi_word : inputs[idx];
+            break;
+          }
+          case GateKind::Dff:
+            v = st[flat_.ffIndex(g)];
+            break;
+          case GateKind::Const0:
+            v = 0;
+            break;
+          case GateKind::Const1:
+            v = kAllOnes;
+            break;
+          default: {
+            const GateId *fi = flat_.fanins(g);
+            const int a = flat_.arity(g);
+            std::uint64_t *in = inScratch_.data();
+            for (int k = 0; k < a; ++k)
+                in[k] = lines[fi[k]];
+            v = evalGateWord(flat_.kind(g), in, a);
+            break;
+          }
+        }
+        lines[g] = v;
+    }
+
+    std::uint64_t *outs = outs_.data() + static_cast<std::size_t>(t) * no_;
+    for (int j = 0; j < no_; ++j)
+        outs[j] = lines[flat_.output(j)];
+
+    // Latch at the end of the period (φ rises at the end of phase 0,
+    // falls at the end of phase 1), as in SeqSimulator.
+    std::uint64_t *next =
+        state_.data() + static_cast<std::size_t>(t + 1) * nff_;
+    for (int i = 0; i < nff_; ++i)
+        next[i] = latchEligible(i, phase) ? lines[flat_.ffDriver(i)]
+                                          : st[i];
+    ++periods_;
+}
+
+SeqFaultSimulator::SeqFaultSimulator(const SeqGoodTrace &trace)
+    : trace_(trace), flat_(trace.flat())
+{
+    const int n = flat_.numGates();
+    faultyState_.assign(flat_.numFlipFlops(), 0);
+    faulty_.assign(n, 0);
+    stamp_.assign(n, 0);
+    forced_.assign(n, 0);
+    coneCache_.resize(n);
+    coneBuilt_.assign(n, 0);
+    visitStamp_.assign(n, 0);
+    inScratch_.assign(std::max(1, flat_.maxArity()), 0);
+    outBuf_.assign(flat_.numOutputs(), 0);
+    stack_.reserve(n);
+    unionCone_.reserve(n);
+    seeds_.reserve(flat_.numFlipFlops() + 1);
+    diverged_.reserve(flat_.numFlipFlops());
+    divergedNext_.reserve(flat_.numFlipFlops());
+}
+
+void
+SeqFaultSimulator::bumpEpoch()
+{
+    if (++epoch_ == 0) { // wraparound: stale stamps would alias
+        std::fill(stamp_.begin(), stamp_.end(), 0);
+        std::fill(forced_.begin(), forced_.end(), 0);
+        epoch_ = 1;
+    }
+}
+
+void
+SeqFaultSimulator::bumpVisit()
+{
+    if (++visitEpoch_ == 0) {
+        std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
+        visitEpoch_ = 1;
+    }
+}
+
+const std::vector<GateId> &
+SeqFaultSimulator::cone(GateId seed)
+{
+    if (!coneBuilt_[seed]) {
+        bumpVisit();
+        auto &c = coneCache_[seed];
+        stack_.clear();
+        stack_.push_back(seed);
+        visitStamp_[seed] = visitEpoch_;
+        while (!stack_.empty()) {
+            const GateId g = stack_.back();
+            stack_.pop_back();
+            c.push_back(g);
+            const GateId *cs = flat_.consumers(g);
+            for (int k = 0; k < flat_.fanoutDegree(g); ++k) {
+                if (visitStamp_[cs[k]] != visitEpoch_) {
+                    visitStamp_[cs[k]] = visitEpoch_;
+                    stack_.push_back(cs[k]);
+                }
+            }
+        }
+        std::sort(c.begin(), c.end(), [this](GateId a, GateId b) {
+            return flat_.topoPos(a) < flat_.topoPos(b);
+        });
+        coneBuilt_[seed] = 1;
+    }
+    return coneCache_[seed];
+}
+
+void
+SeqFaultSimulator::beginFault(const Fault &fault, long ws, long we)
+{
+    wstart_ = std::max<long>(0, ws);
+    wend_ = we;
+    faultWord_ = fault.value ? kAllOnes : 0;
+    siteDriver_ = fault.site.driver;
+    siteConsumer_ = fault.site.consumer;
+    sitePin_ = fault.site.pin;
+    siteFf_ = siteTap_ = -1;
+
+    if (fault.site.isStem()) {
+        siteKind_ = SiteKind::Stem;
+    } else if (siteConsumer_ == FaultSite::kOutputTap) {
+        if (sitePin_ >= 0 && sitePin_ < flat_.numOutputs() &&
+            flat_.output(sitePin_) == siteDriver_) {
+            siteKind_ = SiteKind::Tap;
+            siteTap_ = sitePin_;
+        } else {
+            siteKind_ = SiteKind::Inert;
+        }
+    } else if (flat_.kind(siteConsumer_) == GateKind::Dff) {
+        // A Dff D-pin branch fault acts at latch time only; the
+        // oracle ignores any other pin/driver combination.
+        const int ffi = flat_.ffIndex(siteConsumer_);
+        if (sitePin_ == 0 && flat_.ffDriver(ffi) == siteDriver_) {
+            siteKind_ = SiteKind::DffBranch;
+            siteFf_ = ffi;
+        } else {
+            siteKind_ = SiteKind::Inert;
+        }
+    } else {
+        siteKind_ = SiteKind::Branch;
+    }
+    if (siteKind_ == SiteKind::Inert)
+        wstart_ = wend_ = 0; // never active: the run syncs immediately
+
+    const std::uint64_t *init = trace_.state(0);
+    faultyState_.assign(init, init + flat_.numFlipFlops());
+    diverged_.clear();
+    periodsSimulated_ = periodsSkipped_ = 0;
+}
+
+std::uint64_t
+SeqFaultSimulator::stepFaultPeriod(long t)
+{
+    const std::uint64_t *good = trace_.lines(t);
+    const std::uint64_t *good_out = trace_.outputs(t);
+    const std::uint64_t *good_next = trace_.state(t + 1);
+    const bool active = inWindow(t);
+    const bool phase = trace_.phaseAt(t);
+    const int no = flat_.numOutputs();
+    const int nff = flat_.numFlipFlops();
+
+    // Fast path: state fully converged and the site unexcited this
+    // period — nothing can change, one word compare and out.
+    if (diverged_.empty()) {
+        switch (siteKind_) {
+          case SiteKind::Stem:
+          case SiteKind::Branch:
+            if (faultWord_ == good[siteDriver_])
+                return 0;
+            break;
+          case SiteKind::DffBranch:
+            if (!trace_.latchEligible(siteFf_, phase) ||
+                faultWord_ == good[siteDriver_])
+                return 0;
+            break;
+          case SiteKind::Tap:
+            if (faultWord_ == good_out[siteTap_])
+                return 0;
+            break;
+          case SiteKind::Inert:
+            return 0;
+        }
+        // Converged periods are skipped without maintaining
+        // faultyState_, so resync it with the good machine before
+        // simulating (the latch loop reads it for ineligible
+        // flip-flops).
+        const std::uint64_t *st = trace_.state(t);
+        std::copy(st, st + nff, faultyState_.begin());
+    }
+
+    bumpEpoch();
+    std::int64_t frontier = 0;
+    int last_branch_pos = -1;
+    bool have_branch = false;
+    seeds_.clear();
+
+    if (active) {
+        switch (siteKind_) {
+          case SiteKind::Stem:
+            forced_[siteDriver_] = epoch_;
+            if (faultWord_ != good[siteDriver_]) {
+                faulty_[siteDriver_] = faultWord_;
+                stamp_[siteDriver_] = epoch_;
+                frontier += flat_.fanoutDegree(siteDriver_);
+            }
+            seeds_.push_back(siteDriver_);
+            break;
+          case SiteKind::Branch:
+            seeds_.push_back(siteConsumer_);
+            last_branch_pos = flat_.topoPos(siteConsumer_);
+            have_branch = true;
+            break;
+          default: // DffBranch/Tap act outside the combinational pass
+            break;
+        }
+    }
+    for (const int ffi : diverged_) {
+        const GateId g = flat_.ffGate(ffi);
+        if (forced_[g] == epoch_)
+            continue; // a stem fault on this Dff wins over its state
+        forced_[g] = epoch_;
+        faulty_[g] = faultyState_[ffi];
+        stamp_[g] = epoch_;
+        frontier += flat_.fanoutDegree(g);
+        seeds_.push_back(g);
+    }
+
+    if (frontier != 0 || have_branch) {
+        const std::vector<GateId> *work;
+        if (seeds_.size() == 1) {
+            work = &cone(seeds_[0]);
+        } else {
+            bumpVisit();
+            unionCone_.clear();
+            stack_.clear();
+            for (const GateId s : seeds_) {
+                if (visitStamp_[s] != visitEpoch_) {
+                    visitStamp_[s] = visitEpoch_;
+                    stack_.push_back(s);
+                }
+            }
+            while (!stack_.empty()) {
+                const GateId g = stack_.back();
+                stack_.pop_back();
+                unionCone_.push_back(g);
+                const GateId *cs = flat_.consumers(g);
+                for (int k = 0; k < flat_.fanoutDegree(g); ++k) {
+                    if (visitStamp_[cs[k]] != visitEpoch_) {
+                        visitStamp_[cs[k]] = visitEpoch_;
+                        stack_.push_back(cs[k]);
+                    }
+                }
+            }
+            std::sort(unionCone_.begin(), unionCone_.end(),
+                      [this](GateId a, GateId b) {
+                          return flat_.topoPos(a) < flat_.topoPos(b);
+                      });
+            work = &unionCone_;
+        }
+
+        for (const GateId g : *work) {
+            if (flat_.kind(g) == GateKind::Dff) {
+                // State sources are seed-only: stamped above, never
+                // recomputed, and their D edge is not a combinational
+                // edge, so it takes no frontier accounting.
+                continue;
+            }
+            const GateId *fi = flat_.fanins(g);
+            const int a = flat_.arity(g);
+            int ndiff = 0;
+            for (int k = 0; k < a; ++k)
+                if (stamp_[fi[k]] == epoch_)
+                    ++ndiff;
+            frontier -= ndiff;
+
+            if (forced_[g] != epoch_) {
+                const bool is_branch = have_branch && g == siteConsumer_;
+                if (ndiff || is_branch) {
+                    std::uint64_t *in = inScratch_.data();
+                    for (int k = 0; k < a; ++k) {
+                        const GateId d = fi[k];
+                        in[k] = stamp_[d] == epoch_ ? faulty_[d]
+                                                    : good[d];
+                    }
+                    if (is_branch && sitePin_ >= 0 && sitePin_ < a &&
+                        fi[sitePin_] == siteDriver_) {
+                        in[sitePin_] = faultWord_;
+                    }
+                    const std::uint64_t v =
+                        evalGateWord(flat_.kind(g), in, a);
+                    if (v != good[g]) {
+                        faulty_[g] = v;
+                        stamp_[g] = epoch_;
+                        frontier += flat_.fanoutDegree(g);
+                    }
+                }
+            }
+            // Frontier dead and every injection behind us: the rest
+            // of the cone keeps its fault-free values.
+            if (frontier == 0 && flat_.topoPos(g) >= last_branch_pos)
+                break;
+        }
+    }
+
+    // Output assembly (tap override last, as in the oracle).
+    std::uint64_t *out = outBuf_.data();
+    for (int j = 0; j < no; ++j) {
+        const GateId g = flat_.output(j);
+        out[j] = stamp_[g] == epoch_ ? faulty_[g] : good[g];
+    }
+    if (active && siteKind_ == SiteKind::Tap)
+        out[siteTap_] = faultWord_;
+    std::uint64_t diff = 0;
+    for (int j = 0; j < no; ++j)
+        diff |= out[j] ^ good_out[j];
+
+    // Latch all flip-flops and retrack divergence against the trace.
+    divergedNext_.clear();
+    for (int i = 0; i < nff; ++i) {
+        std::uint64_t next;
+        if (trace_.latchEligible(i, phase)) {
+            const GateId d = flat_.ffDriver(i);
+            next = stamp_[d] == epoch_ ? faulty_[d] : good[d];
+            if (active && siteKind_ == SiteKind::DffBranch &&
+                i == siteFf_)
+                next = faultWord_;
+        } else {
+            next = faultyState_[i];
+        }
+        faultyState_[i] = next;
+        if (next != good_next[i])
+            divergedNext_.push_back(i);
+    }
+    diverged_.swap(divergedNext_);
+    return diff;
+}
+
+} // namespace scal::sim

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Packed, cone-restricted sequential fault simulation (Chapter 4/5
+ * machines): 64 independent input sequences per word, the fault-free
+ * machine evaluated once per period, and each fault resimulated only
+ * over the gates its effect can reach.
+ *
+ * Two pieces:
+ *
+ *  - SeqGoodTrace evaluates the fault-free machine period by period
+ *    over a FlatNetlist and records every line, output and flip-flop
+ *    word. The trace is immutable after construction of the stream
+ *    and is shared read-only by all workers of a campaign.
+ *
+ *  - SeqFaultSimulator replays one fault against a trace. Per period
+ *    it seeds a topologically sorted frontier from (a) the fault site,
+ *    when the period is inside the fault's activity window, and (b)
+ *    every flip-flop whose faulty state word diverged from the good
+ *    machine; only the union of those fanout cones is recomputed, all
+ *    other lines are read from the trace. Two early exits keep the
+ *    common case cheap: an unexcited site with fully converged state
+ *    is a single word compare, and once the activity window is behind
+ *    and the state words reconverge the remaining periods are skipped
+ *    outright (they are bit-identical to the good machine).
+ *
+ * Fault semantics are exactly SeqSimulator's, which stays in the tree
+ * as the scalar reference oracle (tests/test_seq_fault_sim_equiv.cc
+ * cross-checks every fault, window and latch mode): stem faults force
+ * the driver's line, branch faults override one consumer pin, a Dff
+ * D-pin branch fault acts only at latch time, and output-tap faults
+ * override output assembly — all gated by the [start, end) period
+ * window.
+ *
+ * A SeqFaultSimulator is single-threaded scratch; one SeqGoodTrace
+ * may be shared by many of them.
+ */
+
+#ifndef SCAL_SIM_SEQ_FAULT_SIM_HH
+#define SCAL_SIM_SEQ_FAULT_SIM_HH
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/flat.hh"
+
+namespace scal::sim
+{
+
+class SeqGoodTrace
+{
+  public:
+    /**
+     * @param flat the compiled netlist (must outlive the trace)
+     * @param phi_input input index of the period clock φ, or -1 if
+     *        the caller drives it; when managed, the input word is
+     *        overwritten with the current phase (all-zeros in phase 0,
+     *        all-ones in phase 1), matching SeqSimulator.
+     */
+    explicit SeqGoodTrace(const FlatNetlist &flat, int phi_input = -1);
+
+    /** Drop all periods, return flip-flops to their init words. */
+    void reset();
+
+    /** Preallocate storage for @p periods periods. */
+    void reservePeriods(long periods);
+
+    /**
+     * Append one period: drive @p inputs (one packed word per primary
+     * input; the φ word, if managed, is overwritten), evaluate, latch
+     * eligible flip-flops.
+     */
+    void stepPeriod(const std::uint64_t *inputs);
+
+    long numPeriods() const { return periods_; }
+    /** Phase (value of φ) during period @p t. */
+    bool phaseAt(long t) const { return (t & 1) != 0; }
+
+    /** All line words of period @p t (numGates() words). */
+    const std::uint64_t *lines(long t) const
+    {
+        return lines_.data() + static_cast<std::size_t>(t) * n_;
+    }
+    /** Output words of period @p t (numOutputs() words). */
+    const std::uint64_t *outputs(long t) const
+    {
+        return outs_.data() + static_cast<std::size_t>(t) * no_;
+    }
+    /**
+     * Flip-flop state words at the *start* of period @p t, for
+     * t in [0, numPeriods()]; state(0) is the power-on state.
+     */
+    const std::uint64_t *state(long t) const
+    {
+        return state_.data() + static_cast<std::size_t>(t) * nff_;
+    }
+
+    const FlatNetlist &flat() const { return flat_; }
+    int phiInput() const { return phiInput_; }
+
+    /** True when flip-flop @p i latches at the end of a @p phase period. */
+    bool latchEligible(int i, bool phase) const
+    {
+        const netlist::LatchMode m = flat_.ffLatch(i);
+        return m == netlist::LatchMode::EveryPeriod ||
+               (m == netlist::LatchMode::PhiRise && !phase) ||
+               (m == netlist::LatchMode::PhiFall && phase);
+    }
+
+  private:
+    const FlatNetlist &flat_;
+    int phiInput_;
+    int n_, no_, nff_;
+    long periods_ = 0;
+    std::vector<std::uint64_t> lines_;
+    std::vector<std::uint64_t> outs_;
+    std::vector<std::uint64_t> state_; ///< (periods_+1) x nff_
+    std::vector<std::uint64_t> inScratch_;
+};
+
+/** How a fault's replay over a trace ended. */
+enum class SeqRunStatus
+{
+    RanToEnd,    ///< simulated through the final period
+    SyncedToEnd, ///< window closed and state reconverged: tail skipped
+    Stopped,     ///< the sink returned false (fault dropped)
+};
+
+class SeqFaultSimulator
+{
+  public:
+    static constexpr long kForever = std::numeric_limits<long>::max();
+
+    explicit SeqFaultSimulator(const SeqGoodTrace &trace);
+
+    /**
+     * Replay @p fault over the whole trace, active during periods
+     * [window_start, window_end). @p sink is invoked as
+     * `bool sink(long period, std::uint64_t diffMask, const
+     * std::uint64_t *outputs)` for every period whose faulty outputs
+     * differ from the trace (diffMask ORs the per-output XOR words);
+     * returning false retires the fault immediately. Periods without a
+     * sink call are bit-identical to the good machine.
+     */
+    template <typename Sink>
+    SeqRunStatus
+    runFault(const netlist::Fault &fault, Sink &&sink,
+             long window_start = 0, long window_end = kForever)
+    {
+        beginFault(fault, window_start, window_end);
+        const long total = trace_.numPeriods();
+        long t = 0;
+        while (t < total) {
+            if (diverged_.empty() && !inWindow(t)) {
+                if (t >= wend_)
+                    return SeqRunStatus::SyncedToEnd;
+                // Quiescent until the window opens: fast-forward.
+                periodsSkipped_ += std::min(wstart_, total) - t;
+                t = wstart_;
+                continue;
+            }
+            const std::uint64_t diff = stepFaultPeriod(t);
+            ++periodsSimulated_;
+            if (diff && !sink(t, diff, outBuf_.data()))
+                return SeqRunStatus::Stopped;
+            ++t;
+        }
+        return SeqRunStatus::RanToEnd;
+    }
+
+    /** @name Work counters (reset per runFault) */
+    /** @{ */
+    long periodsSimulated() const { return periodsSimulated_; }
+    long periodsSkipped() const { return periodsSkipped_; }
+    /** @} */
+
+    const SeqGoodTrace &trace() const { return trace_; }
+
+  private:
+    void beginFault(const netlist::Fault &fault, long ws, long we);
+    bool inWindow(long t) const { return t >= wstart_ && t < wend_; }
+    /** Simulate period @p t; returns the OR of output diff words. */
+    std::uint64_t stepFaultPeriod(long t);
+    const std::vector<netlist::GateId> &cone(netlist::GateId seed);
+    void bumpEpoch();
+    void bumpVisit();
+
+    const SeqGoodTrace &trace_;
+    const FlatNetlist &flat_;
+
+    /** Decomposed fault being replayed. */
+    enum class SiteKind : std::uint8_t
+    {
+        Stem,
+        Branch,    ///< combinational consumer pin
+        DffBranch, ///< D-pin of a flip-flop: latch-time only
+        Tap,       ///< primary-output branch
+        Inert,     ///< malformed site: no effect (matches the oracle)
+    };
+    SiteKind siteKind_ = SiteKind::Inert;
+    netlist::GateId siteDriver_ = netlist::kNoGate;
+    netlist::GateId siteConsumer_ = netlist::kNoGate;
+    int sitePin_ = -1;
+    int siteFf_ = -1;   ///< flip-flop index for DffBranch
+    int siteTap_ = -1;  ///< output index for Tap
+    std::uint64_t faultWord_ = 0;
+    long wstart_ = 0, wend_ = 0;
+
+    /** Faulty machine state and its divergence from the trace. */
+    std::vector<std::uint64_t> faultyState_;
+    std::vector<int> diverged_, divergedNext_;
+
+    /** Copy-on-write faulty line words: valid iff stamp == epoch. */
+    std::vector<std::uint64_t> faulty_;
+    std::vector<std::uint32_t> stamp_;
+    std::vector<std::uint32_t> forced_;
+    std::uint32_t epoch_ = 0;
+
+    /** Memoized per-seed fanout cones. */
+    std::vector<std::vector<netlist::GateId>> coneCache_;
+    std::vector<std::uint8_t> coneBuilt_;
+    std::vector<std::uint32_t> visitStamp_;
+    std::uint32_t visitEpoch_ = 0;
+
+    std::vector<std::uint64_t> inScratch_;
+    std::vector<std::uint64_t> outBuf_;
+    std::vector<netlist::GateId> stack_;
+    std::vector<netlist::GateId> unionCone_;
+    std::vector<netlist::GateId> seeds_;
+
+    long periodsSimulated_ = 0, periodsSkipped_ = 0;
+};
+
+} // namespace scal::sim
+
+#endif // SCAL_SIM_SEQ_FAULT_SIM_HH

@@ -34,25 +34,30 @@ SeqSimulator::setState(std::vector<bool> s)
     state_ = std::move(s);
 }
 
-std::vector<bool>
-SeqSimulator::stepPeriod(std::vector<bool> inputs)
+const std::vector<bool> &
+SeqSimulator::stepPeriod(const std::vector<bool> &inputs)
 {
-    if (phiInput_ >= 0)
-        inputs[phiInput_] = phase_;
+    const std::vector<bool> *in = &inputs;
+    if (phiInput_ >= 0) {
+        inputBuf_.assign(inputs.begin(), inputs.end());
+        if (phiInput_ < static_cast<int>(inputBuf_.size()))
+            inputBuf_[phiInput_] = phase_;
+        in = &inputBuf_;
+    }
 
     const bool fault_active =
         fault_ && period_ >= faultStart_ && period_ < faultEnd_;
     const Fault *f = fault_active ? &*fault_ : nullptr;
-    lastLines_ = eval_.evalLines(inputs, f, &state_);
+    eval_.evalLinesInto(lastLines_, *in, f, &state_);
 
-    std::vector<bool> outs(net_.numOutputs());
+    outBuf_.assign(net_.numOutputs(), false);
     for (int j = 0; j < net_.numOutputs(); ++j) {
         bool v = lastLines_[net_.outputs()[j]];
         if (f && f->site.consumer == FaultSite::kOutputTap &&
             f->site.pin == j && f->site.driver == net_.outputs()[j]) {
             v = f->value;
         }
-        outs[j] = v;
+        outBuf_[j] = v;
     }
 
     // Latch at the end of the period. φ rises at the end of phase 0
@@ -75,7 +80,7 @@ SeqSimulator::stepPeriod(std::vector<bool> inputs)
 
     phase_ = !phase_;
     ++period_;
-    return outs;
+    return outBuf_;
 }
 
 } // namespace scal::sim

@@ -38,8 +38,12 @@ class SeqSimulator
      * Run one period: drive inputs (the φ input, if managed, is
      * overwritten with the current phase), evaluate, record outputs,
      * latch eligible flip-flops, advance the phase.
+     *
+     * Returns a reference to an internal buffer that is overwritten
+     * by the next stepPeriod() call — copy it to keep it across
+     * periods.
      */
-    std::vector<bool> stepPeriod(std::vector<bool> inputs);
+    const std::vector<bool> &stepPeriod(const std::vector<bool> &inputs);
 
     /** Current phase (value of φ for the *next* stepPeriod call). */
     bool phase() const { return phase_; }
@@ -82,6 +86,9 @@ class SeqSimulator
     long faultEnd_ = std::numeric_limits<long>::max();
     std::vector<bool> state_;
     std::vector<bool> lastLines_;
+    /** Preallocated per-period buffers (no heap churn in the loop). */
+    std::vector<bool> inputBuf_;
+    std::vector<bool> outBuf_;
     std::optional<netlist::Fault> fault_;
 };
 

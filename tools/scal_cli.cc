@@ -6,6 +6,12 @@
  *   scal_cli campaign <netlist|-> [--jobs N] [--json] [--verbose]
  *                     [--seed N] [--max-patterns N] [--progress]
  *                                        exhaustive stuck-at campaign
+ *   scal_cli seq-campaign <netlist|-> [--symbols N] [--lanes N]
+ *                     [--seed N] [--jobs N] [--window S:E] [--no-drop]
+ *                     [--phi NAME] [--data I,J,..] [--alt I,J,..]
+ *                     [--code-pairs P,Q,..] [--hold I,J,..]
+ *                     [--json] [--progress]
+ *                                        sequential alternating campaign
  *   scal_cli tests    <netlist|-> <line> Theorem 3.2 test derivation
  *   scal_cli repair   <netlist|-> <line> [depth]   Figure 3.7 repair
  *   scal_cli convert-minority <netlist|->          Theorem 6.2
@@ -24,6 +30,8 @@
 #include "core/repair.hh"
 #include "core/test_derivation.hh"
 #include "fault/campaign.hh"
+#include "fault/collapse.hh"
+#include "fault/seq_campaign.hh"
 #include "minority/convert.hh"
 #include "netlist/circuits.hh"
 #include "netlist/dot.hh"
@@ -140,6 +148,7 @@ cmdCampaign(const Netlist &net, const CampaignFlags &flags)
     const auto res = fault::runAlternatingCampaign(net, flags.opts);
 
     if (flags.json) {
+        const auto col = fault::collapseFaults(net);
         std::cout << "{\n"
                   << "  \"patterns_applied\": " << res.patternsApplied
                   << ",\n"
@@ -149,6 +158,10 @@ cmdCampaign(const Netlist &net, const CampaignFlags &flags)
                   << "  \"untestable\": " << res.numUntestable << ",\n"
                   << "  \"self_checking\": "
                   << (res.selfChecking() ? "true" : "false") << ",\n"
+                  << "  \"collapse\": {\"total_faults\": "
+                  << col.totalFaults
+                  << ", \"classes\": " << col.representatives.size()
+                  << ", \"ratio\": " << col.ratio() << "},\n"
                   << "  \"unsafe_faults\": [";
         bool first = true;
         for (const auto &fr : res.faults) {
@@ -194,6 +207,197 @@ cmdCampaign(const Netlist &net, const CampaignFlags &flags)
                 std::cout << "  UNSAFE "
                           << faultToString(net, fr.fault) << "\n";
         }
+    }
+    std::cout << (res.selfChecking() ? "SELF-CHECKING"
+                                     : "NOT self-checking")
+              << "\n";
+    return res.selfChecking() ? 0 : 2;
+}
+
+struct SeqCampaignFlags
+{
+    fault::SeqCampaignOptions opts;
+    fault::SeqCampaignSpec spec;
+    std::string phiName = "phi";
+    bool json = false;
+};
+
+std::vector<int>
+parseIndexList(const std::string &v, const char *name)
+{
+    std::vector<int> out;
+    std::size_t pos = 0;
+    while (pos < v.size()) {
+        std::size_t comma = v.find(',', pos);
+        if (comma == std::string::npos)
+            comma = v.size();
+        try {
+            out.push_back(std::stoi(v.substr(pos, comma - pos)));
+        } catch (const std::exception &) {
+            throw std::runtime_error(
+                std::string(name) +
+                " needs a comma-separated index list, got '" + v + "'");
+        }
+        pos = comma + 1;
+    }
+    return out;
+}
+
+SeqCampaignFlags
+parseSeqCampaignFlags(int argc, char **argv, int first)
+{
+    SeqCampaignFlags flags;
+    for (int i = first; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *name) {
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(name) +
+                                         " needs a value");
+            return std::string(argv[++i]);
+        };
+        const auto number = [&](const char *name) -> long {
+            const std::string v = value(name);
+            try {
+                std::size_t pos = 0;
+                const long n = std::stol(v, &pos);
+                if (pos != v.size())
+                    throw std::invalid_argument(v);
+                return n;
+            } catch (const std::exception &) {
+                throw std::runtime_error(std::string(name) +
+                                         " needs a number, got '" + v +
+                                         "'");
+            }
+        };
+        if (arg == "--symbols")
+            flags.opts.symbols = number("--symbols");
+        else if (arg == "--lanes")
+            flags.opts.lanes = static_cast<int>(number("--lanes"));
+        else if (arg == "--seed")
+            flags.opts.seed =
+                static_cast<std::uint64_t>(number("--seed"));
+        else if (arg == "--jobs")
+            flags.opts.jobs = static_cast<int>(number("--jobs"));
+        else if (arg == "--window") {
+            const std::string v = value("--window");
+            const auto colon = v.find(':');
+            if (colon == std::string::npos)
+                throw std::runtime_error(
+                    "--window needs START:END in periods");
+            flags.opts.faultStart = std::stol(v.substr(0, colon));
+            flags.opts.faultEnd = std::stol(v.substr(colon + 1));
+        } else if (arg == "--no-drop")
+            flags.opts.dropDetected = false;
+        else if (arg == "--phi")
+            flags.phiName = value("--phi");
+        else if (arg == "--data")
+            flags.spec.dataOutputs =
+                parseIndexList(value("--data"), "--data");
+        else if (arg == "--alt")
+            flags.spec.altOutputs =
+                parseIndexList(value("--alt"), "--alt");
+        else if (arg == "--code-pairs")
+            flags.spec.codePairs =
+                parseIndexList(value("--code-pairs"), "--code-pairs");
+        else if (arg == "--hold")
+            flags.spec.holdInputs =
+                parseIndexList(value("--hold"), "--hold");
+        else if (arg == "--progress")
+            flags.opts.progressInterval = std::chrono::seconds(1);
+        else if (arg == "--json")
+            flags.json = true;
+        else
+            throw std::runtime_error("unknown seq-campaign flag " +
+                                     arg);
+    }
+    return flags;
+}
+
+int
+cmdSeqCampaign(const Netlist &net, const SeqCampaignFlags &flags)
+{
+    // Default spec: every output is both a data word and a line that
+    // must alternate (--data/--alt/--code-pairs narrow this for
+    // machines with checker code outputs); φ is the input named
+    // --phi (default "phi"), if the netlist has one.
+    fault::SeqCampaignSpec spec = flags.spec;
+    for (int i = 0; i < net.numInputs(); ++i) {
+        if (net.gate(net.inputs()[i]).name == flags.phiName)
+            spec.phiInput = i;
+    }
+    const auto res = fault::runSequentialCampaign(net, spec, flags.opts);
+    const auto col = fault::collapseFaults(net);
+
+    if (flags.json) {
+        std::cout << "{\n"
+                  << "  \"symbols\": " << res.symbols << ",\n"
+                  << "  \"lanes\": " << res.lanes << ",\n"
+                  << "  \"faults\": " << res.faults.size() << ",\n"
+                  << "  \"detected\": " << res.numDetected << ",\n"
+                  << "  \"unsafe\": " << res.numUnsafe << ",\n"
+                  << "  \"untestable\": " << res.numUntestable << ",\n"
+                  << "  \"self_checking\": "
+                  << (res.selfChecking() ? "true" : "false") << ",\n"
+                  << "  \"fault_secure\": "
+                  << (res.faultSecure() ? "true" : "false") << ",\n"
+                  << "  \"collapse\": {\"total_faults\": "
+                  << col.totalFaults
+                  << ", \"classes\": " << col.representatives.size()
+                  << ", \"ratio\": " << col.ratio() << "},\n"
+                  << "  \"alarm_lane_count\": " << res.alarmLaneCount
+                  << ",\n"
+                  << "  \"mean_alarm_period\": " << res.meanAlarmPeriod
+                  << ",\n"
+                  << "  \"latency_histogram\": [";
+        for (int k = 0; k < fault::kLatencyBuckets; ++k)
+            std::cout << (k ? ", " : "") << res.latencyHistogram[k];
+        std::cout << "],\n"
+                  << "  \"periods_simulated\": " << res.periodsSimulated
+                  << ",\n"
+                  << "  \"periods_skipped\": " << res.periodsSkipped
+                  << ",\n"
+                  << "  \"unsafe_faults\": [";
+        bool first = true;
+        for (const auto &fv : res.faults) {
+            if (fv.outcome != fault::Outcome::Unsafe)
+                continue;
+            std::cout << (first ? "" : ", ") << "\""
+                      << jsonEscape(faultToString(net, fv.fault))
+                      << "\"";
+            first = false;
+        }
+        std::cout << "],\n"
+                  << "  \"stats\": " << res.stats.toJson() << "\n"
+                  << "}\n";
+        return res.selfChecking() ? 0 : 2;
+    }
+
+    std::cout << "symbols: " << res.symbols << " x " << res.lanes
+              << " lanes\n"
+              << "faults: " << res.faults.size() << " ("
+              << col.representatives.size()
+              << " classes, collapse ratio " << col.ratio() << ")\n"
+              << "detected: " << res.numDetected << "\n"
+              << "unsafe: " << res.numUnsafe << "\n"
+              << "untestable: " << res.numUntestable << "\n"
+              << "mean first-alarm period: " << res.meanAlarmPeriod
+              << " over " << res.alarmLaneCount << " (fault, lane) alarms\n"
+              << "periods simulated/skipped: " << res.periodsSimulated
+              << "/" << res.periodsSkipped << "\n";
+    std::cout << "detection latency (log2 buckets of first-alarm period):\n";
+    for (int k = 0; k < fault::kLatencyBuckets; ++k) {
+        if (!res.latencyHistogram[k])
+            continue;
+        const long lo = (1L << k) - 1;
+        const long hi = (1L << (k + 1)) - 2;
+        std::cout << "  [" << lo << ", " << hi
+                  << "]: " << res.latencyHistogram[k] << "\n";
+    }
+    for (const auto &fv : res.faults) {
+        if (fv.outcome == fault::Outcome::Unsafe)
+            std::cout << "  UNSAFE " << faultToString(net, fv.fault)
+                      << " (escape at period " << fv.firstEscapePeriod
+                      << ")\n";
     }
     std::cout << (res.selfChecking() ? "SELF-CHECKING"
                                      : "NOT self-checking")
@@ -273,7 +477,7 @@ main(int argc, char **argv)
             return cmdSelfTest();
         if (argc < 3) {
             std::cerr << "usage: scal_cli "
-                         "{analyze|campaign|tests|repair|"
+                         "{analyze|campaign|seq-campaign|tests|repair|"
                          "convert-minority|dot|selftest} <netlist|-> "
                          "[args]\n";
             return 64;
@@ -283,6 +487,9 @@ main(int argc, char **argv)
             return cmdAnalyze(net);
         if (cmd == "campaign")
             return cmdCampaign(net, parseCampaignFlags(argc, argv, 3));
+        if (cmd == "seq-campaign")
+            return cmdSeqCampaign(net,
+                                  parseSeqCampaignFlags(argc, argv, 3));
         if (cmd == "tests" && argc > 3)
             return cmdTests(net, argv[3]);
         if (cmd == "repair" && argc > 3)
