@@ -3,15 +3,17 @@
  * Fault-simulation kernel benchmark: the pre-change reference kernel
  * (PackedEvaluator full resimulation per fault per 64-lane block —
  * exactly the inner loop the campaign used to run) against the
- * cone-restricted FaultSimulator, on the paper's circuits. Verdict
- * masks are cross-checked between the two kernels, and the results
- * are emitted as machine-readable JSON (stdout and a file) so CI can
- * archive the numbers.
+ * cone-restricted FaultSimulator at 64, 256 and 512 lanes per replay,
+ * on the paper's circuits. Verdict mask digests are cross-checked
+ * between the two kernels and across every lane width and dispatch
+ * target, and the results are emitted as machine-readable JSON
+ * (stdout and a file) so CI can archive the numbers. Every timing is
+ * a warmed-up best/median/stddev over --reps repetitions
+ * (bench_stats.hh).
  *
- * Usage: bench_fault_sim [--max-patterns N] [--out FILE]
+ * Usage: bench_fault_sim [--max-patterns N] [--reps N] [--out FILE]
  */
 
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -20,10 +22,12 @@
 #include <string>
 #include <vector>
 
+#include "bench_stats.hh"
 #include "netlist/circuits.hh"
 #include "sim/fault_sim.hh"
 #include "sim/flat.hh"
 #include "sim/packed.hh"
+#include "sim/simd.hh"
 #include "system/alu.hh"
 #include "util/rng.hh"
 
@@ -40,56 +44,101 @@ struct Scenario
     Netlist net;
 };
 
-/** Packed 64-lane input blocks, exhaustive or seeded-sampled. */
-std::vector<std::vector<std::uint64_t>>
-buildBlocks(int ni, std::uint64_t max_patterns, std::uint64_t &applied)
+/** One packed input block of 64 * laneWords lanes (campaign layout:
+ *  input i at words [i*W, i*W+W), lane l at bit l%64 of word l/64). */
+struct WideBlock
+{
+    std::vector<std::uint64_t> in;
+    int lanes = 0;
+
+    std::uint64_t
+    laneMask(int word) const
+    {
+        const int rem = lanes - 64 * word;
+        if (rem <= 0)
+            return 0;
+        if (rem >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << rem) - 1;
+    }
+};
+
+/** Packed input blocks, exhaustive or seeded-sampled. The pattern
+ *  stream is identical at every width (ascending order, one Rng draw
+ *  per sampled pattern), so verdict digests are width-invariant. */
+std::vector<WideBlock>
+buildBlocks(int ni, std::uint64_t max_patterns, int lane_words,
+            std::uint64_t &applied)
 {
     const bool exhaustive =
         ni < 63 && (std::uint64_t{1} << ni) <= max_patterns;
     applied = exhaustive ? (std::uint64_t{1} << ni) : max_patterns;
+    const std::uint64_t block_lanes =
+        static_cast<std::uint64_t>(64) * lane_words;
     util::Rng rng(1);
-    std::vector<std::vector<std::uint64_t>> blocks;
-    for (std::uint64_t base = 0; base < applied; base += 64) {
-        const std::uint64_t lanes =
-            std::min<std::uint64_t>(64, applied - base);
-        std::vector<std::uint64_t> in(ni, 0);
-        for (std::uint64_t l = 0; l < lanes; ++l) {
+    std::vector<WideBlock> blocks;
+    for (std::uint64_t base = 0; base < applied; base += block_lanes) {
+        WideBlock blk;
+        blk.lanes = static_cast<int>(
+            std::min<std::uint64_t>(block_lanes, applied - base));
+        blk.in.assign(static_cast<std::size_t>(ni) * lane_words, 0);
+        for (int l = 0; l < blk.lanes; ++l) {
             const std::uint64_t pat = exhaustive ? base + l : rng.next();
+            const std::size_t word = static_cast<std::size_t>(l) / 64;
+            const std::uint64_t bit = std::uint64_t{1} << (l % 64);
             for (int i = 0; i < ni; ++i)
                 if ((pat >> i) & 1)
-                    in[i] |= std::uint64_t{1} << l;
+                    blk.in[static_cast<std::size_t>(i) * lane_words +
+                           word] |= bit;
         }
-        blocks.push_back(std::move(in));
+        blocks.push_back(std::move(blk));
     }
     return blocks;
 }
 
-/** Fold one fault's per-output words into the alternating masks. */
+/** Fold one fault's per-output words into the alternating masks,
+ *  restricted to the @p lane_mask of populated lanes (padding lanes
+ *  in a partial final block must not contribute to the digest). */
 void
 foldMasks(const std::vector<std::uint64_t> &f1,
           const std::vector<std::uint64_t> &f2,
-          const std::vector<std::uint64_t> &good,
+          const std::vector<std::uint64_t> &good, std::uint64_t lane_mask,
           sim::AlternatingMasks &m)
 {
     for (std::size_t j = 0; j < f1.size(); ++j) {
         const std::uint64_t err1 = f1[j] ^ good[j];
         const std::uint64_t err2 = f2[j] ^ ~good[j];
-        m.anyErr |= err1 | err2;
-        m.nonAlt |= ~(f1[j] ^ f2[j]);
-        m.incorrect |= err1 & err2;
+        m.anyErr |= (err1 | err2) & lane_mask;
+        m.nonAlt |= ~(f1[j] ^ f2[j]) & lane_mask;
+        m.incorrect |= err1 & err2 & lane_mask;
     }
+}
+
+/** Digest of all verdict masks, for kernel cross-checking. */
+std::uint64_t
+maskDigest(const std::vector<sim::AlternatingMasks> &verdict)
+{
+    std::uint64_t digest = 0;
+    for (const auto &m : verdict) {
+        digest ^= m.anyErr * 0x9e3779b97f4a7c15ULL;
+        digest ^= m.nonAlt * 0xc2b2ae3d27d4eb4fULL;
+        digest ^= m.incorrect * 0x165667b19e3779f9ULL;
+        digest = (digest << 7) | (digest >> 57);
+    }
+    return digest;
 }
 
 /** The campaign inner loop as it was before the cone kernel: full
  *  packed resimulation of the whole netlist, twice per fault per
- *  block. Returns a digest of all verdict masks for cross-checking. */
+ *  64-lane block. Returns a digest of all verdict masks. */
 std::uint64_t
 runReferenceKernel(const Netlist &net, const std::vector<Fault> &faults,
-                   const std::vector<std::vector<std::uint64_t>> &blocks)
+                   const std::vector<WideBlock> &blocks)
 {
     const sim::PackedEvaluator pe(net);
     std::vector<sim::AlternatingMasks> verdict(faults.size());
-    for (const auto &in : blocks) {
+    for (const WideBlock &blk : blocks) {
+        const auto &in = blk.in; // one word per input at lane_words == 1
         std::vector<std::uint64_t> inbar(in.size());
         for (std::size_t i = 0; i < in.size(); ++i)
             inbar[i] = ~in[i];
@@ -97,62 +146,46 @@ runReferenceKernel(const Netlist &net, const std::vector<Fault> &faults,
         for (std::size_t k = 0; k < faults.size(); ++k) {
             const auto f1 = pe.evalOutputs(in, &faults[k]);
             const auto f2 = pe.evalOutputs(inbar, &faults[k]);
-            foldMasks(f1, f2, good, verdict[k]);
+            foldMasks(f1, f2, good, blk.laneMask(0), verdict[k]);
         }
     }
-    std::uint64_t digest = 0;
-    for (const auto &m : verdict) {
-        digest ^= m.anyErr * 0x9e3779b97f4a7c15ULL;
-        digest ^= m.nonAlt * 0xc2b2ae3d27d4eb4fULL;
-        digest ^= m.incorrect * 0x165667b19e3779f9ULL;
-        digest = (digest << 7) | (digest >> 57);
-    }
-    return digest;
+    return maskDigest(verdict);
 }
 
-/** The cone-restricted kernel the campaign runs now. */
+/** The cone-restricted kernel the campaign runs now, at any lane
+ *  width and dispatch target. Per-fault masks are accumulated over
+ *  the active lanes only, so the digest is identical at every
+ *  (width, target) pair. */
 std::uint64_t
-runConeKernel(const sim::FlatNetlist &flat,
+runWideKernel(const sim::FlatNetlist &flat,
               const std::vector<Fault> &faults,
-              const std::vector<std::vector<std::uint64_t>> &blocks)
+              const std::vector<WideBlock> &blocks, int lane_words,
+              sim::SimdTarget target)
 {
-    sim::FaultSimulator fs(flat);
+    sim::FaultSimulator fs(flat, lane_words, target);
     std::vector<sim::AlternatingMasks> verdict(faults.size());
-    for (const auto &in : blocks) {
-        fs.setAlternatingBlock(in);
+    for (const WideBlock &blk : blocks) {
+        fs.setAlternatingBlock(blk.in);
         for (std::size_t k = 0; k < faults.size(); ++k) {
-            const sim::AlternatingMasks m =
-                fs.classifyAlternating(faults[k]);
-            verdict[k].anyErr |= m.anyErr;
-            verdict[k].nonAlt |= m.nonAlt;
-            verdict[k].incorrect |= m.incorrect;
+            const sim::WideMasks m =
+                fs.classifyAlternatingWide(faults[k]);
+            for (int w = 0; w < lane_words; ++w) {
+                const std::uint64_t lm = blk.laneMask(w);
+                verdict[k].anyErr |= m.anyErr[w] & lm;
+                verdict[k].nonAlt |= m.nonAlt[w] & lm;
+                verdict[k].incorrect |= m.incorrect[w] & lm;
+            }
         }
     }
-    std::uint64_t digest = 0;
-    for (const auto &m : verdict) {
-        digest ^= m.anyErr * 0x9e3779b97f4a7c15ULL;
-        digest ^= m.nonAlt * 0xc2b2ae3d27d4eb4fULL;
-        digest ^= m.incorrect * 0x165667b19e3779f9ULL;
-        digest = (digest << 7) | (digest >> 57);
-    }
-    return digest;
+    return maskDigest(verdict);
 }
 
-/** Best-of-N wall-clock seconds for one kernel run. */
-template <typename Fn>
-double
-timeBest(Fn &&fn, int reps)
+/** Timing for the cone kernel at one lane width (native dispatch). */
+struct WidthRow
 {
-    double best = 1e300;
-    for (int r = 0; r < reps; ++r) {
-        const auto t0 = std::chrono::steady_clock::now();
-        fn();
-        const auto t1 = std::chrono::steady_clock::now();
-        best = std::min(
-            best, std::chrono::duration<double>(t1 - t0).count());
-    }
-    return best;
-}
+    int lanes = 0;
+    bench::TimingStats stats;
+};
 
 struct Row
 {
@@ -160,44 +193,75 @@ struct Row
     std::size_t gates = 0;
     std::size_t faults = 0;
     std::uint64_t patterns = 0;
-    double refSeconds = 0;
-    double coneSeconds = 0;
+    bench::TimingStats ref;
+    std::vector<WidthRow> widths; // ascending lanes; widths[0] is 64
 
-    double refThroughput() const
+    double throughput(double seconds) const
     {
         return static_cast<double>(faults) *
-               static_cast<double>(patterns) / refSeconds;
+               static_cast<double>(patterns) / seconds;
     }
-    double coneThroughput() const
+    /** ref vs the 64-lane cone kernel (the historical headline). */
+    double speedup() const
     {
-        return static_cast<double>(faults) *
-               static_cast<double>(patterns) / coneSeconds;
+        return ref.best / widths.front().stats.best;
     }
-    double speedup() const { return refSeconds / coneSeconds; }
+    /** 512-lane vs 64-lane cone kernel, both native dispatch. */
+    double speedup512v64() const
+    {
+        return widths.front().stats.best / widths.back().stats.best;
+    }
 };
 
 void
-emitJson(std::ostream &os, const std::vector<Row> &rows)
+emitJson(std::ostream &os, const std::vector<Row> &rows,
+         sim::SimdTarget native)
 {
-    double log_sum = 0;
+    // The wide geomean only counts scenarios whose pattern budget
+    // fills at least one 512-lane block; a circuit whose exhaustive
+    // space is a handful of patterns (section36: 8) has nothing for
+    // the extra lanes to do and would just measure block overhead.
+    double log_sum = 0, log_sum_wide = 0;
+    int wide_n = 0;
     os << "{\n  \"benchmark\": \"fault_sim\",\n  \"unit\": "
-          "\"faults*patterns/s\",\n  \"scenarios\": [\n";
+          "\"faults*patterns/s\",\n  \"simd\": \""
+       << sim::simdTargetName(native) << "\",\n  \"reps\": "
+       << rows.front().ref.reps << ",\n  \"warmup\": "
+       << rows.front().ref.warmup << ",\n  \"scenarios\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         log_sum += std::log(r.speedup());
+        if (r.patterns >= 512) {
+            log_sum_wide += std::log(r.speedup512v64());
+            ++wide_n;
+        }
         os << "    {\"name\": \"" << r.name << "\", \"gates\": "
            << r.gates << ", \"faults\": " << r.faults
-           << ", \"patterns\": " << r.patterns
-           << ", \"ref_seconds\": " << r.refSeconds
-           << ", \"cone_seconds\": " << r.coneSeconds
-           << ", \"ref_throughput\": " << r.refThroughput()
-           << ", \"cone_throughput\": " << r.coneThroughput()
-           << ", \"speedup\": " << r.speedup() << "}"
-           << (i + 1 < rows.size() ? "," : "") << "\n";
+           << ", \"patterns\": " << r.patterns << ", ";
+        bench::emitStatsFields(os, "ref", r.ref);
+        os << ", ";
+        bench::emitStatsFields(os, "cone", r.widths.front().stats);
+        os << ", \"ref_throughput\": " << r.throughput(r.ref.best)
+           << ", \"cone_throughput\": "
+           << r.throughput(r.widths.front().stats.best)
+           << ", \"speedup\": " << r.speedup() << ",\n     \"widths\": [";
+        for (std::size_t w = 0; w < r.widths.size(); ++w) {
+            const WidthRow &wr = r.widths[w];
+            os << (w ? ", " : "") << "\n       {\"lanes\": " << wr.lanes
+               << ", ";
+            bench::emitStatsFields(os, "cone", wr.stats);
+            os << ", \"throughput\": " << r.throughput(wr.stats.best)
+               << ", \"speedup_vs_64\": "
+               << r.widths.front().stats.best / wr.stats.best << "}";
+        }
+        os << "],\n     \"speedup_512v64\": " << r.speedup512v64()
+           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    os << "  ],\n  \"geomean_speedup\": "
-       << std::exp(log_sum / static_cast<double>(rows.size()))
-       << "\n}\n";
+    const double n = static_cast<double>(rows.size());
+    os << "  ],\n  \"geomean_speedup\": " << std::exp(log_sum / n)
+       << ",\n  \"geomean_speedup_512v64\": "
+       << (wide_n ? std::exp(log_sum_wide / wide_n) : 1.0)
+       << ",\n  \"geomean_512v64_scenarios\": " << wide_n << "\n}\n";
 }
 
 } // namespace
@@ -206,13 +270,19 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t max_patterns = std::uint64_t{1} << 14;
+    int reps = 5;
     std::string out_path = "BENCH_fault_sim.json";
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--max-patterns") && i + 1 < argc)
             max_patterns = std::strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+            reps = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
             out_path = argv[++i];
     }
+    const sim::SimdTarget native =
+        sim::resolveSimdTarget(sim::SimdTarget::Auto);
+    const int width_list[] = {1, 4, 8};
 
     std::vector<Scenario> scenarios;
     scenarios.push_back(
@@ -225,19 +295,25 @@ main(int argc, char **argv)
     std::vector<Row> rows;
     for (const Scenario &sc : scenarios) {
         const std::vector<Fault> faults = sc.net.allFaults();
-        std::uint64_t applied = 0;
-        const auto blocks =
-            buildBlocks(sc.net.numInputs(), max_patterns, applied);
+        const int ni = sc.net.numInputs();
         const sim::FlatNetlist flat(sc.net);
 
-        // Verdicts must agree before timing means anything.
+        // Verdicts must agree — between the reference and cone
+        // kernels, across every lane width, and between portable and
+        // native dispatch — before timing means anything.
+        std::uint64_t applied = 0;
+        const auto narrow = buildBlocks(ni, max_patterns, 1, applied);
         const std::uint64_t want =
-            runReferenceKernel(sc.net, faults, blocks);
-        const std::uint64_t got = runConeKernel(flat, faults, blocks);
-        if (want != got) {
-            std::cerr << "FATAL: kernel mismatch on " << sc.name
-                      << "\n";
-            return 1;
+            runReferenceKernel(sc.net, faults, narrow);
+        for (int lw : width_list) {
+            const auto blocks = buildBlocks(ni, max_patterns, lw, applied);
+            if (runWideKernel(flat, faults, blocks, lw, native) != want ||
+                runWideKernel(flat, faults, blocks, lw,
+                              sim::SimdTarget::Portable) != want) {
+                std::cerr << "FATAL: kernel digest mismatch on "
+                          << sc.name << " at " << 64 * lw << " lanes\n";
+                return 1;
+            }
         }
 
         Row row;
@@ -245,18 +321,26 @@ main(int argc, char **argv)
         row.gates = static_cast<std::size_t>(sc.net.numGates());
         row.faults = faults.size();
         row.patterns = applied;
-        row.refSeconds = timeBest(
-            [&] { runReferenceKernel(sc.net, faults, blocks); }, 3);
-        row.coneSeconds = timeBest(
-            [&] { runConeKernel(flat, faults, blocks); }, 3);
+        row.ref = bench::timeStats(
+            [&] { runReferenceKernel(sc.net, faults, narrow); }, reps);
+        for (int lw : width_list) {
+            const auto blocks = buildBlocks(ni, max_patterns, lw, applied);
+            WidthRow wr;
+            wr.lanes = 64 * lw;
+            wr.stats = bench::timeStats(
+                [&] { runWideKernel(flat, faults, blocks, lw, native); },
+                reps);
+            row.widths.push_back(wr);
+        }
         rows.push_back(row);
-        std::cerr << sc.name << ": ref " << row.refSeconds << "s, cone "
-                  << row.coneSeconds << "s, speedup " << row.speedup()
-                  << "x\n";
+        std::cerr << sc.name << ": ref " << row.ref.best << "s, cone64 "
+                  << row.widths.front().stats.best << "s, cone512 "
+                  << row.widths.back().stats.best << "s, 512v64 "
+                  << row.speedup512v64() << "x\n";
     }
 
-    emitJson(std::cout, rows);
+    emitJson(std::cout, rows, native);
     std::ofstream f(out_path);
-    emitJson(f, rows);
+    emitJson(f, rows, native);
     return 0;
 }

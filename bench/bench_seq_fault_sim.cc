@@ -7,14 +7,19 @@
  * ALU-scale self-dual accumulator. Both sides fold their per-symbol
  * alarm/wrong masks through the shared SeqVerdictAccumulator, so the
  * per-fault verdicts — and their digests — must agree exactly before
- * any timing is reported. Emits machine-readable JSON (stdout and a
- * file) so CI can archive the numbers.
+ * any timing is reported. The packed kernel is additionally timed at
+ * 64, 256 and 512 lanes per trace (native dispatch, jobs = 1); at
+ * each width the verdict digest is cross-checked between portable and
+ * native dispatch and across --jobs values. Every packed timing is a
+ * warmed-up best/median/stddev over --reps repetitions
+ * (bench_stats.hh). Emits machine-readable JSON (stdout and a file)
+ * so CI can archive the numbers.
  *
- * Usage: bench_seq_fault_sim [--symbols N] [--lanes N] [--out FILE]
+ * Usage: bench_seq_fault_sim [--symbols N] [--lanes N] [--reps N]
+ *                            [--out FILE]
  */
 
 #include <array>
-#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
@@ -24,11 +29,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_stats.hh"
 #include "fault/seq_campaign.hh"
 #include "seq/dual_flipflop.hh"
 #include "seq/kohavi.hh"
 #include "seq/registers.hh"
 #include "sim/sequential.hh"
+#include "sim/simd.hh"
 
 using namespace scal;
 using netlist::Fault;
@@ -200,20 +207,13 @@ digestPacked(const fault::SeqCampaignResult &res)
     return d;
 }
 
-template <typename Fn>
-double
-timeBest(Fn &&fn, int reps)
+/** Packed-campaign timing at one lane width (native dispatch). */
+struct WidthRow
 {
-    double best = 1e300;
-    for (int r = 0; r < reps; ++r) {
-        const auto t0 = std::chrono::steady_clock::now();
-        fn();
-        const auto t1 = std::chrono::steady_clock::now();
-        best = std::min(
-            best, std::chrono::duration<double>(t1 - t0).count());
-    }
-    return best;
-}
+    int lanes = 0;
+    std::uint64_t periodsSimulated = 0;
+    bench::TimingStats stats;
+};
 
 struct Row
 {
@@ -222,38 +222,75 @@ struct Row
     std::size_t faults = 0;
     long symbols = 0;
     int lanes = 0;
-    double scalarSeconds = 0;
-    double packedSeconds = 0;
+    bench::TimingStats scalar;
+    bench::TimingStats packed;
     std::vector<std::pair<int, double>> jobsSeconds;
+    std::vector<WidthRow> widths; // ascending lanes; widths[0] is 64
 
-    double speedup() const { return scalarSeconds / packedSeconds; }
+    double speedup() const { return scalar.best / packed.best; }
+
+    /** Lane-periods simulated per second. A 512-lane campaign packs
+     *  8x the sampled streams of a 64-lane one into each simulated
+     *  period, and with dropDetected the stop point moves with width
+     *  (every lane must alarm), so widths are compared on measured
+     *  simulation work per second, not raw seconds. */
+    double laneThroughput(const WidthRow &w) const
+    {
+        return static_cast<double>(w.lanes) *
+               static_cast<double>(w.periodsSimulated) / w.stats.best;
+    }
+    double speedup512v64() const
+    {
+        return laneThroughput(widths.back()) /
+               laneThroughput(widths.front());
+    }
 };
 
 void
-emitJson(std::ostream &os, const std::vector<Row> &rows)
+emitJson(std::ostream &os, const std::vector<Row> &rows,
+         sim::SimdTarget native)
 {
-    double log_sum = 0;
+    double log_sum = 0, log_sum_wide = 0;
     os << "{\n  \"benchmark\": \"seq_fault_sim\",\n  \"unit\": "
-          "\"seconds\",\n  \"scenarios\": [\n";
+          "\"seconds\",\n  \"simd\": \""
+       << sim::simdTargetName(native) << "\",\n  \"reps\": "
+       << rows.front().packed.reps << ",\n  \"warmup\": "
+       << rows.front().packed.warmup << ",\n  \"scenarios\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
         log_sum += std::log(r.speedup());
+        log_sum_wide += std::log(r.speedup512v64());
         os << "    {\"name\": \"" << r.name << "\", \"gates\": "
            << r.gates << ", \"faults\": " << r.faults
            << ", \"symbols\": " << r.symbols
-           << ", \"lanes\": " << r.lanes
-           << ", \"scalar_seconds\": " << r.scalarSeconds
-           << ", \"packed_seconds\": " << r.packedSeconds
-           << ", \"speedup\": " << r.speedup()
+           << ", \"lanes\": " << r.lanes << ", ";
+        bench::emitStatsFields(os, "scalar", r.scalar);
+        os << ", ";
+        bench::emitStatsFields(os, "packed", r.packed);
+        os << ", \"speedup\": " << r.speedup()
            << ", \"jobs_seconds\": {";
         for (std::size_t k = 0; k < r.jobsSeconds.size(); ++k)
             os << (k ? ", " : "") << "\"" << r.jobsSeconds[k].first
                << "\": " << r.jobsSeconds[k].second;
-        os << "}}" << (i + 1 < rows.size() ? "," : "") << "\n";
+        os << "},\n     \"widths\": [";
+        for (std::size_t w = 0; w < r.widths.size(); ++w) {
+            const WidthRow &wr = r.widths[w];
+            os << (w ? ", " : "") << "\n       {\"lanes\": " << wr.lanes
+               << ", \"periods_simulated\": " << wr.periodsSimulated
+               << ", ";
+            bench::emitStatsFields(os, "packed", wr.stats);
+            os << ", \"lane_throughput\": " << r.laneThroughput(wr)
+               << ", \"speedup_vs_64\": "
+               << r.laneThroughput(wr) / r.laneThroughput(r.widths.front())
+               << "}";
+        }
+        os << "],\n     \"speedup_512v64\": " << r.speedup512v64()
+           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
-    os << "  ],\n  \"geomean_speedup\": "
-       << std::exp(log_sum / static_cast<double>(rows.size()))
-       << "\n}\n";
+    const double n = static_cast<double>(rows.size());
+    os << "  ],\n  \"geomean_speedup\": " << std::exp(log_sum / n)
+       << ",\n  \"geomean_speedup_512v64\": "
+       << std::exp(log_sum_wide / n) << "\n}\n";
 }
 
 } // namespace
@@ -261,17 +298,22 @@ emitJson(std::ostream &os, const std::vector<Row> &rows)
 int
 main(int argc, char **argv)
 {
-    long symbols = 128;
+    long symbols = 256;
     int lanes = 64;
+    int reps = 5;
     std::string out_path = "BENCH_seq_fault_sim.json";
     for (int i = 1; i < argc; ++i) {
         if (!std::strcmp(argv[i], "--symbols") && i + 1 < argc)
             symbols = std::strtol(argv[++i], nullptr, 0);
         else if (!std::strcmp(argv[i], "--lanes") && i + 1 < argc)
             lanes = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
+        else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
+            reps = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
             out_path = argv[++i];
     }
+    const sim::SimdTarget native =
+        sim::resolveSimdTarget(sim::SimdTarget::Auto);
 
     std::vector<Scenario> scenarios;
     scenarios.push_back({"fig4_10_translator", seq::translatorDetector()});
@@ -305,30 +347,72 @@ main(int argc, char **argv)
         row.faults = packed.faults.size();
         row.symbols = symbols;
         row.lanes = lanes;
-        row.scalarSeconds = timeBest(
-            [&] { runScalarOracle(sc.sm.net, spec, opts, words); }, 1);
-        row.packedSeconds = timeBest(
+        // The scalar oracle is orders of magnitude slower than every
+        // packed configuration; one untimed-warmup-free pass keeps the
+        // benchmark runnable while the packed timings get the full
+        // warmup + reps treatment.
+        row.scalar = bench::timeStats(
+            [&] { runScalarOracle(sc.sm.net, spec, opts, words); },
+            /*reps=*/1, /*warmup=*/0);
+        row.packed = bench::timeStats(
             [&] { fault::runSequentialCampaign(sc.sm.net, spec, opts); },
-            3);
+            reps);
         for (int j : {2, 4, 8}) {
             fault::SeqCampaignOptions jopts = opts;
             jopts.jobs = j;
             row.jobsSeconds.emplace_back(
-                j, timeBest(
+                j, bench::timeStats(
                        [&] {
                            fault::runSequentialCampaign(sc.sm.net, spec,
                                                         jopts);
                        },
-                       3));
+                       reps)
+                       .best);
+        }
+
+        // Wide traces: same symbol budget, 4x / 8x the sampled lanes
+        // per pass. At each width the verdict digest must agree
+        // between portable and native dispatch and across jobs.
+        for (int wlanes : {64, 256, 512}) {
+            fault::SeqCampaignOptions wopts = opts;
+            wopts.lanes = wlanes;
+            wopts.jobs = 1;
+            wopts.simd = sim::SimdTarget::Auto;
+            const auto nat =
+                fault::runSequentialCampaign(sc.sm.net, spec, wopts);
+            fault::SeqCampaignOptions popts = wopts;
+            popts.simd = sim::SimdTarget::Portable;
+            fault::SeqCampaignOptions jopts = wopts;
+            jopts.jobs = 8;
+            if (digestPacked(fault::runSequentialCampaign(sc.sm.net,
+                                                          spec, popts)) !=
+                    digestPacked(nat) ||
+                digestPacked(fault::runSequentialCampaign(
+                    sc.sm.net, spec, jopts)) != digestPacked(nat)) {
+                std::cerr << "FATAL: dispatch/jobs digest mismatch on "
+                          << sc.name << " at " << wlanes << " lanes\n";
+                return 1;
+            }
+            WidthRow wr;
+            wr.lanes = wlanes;
+            wr.periodsSimulated =
+                static_cast<std::uint64_t>(nat.periodsSimulated);
+            wr.stats = bench::timeStats(
+                [&] {
+                    fault::runSequentialCampaign(sc.sm.net, spec, wopts);
+                },
+                reps);
+            row.widths.push_back(wr);
         }
         rows.push_back(row);
-        std::cerr << sc.name << ": scalar " << row.scalarSeconds
-                  << "s, packed " << row.packedSeconds << "s, speedup "
-                  << row.speedup() << "x\n";
+        std::cerr << sc.name << ": scalar " << row.scalar.best
+                  << "s, packed " << row.packed.best << "s, speedup "
+                  << row.speedup() << "x, 512v64 "
+                  << row.speedup512v64() << "x\n";
     }
 
-    emitJson(std::cout, rows);
+    emitJson(std::cout, rows, native);
     std::ofstream f(out_path);
-    emitJson(f, rows);
+    emitJson(f, rows, native);
     return 0;
 }

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Shared timing-stability helpers for the kernel benchmarks: every
+ * timed section runs a warmup pass (cold caches and lazy allocations
+ * do not pollute the samples) and then a fixed number of repetitions,
+ * reported as best / median / standard deviation so CI artifacts can
+ * distinguish a real regression from scheduler noise.
+ */
+
+#ifndef SCAL_BENCH_BENCH_STATS_HH
+#define SCAL_BENCH_BENCH_STATS_HH
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <ostream>
+#include <vector>
+
+namespace scal::bench
+{
+
+struct TimingStats
+{
+    double best = 0;    ///< minimum wall-clock seconds over the reps
+    double median = 0;  ///< median seconds
+    double stddev = 0;  ///< population standard deviation in seconds
+    int reps = 0;
+    int warmup = 0;
+};
+
+/** Time @p fn: @p warmup untimed passes, then @p reps timed ones. */
+template <typename Fn>
+TimingStats
+timeStats(Fn &&fn, int reps = 5, int warmup = 1)
+{
+    for (int r = 0; r < warmup; ++r)
+        fn();
+    std::vector<double> samples;
+    samples.reserve(static_cast<std::size_t>(reps));
+    for (int r = 0; r < reps; ++r) {
+        const auto t0 = std::chrono::steady_clock::now();
+        fn();
+        const auto t1 = std::chrono::steady_clock::now();
+        samples.push_back(
+            std::chrono::duration<double>(t1 - t0).count());
+    }
+    TimingStats s;
+    s.reps = reps;
+    s.warmup = warmup;
+    s.best = *std::min_element(samples.begin(), samples.end());
+    std::sort(samples.begin(), samples.end());
+    const std::size_t n = samples.size();
+    s.median = n % 2 ? samples[n / 2]
+                     : 0.5 * (samples[n / 2 - 1] + samples[n / 2]);
+    double mean = 0;
+    for (double v : samples)
+        mean += v;
+    mean /= static_cast<double>(n);
+    double var = 0;
+    for (double v : samples)
+        var += (v - mean) * (v - mean);
+    s.stddev = std::sqrt(var / static_cast<double>(n));
+    return s;
+}
+
+/** The stats as inline JSON fields (no surrounding braces), e.g.
+ *  `"foo_seconds": B, "foo_median": M, "foo_stddev": S`. */
+inline void
+emitStatsFields(std::ostream &os, const char *prefix,
+                const TimingStats &s)
+{
+    os << "\"" << prefix << "_seconds\": " << s.best << ", \"" << prefix
+       << "_median\": " << s.median << ", \"" << prefix
+       << "_stddev\": " << s.stddev;
+}
+
+} // namespace scal::bench
+
+#endif // SCAL_BENCH_BENCH_STATS_HH

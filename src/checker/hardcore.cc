@@ -43,7 +43,9 @@ latentHardcoreFaults()
 {
     const Netlist net = hardcoreModuleNetlist();
     const sim::FlatNetlist flat(net);
-    sim::FaultSimulator fsim(flat);
+    // Only four code-word patterns exist, so one 64-lane word already
+    // holds the whole space: lane_words == 1 by construction.
+    sim::FaultSimulator fsim(flat, /*lane_words=*/1);
 
     // Normal operation: the checker pair is a code word (f ≠ g).
     // Pack the four code-word patterns (clk × (f,g) ∈ {(0,1),(1,0)})

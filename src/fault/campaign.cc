@@ -26,14 +26,17 @@ struct Verdict
 };
 
 /**
- * One 64-lane packed input block with its fault-free outputs. Built
- * once before fan-out and shared read-only by every worker, so the
- * good-value simulation and the Rng draw happen exactly once per
- * pattern regardless of the chunk count.
+ * One packed input block (64 * laneWords lanes) with its per-lane
+ * patterns. Built once before fan-out and shared read-only by every
+ * worker, so the good-value simulation and the Rng draw happen
+ * exactly once per pattern regardless of the chunk count. Lane l of
+ * input i lives at bit (l % 64) of word i*W + l/64, so lanes are
+ * always in ascending global-pattern order — the invariant that makes
+ * verdicts (and kept unsafe examples) identical at every width.
  */
 struct PatternBlock
 {
-    std::vector<std::uint64_t> in;   ///< per-input packed word
+    std::vector<std::uint64_t> in; ///< per-input lane blocks (ni * W)
     /** Raw per-lane pattern words (sampled mode only; exhaustive
      *  patterns are first + lane). */
     std::vector<std::uint64_t> base;
@@ -41,10 +44,14 @@ struct PatternBlock
     int lanes = 64;
 
     std::uint64_t
-    laneMask() const
+    laneMask(int word) const
     {
-        return lanes == 64 ? ~std::uint64_t{0}
-                           : ((std::uint64_t{1} << lanes) - 1);
+        const int rem = lanes - 64 * word;
+        if (rem <= 0)
+            return 0;
+        if (rem >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << rem) - 1;
     }
 
     std::uint64_t
@@ -56,24 +63,28 @@ struct PatternBlock
 };
 
 /** Serial pre-pass: the packed pattern stream. The Rng consumption
- *  order matches the original serial loop exactly; the fault-free
- *  values are cached per worker by FaultSimulator::setAlternatingBlock. */
+ *  order matches the original serial loop exactly (one draw per
+ *  sampled pattern, in pattern order, independent of lane_words); the
+ *  fault-free values are cached per worker by
+ *  FaultSimulator::setAlternatingBlock. */
 std::vector<PatternBlock>
 buildBlocks(int ni, bool exhaustive, std::uint64_t num_patterns,
-            std::uint64_t seed)
+            std::uint64_t seed, int lane_words)
 {
     util::Rng rng(seed);
 
+    const std::uint64_t block_lanes =
+        static_cast<std::uint64_t>(64) * lane_words;
     std::vector<PatternBlock> blocks;
-    blocks.reserve(
-        static_cast<std::size_t>((num_patterns + 63) / 64));
-    for (std::uint64_t base = 0; base < num_patterns; base += 64) {
+    blocks.reserve(static_cast<std::size_t>(
+        (num_patterns + block_lanes - 1) / block_lanes));
+    for (std::uint64_t base = 0; base < num_patterns;
+         base += block_lanes) {
         PatternBlock blk;
         blk.first = base;
-        blk.lanes =
-            static_cast<int>(std::min<std::uint64_t>(64, num_patterns -
-                                                             base));
-        blk.in.assign(ni, 0);
+        blk.lanes = static_cast<int>(
+            std::min<std::uint64_t>(block_lanes, num_patterns - base));
+        blk.in.assign(static_cast<std::size_t>(ni) * lane_words, 0);
         if (!exhaustive)
             blk.base.resize(blk.lanes);
         for (int lane = 0; lane < blk.lanes; ++lane) {
@@ -81,9 +92,12 @@ buildBlocks(int ni, bool exhaustive, std::uint64_t num_patterns,
                 exhaustive ? base + lane : rng.next();
             if (!exhaustive)
                 blk.base[lane] = pat;
+            const std::size_t word = static_cast<std::size_t>(lane) / 64;
+            const std::uint64_t bit = std::uint64_t{1} << (lane % 64);
             for (int i = 0; i < ni; ++i)
                 if ((pat >> i) & 1)
-                    blk.in[i] |= std::uint64_t{1} << lane;
+                    blk.in[static_cast<std::size_t>(i) * lane_words +
+                           word] |= bit;
         }
         blocks.push_back(std::move(blk));
     }
@@ -96,15 +110,21 @@ buildBlocks(int ni, bool exhaustive, std::uint64_t num_patterns,
  * run (it used to be pasted into each).
  */
 void
-accumulateVerdict(const sim::AlternatingMasks &m, const PatternBlock &blk,
-                  const CampaignOptions &opts,
+accumulateVerdict(const sim::WideMasks &m, const PatternBlock &blk,
+                  int lane_words, const CampaignOptions &opts,
                   engine::ProgressTracker *progress, Verdict &v)
 {
-    const std::uint64_t lane_mask = blk.laneMask();
-    if (m.anyErr & lane_mask)
+    bool any_err = false, any_unsafe = false;
+    for (int w = 0; w < lane_words; ++w) {
+        const std::uint64_t lm = blk.laneMask(w);
+        if (m.anyErr[static_cast<std::size_t>(w)] & lm)
+            any_err = true;
+        if (m.unsafeWord(w) & lm)
+            any_unsafe = true;
+    }
+    if (any_err)
         v.tested = true;
-    const std::uint64_t unsafe_lanes = m.unsafe() & lane_mask;
-    if (unsafe_lanes) {
+    if (any_unsafe) {
         if (!v.unsafe && progress)
             progress->addUnsafe(1);
         v.unsafe = true;
@@ -112,7 +132,7 @@ accumulateVerdict(const sim::AlternatingMasks &m, const PatternBlock &blk,
             if (static_cast<int>(v.unsafePatterns.size()) >=
                 opts.keepUnsafeExamples)
                 break;
-            if ((unsafe_lanes >> lane) & 1)
+            if ((m.unsafeWord(lane / 64) >> (lane % 64)) & 1)
                 v.unsafePatterns.push_back(blk.patternAt(lane));
         }
     }
@@ -130,17 +150,18 @@ std::vector<Verdict>
 classifyChunk(const sim::FlatNetlist &flat,
               const std::vector<Fault> &faults, std::size_t begin,
               std::size_t end, const std::vector<PatternBlock> &blocks,
-              const CampaignOptions &opts,
+              const CampaignOptions &opts, int lane_words,
               engine::ProgressTracker *progress)
 {
-    sim::FaultSimulator fs(flat);
+    sim::FaultSimulator fs(flat, lane_words, opts.simd);
 
     std::vector<Verdict> out(end - begin);
     for (const PatternBlock &blk : blocks) {
         fs.setAlternatingBlock(blk.in);
         for (std::size_t k = begin; k < end; ++k) {
-            accumulateVerdict(fs.classifyAlternating(faults[k]), blk,
-                              opts, progress, out[k - begin]);
+            accumulateVerdict(fs.classifyAlternatingWide(faults[k]), blk,
+                              lane_words, opts, progress,
+                              out[k - begin]);
         }
         if (progress)
             progress->addPatterns(static_cast<std::uint64_t>(blk.lanes));
@@ -191,18 +212,30 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
     const std::uint64_t num_patterns =
         exhaustive ? (std::uint64_t{1} << ni) : opts.maxPatterns;
 
+    // Resolve the packed width and kernel build once, up front, so
+    // every worker runs the same configuration.
+    if (opts.lanes != 0 && opts.lanes != 64 && opts.lanes != 256 &&
+        opts.lanes != 512)
+        throw std::invalid_argument("lanes must be 0 (auto), 64, 256 or 512");
+    const sim::SimdTarget simd = sim::resolveSimdTarget(opts.simd);
+    const int lane_words = opts.lanes == 0
+                               ? sim::defaultLaneWords(simd)
+                               : sim::laneWordsForLanes(opts.lanes);
+
     const std::vector<Fault> faults = net.allFaults();
     CampaignResult result;
     result.faults.resize(faults.size());
     for (std::size_t k = 0; k < faults.size(); ++k)
         result.faults[k].fault = faults[k];
     result.patternsApplied = num_patterns;
+    result.lanes = 64 * lane_words;
+    result.simd = simd;
 
     // Compile the netlist once; the flat image and the pattern blocks
     // are shared read-only by every worker.
     const sim::FlatNetlist flat(net);
     const std::vector<PatternBlock> blocks =
-        buildBlocks(ni, exhaustive, num_patterns, opts.seed);
+        buildBlocks(ni, exhaustive, num_patterns, opts.seed, lane_words);
 
     const int jobs = engine::resolveJobs(opts.jobs);
     if (jobs <= 1) {
@@ -214,7 +247,7 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
             progress.startReporter(opts.progressInterval);
         std::vector<Verdict> verdicts =
             classifyChunk(flat, faults, 0, faults.size(), blocks, opts,
-                          &progress);
+                          lane_words, &progress);
         progress.stopReporter();
         std::vector<Verdict *> verdictOf(faults.size());
         for (std::size_t k = 0; k < faults.size(); ++k)
@@ -250,7 +283,7 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
         col.representatives.size(),
         [&](engine::Chunk chunk, std::size_t) {
             return classifyChunk(flat, col.representatives, chunk.begin,
-                                 chunk.end, blocks, opts,
+                                 chunk.end, blocks, opts, lane_words,
                                  &eng.progress());
         });
 

@@ -7,10 +7,13 @@
  *
  * Campaigns route through the parallel engine (src/engine): the fault
  * universe is equivalence-collapsed, sharded into chunks, and each
- * chunk is simulated by a worker with the 64-way packed evaluator.
- * Results are merged deterministically, so the same (netlist, seed,
- * maxPatterns) triple yields a bit-identical CampaignResult at any
- * jobs count. jobs == 1 runs the original single-threaded loop.
+ * chunk is simulated by a worker with the packed evaluator at 64, 256
+ * or 512 lanes per replay (see `lanes`/`simd` below). Results are
+ * merged deterministically, and the pattern->lane mapping preserves
+ * the global pattern order, so the same (netlist, seed, maxPatterns)
+ * triple yields a bit-identical CampaignResult at any jobs count, any
+ * lane width, and any SIMD dispatch target. jobs == 1 runs the
+ * original single-threaded loop.
  */
 
 #ifndef SCAL_FAULT_CAMPAIGN_HH
@@ -21,6 +24,7 @@
 
 #include "engine/progress.hh"
 #include "fault/fault.hh"
+#include "sim/simd.hh"
 
 namespace scal::fault
 {
@@ -53,6 +57,15 @@ struct CampaignOptions
      * disables reporting.
      */
     std::chrono::milliseconds progressInterval{0};
+    /**
+     * Patterns per packed replay: 64, 256 or 512; 0 (default) picks
+     * the widest the resolved SIMD target is designed for. Purely a
+     * performance knob — verdicts are bit-identical at any width.
+     */
+    int lanes = 0;
+    /** Kernel build per sim/simd.hh policy (Auto = SCAL_SIMD env
+     *  override or widest native). */
+    sim::SimdTarget simd = sim::SimdTarget::Auto;
 };
 
 struct CampaignResult
@@ -62,6 +75,10 @@ struct CampaignResult
     int numUntestable = 0;
     int numDetected = 0;
     int numUnsafe = 0;
+    /** Lanes per packed replay the campaign actually ran with. */
+    int lanes = 64;
+    /** The resolved SIMD kernel build the workers ran. */
+    sim::SimdTarget simd = sim::SimdTarget::Portable;
     /**
      * Wall-clock/throughput stats from the engine. Everything else in
      * this struct is deterministic; stats is explicitly not.

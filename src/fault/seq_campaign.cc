@@ -23,34 +23,46 @@ struct ResolvedSpec
     std::vector<int> dataOutputs;
     std::vector<int> altOutputs;
     std::vector<int> codePairs;
-    std::uint64_t laneMask = 0;
+    int laneWords = 1;
+    std::array<std::uint64_t, sim::kMaxLaneWords> laneMask{};
 };
 
-/** Per-representative verdict payload, merged deterministically. */
+/** Per-representative verdict payload, merged deterministically. The
+ *  per-lane first-alarm times are pre-bucketed here rather than
+ *  carried as a lanes-long vector: at 512 lanes the flat vector is
+ *  the dominant per-fault bookkeeping cost and the campaign result
+ *  only ever consumes the aggregate. */
 struct RepVerdict
 {
     Outcome outcome = Outcome::Untestable;
     long firstAlarm = -1;
     long firstEscape = -1;
-    std::array<long, 64> laneAlarm{};
+    std::array<std::uint64_t, kLatencyBuckets> latHist{};
+    std::uint64_t alarmLanes = 0;
+    std::uint64_t latSum = 0;
     long periodsSimulated = 0;
     long periodsSkipped = 0;
 };
 
-/** Alarm word of one symbol's two output-word rows. */
-std::uint64_t
-alarmWord(const ResolvedSpec &rs, const std::uint64_t *p0,
-          const std::uint64_t *p1)
+/** Alarm words of one symbol's two output-block rows (laneWords words
+ *  per output, sim/wide.hh layout). */
+void
+alarmWords(const ResolvedSpec &rs, const std::uint64_t *p0,
+           const std::uint64_t *p1, std::uint64_t *alarm)
 {
-    std::uint64_t alarm = 0;
+    const int W = rs.laneWords;
+    for (int w = 0; w < W; ++w)
+        alarm[w] = 0;
     for (const int j : rs.altOutputs)
-        alarm |= ~(p0[j] ^ p1[j]);
+        for (int w = 0; w < W; ++w)
+            alarm[w] |= ~(p0[j * W + w] ^ p1[j * W + w]);
     for (std::size_t c = 0; c + 1 < rs.codePairs.size(); c += 2) {
         const int p = rs.codePairs[c], q = rs.codePairs[c + 1];
-        alarm |= ~(p0[p] ^ p0[q]);
-        alarm |= ~(p1[p] ^ p1[q]);
+        for (int w = 0; w < W; ++w) {
+            alarm[w] |= ~(p0[p * W + w] ^ p0[q * W + w]);
+            alarm[w] |= ~(p1[p * W + w] ^ p1[q * W + w]);
+        }
     }
-    return alarm;
 }
 
 /**
@@ -72,54 +84,69 @@ classifySeqChunk(const sim::SeqGoodTrace &trace, const ResolvedSpec &rs,
 {
     sim::SeqFaultSimulator fsim(trace);
     const int no = trace.flat().numOutputs();
-    std::vector<std::uint64_t> buf0(no), buf1(no);
+    const int W = rs.laneWords;
+    const std::size_t row = static_cast<std::size_t>(no) * W;
+    std::vector<std::uint64_t> buf0(row);
+    const sim::detail::WideKernels &kernels = trace.kernels();
+    const int npairs = static_cast<int>(rs.codePairs.size()) / 2;
 
     std::vector<RepVerdict> out(end - begin);
     for (std::size_t k = begin; k < end; ++k) {
-        SeqVerdictAccumulator acc(rs.laneMask, opts.dropDetected);
+        SeqVerdictAccumulator acc(rs.laneMask.data(), W,
+                                  opts.dropDetected);
         long pending = -1;
-        bool have0 = false, have1 = false;
+        bool have0 = false;
 
-        auto flush = [&](long s) -> bool {
+        // The phase-1 row can be folded straight from the sink's
+        // buffer (the symbol completes inside the callback); only a
+        // phase-0 row has to be stashed until its partner arrives.
+        auto flush = [&](long s, const std::uint64_t *p1row) -> bool {
             const std::uint64_t *p0 =
                 have0 ? buf0.data() : trace.outputs(2 * s);
             const std::uint64_t *p1 =
-                have1 ? buf1.data() : trace.outputs(2 * s + 1);
-            std::uint64_t wrong = 0;
-            const std::uint64_t *g0 = trace.outputs(2 * s);
-            for (const int j : rs.dataOutputs)
-                wrong |= p0[j] ^ g0[j];
-            have0 = have1 = false;
+                p1row ? p1row : trace.outputs(2 * s + 1);
+            std::uint64_t alarm[sim::kMaxLaneWords];
+            std::uint64_t wrong[sim::kMaxLaneWords];
+            kernels.seqAlarmWrong(
+                p0, p1, trace.outputs(2 * s), rs.altOutputs.data(),
+                static_cast<int>(rs.altOutputs.size()),
+                rs.codePairs.data(), npairs, rs.dataOutputs.data(),
+                static_cast<int>(rs.dataOutputs.size()), alarm, wrong);
+            have0 = false;
             pending = -1;
-            return acc.addSymbol(s, alarmWord(rs, p0, p1), wrong);
+            return acc.addSymbol(s, alarm, wrong);
         };
 
         fsim.runFault(
             faults[k],
             [&](long t, std::uint64_t, const std::uint64_t *outs) {
                 const long s = t / 2;
-                if (pending >= 0 && pending != s && !flush(pending))
+                if (pending >= 0 && pending != s &&
+                    !flush(pending, nullptr))
                     return false;
                 pending = s;
-                if (t & 1) {
-                    std::copy(outs, outs + no, buf1.begin());
-                    have1 = true;
-                    return flush(s);
-                }
-                std::copy(outs, outs + no, buf0.begin());
+                if (t & 1)
+                    return flush(s, outs);
+                std::copy(outs, outs + row, buf0.begin());
                 have0 = true;
                 return true;
             },
             opts.faultStart, opts.faultEnd);
         if (pending >= 0)
-            flush(pending); // trailing phase-0-only divergence
+            flush(pending, nullptr); // trailing phase-0-only divergence
 
         RepVerdict &rv = out[k - begin];
         rv.outcome = acc.outcome();
         rv.firstAlarm = acc.firstAlarmPeriod();
         rv.firstEscape = acc.firstEscapePeriod();
-        for (int l = 0; l < opts.lanes; ++l)
-            rv.laneAlarm[l] = acc.laneFirstAlarm(l);
+        for (int l = 0; l < opts.lanes; ++l) {
+            const long p = acc.laneFirstAlarm(l);
+            if (p >= 0) {
+                ++rv.latHist[latencyBucket(p)];
+                ++rv.alarmLanes;
+                rv.latSum += static_cast<std::uint64_t>(p);
+            }
+        }
         rv.periodsSimulated = fsim.periodsSimulated();
         rv.periodsSkipped = fsim.periodsSkipped();
         if (progress) {
@@ -137,8 +164,7 @@ classifySeqChunk(const sim::SeqGoodTrace &trace, const ResolvedSpec &rs,
 /** Fold expanded per-fault verdicts into the result. */
 void
 finalizeSeqResult(SeqCampaignResult &result,
-                  const std::vector<const RepVerdict *> &verdictOf,
-                  int lanes)
+                  const std::vector<const RepVerdict *> &verdictOf)
 {
     std::uint64_t lat_sum = 0;
     for (std::size_t k = 0; k < result.faults.size(); ++k) {
@@ -151,14 +177,11 @@ finalizeSeqResult(SeqCampaignResult &result,
           case Outcome::Detected:   ++result.numDetected; break;
           case Outcome::Unsafe:     ++result.numUnsafe; break;
         }
-        for (int l = 0; l < lanes; ++l) {
-            const long p = rv.laneAlarm[l];
-            if (p >= 0) {
-                ++result.latencyHistogram[latencyBucket(p)];
-                ++result.alarmLaneCount;
-                lat_sum += static_cast<std::uint64_t>(p);
-            }
-        }
+        for (int b = 0; b < kLatencyBuckets; ++b)
+            result.latencyHistogram[static_cast<std::size_t>(b)] +=
+                rv.latHist[static_cast<std::size_t>(b)];
+        result.alarmLaneCount += rv.alarmLanes;
+        lat_sum += rv.latSum;
     }
     if (result.alarmLaneCount)
         result.meanAlarmPeriod =
@@ -170,16 +193,18 @@ finalizeSeqResult(SeqCampaignResult &result,
 
 std::vector<std::vector<std::uint64_t>>
 buildSymbolWords(int num_inputs, int phi_input, long symbols,
-                 std::uint64_t seed)
+                 std::uint64_t seed, int lane_words)
 {
     util::Rng rng(seed);
     std::vector<std::vector<std::uint64_t>> words(
         static_cast<std::size_t>(symbols));
     for (auto &w : words) {
-        w.assign(static_cast<std::size_t>(num_inputs), 0);
+        w.assign(static_cast<std::size_t>(num_inputs) * lane_words, 0);
         for (int i = 0; i < num_inputs; ++i)
             if (i != phi_input)
-                w[i] = rng.next();
+                for (int ww = 0; ww < lane_words; ++ww)
+                    w[static_cast<std::size_t>(i) * lane_words + ww] =
+                        rng.next();
     }
     return words;
 }
@@ -188,10 +213,20 @@ SeqCampaignResult
 runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
                       const SeqCampaignOptions &opts)
 {
-    if (opts.lanes < 1 || opts.lanes > 64)
-        throw std::invalid_argument("lanes must be in 1..64");
+    if (opts.lanes < 0 || opts.lanes > 512)
+        throw std::invalid_argument("lanes must be 0 (auto) or 1..512");
     if (opts.symbols < 1)
         throw std::invalid_argument("need at least one symbol");
+
+    // Resolve the packed width and kernel build once, up front, so
+    // every worker runs the same configuration.
+    const sim::SimdTarget simd = sim::resolveSimdTarget(opts.simd);
+    const int lanes = opts.lanes == 0
+                          ? 64 * sim::defaultLaneWords(simd)
+                          : opts.lanes;
+    const int W = sim::laneWordsForLanes(lanes);
+    SeqCampaignOptions ropts = opts;
+    ropts.lanes = lanes;
 
     const int ni = net.numInputs();
     const int no = net.numOutputs();
@@ -207,9 +242,14 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
     if (rs.altOutputs.empty())
         for (int j = 0; j < no; ++j)
             rs.altOutputs.push_back(j);
-    rs.laneMask = opts.lanes == 64
-                      ? ~std::uint64_t{0}
-                      : ((std::uint64_t{1} << opts.lanes) - 1);
+    rs.laneWords = W;
+    for (int w = 0; w < W; ++w) {
+        const int rem = lanes - 64 * w;
+        rs.laneMask[static_cast<std::size_t>(w)] =
+            rem >= 64    ? ~std::uint64_t{0}
+            : rem <= 0   ? 0
+                         : (std::uint64_t{1} << rem) - 1;
+    }
     auto check_output = [no](int j) {
         if (j < 0 || j >= no)
             throw std::invalid_argument("output index out of range");
@@ -229,28 +269,36 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
 
     // Serial pre-pass: the per-symbol input words and the fault-free
     // trace, built exactly once and shared read-only by all workers.
-    const auto words =
-        buildSymbolWords(ni, spec.phiInput, opts.symbols, opts.seed);
-    sim::SeqGoodTrace trace(flat, spec.phiInput);
+    const auto words = buildSymbolWords(ni, spec.phiInput, opts.symbols,
+                                        opts.seed, W);
+    sim::SeqGoodTrace trace(flat, spec.phiInput, W, simd);
     trace.reservePeriods(2 * opts.symbols);
-    std::vector<std::uint64_t> inbar(static_cast<std::size_t>(ni));
+    std::vector<std::uint64_t> inbar(static_cast<std::size_t>(ni) * W);
     for (long s = 0; s < opts.symbols; ++s) {
         trace.stepPeriod(words[s].data());
         for (int i = 0; i < ni; ++i)
-            inbar[i] = (i == spec.phiInput || hold[i])
-                           ? words[s][i]
-                           : ~words[s][i];
+            for (int w = 0; w < W; ++w) {
+                const std::size_t idx =
+                    static_cast<std::size_t>(i) * W + w;
+                inbar[idx] = (i == spec.phiInput || hold[i])
+                                 ? words[s][idx]
+                                 : ~words[s][idx];
+            }
         trace.stepPeriod(inbar.data());
     }
 
     // Precondition for skipping symbols the fault never touches: the
     // fault-free machine must be alarm-free on every symbol.
+    std::uint64_t alarm[sim::kMaxLaneWords];
     for (long s = 0; s < opts.symbols; ++s) {
-        if (alarmWord(rs, trace.outputs(2 * s), trace.outputs(2 * s + 1)) &
-            rs.laneMask) {
-            throw std::invalid_argument(
-                "fault-free machine raises an alarm: not an "
-                "alternating (SCAL) machine under this spec");
+        alarmWords(rs, trace.outputs(2 * s), trace.outputs(2 * s + 1),
+                   alarm);
+        for (int w = 0; w < W; ++w) {
+            if (alarm[w] & rs.laneMask[static_cast<std::size_t>(w)]) {
+                throw std::invalid_argument(
+                    "fault-free machine raises an alarm: not an "
+                    "alternating (SCAL) machine under this spec");
+            }
         }
     }
 
@@ -260,11 +308,12 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
     for (std::size_t k = 0; k < faults.size(); ++k)
         result.faults[k].fault = faults[k];
     result.symbols = opts.symbols;
-    result.lanes = opts.lanes;
+    result.lanes = lanes;
+    result.simd = trace.simdTarget();
 
     const std::uint64_t lane_symbols =
         static_cast<std::uint64_t>(opts.symbols) *
-        static_cast<std::uint64_t>(opts.lanes);
+        static_cast<std::uint64_t>(lanes);
 
     const int jobs = engine::resolveJobs(opts.jobs);
     if (jobs <= 1) {
@@ -274,7 +323,7 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
         if (opts.progressInterval.count() > 0)
             progress.startReporter(opts.progressInterval);
         const std::vector<RepVerdict> verdicts = classifySeqChunk(
-            trace, rs, faults, 0, faults.size(), opts, &progress);
+            trace, rs, faults, 0, faults.size(), ropts, &progress);
         progress.stopReporter();
         std::vector<const RepVerdict *> verdictOf(faults.size());
         for (std::size_t k = 0; k < faults.size(); ++k) {
@@ -282,7 +331,7 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
             result.periodsSimulated += verdicts[k].periodsSimulated;
             result.periodsSkipped += verdicts[k].periodsSkipped;
         }
-        finalizeSeqResult(result, verdictOf, opts.lanes);
+        finalizeSeqResult(result, verdictOf);
         const auto s = progress.snapshot();
         result.stats.jobs = 1;
         result.stats.totalFaults = faults.size();
@@ -313,7 +362,7 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
         col.representatives.size(),
         [&](engine::Chunk chunk, std::size_t) {
             return classifySeqChunk(trace, rs, col.representatives,
-                                    chunk.begin, chunk.end, opts,
+                                    chunk.begin, chunk.end, ropts,
                                     &eng.progress());
         });
 
@@ -329,7 +378,7 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
     std::vector<const RepVerdict *> verdictOf(faults.size());
     for (std::size_t k = 0; k < faults.size(); ++k)
         verdictOf[k] = repVerdict[col.classOf[k]];
-    finalizeSeqResult(result, verdictOf, opts.lanes);
+    finalizeSeqResult(result, verdictOf);
 
     result.stats = eng.endCampaign(
         faults.size(), col.representatives.size(), lane_symbols);

@@ -31,6 +31,7 @@
 
 #include "engine/progress.hh"
 #include "fault/fault.hh"
+#include "sim/wide.hh"
 
 namespace scal::fault
 {
@@ -69,8 +70,15 @@ struct SeqCampaignOptions
 {
     /** Symbols per lane; one symbol = two simulator periods. */
     long symbols = 256;
-    /** Independent random streams packed per word (1..64). */
+    /**
+     * Independent random streams packed per replay (1..512; widths
+     * above 64 run the multi-word SIMD kernels). 0 picks the widest
+     * block the resolved SIMD target is designed for.
+     */
     int lanes = 64;
+    /** Kernel build per sim/simd.hh policy (Auto = SCAL_SIMD env
+     *  override or widest native). */
+    sim::SimdTarget simd = sim::SimdTarget::Auto;
     std::uint64_t seed = 1;
     /** Fault activity window [start, end) in periods (transients). */
     long faultStart = 0;
@@ -116,6 +124,8 @@ struct SeqCampaignResult
     std::vector<SeqFaultVerdict> faults;
     long symbols = 0;
     int lanes = 0;
+    /** The resolved SIMD kernel build the workers ran. */
+    sim::SimdTarget simd = sim::SimdTarget::Portable;
     int numUntestable = 0;
     int numDetected = 0;
     int numUnsafe = 0;
@@ -161,37 +171,70 @@ struct SeqCampaignResult
 class SeqVerdictAccumulator
 {
   public:
-    SeqVerdictAccumulator(std::uint64_t lane_mask, bool drop_detected)
-        : laneMask_(lane_mask), drop_(drop_detected)
+    /**
+     * Multi-word form: @p lane_mask holds @p lane_words packed mask
+     * words (lane l at bit l % 64 of word l / 64, the sim/wide.hh
+     * layout).
+     */
+    SeqVerdictAccumulator(const std::uint64_t *lane_mask, int lane_words,
+                          bool drop_detected)
+        : laneWords_(lane_words), drop_(drop_detected)
     {
+        for (int w = 0; w < lane_words; ++w)
+            laneMask_[static_cast<std::size_t>(w)] = lane_mask[w];
         laneAlarm_.fill(-1);
     }
 
-    /** Returns false when the run may stop (verdict is final). */
-    bool
-    addSymbol(long symbol, std::uint64_t alarm_mask,
-              std::uint64_t wrong_mask)
+    /** Legacy 64-lane form (lane_words == 1). */
+    SeqVerdictAccumulator(std::uint64_t lane_mask, bool drop_detected)
+        : SeqVerdictAccumulator(&lane_mask, 1, drop_detected)
     {
-        alarm_mask &= laneMask_;
-        wrong_mask &= laneMask_;
-        std::uint64_t fresh = alarm_mask & ~alarmed_;
-        if (fresh) {
-            const long p = 2 * symbol + 1;
-            if (firstAlarm_ < 0)
-                firstAlarm_ = p;
-            while (fresh) {
-                const int lane = countrZero(fresh);
-                laneAlarm_[lane] = p;
-                fresh &= fresh - 1;
+    }
+
+    /**
+     * Returns false when the run may stop (verdict is final).
+     * @p alarm_words / @p wrong_words are laneWords()-word blocks.
+     */
+    bool
+    addSymbol(long symbol, const std::uint64_t *alarm_words,
+              const std::uint64_t *wrong_words)
+    {
+        bool all_alarmed = true;
+        bool escape = false;
+        for (int w = 0; w < laneWords_; ++w) {
+            const std::size_t sw = static_cast<std::size_t>(w);
+            const std::uint64_t alarm = alarm_words[w] & laneMask_[sw];
+            std::uint64_t fresh = alarm & ~alarmed_[sw];
+            if (fresh) {
+                const long p = 2 * symbol + 1;
+                if (firstAlarm_ < 0)
+                    firstAlarm_ = p;
+                while (fresh) {
+                    const int lane = 64 * w + countrZero(fresh);
+                    laneAlarm_[static_cast<std::size_t>(lane)] = p;
+                    fresh &= fresh - 1;
+                }
+                alarmed_[sw] |= alarm;
             }
-            alarmed_ |= alarm_mask;
+            if ((wrong_words[w] & laneMask_[sw]) & ~alarmed_[sw])
+                escape = true;
+            if (alarmed_[sw] != laneMask_[sw])
+                all_alarmed = false;
         }
-        if (wrong_mask & ~alarmed_) {
+        if (escape) {
             escaped_ = true;
             firstEscape_ = 2 * symbol;
             return false;
         }
-        return !(drop_ && alarmed_ == laneMask_);
+        return !(drop_ && all_alarmed);
+    }
+
+    /** Legacy single-word form. */
+    bool
+    addSymbol(long symbol, std::uint64_t alarm_mask,
+              std::uint64_t wrong_mask)
+    {
+        return addSymbol(symbol, &alarm_mask, &wrong_mask);
     }
 
     Outcome
@@ -199,13 +242,26 @@ class SeqVerdictAccumulator
     {
         if (escaped_)
             return Outcome::Unsafe;
-        return alarmed_ ? Outcome::Detected : Outcome::Untestable;
+        for (int w = 0; w < laneWords_; ++w)
+            if (alarmed_[static_cast<std::size_t>(w)])
+                return Outcome::Detected;
+        return Outcome::Untestable;
     }
+    int laneWords() const { return laneWords_; }
     long firstAlarmPeriod() const { return firstAlarm_; }
     long firstEscapePeriod() const { return firstEscape_; }
-    std::uint64_t alarmedLanes() const { return alarmed_; }
+    /** Alarmed-lane word 0 (all lanes when laneWords() == 1). */
+    std::uint64_t alarmedLanes() const { return alarmed_[0]; }
+    /** Alarmed-lane word @p w. */
+    std::uint64_t alarmedWord(int w) const
+    {
+        return alarmed_[static_cast<std::size_t>(w)];
+    }
     /** First-alarm period of @p lane, or -1. */
-    long laneFirstAlarm(int lane) const { return laneAlarm_[lane]; }
+    long laneFirstAlarm(int lane) const
+    {
+        return laneAlarm_[static_cast<std::size_t>(lane)];
+    }
 
   private:
     static int
@@ -219,25 +275,28 @@ class SeqVerdictAccumulator
         return n;
     }
 
-    std::uint64_t laneMask_;
+    int laneWords_;
     bool drop_;
-    std::uint64_t alarmed_ = 0;
+    std::array<std::uint64_t, sim::kMaxLaneWords> laneMask_{};
+    std::array<std::uint64_t, sim::kMaxLaneWords> alarmed_{};
     bool escaped_ = false;
     long firstAlarm_ = -1;
     long firstEscape_ = -1;
-    std::array<long, 64> laneAlarm_;
+    std::array<long, 64 * sim::kMaxLaneWords> laneAlarm_;
 };
 
 /**
  * The deterministic per-symbol input words every lane receives:
- * words[s][i] is the packed phase-0 bit word of input i at symbol s
- * (the φ slot, if any, is left zero — the trace drives it). Exposed
+ * words[s][i*lane_words + w] is packed phase-0 bit word w of input i
+ * at symbol s (the φ slots, if any, are left zero — the trace drives
+ * them). The Rng is drawn per symbol, per non-φ input, per word, so
+ * lane_words == 1 reproduces the historical streams exactly. Exposed
  * so the scalar oracle in tests and benchmarks can replay the exact
  * streams the campaign generates.
  */
 std::vector<std::vector<std::uint64_t>>
 buildSymbolWords(int num_inputs, int phi_input, long symbols,
-                 std::uint64_t seed);
+                 std::uint64_t seed, int lane_words = 1);
 
 /** Run the campaign over all stuck-at faults of @p net. */
 SeqCampaignResult

@@ -3,38 +3,33 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "sim/gate_eval.hh"
-
 namespace scal::sim
 {
 
 using namespace netlist;
-using detail::evalGateWord;
-using detail::kAllOnes;
 
-namespace
+FaultSimulator::FaultSimulator(const FlatNetlist &flat, int lane_words,
+                               SimdTarget simd)
+    : flat_(flat), kernels_(&wideKernels(lane_words, simd)),
+      laneWords_(lane_words)
 {
-
-constexpr std::uint64_t kOnes = kAllOnes;
-
-} // namespace
-
-FaultSimulator::FaultSimulator(const FlatNetlist &flat) : flat_(flat)
-{
-    const int n = flat_.numGates();
+    const std::size_t n = static_cast<std::size_t>(flat_.numGates());
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
+    const std::size_t no = static_cast<std::size_t>(flat_.numOutputs());
     for (int s = 0; s < 2; ++s) {
-        goodLines_[s].assign(n, 0);
-        goodOut_[s].assign(flat_.numOutputs(), 0);
-        outBuf_[s].assign(flat_.numOutputs(), 0);
+        goodLines_[s].assign(n * W, 0);
+        goodOut_[s].assign(no * W, 0);
+        outBuf_[s].assign(no * W, 0);
     }
-    faulty_.assign(n, 0);
+    faulty_.assign(n * W, 0);
     stamp_.assign(n, 0);
     forced_.assign(n, 0);
     coneCache_.resize(n);
     coneBuilt_.assign(n, 0);
     visitStamp_.assign(n, 0);
-    inScratch_.assign(std::max(1, flat_.maxArity()), 0);
-    inbarScratch_.assign(flat_.numInputs(), 0);
+    ptrScratch_.assign(
+        static_cast<std::size_t>(std::max(1, flat_.maxArity())), nullptr);
+    inbarScratch_.assign(static_cast<std::size_t>(flat_.numInputs()) * W, 0);
     stack_.reserve(n);
     unionCone_.reserve(n);
 }
@@ -53,47 +48,31 @@ void
 FaultSimulator::evalGood(int phase, const std::uint64_t *inputs,
                          const std::uint64_t *dff_state)
 {
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
     std::uint64_t *lines = goodLines_[phase].data();
-    for (GateId g : flat_.topoOrder()) {
-        std::uint64_t v = 0;
-        switch (flat_.kind(g)) {
-          case GateKind::Input:
-            v = inputs[flat_.inputIndex(g)];
-            break;
-          case GateKind::Dff:
-            v = dff_state[flat_.ffIndex(g)];
-            break;
-          case GateKind::Const0:
-            v = 0;
-            break;
-          case GateKind::Const1:
-            v = kOnes;
-            break;
-          default: {
-            const GateId *fi = flat_.fanins(g);
-            const int a = flat_.arity(g);
-            std::uint64_t *in = inScratch_.data();
-            for (int k = 0; k < a; ++k)
-                in[k] = lines[fi[k]];
-            v = evalGateWord(flat_.kind(g), in, a);
-            break;
-          }
-        }
-        lines[g] = v;
+    kernels_->evalLines(flat_, inputs, dff_state, /*phi_input=*/-1,
+                        /*phi_word=*/0, lines);
+    for (int j = 0; j < flat_.numOutputs(); ++j) {
+        const std::uint64_t *src =
+            lines + static_cast<std::size_t>(flat_.output(j)) * W;
+        std::uint64_t *dst =
+            goodOut_[phase].data() + static_cast<std::size_t>(j) * W;
+        for (std::size_t w = 0; w < W; ++w)
+            dst[w] = src[w];
     }
-    for (int j = 0; j < flat_.numOutputs(); ++j)
-        goodOut_[phase][j] = lines[flat_.output(j)];
 }
 
 void
 FaultSimulator::setBaseline(const std::vector<std::uint64_t> &inputs,
                             const std::vector<std::uint64_t> *dff_state)
 {
-    if (static_cast<int>(inputs.size()) != flat_.numInputs())
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
+    if (inputs.size() != static_cast<std::size_t>(flat_.numInputs()) * W)
         throw std::invalid_argument("input vector size mismatch");
     if (flat_.numFlipFlops() > 0 &&
         (!dff_state ||
-         static_cast<int>(dff_state->size()) != flat_.numFlipFlops())) {
+         dff_state->size() !=
+             static_cast<std::size_t>(flat_.numFlipFlops()) * W)) {
         throw std::invalid_argument("missing flip-flop state");
     }
     evalGood(0, inputs.data(), dff_state ? dff_state->data() : nullptr);
@@ -102,13 +81,14 @@ FaultSimulator::setBaseline(const std::vector<std::uint64_t> &inputs,
 void
 FaultSimulator::setAlternatingBlock(const std::vector<std::uint64_t> &inputs)
 {
-    if (static_cast<int>(inputs.size()) != flat_.numInputs())
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
+    if (inputs.size() != static_cast<std::size_t>(flat_.numInputs()) * W)
         throw std::invalid_argument("input vector size mismatch");
     if (flat_.numFlipFlops() > 0)
         throw std::invalid_argument(
             "alternating block needs a combinational netlist");
     evalGood(0, inputs.data(), nullptr);
-    for (int i = 0; i < flat_.numInputs(); ++i)
+    for (std::size_t i = 0; i < inputs.size(); ++i)
         inbarScratch_[i] = ~inputs[i];
     evalGood(1, inbarScratch_.data(), nullptr);
 }
@@ -150,11 +130,13 @@ FaultSimulator::simulate(int phase, const Fault *faults,
                          std::size_t num_faults)
 {
     bumpEpoch();
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
     const std::uint64_t *good = goodLines_[phase].data();
 
     // Sort injections: stems force their line now, branch faults are
     // applied while their consuming gate recomputes, output taps at
-    // output assembly.
+    // output assembly. Stuck-at values are broadcast blocks, so the
+    // injections reference the shared constant groups.
     branchInj_.clear();
     tapInj_.clear();
     std::int64_t frontier = 0; // differing gates' unprocessed cone edges
@@ -169,24 +151,32 @@ FaultSimulator::simulate(int phase, const Fault *faults,
     };
     for (std::size_t k = 0; k < num_faults; ++k) {
         const Fault &f = faults[k];
-        const std::uint64_t w = f.value ? kOnes : 0;
+        const std::uint64_t *vg = f.value ? detail::kOnesGroup.data()
+                                          : detail::kZeroGroup.data();
         if (f.site.isStem()) {
             const GateId g = f.site.driver;
             forced_[g] = epoch_;
-            if (w != good[g]) {
-                faulty_[g] = w;
+            const std::uint64_t *gd = good + static_cast<std::size_t>(g) * W;
+            bool diff = false;
+            for (std::size_t w = 0; w < W; ++w)
+                diff |= gd[w] != vg[w];
+            if (diff) {
+                std::uint64_t *fv =
+                    faulty_.data() + static_cast<std::size_t>(g) * W;
+                for (std::size_t w = 0; w < W; ++w)
+                    fv[w] = vg[w];
                 stamp_[g] = epoch_;
                 frontier += flat_.fanoutDegree(g);
             }
             note_seed(g);
         } else if (f.site.consumer == FaultSite::kOutputTap) {
-            tapInj_.push_back({f.site.pin, f.site.driver, w});
+            tapInj_.push_back({f.site.pin, f.site.driver, vg});
         } else if (flat_.kind(f.site.consumer) != GateKind::Dff) {
             // A Dff's D-pin branch fault has no combinational effect
             // this period (the Dff output comes from the state
             // vector), matching the reference evaluators.
             branchInj_.push_back(
-                {f.site.consumer, f.site.driver, f.site.pin, w});
+                {f.site.consumer, f.site.driver, f.site.pin, vg});
             last_branch_pos = std::max(
                 last_branch_pos, flat_.topoPos(f.site.consumer));
             note_seed(f.site.consumer);
@@ -238,64 +228,24 @@ FaultSimulator::simulate(int phase, const Fault *faults,
             work = &unionCone_;
         }
 
-        for (const GateId g : *work) {
-            // Consume the frontier edges feeding this gate.
-            const GateId *fi = flat_.fanins(g);
-            const int a = flat_.arity(g);
-            int ndiff = 0;
-            for (int k = 0; k < a; ++k)
-                if (stamp_[fi[k]] == epoch_)
-                    ++ndiff;
-            frontier -= ndiff;
-
-            if (forced_[g] != epoch_) {
-                bool is_branch_target = false;
-                if (!branchInj_.empty()) {
-                    for (const BranchInjection &b : branchInj_)
-                        if (b.consumer == g)
-                            is_branch_target = true;
-                }
-                if (ndiff || is_branch_target) {
-                    std::uint64_t *in = inScratch_.data();
-                    for (int k = 0; k < a; ++k) {
-                        const GateId d = fi[k];
-                        in[k] = stamp_[d] == epoch_ ? faulty_[d]
-                                                    : good[d];
-                    }
-                    if (is_branch_target) {
-                        for (const BranchInjection &b : branchInj_) {
-                            if (b.consumer == g && b.pin < a &&
-                                fi[b.pin] == b.driver) {
-                                in[b.pin] = b.word;
-                            }
-                        }
-                    }
-                    const std::uint64_t v =
-                        evalGateWord(flat_.kind(g), in, a);
-                    if (v != good[g]) {
-                        faulty_[g] = v;
-                        stamp_[g] = epoch_;
-                        frontier += flat_.fanoutDegree(g);
-                    }
-                }
-            }
-            // Frontier dead and every injection behind us: all
-            // remaining cone gates keep their fault-free values.
-            if (frontier == 0 && flat_.topoPos(g) >= last_branch_pos)
-                break;
-        }
+        kernels_->replayCone(flat_, good, faulty_.data(), stamp_.data(),
+                             forced_.data(), epoch_, work->data(),
+                             work->size(), branchInj_.data(),
+                             branchInj_.size(), last_branch_pos, frontier,
+                             ptrScratch_.data());
     }
 
     // Output assembly (with output-tap overrides, reference order).
     std::uint64_t *out = outBuf_[phase].data();
-    for (int j = 0; j < flat_.numOutputs(); ++j) {
-        const GateId g = flat_.output(j);
-        out[j] = stamp_[g] == epoch_ ? faulty_[g] : good[g];
-    }
+    kernels_->assembleOutputs(flat_, good, faulty_.data(), stamp_.data(),
+                              epoch_, out);
     for (const TapInjection &t : tapInj_) {
         if (t.outputIdx >= 0 && t.outputIdx < flat_.numOutputs() &&
             flat_.output(t.outputIdx) == t.driver) {
-            out[t.outputIdx] = t.word;
+            std::uint64_t *dst =
+                out + static_cast<std::size_t>(t.outputIdx) * W;
+            for (std::size_t w = 0; w < W; ++w)
+                dst[w] = t.value[w];
         }
     }
 }
@@ -304,20 +254,23 @@ AlternatingMasks
 FaultSimulator::classifyAlternating(const Fault *faults,
                                     std::size_t num_faults)
 {
+    if (laneWords_ != 1)
+        throw std::logic_error(
+            "classifyAlternating needs lane_words == 1; "
+            "use classifyAlternatingWide");
+    const WideMasks m = classifyAlternatingWide(faults, num_faults);
+    return AlternatingMasks{m.anyErr[0], m.nonAlt[0], m.incorrect[0]};
+}
+
+WideMasks
+FaultSimulator::classifyAlternatingWide(const Fault *faults,
+                                        std::size_t num_faults)
+{
     simulate(0, faults, num_faults);
     simulate(1, faults, num_faults);
-    const std::uint64_t *f1 = outBuf_[0].data();
-    const std::uint64_t *f2 = outBuf_[1].data();
-    const std::uint64_t *good = goodOut_[0].data();
-
-    AlternatingMasks m;
-    for (int j = 0; j < flat_.numOutputs(); ++j) {
-        const std::uint64_t err1 = f1[j] ^ good[j];
-        const std::uint64_t err2 = f2[j] ^ ~good[j];
-        m.anyErr |= err1 | err2;
-        m.nonAlt |= ~(f1[j] ^ f2[j]);
-        m.incorrect |= err1 & err2;
-    }
+    WideMasks m;
+    kernels_->foldAlternating(flat_.numOutputs(), outBuf_[0].data(),
+                              outBuf_[1].data(), goodOut_[0].data(), &m);
     return m;
 }
 

@@ -4,8 +4,8 @@
  * propagation) over a FlatNetlist.
  *
  * The fault campaigns used to resimulate the whole circuit, with
- * freshly heap-allocated line vectors, for every fault x 64-lane
- * pattern block. FaultSimulator inverts that cost model:
+ * freshly heap-allocated line vectors, for every fault x pattern
+ * block. FaultSimulator inverts that cost model:
  *
  *  1. the fault-free circuit is evaluated ONCE per pattern block and
  *     its line values cached (two phases for alternating campaigns:
@@ -15,15 +15,24 @@
  *     on the driver, branch faults on the consuming gate),
  *  3. injecting a fault resimulates cone gates only, reading all
  *     other lines from the cached good values, and short-circuits as
- *     soon as the frontier of differing 64-lane words goes empty —
- *     for the common case of an unexcited fault that is a single word
+ *     soon as the frontier of differing lane blocks goes empty — for
+ *     the common case of an unexcited fault that is a single block
  *     compare.
+ *
+ * Each line carries a lane block of laneWords() uint64 words (1, 4 or
+ * 8 words → 64, 256 or 512 packed patterns per replay); the gate
+ * loops run through the runtime-dispatched SIMD kernels of
+ * sim/wide.hh, bit-identical across widths and dispatch targets. All
+ * block-valued buffers use the input-major layout of sim/wide.hh
+ * (line i at words [i*W, i*W+W)).
  *
  * All scratch buffers are preallocated in the constructor; the
  * per-fault hot path performs no heap allocation. Results are
  * bit-identical to PackedEvaluator, which stays in the tree as the
- * reference oracle (tests/test_fault_sim_equiv.cc cross-checks every
- * fault of every covered circuit).
+ * 64-lane reference oracle (tests/test_fault_sim_equiv.cc
+ * cross-checks every fault of every covered circuit;
+ * tests/test_simd_equiv.cc extends the identity across widths and
+ * dispatch targets).
  *
  * One FlatNetlist may be shared read-only by many FaultSimulators
  * (one per worker thread); the simulator itself is not thread-safe.
@@ -36,6 +45,7 @@
 #include <vector>
 
 #include "sim/flat.hh"
+#include "sim/wide.hh"
 
 namespace scal::sim
 {
@@ -60,12 +70,26 @@ struct AlternatingMasks
 class FaultSimulator
 {
   public:
-    explicit FaultSimulator(const FlatNetlist &flat);
+    /**
+     * @p lane_words selects the lanes-per-line width (1, 4 or 8 → 64,
+     * 256 or 512 lanes); @p simd the kernel build per sim/simd.hh
+     * policy (Auto = SCAL_SIMD override or widest native).
+     */
+    explicit FaultSimulator(const FlatNetlist &flat, int lane_words = 1,
+                            SimdTarget simd = SimdTarget::Auto);
+
+    /** Words per lane block (1, 4 or 8). */
+    int laneWords() const { return laneWords_; }
+    /** Packed patterns per replay: 64 * laneWords(). */
+    int lanes() const { return 64 * laneWords_; }
+    /** The resolved kernel build actually running. */
+    SimdTarget simdTarget() const { return kernels_->target; }
 
     /**
      * Evaluate and cache the fault-free circuit for one packed input
-     * block (phase 0 only). Dff gates read @p dff_state, ordered as
-     * net.flipFlops().
+     * block (phase 0 only). @p inputs holds numInputs()*laneWords()
+     * words, input-major; Dff gates read @p dff_state
+     * (numFlipFlops()*laneWords() words, ordered as net.flipFlops()).
      */
     void setBaseline(const std::vector<std::uint64_t> &inputs,
                      const std::vector<std::uint64_t> *dff_state = nullptr);
@@ -77,19 +101,21 @@ class FaultSimulator
      */
     void setAlternatingBlock(const std::vector<std::uint64_t> &inputs);
 
-    /** Cached fault-free output words of @p phase. */
+    /** Cached fault-free output blocks of @p phase
+     *  (numOutputs()*laneWords() words). */
     const std::vector<std::uint64_t> &goodOutputs(int phase = 0) const
     {
         return goodOut_[phase];
     }
-    /** Cached fault-free line words of @p phase. */
-    const std::vector<std::uint64_t> &goodLines(int phase = 0) const
+    /** Cached fault-free line blocks of @p phase
+     *  (numGates()*laneWords() words). */
+    const WordVec &goodLines(int phase = 0) const
     {
         return goodLines_[phase];
     }
 
     /**
-     * Output words under @p fault against the cached @p phase
+     * Output blocks under @p fault against the cached @p phase
      * baseline. The returned buffer is owned by the simulator and
      * valid until the next faultOutputs() call on the same phase.
      */
@@ -113,6 +139,8 @@ class FaultSimulator
      * The campaign kernel: simulate @p fault against both cached
      * phases and fold the outputs into per-lane verdict masks.
      * @pre setAlternatingBlock() was called for the current block.
+     * Single-word (64-lane) simulators only; wider simulators use
+     * classifyAlternatingWide().
      */
     AlternatingMasks classifyAlternating(const netlist::Fault &fault)
     {
@@ -120,6 +148,15 @@ class FaultSimulator
     }
     AlternatingMasks classifyAlternating(const netlist::Fault *faults,
                                          std::size_t num_faults);
+
+    /** Width-generic classification: word w covers lanes
+     *  [64w, 64w+64) of the block. */
+    WideMasks classifyAlternatingWide(const netlist::Fault &fault)
+    {
+        return classifyAlternatingWide(&fault, 1);
+    }
+    WideMasks classifyAlternatingWide(const netlist::Fault *faults,
+                                      std::size_t num_faults);
 
     const FlatNetlist &flat() const { return flat_; }
 
@@ -132,14 +169,16 @@ class FaultSimulator
     void bumpEpoch();
 
     const FlatNetlist &flat_;
+    const detail::WideKernels *kernels_;
+    int laneWords_;
 
     /** Cached fault-free values, one slot per phase. */
-    std::vector<std::uint64_t> goodLines_[2];
+    WordVec goodLines_[2];
     std::vector<std::uint64_t> goodOut_[2];
     std::vector<std::uint64_t> outBuf_[2];
 
     /** Copy-on-write faulty values: valid iff stamp_[g] == epoch_. */
-    std::vector<std::uint64_t> faulty_;
+    WordVec faulty_;
     std::vector<std::uint32_t> stamp_;
     /** Stem-forced gates this epoch (skip recompute). */
     std::vector<std::uint32_t> forced_;
@@ -152,25 +191,18 @@ class FaultSimulator
     std::uint32_t visitEpoch_ = 0;
 
     /** Preallocated hot-path scratch. */
-    std::vector<std::uint64_t> inScratch_;
-    std::vector<std::uint64_t> inbarScratch_;
+    std::vector<const std::uint64_t *> ptrScratch_;
+    WordVec inbarScratch_;
     std::vector<netlist::GateId> stack_;
     std::vector<netlist::GateId> unionCone_;
 
-    struct BranchInjection
-    {
-        netlist::GateId consumer;
-        netlist::GateId driver;
-        int pin;
-        std::uint64_t word;
-    };
     struct TapInjection
     {
         int outputIdx;
         netlist::GateId driver;
-        std::uint64_t word;
+        const std::uint64_t *value; ///< broadcast block (kOnes/kZero)
     };
-    std::vector<BranchInjection> branchInj_;
+    std::vector<detail::WideBranchInj> branchInj_;
     std::vector<TapInjection> tapInj_;
 };
 

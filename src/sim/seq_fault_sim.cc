@@ -9,37 +9,52 @@ namespace scal::sim
 {
 
 using namespace netlist;
-using detail::evalGateWord;
 using detail::kAllOnes;
 
-SeqGoodTrace::SeqGoodTrace(const FlatNetlist &flat, int phi_input)
-    : flat_(flat), phiInput_(phi_input), n_(flat.numGates()),
+SeqGoodTrace::SeqGoodTrace(const FlatNetlist &flat, int phi_input,
+                           int lane_words, SimdTarget simd)
+    : flat_(flat), kernels_(&wideKernels(lane_words, simd)),
+      phiInput_(phi_input), laneWords_(lane_words), n_(flat.numGates()),
       no_(flat.numOutputs()), nff_(flat.numFlipFlops())
 {
     if (phi_input >= flat.numInputs())
         throw std::invalid_argument("phi input index out of range");
-    inScratch_.assign(std::max(1, flat_.maxArity()), 0);
+    for (int p = 0; p < 2; ++p) {
+        elig_[p].assign(static_cast<std::size_t>(nff_), 0);
+        for (int i = 0; i < nff_; ++i) {
+            const LatchMode m = flat_.ffLatch(i);
+            const bool e = m == LatchMode::EveryPeriod ||
+                           (m == LatchMode::PhiRise && p == 0) ||
+                           (m == LatchMode::PhiFall && p == 1);
+            elig_[p][static_cast<std::size_t>(i)] = e ? 1 : 0;
+        }
+    }
     reset();
 }
 
 void
 SeqGoodTrace::reset()
 {
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
     periods_ = 0;
     lines_.clear();
     outs_.clear();
-    state_.assign(nff_, 0);
-    for (int i = 0; i < nff_; ++i)
-        state_[i] = flat_.ffInit(i) ? kAllOnes : 0;
+    state_.assign(static_cast<std::size_t>(nff_) * W, 0);
+    for (int i = 0; i < nff_; ++i) {
+        const std::uint64_t v = flat_.ffInit(i) ? kAllOnes : 0;
+        for (std::size_t w = 0; w < W; ++w)
+            state_[static_cast<std::size_t>(i) * W + w] = v;
+    }
 }
 
 void
 SeqGoodTrace::reservePeriods(long periods)
 {
     const auto p = static_cast<std::size_t>(periods);
-    lines_.reserve(p * n_);
-    outs_.reserve(p * no_);
-    state_.reserve((p + 1) * nff_);
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
+    lines_.reserve(p * n_ * W);
+    outs_.reserve(p * no_ * W);
+    state_.reserve((p + 1) * nff_ * W);
 }
 
 void
@@ -48,77 +63,66 @@ SeqGoodTrace::stepPeriod(const std::uint64_t *inputs)
     const long t = periods_;
     const bool phase = phaseAt(t);
     const std::uint64_t phi_word = phase ? kAllOnes : 0;
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
 
-    lines_.resize(static_cast<std::size_t>(t + 1) * n_);
-    outs_.resize(static_cast<std::size_t>(t + 1) * no_);
-    state_.resize(static_cast<std::size_t>(t + 2) * nff_);
+    lines_.resize(static_cast<std::size_t>(t + 1) * n_ * W);
+    outs_.resize(static_cast<std::size_t>(t + 1) * no_ * W);
+    state_.resize(static_cast<std::size_t>(t + 2) * nff_ * W);
 
-    std::uint64_t *lines = lines_.data() + static_cast<std::size_t>(t) * n_;
+    std::uint64_t *lines =
+        lines_.data() + static_cast<std::size_t>(t) * n_ * W;
     const std::uint64_t *st =
-        state_.data() + static_cast<std::size_t>(t) * nff_;
+        state_.data() + static_cast<std::size_t>(t) * nff_ * W;
 
-    for (GateId g : flat_.topoOrder()) {
-        std::uint64_t v = 0;
-        switch (flat_.kind(g)) {
-          case GateKind::Input: {
-            const int idx = flat_.inputIndex(g);
-            v = idx == phiInput_ ? phi_word : inputs[idx];
-            break;
-          }
-          case GateKind::Dff:
-            v = st[flat_.ffIndex(g)];
-            break;
-          case GateKind::Const0:
-            v = 0;
-            break;
-          case GateKind::Const1:
-            v = kAllOnes;
-            break;
-          default: {
-            const GateId *fi = flat_.fanins(g);
-            const int a = flat_.arity(g);
-            std::uint64_t *in = inScratch_.data();
-            for (int k = 0; k < a; ++k)
-                in[k] = lines[fi[k]];
-            v = evalGateWord(flat_.kind(g), in, a);
-            break;
-          }
-        }
-        lines[g] = v;
+    kernels_->evalLines(flat_, inputs, nff_ > 0 ? st : nullptr, phiInput_,
+                        phi_word, lines);
+
+    std::uint64_t *outs =
+        outs_.data() + static_cast<std::size_t>(t) * no_ * W;
+    for (int j = 0; j < no_; ++j) {
+        const std::uint64_t *src =
+            lines + static_cast<std::size_t>(flat_.output(j)) * W;
+        for (std::size_t w = 0; w < W; ++w)
+            outs[static_cast<std::size_t>(j) * W + w] = src[w];
     }
-
-    std::uint64_t *outs = outs_.data() + static_cast<std::size_t>(t) * no_;
-    for (int j = 0; j < no_; ++j)
-        outs[j] = lines[flat_.output(j)];
 
     // Latch at the end of the period (φ rises at the end of phase 0,
     // falls at the end of phase 1), as in SeqSimulator.
     std::uint64_t *next =
-        state_.data() + static_cast<std::size_t>(t + 1) * nff_;
-    for (int i = 0; i < nff_; ++i)
-        next[i] = latchEligible(i, phase) ? lines[flat_.ffDriver(i)]
-                                          : st[i];
+        state_.data() + static_cast<std::size_t>(t + 1) * nff_ * W;
+    const std::uint8_t *elig = latchEligibleTable(phase);
+    for (int i = 0; i < nff_; ++i) {
+        const std::uint64_t *src =
+            elig[i] ? lines + static_cast<std::size_t>(flat_.ffDriver(i)) * W
+                    : st + static_cast<std::size_t>(i) * W;
+        for (std::size_t w = 0; w < W; ++w)
+            next[static_cast<std::size_t>(i) * W + w] = src[w];
+    }
     ++periods_;
 }
 
 SeqFaultSimulator::SeqFaultSimulator(const SeqGoodTrace &trace)
-    : trace_(trace), flat_(trace.flat())
+    : trace_(trace), flat_(trace.flat()), kernels_(&trace.kernels()),
+      laneWords_(trace.laneWords())
 {
-    const int n = flat_.numGates();
-    faultyState_.assign(flat_.numFlipFlops(), 0);
-    faulty_.assign(n, 0);
+    const std::size_t n = static_cast<std::size_t>(flat_.numGates());
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
+    const std::size_t nff = static_cast<std::size_t>(flat_.numFlipFlops());
+    faultyState_.assign(nff * W, 0);
+    faulty_.assign(n * W, 0);
     stamp_.assign(n, 0);
     forced_.assign(n, 0);
     coneCache_.resize(n);
     coneBuilt_.assign(n, 0);
     visitStamp_.assign(n, 0);
-    inScratch_.assign(std::max(1, flat_.maxArity()), 0);
-    outBuf_.assign(flat_.numOutputs(), 0);
+    ptrScratch_.assign(
+        static_cast<std::size_t>(std::max(1, flat_.maxArity())), nullptr);
+    outBuf_.assign(static_cast<std::size_t>(flat_.numOutputs()) * W, 0);
     stack_.reserve(n);
     unionCone_.reserve(n);
-    seeds_.reserve(flat_.numFlipFlops() + 1);
-    diverged_.reserve(flat_.numFlipFlops());
-    divergedNext_.reserve(flat_.numFlipFlops());
+    seeds_.reserve(nff + 1);
+    diverged_.reserve(nff);
+    divergedNext_.reserve(nff);
 }
 
 void
@@ -138,6 +142,16 @@ SeqFaultSimulator::bumpVisit()
         std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
         visitEpoch_ = 1;
     }
+}
+
+bool
+SeqFaultSimulator::blockIsFaultValue(const std::uint64_t *block) const
+{
+    for (int w = 0; w < laneWords_; ++w) {
+        if (block[w] != faultGroup_[w])
+            return false;
+    }
+    return true;
 }
 
 const std::vector<GateId> &
@@ -174,7 +188,8 @@ SeqFaultSimulator::beginFault(const Fault &fault, long ws, long we)
 {
     wstart_ = std::max<long>(0, ws);
     wend_ = we;
-    faultWord_ = fault.value ? kAllOnes : 0;
+    faultGroup_ = fault.value ? detail::kOnesGroup.data()
+                              : detail::kZeroGroup.data();
     siteDriver_ = fault.site.driver;
     siteConsumer_ = fault.site.consumer;
     sitePin_ = fault.site.pin;
@@ -206,8 +221,13 @@ SeqFaultSimulator::beginFault(const Fault &fault, long ws, long we)
     if (siteKind_ == SiteKind::Inert)
         wstart_ = wend_ = 0; // never active: the run syncs immediately
 
+    branchInj_ = {siteConsumer_, siteDriver_, sitePin_, faultGroup_};
+
     const std::uint64_t *init = trace_.state(0);
-    faultyState_.assign(init, init + flat_.numFlipFlops());
+    faultyState_.assign(init,
+                        init + static_cast<std::size_t>(
+                                   flat_.numFlipFlops()) *
+                                   laneWords_);
     diverged_.clear();
     periodsSimulated_ = periodsSkipped_ = 0;
 }
@@ -215,6 +235,7 @@ SeqFaultSimulator::beginFault(const Fault &fault, long ws, long we)
 std::uint64_t
 SeqFaultSimulator::stepFaultPeriod(long t)
 {
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
     const std::uint64_t *good = trace_.lines(t);
     const std::uint64_t *good_out = trace_.outputs(t);
     const std::uint64_t *good_next = trace_.state(t + 1);
@@ -224,21 +245,24 @@ SeqFaultSimulator::stepFaultPeriod(long t)
     const int nff = flat_.numFlipFlops();
 
     // Fast path: state fully converged and the site unexcited this
-    // period — nothing can change, one word compare and out.
+    // period — nothing can change, one block compare and out.
     if (diverged_.empty()) {
         switch (siteKind_) {
           case SiteKind::Stem:
           case SiteKind::Branch:
-            if (faultWord_ == good[siteDriver_])
+            if (blockIsFaultValue(good +
+                                  static_cast<std::size_t>(siteDriver_) * W))
                 return 0;
             break;
           case SiteKind::DffBranch:
             if (!trace_.latchEligible(siteFf_, phase) ||
-                faultWord_ == good[siteDriver_])
+                blockIsFaultValue(good +
+                                  static_cast<std::size_t>(siteDriver_) * W))
                 return 0;
             break;
           case SiteKind::Tap:
-            if (faultWord_ == good_out[siteTap_])
+            if (blockIsFaultValue(good_out +
+                                  static_cast<std::size_t>(siteTap_) * W))
                 return 0;
             break;
           case SiteKind::Inert:
@@ -249,7 +273,8 @@ SeqFaultSimulator::stepFaultPeriod(long t)
         // simulating (the latch loop reads it for ineligible
         // flip-flops).
         const std::uint64_t *st = trace_.state(t);
-        std::copy(st, st + nff, faultyState_.begin());
+        std::copy(st, st + static_cast<std::size_t>(nff) * W,
+                  faultyState_.begin());
     }
 
     bumpEpoch();
@@ -260,15 +285,22 @@ SeqFaultSimulator::stepFaultPeriod(long t)
 
     if (active) {
         switch (siteKind_) {
-          case SiteKind::Stem:
+          case SiteKind::Stem: {
             forced_[siteDriver_] = epoch_;
-            if (faultWord_ != good[siteDriver_]) {
-                faulty_[siteDriver_] = faultWord_;
+            const std::uint64_t *gd =
+                good + static_cast<std::size_t>(siteDriver_) * W;
+            if (!blockIsFaultValue(gd)) {
+                std::uint64_t *fv =
+                    faulty_.data() +
+                    static_cast<std::size_t>(siteDriver_) * W;
+                for (std::size_t w = 0; w < W; ++w)
+                    fv[w] = faultGroup_[w];
                 stamp_[siteDriver_] = epoch_;
                 frontier += flat_.fanoutDegree(siteDriver_);
             }
             seeds_.push_back(siteDriver_);
             break;
+          }
           case SiteKind::Branch:
             seeds_.push_back(siteConsumer_);
             last_branch_pos = flat_.topoPos(siteConsumer_);
@@ -278,12 +310,16 @@ SeqFaultSimulator::stepFaultPeriod(long t)
             break;
         }
     }
-    for (const int ffi : diverged_) {
+    for (const std::int32_t ffi : diverged_) {
         const GateId g = flat_.ffGate(ffi);
         if (forced_[g] == epoch_)
             continue; // a stem fault on this Dff wins over its state
         forced_[g] = epoch_;
-        faulty_[g] = faultyState_[ffi];
+        std::uint64_t *fv = faulty_.data() + static_cast<std::size_t>(g) * W;
+        const std::uint64_t *fs =
+            faultyState_.data() + static_cast<std::size_t>(ffi) * W;
+        for (std::size_t w = 0; w < W; ++w)
+            fv[w] = fs[w];
         stamp_[g] = epoch_;
         frontier += flat_.fanoutDegree(g);
         seeds_.push_back(g);
@@ -322,79 +358,34 @@ SeqFaultSimulator::stepFaultPeriod(long t)
             work = &unionCone_;
         }
 
-        for (const GateId g : *work) {
-            if (flat_.kind(g) == GateKind::Dff) {
-                // State sources are seed-only: stamped above, never
-                // recomputed, and their D edge is not a combinational
-                // edge, so it takes no frontier accounting.
-                continue;
-            }
-            const GateId *fi = flat_.fanins(g);
-            const int a = flat_.arity(g);
-            int ndiff = 0;
-            for (int k = 0; k < a; ++k)
-                if (stamp_[fi[k]] == epoch_)
-                    ++ndiff;
-            frontier -= ndiff;
-
-            if (forced_[g] != epoch_) {
-                const bool is_branch = have_branch && g == siteConsumer_;
-                if (ndiff || is_branch) {
-                    std::uint64_t *in = inScratch_.data();
-                    for (int k = 0; k < a; ++k) {
-                        const GateId d = fi[k];
-                        in[k] = stamp_[d] == epoch_ ? faulty_[d]
-                                                    : good[d];
-                    }
-                    if (is_branch && sitePin_ >= 0 && sitePin_ < a &&
-                        fi[sitePin_] == siteDriver_) {
-                        in[sitePin_] = faultWord_;
-                    }
-                    const std::uint64_t v =
-                        evalGateWord(flat_.kind(g), in, a);
-                    if (v != good[g]) {
-                        faulty_[g] = v;
-                        stamp_[g] = epoch_;
-                        frontier += flat_.fanoutDegree(g);
-                    }
-                }
-            }
-            // Frontier dead and every injection behind us: the rest
-            // of the cone keeps its fault-free values.
-            if (frontier == 0 && flat_.topoPos(g) >= last_branch_pos)
-                break;
-        }
+        kernels_->replayCone(flat_, good, faulty_.data(), stamp_.data(),
+                             forced_.data(), epoch_, work->data(),
+                             work->size(), &branchInj_,
+                             have_branch ? 1 : 0, last_branch_pos, frontier,
+                             ptrScratch_.data());
     }
 
     // Output assembly (tap override last, as in the oracle).
     std::uint64_t *out = outBuf_.data();
-    for (int j = 0; j < no; ++j) {
-        const GateId g = flat_.output(j);
-        out[j] = stamp_[g] == epoch_ ? faulty_[g] : good[g];
+    kernels_->assembleOutputs(flat_, good, faulty_.data(), stamp_.data(),
+                              epoch_, out);
+    if (active && siteKind_ == SiteKind::Tap) {
+        std::uint64_t *dst = out + static_cast<std::size_t>(siteTap_) * W;
+        for (std::size_t w = 0; w < W; ++w)
+            dst[w] = faultGroup_[w];
     }
-    if (active && siteKind_ == SiteKind::Tap)
-        out[siteTap_] = faultWord_;
-    std::uint64_t diff = 0;
-    for (int j = 0; j < no; ++j)
-        diff |= out[j] ^ good_out[j];
+    const std::uint64_t diff =
+        kernels_->diffOr(out, good_out, static_cast<std::size_t>(no) * W);
 
     // Latch all flip-flops and retrack divergence against the trace.
-    divergedNext_.clear();
-    for (int i = 0; i < nff; ++i) {
-        std::uint64_t next;
-        if (trace_.latchEligible(i, phase)) {
-            const GateId d = flat_.ffDriver(i);
-            next = stamp_[d] == epoch_ ? faulty_[d] : good[d];
-            if (active && siteKind_ == SiteKind::DffBranch &&
-                i == siteFf_)
-                next = faultWord_;
-        } else {
-            next = faultyState_[i];
-        }
-        faultyState_[i] = next;
-        if (next != good_next[i])
-            divergedNext_.push_back(i);
-    }
+    divergedNext_.resize(static_cast<std::size_t>(nff));
+    const int branch_ff =
+        (active && siteKind_ == SiteKind::DffBranch) ? siteFf_ : -1;
+    const int ndiv = kernels_->latchAndTrack(
+        flat_, trace_.latchEligibleTable(phase), good, faulty_.data(),
+        stamp_.data(), epoch_, branch_ff, faultGroup_, faultyState_.data(),
+        good_next, divergedNext_.data());
+    divergedNext_.resize(static_cast<std::size_t>(ndiv));
     diverged_.swap(divergedNext_);
     return diff;
 }

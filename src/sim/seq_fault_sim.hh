@@ -1,27 +1,35 @@
 /**
  * @file
  * Packed, cone-restricted sequential fault simulation (Chapter 4/5
- * machines): 64 independent input sequences per word, the fault-free
- * machine evaluated once per period, and each fault resimulated only
- * over the gates its effect can reach.
+ * machines): 64 x laneWords() independent input sequences per lane
+ * block, the fault-free machine evaluated once per period, and each
+ * fault resimulated only over the gates its effect can reach.
  *
  * Two pieces:
  *
  *  - SeqGoodTrace evaluates the fault-free machine period by period
  *    over a FlatNetlist and records every line, output and flip-flop
- *    word. The trace is immutable after construction of the stream
- *    and is shared read-only by all workers of a campaign.
+ *    lane block. The trace is immutable after construction of the
+ *    stream and is shared read-only by all workers of a campaign.
  *
  *  - SeqFaultSimulator replays one fault against a trace. Per period
  *    it seeds a topologically sorted frontier from (a) the fault site,
  *    when the period is inside the fault's activity window, and (b)
- *    every flip-flop whose faulty state word diverged from the good
+ *    every flip-flop whose faulty state block diverged from the good
  *    machine; only the union of those fanout cones is recomputed, all
  *    other lines are read from the trace. Two early exits keep the
  *    common case cheap: an unexcited site with fully converged state
- *    is a single word compare, and once the activity window is behind
- *    and the state words reconverge the remaining periods are skipped
+ *    is a single block compare, and once the activity window is behind
+ *    and the state blocks reconverge the remaining periods are skipped
  *    outright (they are bit-identical to the good machine).
+ *
+ * Each line carries laneWords() uint64 words (1, 4 or 8 → 64, 256 or
+ * 512 packed sequences); the per-period gate loops run through the
+ * runtime-dispatched SIMD kernels of sim/wide.hh. Every block-valued
+ * buffer uses the layout of sim/wide.hh: line i at words
+ * [i*W, i*W+W), lane l at bit (l % 64) of word (l / 64) — so word w
+ * of a wide trace evolves exactly as an independent 64-lane trace fed
+ * with word w of every input (tests/test_simd_equiv.cc asserts this).
  *
  * Fault semantics are exactly SeqSimulator's, which stays in the tree
  * as the scalar reference oracle (tests/test_seq_fault_sim_equiv.cc
@@ -43,6 +51,7 @@
 #include <vector>
 
 #include "sim/flat.hh"
+#include "sim/wide.hh"
 
 namespace scal::sim
 {
@@ -53,11 +62,22 @@ class SeqGoodTrace
     /**
      * @param flat the compiled netlist (must outlive the trace)
      * @param phi_input input index of the period clock φ, or -1 if
-     *        the caller drives it; when managed, the input word is
+     *        the caller drives it; when managed, the input block is
      *        overwritten with the current phase (all-zeros in phase 0,
      *        all-ones in phase 1), matching SeqSimulator.
+     * @param lane_words words per lane block (1, 4 or 8)
+     * @param simd kernel build per sim/simd.hh policy
      */
-    explicit SeqGoodTrace(const FlatNetlist &flat, int phi_input = -1);
+    explicit SeqGoodTrace(const FlatNetlist &flat, int phi_input = -1,
+                          int lane_words = 1,
+                          SimdTarget simd = SimdTarget::Auto);
+
+    /** Words per lane block (1, 4 or 8). */
+    int laneWords() const { return laneWords_; }
+    /** Packed sequences per block: 64 * laneWords(). */
+    int lanes() const { return 64 * laneWords_; }
+    /** The resolved kernel build actually running. */
+    SimdTarget simdTarget() const { return kernels_->target; }
 
     /** Drop all periods, return flip-flops to their init words. */
     void reset();
@@ -66,9 +86,10 @@ class SeqGoodTrace
     void reservePeriods(long periods);
 
     /**
-     * Append one period: drive @p inputs (one packed word per primary
-     * input; the φ word, if managed, is overwritten), evaluate, latch
-     * eligible flip-flops.
+     * Append one period: drive @p inputs (one lane block of
+     * laneWords() words per primary input, input-major; the φ block,
+     * if managed, is overwritten), evaluate, latch eligible
+     * flip-flops.
      */
     void stepPeriod(const std::uint64_t *inputs);
 
@@ -76,23 +97,24 @@ class SeqGoodTrace
     /** Phase (value of φ) during period @p t. */
     bool phaseAt(long t) const { return (t & 1) != 0; }
 
-    /** All line words of period @p t (numGates() words). */
+    /** All line blocks of period @p t (numGates()*laneWords() words). */
     const std::uint64_t *lines(long t) const
     {
-        return lines_.data() + static_cast<std::size_t>(t) * n_;
+        return lines_.data() + static_cast<std::size_t>(t) * n_ * laneWords_;
     }
-    /** Output words of period @p t (numOutputs() words). */
+    /** Output blocks of period @p t (numOutputs()*laneWords() words). */
     const std::uint64_t *outputs(long t) const
     {
-        return outs_.data() + static_cast<std::size_t>(t) * no_;
+        return outs_.data() + static_cast<std::size_t>(t) * no_ * laneWords_;
     }
     /**
-     * Flip-flop state words at the *start* of period @p t, for
+     * Flip-flop state blocks at the *start* of period @p t, for
      * t in [0, numPeriods()]; state(0) is the power-on state.
      */
     const std::uint64_t *state(long t) const
     {
-        return state_.data() + static_cast<std::size_t>(t) * nff_;
+        return state_.data() +
+               static_cast<std::size_t>(t) * nff_ * laneWords_;
     }
 
     const FlatNetlist &flat() const { return flat_; }
@@ -101,21 +123,29 @@ class SeqGoodTrace
     /** True when flip-flop @p i latches at the end of a @p phase period. */
     bool latchEligible(int i, bool phase) const
     {
-        const netlist::LatchMode m = flat_.ffLatch(i);
-        return m == netlist::LatchMode::EveryPeriod ||
-               (m == netlist::LatchMode::PhiRise && !phase) ||
-               (m == netlist::LatchMode::PhiFall && phase);
+        return elig_[phase ? 1 : 0][static_cast<std::size_t>(i)] != 0;
     }
+
+    /** Per-flip-flop latch eligibility of @p phase as a byte table. */
+    const std::uint8_t *latchEligibleTable(bool phase) const
+    {
+        return elig_[phase ? 1 : 0].data();
+    }
+
+    /** The kernel table this trace runs on (shared by replayers). */
+    const detail::WideKernels &kernels() const { return *kernels_; }
 
   private:
     const FlatNetlist &flat_;
+    const detail::WideKernels *kernels_;
     int phiInput_;
+    int laneWords_;
     int n_, no_, nff_;
     long periods_ = 0;
-    std::vector<std::uint64_t> lines_;
-    std::vector<std::uint64_t> outs_;
-    std::vector<std::uint64_t> state_; ///< (periods_+1) x nff_
-    std::vector<std::uint64_t> inScratch_;
+    WordVec lines_;
+    WordVec outs_;
+    WordVec state_; ///< (periods_+1) x nff_ blocks
+    std::vector<std::uint8_t> elig_[2];
 };
 
 /** How a fault's replay over a trace ended. */
@@ -138,7 +168,8 @@ class SeqFaultSimulator
      * [window_start, window_end). @p sink is invoked as
      * `bool sink(long period, std::uint64_t diffMask, const
      * std::uint64_t *outputs)` for every period whose faulty outputs
-     * differ from the trace (diffMask ORs the per-output XOR words);
+     * differ from the trace (diffMask ORs the per-output XOR words of
+     * every lane word; @p outputs is numOutputs()*laneWords() words);
      * returning false retires the fault immediately. Periods without a
      * sink call are bit-identical to the good machine.
      */
@@ -184,9 +215,13 @@ class SeqFaultSimulator
     const std::vector<netlist::GateId> &cone(netlist::GateId seed);
     void bumpEpoch();
     void bumpVisit();
+    /** True iff all W words of @p block equal the broadcast fault value. */
+    bool blockIsFaultValue(const std::uint64_t *block) const;
 
     const SeqGoodTrace &trace_;
     const FlatNetlist &flat_;
+    const detail::WideKernels *kernels_;
+    int laneWords_;
 
     /** Decomposed fault being replayed. */
     enum class SiteKind : std::uint8_t
@@ -201,17 +236,18 @@ class SeqFaultSimulator
     netlist::GateId siteDriver_ = netlist::kNoGate;
     netlist::GateId siteConsumer_ = netlist::kNoGate;
     int sitePin_ = -1;
-    int siteFf_ = -1;   ///< flip-flop index for DffBranch
-    int siteTap_ = -1;  ///< output index for Tap
-    std::uint64_t faultWord_ = 0;
+    int siteFf_ = -1;  ///< flip-flop index for DffBranch
+    int siteTap_ = -1; ///< output index for Tap
+    /** Broadcast stuck-at block (kOnesGroup/kZeroGroup). */
+    const std::uint64_t *faultGroup_ = nullptr;
     long wstart_ = 0, wend_ = 0;
 
     /** Faulty machine state and its divergence from the trace. */
-    std::vector<std::uint64_t> faultyState_;
-    std::vector<int> diverged_, divergedNext_;
+    WordVec faultyState_;
+    std::vector<std::int32_t> diverged_, divergedNext_;
 
-    /** Copy-on-write faulty line words: valid iff stamp == epoch. */
-    std::vector<std::uint64_t> faulty_;
+    /** Copy-on-write faulty line blocks: valid iff stamp == epoch. */
+    WordVec faulty_;
     std::vector<std::uint32_t> stamp_;
     std::vector<std::uint32_t> forced_;
     std::uint32_t epoch_ = 0;
@@ -222,11 +258,12 @@ class SeqFaultSimulator
     std::vector<std::uint32_t> visitStamp_;
     std::uint32_t visitEpoch_ = 0;
 
-    std::vector<std::uint64_t> inScratch_;
+    std::vector<const std::uint64_t *> ptrScratch_;
     std::vector<std::uint64_t> outBuf_;
     std::vector<netlist::GateId> stack_;
     std::vector<netlist::GateId> unionCone_;
     std::vector<netlist::GateId> seeds_;
+    detail::WideBranchInj branchInj_;
 
     long periodsSimulated_ = 0, periodsSkipped_ = 0;
 };

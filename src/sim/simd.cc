@@ -1,0 +1,127 @@
+#include "sim/simd.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace scal::sim
+{
+
+SimdTarget
+nativeSimdTarget()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    static const SimdTarget native = [] {
+        if (__builtin_cpu_supports("avx512f") &&
+            __builtin_cpu_supports("avx512bw") &&
+            __builtin_cpu_supports("avx512dq") &&
+            __builtin_cpu_supports("avx512vl"))
+            return SimdTarget::Avx512;
+        if (__builtin_cpu_supports("avx2"))
+            return SimdTarget::Avx2;
+        return SimdTarget::Portable;
+    }();
+    return native;
+#else
+    return SimdTarget::Portable;
+#endif
+}
+
+bool
+parseSimdTarget(const char *s, SimdTarget *out)
+{
+    if (s == nullptr || out == nullptr)
+        return false;
+    if (std::strcmp(s, "auto") == 0)
+        *out = SimdTarget::Auto;
+    else if (std::strcmp(s, "portable") == 0)
+        *out = SimdTarget::Portable;
+    else if (std::strcmp(s, "avx2") == 0)
+        *out = SimdTarget::Avx2;
+    else if (std::strcmp(s, "avx512") == 0)
+        *out = SimdTarget::Avx512;
+    else
+        return false;
+    return true;
+}
+
+namespace
+{
+
+/** SCAL_SIMD environment override, parsed once. Auto if unset/bad. */
+SimdTarget
+envSimdTarget()
+{
+    static const SimdTarget env = [] {
+        const char *e = std::getenv("SCAL_SIMD");
+        if (e == nullptr || *e == '\0')
+            return SimdTarget::Auto;
+        SimdTarget t = SimdTarget::Auto;
+        if (!parseSimdTarget(e, &t)) {
+            std::fprintf(stderr,
+                         "scal: ignoring unknown SCAL_SIMD value '%s' "
+                         "(want portable|avx2|avx512)\n",
+                         e);
+            return SimdTarget::Auto;
+        }
+        return t;
+    }();
+    return env;
+}
+
+} // namespace
+
+SimdTarget
+resolveSimdTarget(SimdTarget requested)
+{
+    if (requested == SimdTarget::Auto)
+        requested = envSimdTarget();
+    const SimdTarget native = nativeSimdTarget();
+    if (requested == SimdTarget::Auto || requested > native)
+        return native;
+    return requested;
+}
+
+const char *
+simdTargetName(SimdTarget t)
+{
+    switch (t) {
+      case SimdTarget::Auto:
+        return "auto";
+      case SimdTarget::Portable:
+        return "portable";
+      case SimdTarget::Avx2:
+        return "avx2";
+      case SimdTarget::Avx512:
+        return "avx512";
+    }
+    return "?";
+}
+
+int
+defaultLaneWords(SimdTarget resolved)
+{
+    switch (resolved) {
+      case SimdTarget::Avx512:
+        return 8;
+      case SimdTarget::Avx2:
+        return 4;
+      default:
+        return 1;
+    }
+}
+
+int
+laneWordsForLanes(int lanes)
+{
+    if (lanes < 1 || lanes > 512)
+        throw std::invalid_argument("lanes must be in 1..512");
+    if (lanes <= 64)
+        return 1;
+    if (lanes <= 256)
+        return 4;
+    return 8;
+}
+
+} // namespace scal::sim

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Runtime SIMD dispatch policy for the packed simulation kernels.
+ *
+ * The wide kernels (sim/wide.hh) exist in up to three builds of the
+ * same code: a portable multi-word fallback that compiles everywhere,
+ * an AVX2 build (256-bit ops) and an AVX-512 build (512-bit ops).
+ * This header owns the policy of which one runs:
+ *
+ *  - nativeSimdTarget() probes the CPU once (cached),
+ *  - the SCAL_SIMD environment variable (portable|avx2|avx512)
+ *    overrides automatic selection,
+ *  - an explicit target request (tests, benchmarks) always wins over
+ *    the environment but is still clamped to what the CPU supports.
+ *
+ * Every target computes bit-identical results — dispatch is purely a
+ * performance knob (tests/test_simd_equiv.cc asserts the identity).
+ */
+
+#ifndef SCAL_SIM_SIMD_HH
+#define SCAL_SIM_SIMD_HH
+
+namespace scal::sim
+{
+
+/** Kernel builds, in increasing width order (comparable). */
+enum class SimdTarget
+{
+    Auto,     ///< resolve via SCAL_SIMD, else the widest native build
+    Portable, ///< multi-word scalar loops, compiles everywhere
+    Avx2,     ///< 256-bit ops (4 words per instruction)
+    Avx512,   ///< 512-bit ops (8 words per instruction)
+};
+
+/** Widest target this CPU (and this build) supports. Cached. */
+SimdTarget nativeSimdTarget();
+
+/**
+ * Resolve @p requested to a concrete target: Auto honours the
+ * SCAL_SIMD environment override, anything explicit is kept; the
+ * result is always clamped to nativeSimdTarget().
+ */
+SimdTarget resolveSimdTarget(SimdTarget requested = SimdTarget::Auto);
+
+/** "auto", "portable", "avx2" or "avx512". */
+const char *simdTargetName(SimdTarget t);
+
+/** Parse "portable"/"avx2"/"avx512" (also "auto"). */
+bool parseSimdTarget(const char *s, SimdTarget *out);
+
+/** Natural words-per-line for a resolved target: 8/4/1. */
+int defaultLaneWords(SimdTarget resolved);
+
+/**
+ * Words-per-line needed for @p lanes packed lanes: 1, 4 or 8 (the
+ * supported kernel widths). @p lanes must be in 1..512.
+ */
+int laneWordsForLanes(int lanes);
+
+} // namespace scal::sim
+
+#endif // SCAL_SIM_SIMD_HH

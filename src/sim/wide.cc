@@ -1,0 +1,24 @@
+#include "sim/wide.hh"
+
+#include <stdexcept>
+
+namespace scal::sim
+{
+
+const detail::WideKernels &
+wideKernels(int lane_words, SimdTarget target)
+{
+    target = resolveSimdTarget(target);
+    const detail::WideKernels *k = nullptr;
+    if (target == SimdTarget::Avx512)
+        k = detail::wideAvx512Kernels(lane_words);
+    if (k == nullptr && target >= SimdTarget::Avx2)
+        k = detail::wideAvx2Kernels(lane_words);
+    if (k == nullptr)
+        k = detail::widePortableKernels(lane_words);
+    if (k == nullptr)
+        throw std::invalid_argument("lane_words must be 1, 4, or 8");
+    return *k;
+}
+
+} // namespace scal::sim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * AVX2 build of the wide kernels. The shared template body is
+ * compiled inside a `#pragma GCC target("avx2")` region so the lane
+ * block ops lower to 256-bit ymm instructions; the pragma (rather
+ * than per-file -mavx2 flags) keeps attributed code out of comdat
+ * sections that the linker could select for non-AVX2 hosts. Only
+ * reached after __builtin_cpu_supports("avx2") (sim/simd.cc).
+ */
+
+#include "sim/wide.hh"
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define SCAL_WIDE_HAVE_AVX2 1
+#else
+#define SCAL_WIDE_HAVE_AVX2 0
+#endif
+
+#if SCAL_WIDE_HAVE_AVX2
+
+#pragma GCC push_options
+#pragma GCC target("avx2")
+#define SCAL_WIDE_NS wide_avx2
+#include "sim/wide_impl.hh"
+#undef SCAL_WIDE_NS
+#pragma GCC pop_options
+
+namespace scal::sim::detail
+{
+
+const WideKernels *
+wideAvx2Kernels(int lane_words)
+{
+    static const WideKernels k1 = wide_avx2::makeKernels<1>(SimdTarget::Avx2);
+    static const WideKernels k4 = wide_avx2::makeKernels<4>(SimdTarget::Avx2);
+    static const WideKernels k8 = wide_avx2::makeKernels<8>(SimdTarget::Avx2);
+    switch (lane_words) {
+      case 1:
+        return &k1;
+      case 4:
+        return &k4;
+      case 8:
+        return &k8;
+      default:
+        return nullptr;
+    }
+}
+
+} // namespace scal::sim::detail
+
+#else
+
+namespace scal::sim::detail
+{
+
+const WideKernels *
+wideAvx2Kernels(int)
+{
+    return nullptr;
+}
+
+} // namespace scal::sim::detail
+
+#endif

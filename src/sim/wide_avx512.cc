@@ -1,0 +1,66 @@
+/**
+ * @file
+ * AVX-512 build of the wide kernels. Same scheme as wide_avx2.cc but
+ * with the 512-bit feature set; the explicit 64-byte lane blocks in
+ * gate_eval.hh force full-width zmm ops regardless of the compiler's
+ * preferred autovectorization width. Only reached after the CPU
+ * reports avx512f/bw/dq/vl (sim/simd.cc).
+ */
+
+#include "sim/wide.hh"
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define SCAL_WIDE_HAVE_AVX512 1
+#else
+#define SCAL_WIDE_HAVE_AVX512 0
+#endif
+
+#if SCAL_WIDE_HAVE_AVX512
+
+#pragma GCC push_options
+#pragma GCC target("avx512f,avx512bw,avx512dq,avx512vl")
+#define SCAL_WIDE_NS wide_avx512
+#include "sim/wide_impl.hh"
+#undef SCAL_WIDE_NS
+#pragma GCC pop_options
+
+namespace scal::sim::detail
+{
+
+const WideKernels *
+wideAvx512Kernels(int lane_words)
+{
+    static const WideKernels k1 =
+        wide_avx512::makeKernels<1>(SimdTarget::Avx512);
+    static const WideKernels k4 =
+        wide_avx512::makeKernels<4>(SimdTarget::Avx512);
+    static const WideKernels k8 =
+        wide_avx512::makeKernels<8>(SimdTarget::Avx512);
+    switch (lane_words) {
+      case 1:
+        return &k1;
+      case 4:
+        return &k4;
+      case 8:
+        return &k8;
+      default:
+        return nullptr;
+    }
+}
+
+} // namespace scal::sim::detail
+
+#else
+
+namespace scal::sim::detail
+{
+
+const WideKernels *
+wideAvx512Kernels(int)
+{
+    return nullptr;
+}
+
+} // namespace scal::sim::detail
+
+#endif

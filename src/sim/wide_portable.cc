@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Portable build of the wide kernels: the shared template body
+ * compiled with the project's baseline flags. The W=4/8 loops still
+ * use GCC vector types where available, so they lower to whatever the
+ * baseline ISA offers (SSE2 on x86-64) and stay correct everywhere.
+ */
+
+#include "sim/wide.hh"
+
+// The 256/512-bit vector helpers never cross a TU boundary (all call
+// paths inline into this unit), so GCC's vector-return ABI caveat
+// does not apply here.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpsabi"
+
+#define SCAL_WIDE_NS wide_portable
+#include "sim/wide_impl.hh"
+#undef SCAL_WIDE_NS
+
+#pragma GCC diagnostic pop
+
+namespace scal::sim::detail
+{
+
+const WideKernels *
+widePortableKernels(int lane_words)
+{
+    static const WideKernels k1 =
+        wide_portable::makeKernels<1>(SimdTarget::Portable);
+    static const WideKernels k4 =
+        wide_portable::makeKernels<4>(SimdTarget::Portable);
+    static const WideKernels k8 =
+        wide_portable::makeKernels<8>(SimdTarget::Portable);
+    switch (lane_words) {
+      case 1:
+        return &k1;
+      case 4:
+        return &k4;
+      case 8:
+        return &k8;
+      default:
+        return nullptr;
+    }
+}
+
+} // namespace scal::sim::detail

@@ -206,7 +206,12 @@ class UncheckedCpu
         : cpu_(std::move(prog)), faultyOp_(faulty_op),
           net_(aluNetlistUnchecked(faulty_op)),
           flat_(std::make_unique<sim::FlatNetlist>(net_)),
-          fs_(std::make_unique<sim::FaultSimulator>(*flat_)),
+          // One scalar (a, b) pair broadcast across a single word per
+          // corruptor call: wider lane blocks would only replicate the
+          // same pattern, so this stays at lane_words == 1 while the
+          // pattern-parallel campaigns (fault/campaign.cc) widen.
+          fs_(std::make_unique<sim::FaultSimulator>(
+              *flat_, /*lane_words=*/1)),
           fault_(fault), inw_(net_.numInputs(), 0)
     {
         cpu_.setCorruptor([this](AluOp op, std::uint8_t a,

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal over-aligned allocator for the simulation arenas. The wide
+ * (multi-word-per-line) kernels read and write whole lane blocks at a
+ * time; 64-byte alignment keeps every block on one cache line and
+ * lets the 256/512-bit kernels use aligned-friendly access patterns.
+ */
+
+#ifndef SCAL_UTIL_ALIGNED_HH
+#define SCAL_UTIL_ALIGNED_HH
+
+#include <cstddef>
+#include <new>
+
+namespace scal::util
+{
+
+template <class T, std::size_t Align = 64>
+struct AlignedAllocator
+{
+    static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                  "alignment must be a power of two >= alignof(T)");
+
+    using value_type = T;
+
+    AlignedAllocator() noexcept = default;
+    template <class U>
+    AlignedAllocator(const AlignedAllocator<U, Align> &) noexcept
+    {
+    }
+
+    template <class U>
+    struct rebind
+    {
+        using other = AlignedAllocator<U, Align>;
+    };
+
+    T *
+    allocate(std::size_t n)
+    {
+        return static_cast<T *>(::operator new(
+            n * sizeof(T), std::align_val_t{Align}));
+    }
+
+    void
+    deallocate(T *p, std::size_t n) noexcept
+    {
+        ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+    }
+
+    friend bool
+    operator==(const AlignedAllocator &, const AlignedAllocator &)
+    {
+        return true;
+    }
+    friend bool
+    operator!=(const AlignedAllocator &, const AlignedAllocator &)
+    {
+        return false;
+    }
+};
+
+} // namespace scal::util
+
+#endif // SCAL_UTIL_ALIGNED_HH

@@ -1,0 +1,538 @@
+/**
+ * @file
+ * Bit-identity of the width-generic SIMD kernels (sim/wide.hh): the
+ * same circuit, patterns and faults must produce identical line
+ * values, alternating masks and campaign verdicts at every (lane
+ * width, dispatch target, jobs) combination — portable one-word,
+ * portable multi-word, AVX2 and AVX-512 where the CPU supports them.
+ * On machines without a vector ISA the explicit targets clamp to the
+ * widest available build, so every case still runs (it just compares
+ * a build against itself).
+ */
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+#include "fault/seq_campaign.hh"
+#include "netlist/circuits.hh"
+#include "netlist/structure.hh"
+#include "seq/dual_flipflop.hh"
+#include "seq/kohavi.hh"
+#include "seq/registers.hh"
+#include "sim/fault_sim.hh"
+#include "sim/flat.hh"
+#include "sim/seq_fault_sim.hh"
+#include "sim/simd.hh"
+#include "sim/wide.hh"
+#include "test_helpers.hh"
+#include "util/rng.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+const sim::SimdTarget kTargets[] = {sim::SimdTarget::Portable,
+                                    sim::SimdTarget::Avx2,
+                                    sim::SimdTarget::Avx512};
+const int kWidths[] = {1, 4, 8};
+
+std::string
+caseName(int lane_words, sim::SimdTarget t)
+{
+    return std::string(sim::simdTargetName(t)) + "/W" +
+           std::to_string(lane_words);
+}
+
+/** Random ni*W input block, one draw per word. */
+std::vector<std::uint64_t>
+randomBlock(int ni, int lane_words, std::uint64_t seed)
+{
+    util::Rng rng(seed);
+    std::vector<std::uint64_t> in(
+        static_cast<std::size_t>(ni) * lane_words);
+    for (auto &w : in)
+        w = rng.next();
+    return in;
+}
+
+/** Word @p w of every input of a wide block, as a 1-word block. */
+std::vector<std::uint64_t>
+narrowBlock(const std::vector<std::uint64_t> &wide, int ni,
+            int lane_words, int w)
+{
+    std::vector<std::uint64_t> in(static_cast<std::size_t>(ni));
+    for (int i = 0; i < ni; ++i)
+        in[static_cast<std::size_t>(i)] =
+            wide[static_cast<std::size_t>(i) * lane_words + w];
+    return in;
+}
+
+TEST(SimdPolicy, ParseNamesAndLaneMath)
+{
+    sim::SimdTarget t;
+    EXPECT_TRUE(sim::parseSimdTarget("auto", &t));
+    EXPECT_EQ(t, sim::SimdTarget::Auto);
+    EXPECT_TRUE(sim::parseSimdTarget("portable", &t));
+    EXPECT_EQ(t, sim::SimdTarget::Portable);
+    EXPECT_TRUE(sim::parseSimdTarget("avx2", &t));
+    EXPECT_EQ(t, sim::SimdTarget::Avx2);
+    EXPECT_TRUE(sim::parseSimdTarget("avx512", &t));
+    EXPECT_EQ(t, sim::SimdTarget::Avx512);
+    EXPECT_FALSE(sim::parseSimdTarget("sse9", &t));
+    EXPECT_FALSE(sim::parseSimdTarget(nullptr, &t));
+
+    for (const sim::SimdTarget x : kTargets) {
+        sim::SimdTarget back;
+        ASSERT_TRUE(sim::parseSimdTarget(sim::simdTargetName(x), &back));
+        EXPECT_EQ(back, x);
+    }
+
+    EXPECT_EQ(sim::laneWordsForLanes(1), 1);
+    EXPECT_EQ(sim::laneWordsForLanes(64), 1);
+    EXPECT_EQ(sim::laneWordsForLanes(65), 4);
+    EXPECT_EQ(sim::laneWordsForLanes(256), 4);
+    EXPECT_EQ(sim::laneWordsForLanes(257), 8);
+    EXPECT_EQ(sim::laneWordsForLanes(512), 8);
+    EXPECT_THROW(sim::laneWordsForLanes(0), std::invalid_argument);
+    EXPECT_THROW(sim::laneWordsForLanes(513), std::invalid_argument);
+
+    EXPECT_EQ(sim::defaultLaneWords(sim::SimdTarget::Portable), 1);
+    EXPECT_EQ(sim::defaultLaneWords(sim::SimdTarget::Avx2), 4);
+    EXPECT_EQ(sim::defaultLaneWords(sim::SimdTarget::Avx512), 8);
+}
+
+TEST(SimdPolicy, ResolveClampsToNative)
+{
+    const sim::SimdTarget native = sim::nativeSimdTarget();
+    EXPECT_GE(native, sim::SimdTarget::Portable);
+    EXPECT_EQ(sim::resolveSimdTarget(sim::SimdTarget::Portable),
+              sim::SimdTarget::Portable);
+    EXPECT_EQ(sim::resolveSimdTarget(native), native);
+    // An explicit request wider than the CPU clamps down, never up.
+    EXPECT_LE(sim::resolveSimdTarget(sim::SimdTarget::Avx512), native);
+    if (native < sim::SimdTarget::Avx512) {
+        EXPECT_EQ(sim::resolveSimdTarget(sim::SimdTarget::Avx512), native);
+    }
+}
+
+TEST(SimdKernels, TablesResolveForEveryWidth)
+{
+    for (const int W : kWidths) {
+        for (const sim::SimdTarget t : kTargets) {
+            const sim::detail::WideKernels &k = sim::wideKernels(W, t);
+            EXPECT_EQ(k.laneWords, W);
+            // The table only falls back toward narrower builds.
+            EXPECT_LE(k.target, sim::resolveSimdTarget(t));
+        }
+    }
+    EXPECT_THROW(sim::wideKernels(2), std::invalid_argument);
+    EXPECT_THROW(sim::wideKernels(0), std::invalid_argument);
+    EXPECT_THROW(sim::wideKernels(16), std::invalid_argument);
+}
+
+/** Fault-free line values: every (width, target) pair must agree with
+ *  the portable one-word build word for word, on random netlists over
+ *  the full gate alphabet. */
+TEST(SimdKernels, GoodLinesIdenticalAcrossWidthsAndTargets)
+{
+    util::Rng rng(0xd15f);
+    for (int round = 0; round < 6; ++round) {
+        const Netlist net =
+            testing::randomNetlist(4 + static_cast<int>(rng.below(4)),
+                                   12 + static_cast<int>(rng.below(20)),
+                                   rng);
+        const sim::FlatNetlist flat(net);
+        const int ni = net.numInputs();
+        const auto wide = randomBlock(ni, 8, rng.next());
+
+        // Reference: one-word portable runs, one per 64-lane word.
+        sim::FaultSimulator ref(flat, 1, sim::SimdTarget::Portable);
+        std::vector<std::vector<std::uint64_t>> refLines(8);
+        for (int w = 0; w < 8; ++w) {
+            ref.setBaseline(narrowBlock(wide, ni, 8, w));
+            refLines[w].assign(ref.goodLines().begin(),
+                               ref.goodLines().end());
+        }
+
+        for (const int W : kWidths) {
+            // The W-word block reuses the first W words of the wide one.
+            std::vector<std::uint64_t> in(
+                static_cast<std::size_t>(ni) * W);
+            for (int i = 0; i < ni; ++i)
+                for (int w = 0; w < W; ++w)
+                    in[static_cast<std::size_t>(i) * W + w] =
+                        wide[static_cast<std::size_t>(i) * 8 + w];
+            for (const sim::SimdTarget t : kTargets) {
+                SCOPED_TRACE(caseName(W, t));
+                sim::FaultSimulator fs(flat, W, t);
+                fs.setBaseline(in);
+                const auto &lines = fs.goodLines();
+                for (int g = 0; g < flat.numGates(); ++g)
+                    for (int w = 0; w < W; ++w)
+                        ASSERT_EQ(
+                            lines[static_cast<std::size_t>(g) * W + w],
+                            refLines[w][static_cast<std::size_t>(g)])
+                            << "gate " << g << " word " << w;
+            }
+        }
+    }
+}
+
+/** Per-fault alternating masks: word w of a wide classification must
+ *  equal the one-word portable classification fed word w's patterns,
+ *  for every width and dispatch target. */
+TEST(SimdKernels, AlternatingMasksIdenticalAcrossWidthsAndTargets)
+{
+    std::vector<std::pair<std::string, Netlist>> nets;
+    nets.emplace_back("selfDualFullAdder", circuits::selfDualFullAdder());
+    nets.emplace_back("xorTree5", circuits::xorTree(5));
+
+    for (auto &[name, net] : nets) {
+        SCOPED_TRACE(name);
+        const sim::FlatNetlist flat(net);
+        const int ni = net.numInputs();
+        const auto wide = randomBlock(ni, 8, 0xabcd + ni);
+        const std::vector<Fault> faults = net.allFaults();
+
+        sim::FaultSimulator ref(flat, 1, sim::SimdTarget::Portable);
+        std::vector<std::vector<sim::AlternatingMasks>> refMasks(8);
+        for (int w = 0; w < 8; ++w) {
+            ref.setAlternatingBlock(narrowBlock(wide, ni, 8, w));
+            for (const Fault &f : faults)
+                refMasks[w].push_back(ref.classifyAlternating(f));
+        }
+
+        for (const int W : kWidths) {
+            std::vector<std::uint64_t> in(
+                static_cast<std::size_t>(ni) * W);
+            for (int i = 0; i < ni; ++i)
+                for (int w = 0; w < W; ++w)
+                    in[static_cast<std::size_t>(i) * W + w] =
+                        wide[static_cast<std::size_t>(i) * 8 + w];
+            for (const sim::SimdTarget t : kTargets) {
+                SCOPED_TRACE(caseName(W, t));
+                sim::FaultSimulator fs(flat, W, t);
+                fs.setAlternatingBlock(in);
+                for (std::size_t k = 0; k < faults.size(); ++k) {
+                    const sim::WideMasks m =
+                        fs.classifyAlternatingWide(faults[k]);
+                    for (int w = 0; w < W; ++w) {
+                        const sim::AlternatingMasks &r = refMasks[w][k];
+                        ASSERT_EQ(m.anyErr[w], r.anyErr);
+                        ASSERT_EQ(m.nonAlt[w], r.nonAlt);
+                        ASSERT_EQ(m.incorrect[w], r.incorrect);
+                        ASSERT_EQ(m.unsafeWord(w), r.unsafe());
+                    }
+                    // Inactive words must stay zero.
+                    for (int w = W; w < sim::kMaxLaneWords; ++w) {
+                        ASSERT_EQ(m.anyErr[w], 0u);
+                        ASSERT_EQ(m.incorrect[w], 0u);
+                    }
+                }
+            }
+        }
+    }
+
+    // classifyAlternating is the 64-lane API: wider sims must refuse.
+    const Netlist net = circuits::xorTree(5);
+    const sim::FlatNetlist flat(net);
+    sim::FaultSimulator fs(flat, 4);
+    fs.setAlternatingBlock(randomBlock(net.numInputs(), 4, 1));
+    EXPECT_THROW(fs.classifyAlternating(net.allFaults()[0]),
+                 std::logic_error);
+}
+
+/** Full combinational campaigns must be bit-identical across lanes,
+ *  dispatch targets and jobs counts. */
+TEST(Campaign, VerdictsIdenticalAcrossLanesSimdJobs)
+{
+    std::vector<std::pair<std::string, Netlist>> nets;
+    nets.emplace_back("selfDualFullAdder", circuits::selfDualFullAdder());
+    nets.emplace_back("xorTree7", circuits::xorTree(7));
+
+    for (auto &[name, net] : nets) {
+        SCOPED_TRACE(name);
+        fault::CampaignOptions base;
+        base.seed = 11;
+        base.maxPatterns = 1 << 10;
+        base.jobs = 1;
+        base.lanes = 64;
+        base.simd = sim::SimdTarget::Portable;
+        const auto ref = fault::runAlternatingCampaign(net, base);
+
+        for (const int lanes : {64, 256, 512}) {
+            for (const sim::SimdTarget t : kTargets) {
+                for (const int jobs : {1, 2, 8}) {
+                    SCOPED_TRACE(caseName(lanes / 64, t) + "/j" +
+                                 std::to_string(jobs));
+                    fault::CampaignOptions opts = base;
+                    opts.lanes = lanes;
+                    opts.simd = t;
+                    opts.jobs = jobs;
+                    const auto res =
+                        fault::runAlternatingCampaign(net, opts);
+                    EXPECT_EQ(res.lanes, lanes);
+                    EXPECT_EQ(res.numDetected, ref.numDetected);
+                    EXPECT_EQ(res.numUnsafe, ref.numUnsafe);
+                    EXPECT_EQ(res.numUntestable, ref.numUntestable);
+                    ASSERT_EQ(res.faults.size(), ref.faults.size());
+                    for (std::size_t k = 0; k < ref.faults.size(); ++k) {
+                        ASSERT_EQ(res.faults[k].outcome,
+                                  ref.faults[k].outcome)
+                            << faultToString(net, ref.faults[k].fault);
+                        ASSERT_EQ(res.faults[k].unsafePatterns,
+                                  ref.faults[k].unsafePatterns)
+                            << faultToString(net, ref.faults[k].fault);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** Per-period faulty output matrix: trace outputs overwritten by every
+ *  delivered divergence row (undelivered periods are bit-identical to
+ *  the good machine by the kernel's contract). */
+std::vector<std::uint64_t>
+faultyMatrix(const sim::SeqGoodTrace &trace, const Fault &f)
+{
+    const int no = trace.flat().numOutputs();
+    const int W = trace.laneWords();
+    const std::size_t row = static_cast<std::size_t>(no) * W;
+    const long T = trace.numPeriods();
+    std::vector<std::uint64_t> m(static_cast<std::size_t>(T) * row);
+    for (long t = 0; t < T; ++t)
+        std::copy(trace.outputs(t), trace.outputs(t) + row,
+                  m.begin() + static_cast<std::size_t>(t) * row);
+    sim::SeqFaultSimulator fs(trace);
+    fs.runFault(f, [&](long t, std::uint64_t,
+                       const std::uint64_t *outs) {
+        std::copy(outs, outs + row,
+                  m.begin() + static_cast<std::size_t>(t) * row);
+        return true;
+    });
+    return m;
+}
+
+/** Sequential kernel word-embedding: word w of a wide trace (and of
+ *  every fault replay over it) evolves exactly as an independent
+ *  one-word trace fed word w of every input — across all dispatch
+ *  targets. */
+TEST(SeqSimd, WideTraceAndReplayMatchNarrowWordStreams)
+{
+    struct Machine
+    {
+        std::string name;
+        Netlist net;
+        int phiInput;
+    };
+    std::vector<Machine> ms;
+    {
+        auto sm = seq::reynoldsDetector();
+        ms.push_back({"reynolds", std::move(sm.net), sm.phiInput});
+    }
+    {
+        auto sm = seq::translatorDetector();
+        ms.push_back({"translator", std::move(sm.net), sm.phiInput});
+    }
+
+    constexpr long kPeriods = 20;
+    constexpr int W = 8;
+    for (Machine &m : ms) {
+        SCOPED_TRACE(m.name);
+        const sim::FlatNetlist flat(m.net);
+        const int ni = m.net.numInputs();
+        const int no = m.net.numOutputs();
+        const int nff = flat.numFlipFlops();
+
+        // One wide stream: periods x (ni * W) words.
+        util::Rng rng(0x5eed + ni);
+        std::vector<std::vector<std::uint64_t>> in(
+            kPeriods, std::vector<std::uint64_t>(
+                          static_cast<std::size_t>(ni) * W));
+        for (auto &p : in)
+            for (auto &w : p)
+                w = rng.next();
+
+        // Narrow references, one per word.
+        std::vector<sim::SeqGoodTrace> narrow;
+        narrow.reserve(W);
+        for (int w = 0; w < W; ++w) {
+            narrow.emplace_back(flat, m.phiInput, 1,
+                                sim::SimdTarget::Portable);
+            for (long t = 0; t < kPeriods; ++t)
+                narrow[w].stepPeriod(
+                    narrowBlock(in[t], ni, W, w).data());
+        }
+
+        for (const sim::SimdTarget tgt : kTargets) {
+            SCOPED_TRACE(caseName(W, tgt));
+            sim::SeqGoodTrace wide(flat, m.phiInput, W, tgt);
+            for (long t = 0; t < kPeriods; ++t)
+                wide.stepPeriod(in[t].data());
+
+            for (long t = 0; t < kPeriods; ++t)
+                for (int w = 0; w < W; ++w) {
+                    for (int j = 0; j < no; ++j)
+                        ASSERT_EQ(
+                            wide.outputs(t)[j * W + w],
+                            narrow[w].outputs(t)[j])
+                            << "t=" << t << " out=" << j << " w=" << w;
+                    for (int i = 0; i < nff; ++i)
+                        ASSERT_EQ(wide.state(t)[i * W + w],
+                                  narrow[w].state(t)[i])
+                            << "t=" << t << " ff=" << i << " w=" << w;
+                }
+
+            for (const Fault &f : m.net.allFaults()) {
+                const auto wm = faultyMatrix(wide, f);
+                for (int w = 0; w < W; ++w) {
+                    const auto nm = faultyMatrix(narrow[w], f);
+                    for (long t = 0; t < kPeriods; ++t)
+                        for (int j = 0; j < no; ++j)
+                            ASSERT_EQ(
+                                wm[(static_cast<std::size_t>(t) * no +
+                                    j) *
+                                       W +
+                                   w],
+                                nm[static_cast<std::size_t>(t) * no + j])
+                                << faultToString(m.net, f) << " t=" << t
+                                << " out=" << j << " w=" << w;
+                }
+            }
+        }
+    }
+}
+
+/** Sequential campaigns must be bit-identical across dispatch targets
+ *  and jobs counts at any fixed lane count (including widths above 64
+ *  and partial final words). */
+TEST(SeqSimd, SeqCampaignIdenticalAcrossSimdAndJobs)
+{
+    struct Case
+    {
+        std::string name;
+        Netlist net;
+        fault::SeqCampaignSpec spec;
+    };
+    std::vector<Case> cases;
+    {
+        auto sm = seq::translatorDetector();
+        auto spec = seq::campaignSpec(sm);
+        cases.push_back({"translator", std::move(sm.net), spec});
+    }
+    {
+        auto sm = seq::selfDualAccumulator(4);
+        auto spec = seq::campaignSpec(sm);
+        cases.push_back({"accumulator4", std::move(sm.net), spec});
+    }
+
+    for (auto &c : cases) {
+        SCOPED_TRACE(c.name);
+        for (const int lanes : {64, 100, 512}) {
+            fault::SeqCampaignOptions base;
+            base.symbols = 16;
+            base.lanes = lanes;
+            base.seed = 3;
+            base.jobs = 1;
+            base.simd = sim::SimdTarget::Portable;
+            const auto ref =
+                fault::runSequentialCampaign(c.net, c.spec, base);
+            EXPECT_EQ(ref.lanes, lanes);
+
+            for (const sim::SimdTarget t : kTargets) {
+                for (const int jobs : {1, 2, 8}) {
+                    SCOPED_TRACE(std::string(sim::simdTargetName(t)) +
+                                 "/l" + std::to_string(lanes) + "/j" +
+                                 std::to_string(jobs));
+                    fault::SeqCampaignOptions opts = base;
+                    opts.simd = t;
+                    opts.jobs = jobs;
+                    const auto res =
+                        fault::runSequentialCampaign(c.net, c.spec, opts);
+                    EXPECT_EQ(res.numDetected, ref.numDetected);
+                    EXPECT_EQ(res.numUnsafe, ref.numUnsafe);
+                    EXPECT_EQ(res.numUntestable, ref.numUntestable);
+                    EXPECT_EQ(res.latencyHistogram, ref.latencyHistogram);
+                    EXPECT_EQ(res.alarmLaneCount, ref.alarmLaneCount);
+                    EXPECT_EQ(res.meanAlarmPeriod, ref.meanAlarmPeriod);
+                    ASSERT_EQ(res.faults.size(), ref.faults.size());
+                    for (std::size_t k = 0; k < ref.faults.size(); ++k) {
+                        ASSERT_EQ(res.faults[k].outcome,
+                                  ref.faults[k].outcome)
+                            << faultToString(c.net, ref.faults[k].fault);
+                        ASSERT_EQ(res.faults[k].firstAlarmPeriod,
+                                  ref.faults[k].firstAlarmPeriod);
+                        ASSERT_EQ(res.faults[k].firstEscapePeriod,
+                                  ref.faults[k].firstEscapePeriod);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/** The multi-word accumulator agrees with W independent single-word
+ *  accumulators over the same symbol stream. */
+TEST(SeqSimd, WideAccumulatorMatchesNarrowAccumulators)
+{
+    constexpr int W = 4;
+    util::Rng rng(77);
+    std::array<std::uint64_t, sim::kMaxLaneWords> mask{};
+    for (int w = 0; w < W; ++w)
+        mask[w] = w == W - 1 ? 0x00ffffffffffffffull : ~std::uint64_t{0};
+
+    for (int round = 0; round < 20; ++round) {
+        fault::SeqVerdictAccumulator wide(mask.data(), W,
+                                          /*drop_detected=*/true);
+        std::vector<fault::SeqVerdictAccumulator> narrow;
+        for (int w = 0; w < W; ++w)
+            narrow.emplace_back(mask[w], true);
+
+        for (long s = 0; s < 40; ++s) {
+            std::uint64_t alarm[W], wrong[W];
+            for (int w = 0; w < W; ++w) {
+                // Sparse alarms/escapes so all outcomes get exercised.
+                alarm[w] = rng.next() & rng.next() & rng.next();
+                wrong[w] = rng.next() & rng.next() & rng.next() &
+                           rng.next() & rng.next();
+            }
+            bool narrow_any = false;
+            for (int w = 0; w < W; ++w)
+                if (narrow[w].addSymbol(s, alarm[w], wrong[w]))
+                    narrow_any = true;
+            const bool wide_more = wide.addSymbol(s, alarm, wrong);
+            bool narrow_escape = false;
+            for (int w = 0; w < W; ++w)
+                narrow_escape |=
+                    narrow[w].outcome() == fault::Outcome::Unsafe;
+            if (narrow_escape) {
+                // The wide accumulator stops the whole fault on any
+                // escape; the per-word runs only stop their word.
+                EXPECT_FALSE(wide_more);
+                EXPECT_EQ(wide.outcome(), fault::Outcome::Unsafe);
+                break;
+            }
+            EXPECT_EQ(wide_more, narrow_any);
+            for (int w = 0; w < W; ++w) {
+                ASSERT_EQ(wide.alarmedWord(w), narrow[w].alarmedLanes())
+                    << "s=" << s << " w=" << w;
+                for (int l = 0; l < 64; ++l)
+                    ASSERT_EQ(wide.laneFirstAlarm(64 * w + l),
+                              narrow[w].laneFirstAlarm(l));
+            }
+        }
+    }
+}
+
+} // namespace
+} // namespace scal

@@ -5,13 +5,21 @@
  *   scal_cli analyze  <netlist|->        Algorithm 3.1 line report
  *   scal_cli campaign <netlist|-> [--jobs N] [--json] [--verbose]
  *                     [--seed N] [--max-patterns N] [--progress]
+ *                     [--lanes 64|256|512] [--simd portable|avx2|avx512]
  *                                        exhaustive stuck-at campaign
  *   scal_cli seq-campaign <netlist|-> [--symbols N] [--lanes N]
  *                     [--seed N] [--jobs N] [--window S:E] [--no-drop]
  *                     [--phi NAME] [--data I,J,..] [--alt I,J,..]
  *                     [--code-pairs P,Q,..] [--hold I,J,..]
+ *                     [--simd portable|avx2|avx512]
  *                     [--json] [--progress]
  *                                        sequential alternating campaign
+ *
+ * Both campaigns run the width-generic SIMD kernels (sim/wide.hh):
+ * --lanes picks patterns/streams per packed replay (0 = widest the
+ * resolved target supports), --simd pins the kernel build (default
+ * auto: the SCAL_SIMD env var, else the widest the CPU supports).
+ * Verdicts are bit-identical across lanes, simd and jobs.
  *   scal_cli tests    <netlist|-> <line> Theorem 3.2 test derivation
  *   scal_cli repair   <netlist|-> <line> [depth]   Figure 3.7 repair
  *   scal_cli convert-minority <netlist|->          Theorem 6.2
@@ -38,6 +46,7 @@
 #include "netlist/io.hh"
 #include "netlist/structure.hh"
 #include "sim/alternating.hh"
+#include "sim/simd.hh"
 
 using namespace scal;
 using namespace scal::netlist;
@@ -79,6 +88,16 @@ cmdAnalyze(const Netlist &net)
     return report.selfChecking() ? 0 : 2;
 }
 
+sim::SimdTarget
+parseSimdFlag(const std::string &v)
+{
+    sim::SimdTarget t = sim::SimdTarget::Auto;
+    if (!sim::parseSimdTarget(v.c_str(), &t))
+        throw std::runtime_error(
+            "--simd needs auto|portable|avx2|avx512, got '" + v + "'");
+    return t;
+}
+
 struct CampaignFlags
 {
     fault::CampaignOptions opts;
@@ -118,6 +137,10 @@ parseCampaignFlags(int argc, char **argv, int first)
             flags.opts.seed = number("--seed");
         else if (arg == "--max-patterns")
             flags.opts.maxPatterns = number("--max-patterns");
+        else if (arg == "--lanes")
+            flags.opts.lanes = static_cast<int>(number("--lanes"));
+        else if (arg == "--simd")
+            flags.opts.simd = parseSimdFlag(value("--simd"));
         else if (arg == "--progress")
             flags.opts.progressInterval = std::chrono::seconds(1);
         else if (arg == "--json")
@@ -152,6 +175,9 @@ cmdCampaign(const Netlist &net, const CampaignFlags &flags)
         std::cout << "{\n"
                   << "  \"patterns_applied\": " << res.patternsApplied
                   << ",\n"
+                  << "  \"lanes\": " << res.lanes << ",\n"
+                  << "  \"simd\": \"" << sim::simdTargetName(res.simd)
+                  << "\",\n"
                   << "  \"faults\": " << res.faults.size() << ",\n"
                   << "  \"detected\": " << res.numDetected << ",\n"
                   << "  \"unsafe\": " << res.numUnsafe << ",\n"
@@ -178,7 +204,9 @@ cmdCampaign(const Netlist &net, const CampaignFlags &flags)
         return res.selfChecking() ? 0 : 2;
     }
 
-    std::cout << "patterns applied: " << res.patternsApplied << "\n"
+    std::cout << "patterns applied: " << res.patternsApplied << " ("
+              << res.lanes << " lanes/replay, "
+              << sim::simdTargetName(res.simd) << " kernels)\n"
               << "faults: " << res.faults.size() << "\n"
               << "detected: " << res.numDetected << "\n"
               << "unsafe: " << res.numUnsafe << "\n"
@@ -286,7 +314,9 @@ parseSeqCampaignFlags(int argc, char **argv, int first)
                     "--window needs START:END in periods");
             flags.opts.faultStart = std::stol(v.substr(0, colon));
             flags.opts.faultEnd = std::stol(v.substr(colon + 1));
-        } else if (arg == "--no-drop")
+        } else if (arg == "--simd")
+            flags.opts.simd = parseSimdFlag(value("--simd"));
+        else if (arg == "--no-drop")
             flags.opts.dropDetected = false;
         else if (arg == "--phi")
             flags.phiName = value("--phi");
@@ -332,6 +362,8 @@ cmdSeqCampaign(const Netlist &net, const SeqCampaignFlags &flags)
         std::cout << "{\n"
                   << "  \"symbols\": " << res.symbols << ",\n"
                   << "  \"lanes\": " << res.lanes << ",\n"
+                  << "  \"simd\": \"" << sim::simdTargetName(res.simd)
+                  << "\",\n"
                   << "  \"faults\": " << res.faults.size() << ",\n"
                   << "  \"detected\": " << res.numDetected << ",\n"
                   << "  \"unsafe\": " << res.numUnsafe << ",\n"
@@ -373,7 +405,8 @@ cmdSeqCampaign(const Netlist &net, const SeqCampaignFlags &flags)
     }
 
     std::cout << "symbols: " << res.symbols << " x " << res.lanes
-              << " lanes\n"
+              << " lanes (" << sim::simdTargetName(res.simd)
+              << " kernels)\n"
               << "faults: " << res.faults.size() << " ("
               << col.representatives.size()
               << " classes, collapse ratio " << col.ratio() << ")\n"
