@@ -1,0 +1,164 @@
+#include "ingest/bench_parser.hh"
+
+#include <cctype>
+#include <istream>
+#include <sstream>
+
+#include "ingest/netbuild.hh"
+
+namespace scal::ingest
+{
+
+using namespace netlist;
+
+namespace
+{
+
+std::string
+upper(std::string s)
+{
+    for (char &c : s)
+        c = static_cast<char>(
+            std::toupper(static_cast<unsigned char>(c)));
+    return s;
+}
+
+std::string
+strip(const std::string &s)
+{
+    std::size_t b = 0, e = s.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(s[b])))
+        ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])))
+        --e;
+    return s.substr(b, e - b);
+}
+
+/** "NAME ( arg , arg )" -> {NAME, {arg, arg}}; empty name on
+ *  mismatch. */
+bool
+splitCall(const std::string &text, std::string *fn,
+          std::vector<std::string> *args)
+{
+    const std::size_t open = text.find('(');
+    const std::size_t close = text.rfind(')');
+    if (open == std::string::npos || close == std::string::npos ||
+        close < open || !strip(text.substr(close + 1)).empty())
+        return false;
+    *fn = strip(text.substr(0, open));
+    args->clear();
+    const std::string inner =
+        text.substr(open + 1, close - open - 1);
+    std::size_t pos = 0;
+    while (pos <= inner.size()) {
+        std::size_t comma = inner.find(',', pos);
+        if (comma == std::string::npos)
+            comma = inner.size();
+        const std::string arg = strip(inner.substr(pos, comma - pos));
+        if (!arg.empty())
+            args->push_back(arg);
+        else if (comma < inner.size())
+            return false; // "a,,b"
+        pos = comma + 1;
+    }
+    return !fn->empty();
+}
+
+bool
+lookupKind(const std::string &fn, GateKind *kind)
+{
+    const std::string u = upper(fn);
+    if (u == "AND")
+        *kind = GateKind::And;
+    else if (u == "NAND")
+        *kind = GateKind::Nand;
+    else if (u == "OR")
+        *kind = GateKind::Or;
+    else if (u == "NOR")
+        *kind = GateKind::Nor;
+    else if (u == "XOR")
+        *kind = GateKind::Xor;
+    else if (u == "XNOR")
+        *kind = GateKind::Xnor;
+    else if (u == "NOT")
+        *kind = GateKind::Not;
+    else if (u == "BUF" || u == "BUFF")
+        *kind = GateKind::Buf;
+    else
+        return false;
+    return true;
+}
+
+} // namespace
+
+Netlist
+readBench(std::istream &in)
+{
+    NetBuilder b;
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        if (auto pos = raw.find('#'); pos != std::string::npos)
+            raw.erase(pos);
+        const std::string text = strip(raw);
+        if (text.empty())
+            continue;
+
+        const std::size_t eq = text.find('=');
+        std::string fn;
+        std::vector<std::string> args;
+        if (eq == std::string::npos) {
+            // INPUT(x) / OUTPUT(x)
+            if (!splitCall(text, &fn, &args) || args.size() != 1)
+                throw ParseError(line_no,
+                                 "expected INPUT(name), OUTPUT(name) "
+                                 "or name = FUNC(...), got '" +
+                                     text + "'");
+            const std::string u = upper(fn);
+            if (u == "INPUT")
+                b.addInput(args[0], line_no);
+            else if (u == "OUTPUT")
+                b.addOutput(args[0], args[0], line_no);
+            else
+                throw ParseError(line_no,
+                                 "unknown declaration " + fn);
+            continue;
+        }
+
+        const std::string name = strip(text.substr(0, eq));
+        if (name.empty())
+            throw ParseError(line_no, "missing signal name before =");
+        if (!splitCall(text.substr(eq + 1), &fn, &args))
+            throw ParseError(line_no,
+                             "malformed function call after '" + name +
+                                 " ='");
+        GateKind kind;
+        if (upper(fn) == "DFF") {
+            if (args.size() != 1)
+                throw ParseError(line_no,
+                                 "DFF takes exactly one operand");
+            b.addDff(name, args[0], /*init=*/false, line_no);
+        } else if (lookupKind(fn, &kind)) {
+            if (args.empty())
+                throw ParseError(line_no, fn + " needs operands");
+            if ((kind == GateKind::Not || kind == GateKind::Buf) &&
+                args.size() != 1)
+                throw ParseError(line_no,
+                                 fn + " takes exactly one operand");
+            b.addGate(name, kind, std::move(args), line_no);
+        } else {
+            throw ParseError(line_no, "unknown function " + fn);
+        }
+    }
+    return b.build();
+}
+
+Netlist
+readBenchFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    return readBench(in);
+}
+
+} // namespace scal::ingest

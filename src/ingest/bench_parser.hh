@@ -1,0 +1,36 @@
+/**
+ * @file
+ * ISCAS-85/89 `.bench` netlist parser, the standard interchange
+ * format of the testability-benchmark circuits (c17..c7552,
+ * s27..s38417):
+ *
+ *   # comment
+ *   INPUT(G0)
+ *   OUTPUT(G17)
+ *   G10 = NAND(G0, G1)
+ *   G11 = DFF(G10)
+ *
+ * Supported functions: AND, NAND, OR, NOR, XOR, XNOR, NOT, BUF/BUFF
+ * and DFF (one data operand). Function names are case-insensitive;
+ * declarations may appear in any order (ISCAS-89 files list DFFs
+ * before their driving logic). Errors carry the source line number.
+ */
+
+#ifndef SCAL_INGEST_BENCH_PARSER_HH
+#define SCAL_INGEST_BENCH_PARSER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hh"
+
+namespace scal::ingest
+{
+
+/** Parse a .bench stream; throws ParseError on malformed input. */
+netlist::Netlist readBench(std::istream &in);
+netlist::Netlist readBenchFromString(const std::string &text);
+
+} // namespace scal::ingest
+
+#endif // SCAL_INGEST_BENCH_PARSER_HH

@@ -1,0 +1,254 @@
+#include "ingest/blif_parser.hh"
+
+#include <istream>
+#include <map>
+#include <sstream>
+
+#include "ingest/netbuild.hh"
+
+namespace scal::ingest
+{
+
+using namespace netlist;
+
+namespace
+{
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::istringstream ls(line);
+    std::vector<std::string> toks;
+    std::string t;
+    while (ls >> t)
+        toks.push_back(t);
+    return toks;
+}
+
+/** One pending .names cover: the signals and its cube rows. */
+struct Cover
+{
+    std::vector<std::string> signals; ///< inputs + driven signal last
+    std::vector<std::string> cubes;   ///< input parts ("1-0")
+    int outputValue = -1;             ///< -1 until the first row
+    int line = 0;
+};
+
+class BlifLowering
+{
+  public:
+    explicit BlifLowering(NetBuilder &b) : b_(b) {}
+
+    /** The (possibly cached) inverter of @p signal. */
+    std::string
+    inverted(const std::string &signal, int line)
+    {
+        const auto it = inverters_.find(signal);
+        if (it != inverters_.end())
+            return it->second;
+        const std::string name = b_.freshName(signal + "_inv");
+        b_.addGate(name, GateKind::Not, {signal}, line);
+        inverters_[signal] = name;
+        return name;
+    }
+
+    /** Lower one cover into primitive gates driving its signal. */
+    void
+    lower(const Cover &c)
+    {
+        const std::string &out = c.signals.back();
+        const int ni = static_cast<int>(c.signals.size()) - 1;
+
+        if (c.cubes.empty()) {
+            // No rows: the on-set is empty.
+            b_.addConst(out, false, c.line);
+            return;
+        }
+
+        std::vector<std::string> terms;
+        bool constant = false;
+        for (const std::string &cube : c.cubes) {
+            std::vector<std::string> literals;
+            for (int i = 0; i < ni; ++i) {
+                const char ch = cube[static_cast<std::size_t>(i)];
+                if (ch == '-')
+                    continue;
+                const std::string &sig =
+                    c.signals[static_cast<std::size_t>(i)];
+                literals.push_back(ch == '1' ? sig
+                                             : inverted(sig, c.line));
+            }
+            if (literals.empty()) {
+                // An all-don't-care cube covers everything.
+                constant = true;
+                break;
+            }
+            if (literals.size() == 1) {
+                terms.push_back(literals[0]);
+            } else {
+                const std::string name = b_.freshName(out + "_and");
+                b_.addGate(name, GateKind::And, std::move(literals),
+                           c.line);
+                terms.push_back(name);
+            }
+        }
+
+        const bool onSet = c.outputValue == 1;
+        if (constant) {
+            b_.addConst(out, onSet, c.line);
+        } else if (terms.size() == 1 && onSet) {
+            b_.addGate(out, GateKind::Buf, {terms[0]}, c.line);
+        } else {
+            b_.addGate(out, onSet ? GateKind::Or : GateKind::Nor,
+                       std::move(terms), c.line);
+        }
+    }
+
+  private:
+    NetBuilder &b_;
+    std::map<std::string, std::string> inverters_;
+};
+
+} // namespace
+
+Netlist
+readBlif(std::istream &in)
+{
+    NetBuilder b;
+    BlifLowering lowering(b);
+    std::vector<Cover> covers;
+    std::vector<std::string> outputs;
+    int outputsLine = 0;
+    Cover *open = nullptr; ///< cover accepting cube rows
+    bool sawModel = false, sawEnd = false;
+
+    std::string raw, logical;
+    int line_no = 0, logical_line = 0;
+    while (std::getline(in, raw) && !sawEnd) {
+        ++line_no;
+        if (auto pos = raw.find('#'); pos != std::string::npos)
+            raw.erase(pos);
+        // '\' continuation: splice before tokenizing.
+        if (logical.empty())
+            logical_line = line_no;
+        if (!raw.empty() && raw.back() == '\\') {
+            raw.pop_back();
+            logical += raw + " ";
+            continue;
+        }
+        logical += raw;
+        const std::vector<std::string> toks = tokenize(logical);
+        logical.clear();
+        if (toks.empty())
+            continue;
+        const int at = logical_line;
+        const std::string &key = toks[0];
+
+        if (key[0] != '.') {
+            // A cube row of the open .names cover.
+            if (!open)
+                throw ParseError(at, "cube row outside .names: '" +
+                                         key + "'");
+            const int ni =
+                static_cast<int>(open->signals.size()) - 1;
+            std::string cube, value;
+            if (ni == 0 && toks.size() == 1) {
+                cube = "";
+                value = toks[0];
+            } else if (toks.size() == 2) {
+                cube = toks[0];
+                value = toks[1];
+            } else {
+                throw ParseError(at, "malformed cube row");
+            }
+            if (static_cast<int>(cube.size()) != ni)
+                throw ParseError(
+                    at, "cube width " + std::to_string(cube.size()) +
+                            " does not match " + std::to_string(ni) +
+                            " cover inputs");
+            for (char ch : cube)
+                if (ch != '0' && ch != '1' && ch != '-')
+                    throw ParseError(at,
+                                     std::string("bad cube literal '") +
+                                         ch + "'");
+            if (value != "0" && value != "1")
+                throw ParseError(at, "cube output must be 0 or 1");
+            const int v = value == "1" ? 1 : 0;
+            if (open->outputValue == -1)
+                open->outputValue = v;
+            else if (open->outputValue != v)
+                throw ParseError(
+                    at, "mixed on-set and off-set rows in one cover");
+            open->cubes.push_back(cube);
+            continue;
+        }
+
+        open = nullptr;
+        if (key == ".model") {
+            if (sawModel)
+                throw ParseError(at, "only one .model per file");
+            sawModel = true;
+        } else if (key == ".inputs") {
+            for (std::size_t i = 1; i < toks.size(); ++i)
+                b.addInput(toks[i], at);
+        } else if (key == ".outputs") {
+            for (std::size_t i = 1; i < toks.size(); ++i)
+                outputs.push_back(toks[i]);
+            outputsLine = at;
+        } else if (key == ".names") {
+            if (toks.size() < 2)
+                throw ParseError(at, ".names needs a driven signal");
+            covers.push_back({});
+            open = &covers.back();
+            open->signals.assign(toks.begin() + 1, toks.end());
+            open->line = at;
+        } else if (key == ".latch") {
+            // .latch input output [type control] [init]
+            std::string init = "0";
+            if (toks.size() == 4 || toks.size() == 6)
+                init = toks.back();
+            else if (toks.size() != 3 && toks.size() != 5)
+                throw ParseError(
+                    at, ".latch needs input output [type control] "
+                        "[init-val]");
+            bool initBit = false;
+            if (init == "1")
+                initBit = true;
+            else if (init != "0" && init != "2" && init != "3")
+                throw ParseError(at, "bad .latch init value " + init);
+            b.addDff(toks[2], toks[1], initBit, at);
+        } else if (key == ".end") {
+            sawEnd = true;
+        } else if (key == ".exdc" || key == ".subckt" ||
+                   key == ".gate" || key == ".mlatch" ||
+                   key == ".latch_order" || key == ".clock") {
+            throw ParseError(at, "unsupported BLIF construct " + key +
+                                     " (structural subset only)");
+        } else {
+            throw ParseError(at, "unknown BLIF directive " + key);
+        }
+    }
+    if (!sawModel)
+        throw ParseError(line_no, "missing .model header");
+
+    // Covers are lowered after the scan so a cover may reference
+    // signals declared below it (two-level files are rarely in
+    // topological order); cube rows were already attached above.
+    for (const Cover &c : covers) {
+        if (c.outputValue == -1 && !c.cubes.empty())
+            throw ParseError(c.line, "cover with no output column");
+        lowering.lower(c);
+    }
+    for (const std::string &out : outputs)
+        b.addOutput(out, out, outputsLine);
+    return b.build();
+}
+
+Netlist
+readBlifFromString(const std::string &text)
+{
+    std::istringstream in(text);
+    return readBlif(in);
+}
+
+} // namespace scal::ingest

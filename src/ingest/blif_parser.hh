@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Structural BLIF (Berkeley Logic Interchange Format) subset parser:
+ *
+ *   .model adder
+ *   .inputs a b cin
+ *   .outputs sum cout
+ *   .names a b t      # single-output cover; last signal is driven
+ *   11 1
+ *   .latch d q re clk 0
+ *   .end
+ *
+ * Supported: .model/.inputs/.outputs/.names (single-output SOP
+ * covers, '0'/'1'/'-' literals, on-set or off-set rows), .latch
+ * (type/control tokens accepted and ignored — every latch maps to a
+ * period-clocked DFF — with optional initial value 0/1/2/3 where
+ * 2 "don't care" and 3 "unknown" default to 0), '\' line
+ * continuation, .end. Hierarchical constructs (.subckt, .gate,
+ * .exdc) are rejected with a line-numbered error. Each cover is
+ * lowered to NOT/AND/OR gates (an off-set cover to NOR), so the
+ * imported netlist uses only primitive gates.
+ */
+
+#ifndef SCAL_INGEST_BLIF_PARSER_HH
+#define SCAL_INGEST_BLIF_PARSER_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hh"
+
+namespace scal::ingest
+{
+
+/** Parse a BLIF stream; throws ParseError on malformed input. */
+netlist::Netlist readBlif(std::istream &in);
+netlist::Netlist readBlifFromString(const std::string &text);
+
+} // namespace scal::ingest
+
+#endif // SCAL_INGEST_BLIF_PARSER_HH

@@ -1,0 +1,317 @@
+#include "ingest/harden.hh"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/structure.hh"
+#include "sim/alternating.hh"
+#include "sim/sequential.hh"
+#include "util/rng.hh"
+
+namespace scal::ingest
+{
+
+using namespace netlist;
+
+namespace
+{
+
+/**
+ * The De Morgan dual of a gate kind: replacing every gate by its dual
+ * makes the network compute F^d(X) = F̄(X̄) over the *same* inputs
+ * (induction over the cone; the dual of the identity is the
+ * identity). XOR flips parity once per complemented input, so its
+ * dual depends on the arity's parity; Maj/Min are self-dual at the
+ * odd arities the netlist invariant enforces.
+ */
+GateKind
+dualKind(GateKind kind, std::size_t arity)
+{
+    switch (kind) {
+      case GateKind::And:  return GateKind::Or;
+      case GateKind::Or:   return GateKind::And;
+      case GateKind::Nand: return GateKind::Nor;
+      case GateKind::Nor:  return GateKind::Nand;
+      case GateKind::Xor:
+        return arity % 2 ? GateKind::Xor : GateKind::Xnor;
+      case GateKind::Xnor:
+        return arity % 2 ? GateKind::Xnor : GateKind::Xor;
+      case GateKind::Buf:
+      case GateKind::Not:
+      case GateKind::Maj:
+      case GateKind::Min:
+        return kind;
+      default:
+        throw std::logic_error("dualKind: source gate");
+    }
+}
+
+} // namespace
+
+fault::SeqCampaignSpec
+HardenedCircuit::campaignSpec() const
+{
+    fault::SeqCampaignSpec spec;
+    spec.phiInput = phiInput;
+    return spec; // empty data/alt lists = every output, the default
+}
+
+HardenedCircuit
+hardenNetlist(const Netlist &in, const HardenOptions &opts)
+{
+    in.validate();
+    for (int i = 0; i < in.numInputs(); ++i)
+        if (in.gate(in.inputs()[i]).name == opts.phiName)
+            throw std::invalid_argument(
+                "hardenNetlist: input '" + opts.phiName +
+                "' already exists; pick another phiName");
+
+    HardenedCircuit out;
+    Netlist &net = out.net;
+
+    // Inputs in original order, φ appended last.
+    std::vector<GateId> trueOf(
+        static_cast<std::size_t>(in.numGates()), kNoGate);
+    for (int i = 0; i < in.numInputs(); ++i) {
+        const GateId g = in.inputs()[i];
+        trueOf[static_cast<std::size_t>(g)] =
+            net.addInput(in.gate(g).name.empty()
+                             ? "x" + std::to_string(i)
+                             : in.gate(g).name);
+    }
+    out.phiInput = in.numInputs();
+    const GateId phi = net.addInput(opts.phiName);
+
+    // Dual flip-flop mapping: q_a (deferred, init complemented)
+    // feeding q; the machine's state taps read q, so the visible
+    // state alternates in unison with the inputs.
+    const std::vector<GateId> ffs = in.flipFlops();
+    std::map<GateId, GateId> firstStage;
+    for (GateId f : ffs) {
+        const Gate &g = in.gate(f);
+        const std::string base =
+            g.name.empty() ? "q" + std::to_string(f) : g.name;
+        const GateId a = net.addDeferredDff(
+            base + "_a", LatchMode::EveryPeriod, !g.init);
+        trueOf[static_cast<std::size_t>(f)] = net.addDff(
+            a, base, LatchMode::EveryPeriod, g.init);
+        firstStage[f] = a;
+    }
+
+    // True cone: a structural copy of every original gate.
+    for (GateId g : in.topoOrder()) {
+        const Gate &gate = in.gate(g);
+        switch (gate.kind) {
+          case GateKind::Input:
+          case GateKind::Dff:
+            continue;
+          case GateKind::Const0:
+          case GateKind::Const1: {
+            trueOf[static_cast<std::size_t>(g)] =
+                net.addConst(gate.kind == GateKind::Const1);
+            continue;
+          }
+          default:
+            break;
+        }
+        std::vector<GateId> fanin;
+        fanin.reserve(gate.fanin.size());
+        for (GateId f : gate.fanin)
+            fanin.push_back(trueOf[static_cast<std::size_t>(f)]);
+        trueOf[static_cast<std::size_t>(g)] =
+            net.addGate(gate.kind, std::move(fanin), gate.name);
+    }
+
+    // The observable sinks: primary outputs and flip-flop D lines.
+    std::vector<GateId> sinkDrivers;
+    for (GateId g : in.outputs())
+        sinkDrivers.push_back(g);
+    for (GateId f : ffs)
+        sinkDrivers.push_back(in.gate(f).fanin[0]);
+
+    // Dual cone, restricted to gates that can reach a sink.
+    std::vector<bool> needed(
+        static_cast<std::size_t>(in.numGates()), false);
+    {
+        std::vector<GateId> stack = sinkDrivers;
+        while (!stack.empty()) {
+            const GateId g = stack.back();
+            stack.pop_back();
+            if (needed[static_cast<std::size_t>(g)])
+                continue;
+            needed[static_cast<std::size_t>(g)] = true;
+            const Gate &gate = in.gate(g);
+            if (gate.kind == GateKind::Input ||
+                gate.kind == GateKind::Dff)
+                continue; // sources: state/input lines self-dualize
+            for (GateId f : gate.fanin)
+                stack.push_back(f);
+        }
+    }
+    std::vector<GateId> dualOf = trueOf; // sources map to themselves
+    int dual_gates = 0;
+    for (GateId g : in.topoOrder()) {
+        if (!needed[static_cast<std::size_t>(g)])
+            continue;
+        const Gate &gate = in.gate(g);
+        switch (gate.kind) {
+          case GateKind::Input:
+          case GateKind::Dff:
+            continue;
+          case GateKind::Const0:
+          case GateKind::Const1:
+            dualOf[static_cast<std::size_t>(g)] =
+                net.addConst(gate.kind == GateKind::Const0);
+            continue;
+          default:
+            break;
+        }
+        std::vector<GateId> fanin;
+        fanin.reserve(gate.fanin.size());
+        for (GateId f : gate.fanin)
+            fanin.push_back(dualOf[static_cast<std::size_t>(f)]);
+        dualOf[static_cast<std::size_t>(g)] = net.addGate(
+            dualKind(gate.kind, gate.fanin.size()),
+            std::move(fanin),
+            gate.name.empty() ? "" : gate.name + "_d");
+        ++dual_gates;
+    }
+
+    // One shared φ̄, one Yamamoto mux per distinct sink driver.
+    GateId notPhi = kNoGate;
+    std::map<GateId, GateId> muxOf;
+    auto hardened = [&](GateId d) {
+        const GateId t = trueOf[static_cast<std::size_t>(d)];
+        const GateId u = dualOf[static_cast<std::size_t>(d)];
+        if (t == u)
+            return t; // input/state line: already alternating
+        const auto it = muxOf.find(d);
+        if (it != muxOf.end())
+            return it->second;
+        if (notPhi == kNoGate)
+            notPhi = net.addNot(phi, opts.phiName + "_n");
+        const std::string base = in.gate(d).name.empty()
+                                     ? "s" + std::to_string(d)
+                                     : in.gate(d).name;
+        const GateId lo = net.addAnd({notPhi, t}, base + "_p0");
+        const GateId hi = net.addAnd({phi, u}, base + "_p1");
+        const GateId sd = net.addOr({lo, hi}, base + "_sd");
+        muxOf[d] = sd;
+        return sd;
+    };
+    for (int j = 0; j < in.numOutputs(); ++j)
+        net.addOutput(hardened(in.outputs()[j]), in.outputName(j));
+    for (GateId f : ffs)
+        net.replaceFanin(firstStage[f], 0,
+                         hardened(in.gate(f).fanin[0]));
+    net.validate();
+
+    // The structural report.
+    HardenReport &r = out.report;
+    r.before = in.cost();
+    r.after = net.cost();
+    r.inputsBefore = in.numInputs();
+    r.inputsAfter = net.numInputs();
+    r.outputs = in.numOutputs();
+    r.excitations = static_cast<int>(ffs.size());
+    r.dualGates = dual_gates;
+    r.linesBefore = static_cast<int>(in.faultSites().size());
+    r.linesAfter = static_cast<int>(net.faultSites().size());
+    r.depthBefore = logicDepth(in);
+    r.depthAfter = logicDepth(net);
+    r.rows.push_back({"original (measured)",
+                      static_cast<double>(r.before.flipFlops),
+                      static_cast<double>(r.before.gates),
+                      r.before.gateInputs});
+    r.rows.push_back({"hardened (measured)",
+                      static_cast<double>(r.after.flipFlops),
+                      static_cast<double>(r.after.gates),
+                      r.after.gateInputs});
+    // The paper's general prediction for this conversion style.
+    r.rows.push_back(seq::table41General(r.before.flipFlops,
+                                         r.before.gates)[1]);
+    return out;
+}
+
+std::string
+HardenReport::toJson() const
+{
+    std::ostringstream os;
+    os << "{\"inputs\": [" << inputsBefore << ", " << inputsAfter
+       << "], \"gates\": [" << before.gates << ", " << after.gates
+       << "], \"gate_inputs\": [" << before.gateInputs << ", "
+       << after.gateInputs << "], \"flip_flops\": ["
+       << before.flipFlops << ", " << after.flipFlops
+       << "], \"lines\": [" << linesBefore << ", " << linesAfter
+       << "], \"depth\": [" << depthBefore << ", " << depthAfter
+       << "], \"outputs_hardened\": " << outputs
+       << ", \"excitations_hardened\": " << excitations
+       << ", \"dual_gates\": " << dualGates
+       << ", \"gate_overhead\": " << gateOverhead()
+       << ", \"line_overhead\": " << lineOverhead()
+       << ", \"predicted_gates\": " << rows.back().gates
+       << ", \"predicted_flip_flops\": " << rows.back().flipFlops
+       << "}";
+    return os.str();
+}
+
+std::ostream &
+operator<<(std::ostream &os, const HardenReport &r)
+{
+    os << "hardening overhead (original -> alternating):\n"
+       << "  inputs:     " << r.inputsBefore << " -> " << r.inputsAfter
+       << "  (+phi)\n"
+       << "  gates:      " << r.before.gates << " -> " << r.after.gates
+       << "  (x" << r.gateOverhead() << ", " << r.dualGates
+       << " dual cone)\n"
+       << "  gate pins:  " << r.before.gateInputs << " -> "
+       << r.after.gateInputs << "\n"
+       << "  flip-flops: " << r.before.flipFlops << " -> "
+       << r.after.flipFlops << "  (dual flip-flop pairs)\n"
+       << "  fault lines:" << r.linesBefore << " -> " << r.linesAfter
+       << "  (x" << r.lineOverhead() << ")\n"
+       << "  depth:      " << r.depthBefore << " -> " << r.depthAfter
+       << " levels\n"
+       << "  hardened sinks: " << r.outputs << " outputs, "
+       << r.excitations << " excitation lines\n";
+    for (const seq::CostRow &row : r.rows)
+        os << "  " << row.name << ": " << row.flipFlops
+           << " flip-flops, " << row.gates << " gates\n";
+    return os;
+}
+
+bool
+verifyAlternatingOperation(const Netlist &net, int phi_input,
+                           std::uint64_t budget, std::uint64_t seed)
+{
+    if (net.isCombinational())
+        return sim::isAlternatingNetwork(net, budget, seed);
+
+    sim::SeqSimulator simulator(net, phi_input);
+    util::Rng rng(seed);
+    const int ni = net.numInputs();
+    std::vector<bool> x(static_cast<std::size_t>(ni)),
+        xbar(static_cast<std::size_t>(ni));
+    for (std::uint64_t s = 0; s < budget; ++s) {
+        std::uint64_t word = 0;
+        for (int i = 0; i < ni; ++i) {
+            if (i % 64 == 0)
+                word = rng.next();
+            const bool v = (word >> (i % 64)) & 1;
+            x[static_cast<std::size_t>(i)] = v;
+            xbar[static_cast<std::size_t>(i)] = !v;
+        }
+        // Copy: the simulator reuses its output buffer per period.
+        const std::vector<bool> y1 = simulator.stepPeriod(x);
+        const std::vector<bool> &y2 = simulator.stepPeriod(xbar);
+        for (int j = 0; j < net.numOutputs(); ++j)
+            if (y2[static_cast<std::size_t>(j)] ==
+                y1[static_cast<std::size_t>(j)])
+                return false;
+    }
+    return true;
+}
+
+} // namespace scal::ingest

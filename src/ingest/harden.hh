@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The SCAL-hardening pass: convert an arbitrary imported circuit
+ * (combinational gates + DFFs) into an alternating realization.
+ *
+ * Combinational logic is self-dualized structurally by the Yamamoto
+ * construction the truth-table path in core/design uses, applied at
+ * netlist scale: alongside the original cone F(X) a De Morgan dual
+ * cone F^d(X) = F̄(X̄) is built (AND↔OR, NAND↔NOR, const 0↔1, XOR
+ * dualized by arity parity; inputs and state lines map to
+ * themselves because the environment complements them in the second
+ * period), and every observable sink becomes
+ *
+ *     F_sd(X, φ) = φ̄·F(X) ∨ φ·F^d(X)
+ *
+ * with the period clock φ appended as a new last input (φ = 0 in the
+ * true-data period, 1 in the complemented period, the sim/sequential
+ * convention). F_sd is self-dual by the Yamamoto theorem, so every
+ * output alternates: F(X) then F̄(X).
+ *
+ * Flip-flops map onto the dual flip-flop discipline of Section 4.2
+ * (seq/dual_flipflop): each state register is doubled into a
+ * two-stage shift (q_a then q, both clocked every period, q_a
+ * initialized to the complement) so the state arriving at the logic
+ * alternates in unison with the inputs, and each excitation line is
+ * hardened exactly like a primary output.
+ *
+ * The pass also emits a structural report — gate/line/depth overhead
+ * against the original plus the Reynolds 2n/1.8m prediction from
+ * seq/cost_model — so every import records what alternating
+ * protection cost.
+ */
+
+#ifndef SCAL_INGEST_HARDEN_HH
+#define SCAL_INGEST_HARDEN_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "fault/seq_campaign.hh"
+#include "netlist/netlist.hh"
+#include "seq/cost_model.hh"
+
+namespace scal::ingest
+{
+
+struct HardenOptions
+{
+    /** Name of the appended period-clock input. */
+    std::string phiName = "phi";
+};
+
+/** Structural before/after comparison of one hardening run. */
+struct HardenReport
+{
+    netlist::Netlist::Cost before, after;
+    int inputsBefore = 0, inputsAfter = 0;
+    int outputs = 0;          ///< primary outputs hardened
+    int excitations = 0;      ///< flip-flop D lines hardened
+    int dualGates = 0;        ///< gates in the De Morgan dual cone
+    int linesBefore = 0, linesAfter = 0; ///< fault sites
+    int depthBefore = 0, depthAfter = 0; ///< logic levels
+    /** Measured rows plus the Reynolds 2n / 1.8m prediction. */
+    std::vector<seq::CostRow> rows;
+
+    double
+    gateOverhead() const
+    {
+        return before.gates ? static_cast<double>(after.gates) /
+                                  before.gates
+                            : 0;
+    }
+    double
+    lineOverhead() const
+    {
+        return linesBefore ? static_cast<double>(linesAfter) /
+                                 linesBefore
+                           : 0;
+    }
+
+    std::string toJson() const;
+};
+
+std::ostream &operator<<(std::ostream &os, const HardenReport &r);
+
+struct HardenedCircuit
+{
+    netlist::Netlist net;
+    /** Input index of the appended φ (always numInputs-1). */
+    int phiInput = -1;
+    HardenReport report;
+
+    /**
+     * The sequential-campaign spec the hardened machine implies:
+     * every output is a data word and must alternate, φ drives the
+     * period clock.
+     */
+    fault::SeqCampaignSpec campaignSpec() const;
+};
+
+/** Run the pass. @p net may be combinational or sequential. */
+HardenedCircuit hardenNetlist(const netlist::Netlist &net,
+                              const HardenOptions &opts = {});
+
+/**
+ * Check the alternating property of a hardened circuit in operation:
+ * combinational circuits via sim::isAlternatingNetwork under the
+ * pattern budget; sequential ones by driving @p symbols random
+ * alternating symbol pairs (X, φ=0)(X̄, φ=1) through sim::SeqSimulator
+ * and requiring every output to alternate on every symbol. Exhaustive
+ * when the input space fits the budget, seeded-sampled otherwise.
+ */
+bool verifyAlternatingOperation(const netlist::Netlist &net,
+                                int phi_input,
+                                std::uint64_t budget = 4096,
+                                std::uint64_t seed = 1);
+
+} // namespace scal::ingest
+
+#endif // SCAL_INGEST_HARDEN_HH

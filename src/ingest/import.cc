@@ -1,0 +1,151 @@
+#include "ingest/import.hh"
+
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "ingest/bench_parser.hh"
+#include "ingest/blif_parser.hh"
+#include "netlist/io.hh"
+
+namespace scal::ingest
+{
+
+const char *
+formatName(Format f)
+{
+    switch (f) {
+      case Format::Auto:  return "auto";
+      case Format::Bench: return "bench";
+      case Format::Blif:  return "blif";
+      case Format::Scal:  return "scal";
+    }
+    return "?";
+}
+
+bool
+parseFormatName(const std::string &name, Format *out)
+{
+    if (name == "auto")
+        *out = Format::Auto;
+    else if (name == "bench")
+        *out = Format::Bench;
+    else if (name == "blif")
+        *out = Format::Blif;
+    else if (name == "scal")
+        *out = Format::Scal;
+    else
+        return false;
+    return true;
+}
+
+Format
+formatForPath(const std::string &path)
+{
+    const std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos)
+        return Format::Auto;
+    const std::string ext = path.substr(dot + 1);
+    if (ext == "bench")
+        return Format::Bench;
+    if (ext == "blif")
+        return Format::Blif;
+    if (ext == "scal" || ext == "net" || ext == "txt")
+        return Format::Scal;
+    return Format::Auto;
+}
+
+Format
+sniffFormat(const std::string &text)
+{
+    std::istringstream in(text);
+    std::string raw;
+    while (std::getline(in, raw)) {
+        if (auto pos = raw.find('#'); pos != std::string::npos)
+            raw.erase(pos);
+        std::istringstream ls(raw);
+        std::string word;
+        if (!(ls >> word))
+            continue;
+        if (word[0] == '.')
+            return Format::Blif;
+        // The native format starts every line with a lower-case
+        // keyword and never uses '(' or '='.
+        if (raw.find('=') != std::string::npos ||
+            raw.find('(') != std::string::npos)
+            return Format::Bench;
+        return Format::Scal;
+    }
+    return Format::Scal;
+}
+
+namespace
+{
+
+std::string
+stemOf(const std::string &path)
+{
+    std::size_t slash = path.find_last_of("/\\");
+    const std::size_t start =
+        slash == std::string::npos ? 0 : slash + 1;
+    std::size_t dot = path.rfind('.');
+    if (dot == std::string::npos || dot < start)
+        dot = path.size();
+    return path.substr(start, dot - start);
+}
+
+} // namespace
+
+ImportedCircuit
+importCircuitFromString(const std::string &text, Format format,
+                        const std::string &name)
+{
+    if (format == Format::Auto)
+        format = sniffFormat(text);
+    ImportedCircuit c;
+    c.name = name;
+    c.format = format;
+    try {
+        switch (format) {
+          case Format::Bench:
+            c.net = readBenchFromString(text);
+            break;
+          case Format::Blif:
+            c.net = readBlifFromString(text);
+            break;
+          default:
+            c.net = netlist::readNetlistFromString(text);
+            break;
+        }
+    } catch (const std::runtime_error &e) {
+        throw std::runtime_error(name + ": " + e.what());
+    }
+    return c;
+}
+
+ImportedCircuit
+importCircuit(const std::string &path, Format format)
+{
+    std::string text;
+    if (path == "-") {
+        std::ostringstream buf;
+        buf << std::cin.rdbuf();
+        text = buf.str();
+    } else {
+        std::ifstream in(path);
+        if (!in)
+            throw std::runtime_error("cannot open " + path);
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        text = buf.str();
+    }
+    if (format == Format::Auto)
+        format = formatForPath(path);
+    ImportedCircuit c = importCircuitFromString(
+        text, format, path == "-" ? "-" : path);
+    c.name = path == "-" ? "stdin" : stemOf(path);
+    return c;
+}
+
+} // namespace scal::ingest

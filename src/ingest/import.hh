@@ -1,0 +1,64 @@
+/**
+ * @file
+ * One-call circuit ingestion: pick a parser by file extension (or
+ * content, for streams), run it, and wrap diagnostics with the file
+ * name — `importCircuit("circuits/c432.bench")` is the single entry
+ * point the CLI, benchmarks and CI smoke steps use.
+ */
+
+#ifndef SCAL_INGEST_IMPORT_HH
+#define SCAL_INGEST_IMPORT_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hh"
+
+namespace scal::ingest
+{
+
+enum class Format
+{
+    Auto,  ///< decide from extension / content
+    Bench, ///< ISCAS .bench
+    Blif,  ///< structural BLIF subset
+    Scal,  ///< the repo's own netlist/io.hh line format
+};
+
+const char *formatName(Format f);
+
+/** Parse "bench" | "blif" | "scal" | "auto"; false on mismatch. */
+bool parseFormatName(const std::string &name, Format *out);
+
+/** Format implied by @p path's extension, or Auto when unknown. */
+Format formatForPath(const std::string &path);
+
+/**
+ * Guess the format of raw text: BLIF when the first directive is a
+ * '.'-keyword, .bench when INPUT(/OUTPUT(/"=" call syntax appears,
+ * otherwise the native scal format.
+ */
+Format sniffFormat(const std::string &text);
+
+struct ImportedCircuit
+{
+    netlist::Netlist net;
+    std::string name;   ///< stem of the file name ("c432")
+    Format format = Format::Scal;
+};
+
+/**
+ * Read and parse @p path ("-" = stdin, sniffed). Errors are
+ * std::runtime_error prefixed with "path:line:".
+ */
+ImportedCircuit importCircuit(const std::string &path,
+                              Format format = Format::Auto);
+
+/** Parse in-memory text (Auto = sniff). */
+ImportedCircuit importCircuitFromString(const std::string &text,
+                                        Format format = Format::Auto,
+                                        const std::string &name = "-");
+
+} // namespace scal::ingest
+
+#endif // SCAL_INGEST_IMPORT_HH

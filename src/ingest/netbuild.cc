@@ -1,0 +1,193 @@
+#include "ingest/netbuild.hh"
+
+#include <algorithm>
+
+namespace scal::ingest
+{
+
+using namespace netlist;
+
+void
+NetBuilder::declare(const std::string &name, int line)
+{
+    if (name.empty())
+        throw ParseError(line, "empty signal name");
+    if (byName_.count(name))
+        throw ParseError(line, "duplicate signal " + name);
+    byName_[name] = static_cast<int>(decls_.size());
+}
+
+void
+NetBuilder::addInput(const std::string &name, int line)
+{
+    declare(name, line);
+    decls_.push_back({Decl::Kind::Input, GateKind::Input, {}, false,
+                      LatchMode::EveryPeriod, name, line});
+}
+
+void
+NetBuilder::addConst(const std::string &name, bool value, int line)
+{
+    declare(name, line);
+    decls_.push_back({Decl::Kind::Const, GateKind::Input, {}, value,
+                      LatchMode::EveryPeriod, name, line});
+}
+
+void
+NetBuilder::addGate(const std::string &name, GateKind kind,
+                    std::vector<std::string> fanin, int line)
+{
+    declare(name, line);
+    decls_.push_back({Decl::Kind::Gate, kind, std::move(fanin), false,
+                      LatchMode::EveryPeriod, name, line});
+}
+
+void
+NetBuilder::addDff(const std::string &name, const std::string &d,
+                   bool init, int line, LatchMode latch)
+{
+    declare(name, line);
+    decls_.push_back(
+        {Decl::Kind::Dff, GateKind::Dff, {d}, init, latch, name, line});
+}
+
+void
+NetBuilder::addOutput(const std::string &port,
+                      const std::string &signal, int line)
+{
+    outputs_.emplace_back(port, signal);
+    outputLines_.push_back(line);
+}
+
+std::string
+NetBuilder::freshName(const std::string &base)
+{
+    for (;;) {
+        std::string name =
+            base + "$" + std::to_string(freshCounter_++);
+        if (!byName_.count(name))
+            return name;
+    }
+}
+
+Netlist
+NetBuilder::build()
+{
+    const int n = static_cast<int>(decls_.size());
+    auto resolve = [&](const std::string &name, int line) {
+        const auto it = byName_.find(name);
+        if (it == byName_.end())
+            throw ParseError(line, "unknown signal " + name);
+        return it->second;
+    };
+
+    // Kahn over the gate->gate dependency edges; Input/Const/Dff
+    // declarations are sources.
+    std::vector<int> pending(static_cast<std::size_t>(n), 0);
+    std::vector<std::vector<int>> dependents(
+        static_cast<std::size_t>(n));
+    std::vector<int> ready;
+    for (int k = 0; k < n; ++k) {
+        const Decl &d = decls_[static_cast<std::size_t>(k)];
+        if (d.kind != Decl::Kind::Gate) {
+            continue; // sources never wait; Dff D wired after
+        }
+        for (const std::string &ref : d.fanin) {
+            const int dep = resolve(ref, d.line);
+            const Decl &dd = decls_[static_cast<std::size_t>(dep)];
+            if (dd.kind == Decl::Kind::Gate) {
+                dependents[static_cast<std::size_t>(dep)].push_back(k);
+                ++pending[static_cast<std::size_t>(k)];
+            }
+        }
+    }
+
+    Netlist net;
+    std::vector<GateId> idOf(static_cast<std::size_t>(n), kNoGate);
+    // Inputs in declaration order: their indices are the simulator's
+    // input order, which callers (φ lookup, campaigns) rely on.
+    for (int k = 0; k < n; ++k) {
+        const Decl &d = decls_[static_cast<std::size_t>(k)];
+        if (d.kind == Decl::Kind::Input)
+            idOf[static_cast<std::size_t>(k)] = net.addInput(d.name);
+    }
+    std::vector<int> dffDecls;
+    for (int k = 0; k < n; ++k) {
+        const Decl &d = decls_[static_cast<std::size_t>(k)];
+        if (d.kind == Decl::Kind::Dff) {
+            idOf[static_cast<std::size_t>(k)] =
+                net.addDeferredDff(d.name, d.latch, d.value);
+            dffDecls.push_back(k);
+        }
+    }
+
+    for (int k = 0; k < n; ++k)
+        if (pending[static_cast<std::size_t>(k)] == 0 &&
+            decls_[static_cast<std::size_t>(k)].kind !=
+                Decl::Kind::Input &&
+            decls_[static_cast<std::size_t>(k)].kind != Decl::Kind::Dff)
+            ready.push_back(k);
+    std::size_t emitted = 0;
+    std::size_t gateCount = 0;
+    for (int k = 0; k < n; ++k) {
+        const auto kind = decls_[static_cast<std::size_t>(k)].kind;
+        gateCount += kind == Decl::Kind::Gate || kind == Decl::Kind::Const;
+    }
+    while (!ready.empty()) {
+        // Smallest declaration index first: the emitted gate order is
+        // deterministic and close to file order.
+        const auto it = std::min_element(ready.begin(), ready.end());
+        const int k = *it;
+        ready.erase(it);
+        ++emitted;
+        const Decl &d = decls_[static_cast<std::size_t>(k)];
+        if (d.kind == Decl::Kind::Const) {
+            const GateId id = net.addConst(d.value);
+            idOf[static_cast<std::size_t>(k)] = id;
+        } else {
+            std::vector<GateId> fanin;
+            fanin.reserve(d.fanin.size());
+            for (const std::string &ref : d.fanin)
+                fanin.push_back(idOf[static_cast<std::size_t>(
+                    resolve(ref, d.line))]);
+            idOf[static_cast<std::size_t>(k)] =
+                net.addGate(d.gateKind, std::move(fanin), d.name);
+        }
+        for (int dep : dependents[static_cast<std::size_t>(k)])
+            if (--pending[static_cast<std::size_t>(dep)] == 0)
+                ready.push_back(dep);
+    }
+    if (emitted != gateCount) {
+        // Some gate never became ready: a combinational cycle. Name
+        // one participant for the diagnostic.
+        for (int k = 0; k < n; ++k) {
+            const Decl &d = decls_[static_cast<std::size_t>(k)];
+            if (d.kind == Decl::Kind::Gate &&
+                pending[static_cast<std::size_t>(k)] > 0)
+                throw ParseError(
+                    d.line,
+                    "combinational cycle through signal " + d.name);
+        }
+    }
+
+    for (int k : dffDecls) {
+        const Decl &d = decls_[static_cast<std::size_t>(k)];
+        const int dep = resolve(d.fanin[0], d.line);
+        net.replaceFanin(idOf[static_cast<std::size_t>(k)], 0,
+                         idOf[static_cast<std::size_t>(dep)]);
+    }
+    for (std::size_t j = 0; j < outputs_.size(); ++j) {
+        const int dep = resolve(outputs_[j].second, outputLines_[j]);
+        net.addOutput(idOf[static_cast<std::size_t>(dep)],
+                      outputs_[j].first);
+    }
+
+    try {
+        net.validate();
+    } catch (const std::logic_error &e) {
+        throw ParseError(0, std::string("invalid netlist: ") + e.what());
+    }
+    return net;
+}
+
+} // namespace scal::ingest

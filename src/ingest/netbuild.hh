@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared construction core for the external-format parsers: parsers
+ * declare signals by *name* in file order (forward references
+ * allowed everywhere — ISCAS .bench files routinely list DFFs and
+ * OUTPUTs before the gates that drive them), and build() resolves
+ * names, topologically orders the combinational gates, wires
+ * flip-flop feedback through netlist::addDeferredDff and validates.
+ *
+ * Every declaration carries its source line so diagnostics point at
+ * the offending text ("line 42: unknown signal G12").
+ */
+
+#ifndef SCAL_INGEST_NETBUILD_HH
+#define SCAL_INGEST_NETBUILD_HH
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hh"
+
+namespace scal::ingest
+{
+
+/** Parse failure with a line-numbered message ("line N: ..."). */
+class ParseError : public std::runtime_error
+{
+  public:
+    ParseError(int line, const std::string &msg)
+        : std::runtime_error("line " + std::to_string(line) + ": " +
+                             msg),
+          line_(line)
+    {
+    }
+    int line() const { return line_; }
+
+  private:
+    int line_;
+};
+
+class NetBuilder
+{
+  public:
+    void addInput(const std::string &name, int line);
+    void addConst(const std::string &name, bool value, int line);
+    void addGate(const std::string &name, netlist::GateKind kind,
+                 std::vector<std::string> fanin, int line);
+    void addDff(const std::string &name, const std::string &d,
+                bool init, int line,
+                netlist::LatchMode latch =
+                    netlist::LatchMode::EveryPeriod);
+    void addOutput(const std::string &port, const std::string &signal,
+                   int line);
+
+    bool isDeclared(const std::string &name) const
+    {
+        return byName_.count(name) != 0;
+    }
+
+    /**
+     * A name derived from @p base that collides with no declared or
+     * previously generated identifier (for parser-introduced
+     * intermediate gates, e.g. the AND terms of a BLIF cover).
+     */
+    std::string freshName(const std::string &base);
+
+    /**
+     * Resolve every reference, order the combinational gates
+     * topologically (inputs first in declaration order, then
+     * flip-flops in declaration order, then gates), wire flip-flop
+     * feedback and validate. Throws ParseError on unknown signals,
+     * duplicate declarations, arity violations or combinational
+     * cycles.
+     */
+    netlist::Netlist build();
+
+  private:
+    struct Decl
+    {
+        enum class Kind
+        {
+            Input,
+            Const,
+            Gate,
+            Dff
+        } kind;
+        netlist::GateKind gateKind = netlist::GateKind::Buf;
+        std::vector<std::string> fanin; ///< Gate operands / Dff D
+        bool value = false;             ///< Const value / Dff init
+        netlist::LatchMode latch = netlist::LatchMode::EveryPeriod;
+        std::string name;
+        int line = 0;
+    };
+
+    void declare(const std::string &name, int line);
+
+    std::vector<Decl> decls_;
+    std::map<std::string, int> byName_; ///< name -> decls_ index
+    std::vector<std::pair<std::string, std::string>> outputs_;
+    std::vector<int> outputLines_;
+    int freshCounter_ = 0;
+};
+
+} // namespace scal::ingest
+
+#endif // SCAL_INGEST_NETBUILD_HH

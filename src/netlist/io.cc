@@ -1,6 +1,8 @@
 #include "netlist/io.hh"
 
+#include <functional>
 #include <map>
+#include <queue>
 #include <sstream>
 #include <stdexcept>
 
@@ -123,9 +125,12 @@ readNetlist(std::istream &in)
                 else
                     fail(line_no, "unknown dff option " + opt);
             }
-            // Forward references allowed: wire after parsing.
-            const GateId placeholder = net.addConst(false);
-            const GateId ff = net.addDff(placeholder, name, mode, init);
+            // Forward references allowed: wire after parsing. A
+            // deferred Dff keeps the gate count honest — the old
+            // Const0 placeholder survived the wiring and made every
+            // serialize-then-parse round trip grow a dangling const
+            // (and a fault site) per flip-flop.
+            const GateId ff = net.addDeferredDff(name, mode, init);
             define(name, ff, line_no);
             pending.push_back({ff, d, line_no});
         } else if (word == "output") {
@@ -154,18 +159,25 @@ readNetlistFromString(const std::string &text)
 void
 writeNetlist(std::ostream &os, const Netlist &net)
 {
-    // Stable generated names; user names win when unique.
+    // Two-pass naming: user names are assigned first so a generated
+    // n<id> can never steal an identifier the user declared later in
+    // gate order, and the suffix loop guarantees uniqueness even when
+    // the user's own names look like n<id> or n<id>_<k>.
     std::vector<std::string> names(net.numGates());
     std::map<std::string, int> used;
-    for (GateId g = 0; g < net.numGates(); ++g) {
-        std::string base = net.gate(g).name;
-        if (base.empty())
-            base = "n" + std::to_string(g);
-        if (used.count(base))
-            base += "_" + std::to_string(g);
-        used[base] = 1;
-        names[g] = base;
-    }
+    auto unique = [&](const std::string &base) {
+        std::string name = base;
+        for (int k = 2; used.count(name); ++k)
+            name = base + "_" + std::to_string(k);
+        used[name] = 1;
+        return name;
+    };
+    for (GateId g = 0; g < net.numGates(); ++g)
+        if (!net.gate(g).name.empty())
+            names[g] = unique(net.gate(g).name);
+    for (GateId g = 0; g < net.numGates(); ++g)
+        if (net.gate(g).name.empty())
+            names[g] = unique("n" + std::to_string(g));
 
     // Inputs first, in port order (their indices are the simulator
     // input order and must survive the round trip).
@@ -190,7 +202,39 @@ writeNetlist(std::ostream &os, const Netlist &net)
         os << "\n";
     }
 
-    for (GateId g : net.topoOrder()) {
+    // Canonical emission order: Kahn's algorithm taking the smallest
+    // ready id first. On a netlist whose ids are already topological
+    // — in particular one freshly parsed from this format — this is
+    // the identity permutation, which makes serialize-then-parse a
+    // byte-level fixed point instead of reshuffling gate lines on
+    // every round trip.
+    std::vector<int> pending(static_cast<std::size_t>(net.numGates()),
+                             0);
+    std::priority_queue<GateId, std::vector<GateId>,
+                        std::greater<GateId>>
+        ready;
+    for (GateId g = 0; g < net.numGates(); ++g) {
+        if (net.gate(g).kind != GateKind::Dff)
+            pending[static_cast<std::size_t>(g)] =
+                static_cast<int>(net.gate(g).fanin.size());
+        if (pending[static_cast<std::size_t>(g)] == 0)
+            ready.push(g);
+    }
+    std::vector<GateId> order;
+    order.reserve(static_cast<std::size_t>(net.numGates()));
+    while (!ready.empty()) {
+        const GateId g = ready.top();
+        ready.pop();
+        order.push_back(g);
+        for (auto [c, pin] : net.consumers(g)) {
+            if (net.gate(c).kind == GateKind::Dff)
+                continue;
+            if (--pending[static_cast<std::size_t>(c)] == 0)
+                ready.push(c);
+        }
+    }
+
+    for (GateId g : order) {
         const Gate &gate = net.gate(g);
         switch (gate.kind) {
           case GateKind::Input:

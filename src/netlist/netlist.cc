@@ -160,6 +160,16 @@ Netlist::addDff(GateId d, const std::string &name, LatchMode latch, bool init)
     return id;
 }
 
+GateId
+Netlist::addDeferredDff(const std::string &name, LatchMode latch,
+                        bool init)
+{
+    invalidateCaches();
+    GateId id = numGates();
+    gates_.push_back({GateKind::Dff, {kNoGate}, name, latch, init});
+    return id;
+}
+
 void
 Netlist::addOutput(GateId id, const std::string &name)
 {
@@ -417,6 +427,14 @@ Netlist::cost() const
 void
 Netlist::validate() const
 {
+    // Range-check fanin before topoOrder touches the caches, so an
+    // unwired addDeferredDff fails cleanly instead of corrupting them.
+    for (GateId g = 0; g < numGates(); ++g) {
+        for (GateId f : gates_[g].fanin)
+            if (f < 0 || f >= numGates())
+                throw std::logic_error("dangling fanin on gate " +
+                                       std::to_string(g));
+    }
     topoOrder(); // throws on cycles
     for (GateId g = 0; g < numGates(); ++g) {
         const Gate &gate = gates_[g];

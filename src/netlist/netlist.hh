@@ -128,6 +128,16 @@ class Netlist
     GateId addDff(GateId d, const std::string &name = "",
                   LatchMode latch = LatchMode::EveryPeriod,
                   bool init = false);
+
+    /**
+     * Add a Dff whose D input is not known yet (parsers resolving
+     * forward references). The fanin is kNoGate until replaceFanin
+     * wires it; every deferred Dff MUST be wired before any
+     * inspection/validation call, and validate() rejects leftovers.
+     */
+    GateId addDeferredDff(const std::string &name = "",
+                          LatchMode latch = LatchMode::EveryPeriod,
+                          bool init = false);
     void addOutput(GateId id, const std::string &name);
 
     /** Rewire one fanin pin (used by the repair transforms). */

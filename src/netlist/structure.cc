@@ -196,6 +196,33 @@ pathParitySet(const Netlist &net, const FaultSite &site, int out_idx)
     return combined;
 }
 
+int
+logicDepth(const Netlist &net)
+{
+    std::vector<int> depth(static_cast<std::size_t>(net.numGates()), 0);
+    int best = 0;
+    for (GateId g : net.topoOrder()) {
+        const Gate &gate = net.gate(g);
+        switch (gate.kind) {
+          case GateKind::Input:
+          case GateKind::Const0:
+          case GateKind::Const1:
+          case GateKind::Dff:
+            continue;
+          default:
+            break;
+        }
+        int d = 0;
+        for (GateId f : gate.fanin) {
+            if (net.gate(f).kind != GateKind::Dff)
+                d = std::max(d, depth[static_cast<std::size_t>(f)]);
+        }
+        depth[static_cast<std::size_t>(g)] = d + 1;
+        best = std::max(best, d + 1);
+    }
+    return best;
+}
+
 std::string
 siteToString(const Netlist &net, const FaultSite &site)
 {

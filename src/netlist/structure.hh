@@ -41,6 +41,13 @@ bool singleUnatePathToOutput(const Netlist &net, const FaultSite &site,
 unsigned pathParitySet(const Netlist &net, const FaultSite &site,
                        int out_idx);
 
+/**
+ * Longest combinational path in logic levels: every non-source gate
+ * (including Buf/Not) counts one level, Dff outputs restart at zero.
+ * Used by the ingest hardening report's depth-overhead column.
+ */
+int logicDepth(const Netlist &net);
+
 /** Human-readable fault-site label, e.g. "7:NAND(stem)". */
 std::string siteToString(const Netlist &net, const FaultSite &site);
 

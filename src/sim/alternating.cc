@@ -1,6 +1,9 @@
 #include "sim/alternating.hh"
 
+#include <limits>
 #include <stdexcept>
+
+#include "util/rng.hh"
 
 namespace scal::sim
 {
@@ -50,13 +53,32 @@ evalAlternating(const Netlist &net, const std::vector<bool> &x,
 bool
 isAlternatingNetwork(const Netlist &net)
 {
+    return isAlternatingNetwork(
+        net, std::numeric_limits<std::uint64_t>::max(), 1);
+}
+
+bool
+isAlternatingNetwork(const Netlist &net, std::uint64_t maxPatterns,
+                     std::uint64_t seed)
+{
     Evaluator ev(net);
     const int n = net.numInputs();
-    for (std::uint64_t m = 0; m < (std::uint64_t{1} << n); ++m) {
-        std::vector<bool> x(n), xbar(n);
+    const bool exhaustive =
+        n < 63 && (std::uint64_t{1} << n) <= maxPatterns;
+    const std::uint64_t patterns =
+        exhaustive ? (std::uint64_t{1} << n) : maxPatterns;
+    util::Rng rng(seed);
+    std::vector<bool> x(static_cast<std::size_t>(n)),
+        xbar(static_cast<std::size_t>(n));
+    for (std::uint64_t k = 0; k < patterns; ++k) {
+        // Wide inputs draw one 64-bit word per 64 input positions.
+        std::uint64_t m = exhaustive ? k : rng.next();
         for (int i = 0; i < n; ++i) {
-            x[i] = (m >> i) & 1;
-            xbar[i] = !x[i];
+            if (!exhaustive && i > 0 && i % 64 == 0)
+                m = rng.next();
+            x[static_cast<std::size_t>(i)] = (m >> (i % 64)) & 1;
+            xbar[static_cast<std::size_t>(i)] =
+                !x[static_cast<std::size_t>(i)];
         }
         const auto y1 = ev.evalOutputs(x);
         const auto y2 = ev.evalOutputs(xbar);

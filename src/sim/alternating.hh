@@ -50,6 +50,16 @@ AlternatingOutcome evalAlternating(const netlist::Netlist &net,
  */
 bool isAlternatingNetwork(const netlist::Netlist &net);
 
+/**
+ * The same check with a pattern budget, so imported circuits with
+ * dozens of inputs stay verifiable: exhaustive when 2^numInputs fits
+ * in @p maxPatterns, otherwise that many seeded uniform patterns.
+ * A sampled "true" is evidence, not proof; "false" is always a
+ * counterexample.
+ */
+bool isAlternatingNetwork(const netlist::Netlist &net,
+                          std::uint64_t maxPatterns, std::uint64_t seed);
+
 } // namespace scal::sim
 
 #endif // SCAL_SIM_ALTERNATING_HH

@@ -1,0 +1,474 @@
+/**
+ * @file
+ * Ingestion pipeline tests: .bench and BLIF parser goldens (good
+ * inputs and malformed inputs with line-numbered diagnostics),
+ * serialize/parse round-trip properties over random netlists, and
+ * end-to-end SCAL-hardening — imported circuits must verify as
+ * alternating and campaign verdicts must be bit-identical across
+ * jobs and lane widths.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fault/campaign.hh"
+#include "fault/seq_campaign.hh"
+#include "ingest/bench_parser.hh"
+#include "ingest/blif_parser.hh"
+#include "ingest/harden.hh"
+#include "ingest/import.hh"
+#include "ingest/netbuild.hh"
+#include "netlist/io.hh"
+#include "sim/alternating.hh"
+#include "sim/evaluator.hh"
+#include "sim/sequential.hh"
+#include "test_helpers.hh"
+
+namespace scal
+{
+namespace
+{
+
+using namespace netlist;
+
+const char *kC17 = R"(
+# c17 golden
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+)";
+
+const char *kS27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+)";
+
+TEST(BenchParser, C17Golden)
+{
+    const Netlist net = ingest::readBenchFromString(kC17);
+    EXPECT_EQ(net.numInputs(), 5);
+    EXPECT_EQ(net.numOutputs(), 2);
+    EXPECT_EQ(net.cost().gates, 6);
+    EXPECT_TRUE(net.isCombinational());
+
+    // Inputs keep declaration order; outputs keep OUTPUT() order.
+    EXPECT_EQ(net.gate(net.inputs()[0]).name, "G1");
+    EXPECT_EQ(net.gate(net.inputs()[4]).name, "G7");
+    EXPECT_EQ(net.outputName(0), "G22");
+    EXPECT_EQ(net.outputName(1), "G23");
+
+    sim::Evaluator ev(net);
+    for (unsigned m = 0; m < 32; ++m) {
+        const bool g1 = m & 1, g2 = m & 2, g3 = m & 4, g6 = m & 8,
+                   g7 = m & 16;
+        const bool n10 = !(g1 && g3), n11 = !(g3 && g6);
+        const bool n16 = !(g2 && n11), n19 = !(n11 && g7);
+        const auto y = ev.evalOutputs({g1, g2, g3, g6, g7});
+        EXPECT_EQ(y[0], !(n10 && n16));
+        EXPECT_EQ(y[1], !(n16 && n19));
+    }
+}
+
+TEST(BenchParser, SequentialForwardReferences)
+{
+    // s27 declares its DFFs (and the output) before any of the
+    // driving logic exists — the builder must resolve forward.
+    const Netlist net = ingest::readBenchFromString(kS27);
+    EXPECT_EQ(net.numInputs(), 4);
+    EXPECT_EQ(net.flipFlops().size(), 3u);
+    EXPECT_EQ(net.cost().gates, 10);
+    EXPECT_NO_THROW(net.validate());
+}
+
+TEST(BenchParser, CaseAndSpacingVariants)
+{
+    const Netlist net = ingest::readBenchFromString(
+        "input(a)\nINPUT( b )\noutput(f)\n"
+        "f=nand( a , b )   # trailing comment\n");
+    EXPECT_EQ(net.numInputs(), 2);
+    sim::Evaluator ev(net);
+    EXPECT_FALSE(ev.evalOutputs({true, true})[0]);
+    EXPECT_TRUE(ev.evalOutputs({true, false})[0]);
+}
+
+TEST(BenchParser, MalformedDiagnosticsCarryLineNumbers)
+{
+    const auto lineOf = [](const std::string &text) {
+        try {
+            ingest::readBenchFromString(text);
+        } catch (const ingest::ParseError &e) {
+            return e.line();
+        }
+        return -1;
+    };
+    EXPECT_EQ(lineOf("INPUT(a)\nf = FROB(a)\n"), 2);
+    EXPECT_EQ(lineOf("INPUT(a)\nOUTPUT(f)\nf = DFF(a, a)\n"), 3);
+    EXPECT_EQ(lineOf("INPUT(a)\ngarbage line\n"), 2);
+    EXPECT_EQ(lineOf("INPUT(a)\nOUTPUT(f)\nf = AND(a)\nf = OR(a)\n"),
+              4); // duplicate driver
+    // Undefined signal and combinational cycles surface too.
+    EXPECT_THROW(
+        ingest::readBenchFromString("INPUT(a)\nOUTPUT(f)\n"
+                                    "f = AND(a, ghost)\n"),
+        ingest::ParseError);
+    EXPECT_THROW(ingest::readBenchFromString(
+                     "INPUT(a)\nOUTPUT(f)\n"
+                     "u = AND(a, v)\nv = AND(a, u)\nf = OR(u, v)\n"),
+                 ingest::ParseError);
+}
+
+TEST(BlifParser, SopCoversAndLatch)
+{
+    const Netlist net = ingest::readBlifFromString(R"(
+.model golden
+.inputs a b c
+.outputs f g h
+.names a b ab
+11 1
+.names ab c f
+1- 1
+01 1
+.names a g
+0 1
+.names a b h
+11 0
+.latch d q 0
+.names c q d
+10 1
+01 1
+.end
+)");
+    EXPECT_EQ(net.numInputs(), 3);
+    EXPECT_EQ(net.numOutputs(), 3);
+    ASSERT_EQ(net.flipFlops().size(), 1u);
+    EXPECT_FALSE(net.gate(net.flipFlops()[0]).init);
+
+    // f = (a·b) ∨ c, g = ¬a, h = ¬(a·b); q is sequential so drive
+    // the machine for one period from the known init state q = 0.
+    sim::SeqSimulator simulator(net);
+    for (unsigned m = 0; m < 8; ++m) {
+        const bool a = m & 1, b = m & 2, c = m & 4;
+        simulator.reset();
+        const auto y = simulator.stepPeriod({a, b, c});
+        EXPECT_EQ(y[0], (a && b) || c);
+        EXPECT_EQ(y[1], !a);
+        EXPECT_EQ(y[2], !(a && b));
+    }
+}
+
+TEST(BlifParser, ContinuationAndConstants)
+{
+    const Netlist net = ingest::readBlifFromString(
+        ".model k\n.inputs a\n.outputs one zero f\n"
+        ".names one\n1\n"
+        ".names zero\n"
+        ".names a \\\nf\n0 1\n"
+        ".end\n");
+    sim::SeqSimulator simulator(net);
+    const auto y = simulator.stepPeriod({false});
+    EXPECT_TRUE(y[0]);
+    EXPECT_FALSE(y[1]);
+    EXPECT_TRUE(y[2]);
+}
+
+TEST(BlifParser, MalformedDiagnosticsCarryLineNumbers)
+{
+    const auto lineOf = [](const std::string &text) {
+        try {
+            ingest::readBlifFromString(text);
+        } catch (const ingest::ParseError &e) {
+            return e.line();
+        }
+        return -1;
+    };
+    EXPECT_EQ(lineOf(".model m\n.inputs a\n.outputs f\n"
+                     ".subckt sub x=a y=f\n.end\n"),
+              4);
+    EXPECT_EQ(lineOf(".model m\n.inputs a b\n.outputs f\n"
+                     ".names a b f\n1 1\n.end\n"),
+              5); // cube narrower than the fanin list
+    EXPECT_EQ(lineOf(".model m\n.inputs a b\n.outputs f\n"
+                     ".names a b f\n11 1\n00 0\n.end\n"),
+              6); // mixed on-set and off-set rows
+}
+
+TEST(Import, FormatSniffingAndNames)
+{
+    using ingest::Format;
+    EXPECT_EQ(ingest::formatForPath("x/c432.bench"), Format::Bench);
+    EXPECT_EQ(ingest::formatForPath("alu.blif"), Format::Blif);
+    EXPECT_EQ(ingest::formatForPath("net.scal"), Format::Scal);
+
+    EXPECT_EQ(ingest::sniffFormat(kC17), Format::Bench);
+    EXPECT_EQ(ingest::sniffFormat("\n# c\n.model m\n.end\n"),
+              Format::Blif);
+    EXPECT_EQ(ingest::sniffFormat("input a\noutput f a\n"),
+              Format::Scal);
+
+    const auto circ = ingest::importCircuitFromString(kC17);
+    EXPECT_EQ(circ.format, Format::Bench);
+    EXPECT_EQ(circ.net.numInputs(), 5);
+
+    Format f = Format::Auto;
+    EXPECT_TRUE(ingest::parseFormatName("blif", &f));
+    EXPECT_EQ(f, Format::Blif);
+    EXPECT_FALSE(ingest::parseFormatName("verilog", &f));
+}
+
+/** Serialized form must be a fixed point: write(parse(write(n))) ==
+ *  write(n), and the structure must not grow across cycles. */
+void
+expectRoundTripStable(const Netlist &net)
+{
+    const std::string s1 = writeNetlistToString(net);
+    const Netlist n1 = readNetlistFromString(s1);
+    const std::string s2 = writeNetlistToString(n1);
+    EXPECT_EQ(s1, s2);
+    EXPECT_EQ(net.numGates(), n1.numGates());
+    EXPECT_EQ(net.cost().gates, n1.cost().gates);
+    EXPECT_EQ(net.flipFlops().size(), n1.flipFlops().size());
+    EXPECT_EQ(net.faultSites().size(), n1.faultSites().size());
+}
+
+TEST(RoundTrip, RandomCombinationalNetlists)
+{
+    util::Rng rng(2026);
+    for (int trial = 0; trial < 40; ++trial) {
+        const Netlist net = testing::randomNetlist(
+            3 + static_cast<int>(rng.below(3)),
+            4 + static_cast<int>(rng.below(12)), rng);
+        expectRoundTripStable(net);
+
+        // And the parsed copy computes the same function.
+        const Netlist back =
+            readNetlistFromString(writeNetlistToString(net));
+        sim::Evaluator a(net), b(back);
+        for (unsigned m = 0; m < (1u << net.numInputs()); ++m) {
+            std::vector<bool> x;
+            for (int i = 0; i < net.numInputs(); ++i)
+                x.push_back((m >> i) & 1);
+            EXPECT_EQ(a.evalOutputs(x), b.evalOutputs(x));
+        }
+    }
+}
+
+TEST(RoundTrip, GeneratedNameCollisions)
+{
+    // An input explicitly named "n2" collides with the generated
+    // name the unnamed gate with id 2 would take; the writer must
+    // keep user names verbatim and uniquify the generated one.
+    Netlist net;
+    const GateId a = net.addInput("n2");
+    const GateId b = net.addInput("");
+    const GateId g = net.addGate(GateKind::And, {a, b});
+    net.addOutput(g, "f");
+    expectRoundTripStable(net);
+
+    const Netlist back =
+        readNetlistFromString(writeNetlistToString(net));
+    EXPECT_EQ(back.gate(back.inputs()[0]).name, "n2");
+}
+
+TEST(RoundTrip, SequentialNetlistDoesNotGrow)
+{
+    // The old reader materialized a placeholder const per DFF that
+    // survived wiring, so every serialize/parse cycle added gates.
+    Netlist net;
+    const GateId x = net.addInput("x");
+    const GateId q =
+        net.addDeferredDff("q", LatchMode::EveryPeriod, true);
+    const GateId g = net.addGate(GateKind::Xor, {x, q}, "t");
+    net.replaceFanin(q, 0, g);
+    net.addOutput(g, "f");
+    net.validate();
+
+    Netlist cur = net;
+    for (int cycle = 0; cycle < 3; ++cycle) {
+        cur = readNetlistFromString(writeNetlistToString(cur));
+        EXPECT_EQ(cur.numGates(), net.numGates());
+        ASSERT_EQ(cur.flipFlops().size(), 1u);
+        EXPECT_TRUE(cur.gate(cur.flipFlops()[0]).init);
+    }
+}
+
+TEST(Harden, C17IsAlternatingAndPreservesFunction)
+{
+    const Netlist net = ingest::readBenchFromString(kC17);
+    const ingest::HardenedCircuit hard = ingest::hardenNetlist(net);
+    ASSERT_EQ(hard.phiInput, 5);
+    EXPECT_TRUE(hard.net.isCombinational());
+    EXPECT_TRUE(sim::isAlternatingNetwork(hard.net)); // exhaustive
+
+    // φ = 0 reproduces F(X); φ = 1 on X̄ reproduces F̄(X).
+    sim::Evaluator orig(net), ev(hard.net);
+    for (unsigned m = 0; m < 32; ++m) {
+        std::vector<bool> x, xt, xf;
+        for (int i = 0; i < 5; ++i)
+            x.push_back((m >> i) & 1);
+        xt = x;
+        xt.push_back(false);
+        for (bool v : x)
+            xf.push_back(!v);
+        xf.push_back(true);
+        const auto y = orig.evalOutputs(x);
+        EXPECT_EQ(ev.evalOutputs(xt), y);
+        const auto y2 = ev.evalOutputs(xf);
+        for (std::size_t j = 0; j < y.size(); ++j)
+            EXPECT_NE(y2[j], y[j]);
+    }
+
+    // Report sanity: dual cone counted, overhead below full doubling
+    // plus a mux per output.
+    EXPECT_EQ(hard.report.inputsAfter, 6);
+    EXPECT_EQ(hard.report.outputs, 2);
+    EXPECT_EQ(hard.report.dualGates, 6);
+    EXPECT_GT(hard.report.gateOverhead(), 1.0);
+}
+
+TEST(Harden, RandomNetlistsStayAlternating)
+{
+    util::Rng rng(41);
+    for (int trial = 0; trial < 15; ++trial) {
+        const Netlist net = testing::randomNetlist(
+            3 + static_cast<int>(rng.below(3)),
+            4 + static_cast<int>(rng.below(10)), rng);
+        const ingest::HardenedCircuit hard =
+            ingest::hardenNetlist(net);
+        EXPECT_TRUE(ingest::verifyAlternatingOperation(
+            hard.net, hard.phiInput))
+            << "trial " << trial;
+    }
+}
+
+TEST(Harden, SequentialMachineMatchesOriginalCycleByCycle)
+{
+    // Dual flip-flop timing: the hardened machine's true-data
+    // (φ = 0) periods must reproduce the original machine exactly,
+    // with the complemented periods alternating every output.
+    const Netlist net = ingest::readBenchFromString(kS27);
+    const ingest::HardenedCircuit hard = ingest::hardenNetlist(net);
+    EXPECT_TRUE(ingest::verifyAlternatingOperation(hard.net,
+                                                   hard.phiInput));
+
+    sim::SeqSimulator orig(net);
+    sim::SeqSimulator alt(hard.net, hard.phiInput);
+    util::Rng rng(7);
+    for (int cycle = 0; cycle < 200; ++cycle) {
+        std::vector<bool> x, xbar;
+        for (int i = 0; i < net.numInputs(); ++i) {
+            x.push_back(rng.chance(0.5));
+            xbar.push_back(!x.back());
+        }
+        const std::vector<bool> want = orig.stepPeriod(x);
+        // The hardened machine has a φ slot the simulator drives.
+        x.push_back(false);
+        xbar.push_back(true);
+        const std::vector<bool> y1 = alt.stepPeriod(x);
+        const std::vector<bool> &y2 = alt.stepPeriod(xbar);
+        ASSERT_EQ(y1.size(), want.size());
+        for (std::size_t j = 0; j < want.size(); ++j) {
+            EXPECT_EQ(y1[j], want[j]) << "cycle " << cycle;
+            EXPECT_NE(y2[j], want[j]) << "cycle " << cycle;
+        }
+    }
+}
+
+TEST(Harden, RejectsPhiNameCollision)
+{
+    Netlist net;
+    const GateId p = net.addInput("phi");
+    net.addOutput(net.addNot(p), "f");
+    EXPECT_THROW(ingest::hardenNetlist(net), std::invalid_argument);
+    ingest::HardenOptions opts;
+    opts.phiName = "period_clock";
+    EXPECT_NO_THROW(ingest::hardenNetlist(net, opts));
+}
+
+TEST(Harden, CampaignVerdictsBitIdenticalAcrossJobsAndLanes)
+{
+    const ingest::HardenedCircuit hard =
+        ingest::hardenNetlist(ingest::readBenchFromString(kC17));
+
+    fault::CampaignResult base;
+    bool first = true;
+    for (int jobs : {1, 4}) {
+        for (int lanes : {64, 0}) {
+            fault::CampaignOptions opts;
+            opts.jobs = jobs;
+            opts.lanes = lanes;
+            const auto res =
+                fault::runAlternatingCampaign(hard.net, opts);
+            if (first) {
+                base = res;
+                first = false;
+                continue;
+            }
+            EXPECT_EQ(res.patternsApplied, base.patternsApplied);
+            EXPECT_EQ(res.faults.size(), base.faults.size());
+            EXPECT_EQ(res.numDetected, base.numDetected);
+            EXPECT_EQ(res.numUnsafe, base.numUnsafe);
+            EXPECT_EQ(res.numUntestable, base.numUntestable);
+            for (std::size_t i = 0; i < res.faults.size(); ++i)
+                EXPECT_EQ(res.faults[i].outcome,
+                          base.faults[i].outcome);
+        }
+    }
+    EXPECT_EQ(base.numUnsafe, 0);
+}
+
+TEST(Harden, SeqCampaignVerdictsBitIdenticalAcrossJobs)
+{
+    const ingest::HardenedCircuit hard =
+        ingest::hardenNetlist(ingest::readBenchFromString(kS27));
+    const fault::SeqCampaignSpec spec = hard.campaignSpec();
+
+    fault::SeqCampaignResult base;
+    bool first = true;
+    for (int jobs : {1, 4}) {
+        fault::SeqCampaignOptions opts;
+        opts.symbols = 128;
+        opts.jobs = jobs;
+        const auto res =
+            fault::runSequentialCampaign(hard.net, spec, opts);
+        if (first) {
+            base = res;
+            first = false;
+            continue;
+        }
+        EXPECT_EQ(res.faults.size(), base.faults.size());
+        EXPECT_EQ(res.numDetected, base.numDetected);
+        EXPECT_EQ(res.numUnsafe, base.numUnsafe);
+        EXPECT_EQ(res.numUntestable, base.numUntestable);
+        for (std::size_t i = 0; i < res.faults.size(); ++i)
+            EXPECT_EQ(res.faults[i].outcome, base.faults[i].outcome);
+    }
+    EXPECT_EQ(base.numUnsafe, 0);
+}
+
+} // namespace
+} // namespace scal

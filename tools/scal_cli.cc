@@ -2,6 +2,15 @@
  * @file
  * scal_cli — command-line front end to the SCAL library.
  *
+ *   scal_cli import   <circuit|->        parse ISCAS .bench / BLIF /
+ *                     [--format F]       native netlist, emit native
+ *                                        netlist text on stdout
+ *   scal_cli harden   <circuit|->        SCAL-harden: self-dualize
+ *                     [--verify] [--json] every output and map flip-
+ *                     [--budget N]       flops onto dual pairs; emits
+ *                                        the alternating netlist on
+ *                                        stdout, overhead report on
+ *                                        stderr
  *   scal_cli analyze  <netlist|->        Algorithm 3.1 line report
  *   scal_cli campaign <netlist|-> [--jobs N] [--json] [--verbose]
  *                     [--seed N] [--max-patterns N] [--progress]
@@ -26,7 +35,16 @@
  *   scal_cli dot      <netlist|->        Graphviz export
  *   scal_cli selftest                    quick built-in sanity check
  *
- * Netlists use the line format of netlist/io.hh; "-" reads stdin.
+ * Every command that reads a netlist accepts external circuits: the
+ * positional path (or --circuit FILE) may be a native netlist, an
+ * ISCAS-85/89 .bench file, or a structural BLIF file — the format is
+ * picked by extension, overridable with --format {bench,blif,scal};
+ * "-" reads stdin (sniffed). Adding --harden runs the SCAL-hardening
+ * pass on the imported circuit before the command sees it, so e.g.
+ *
+ *   scal_cli campaign --circuit circuits/c432.bench --harden --jobs 8
+ *
+ * campaigns the alternating realization of c432.
  */
 
 #include <fstream>
@@ -35,6 +53,8 @@
 #include <string>
 
 #include "core/algorithm31.hh"
+#include "ingest/harden.hh"
+#include "ingest/import.hh"
 #include "core/repair.hh"
 #include "core/test_derivation.hh"
 #include "fault/campaign.hh"
@@ -54,15 +74,122 @@ using namespace scal::netlist;
 namespace
 {
 
-Netlist
-load(const std::string &path)
+/**
+ * Arguments shared by every command: where the circuit comes from,
+ * what format it is in, and whether to SCAL-harden it before the
+ * command runs. Extracted up front so the per-command flag parsers
+ * stay strict about what they accept.
+ */
+struct CommonArgs
 {
-    if (path == "-")
-        return readNetlist(std::cin);
-    std::ifstream in(path);
-    if (!in)
-        throw std::runtime_error("cannot open " + path);
-    return readNetlist(in);
+    std::string cmd;
+    std::string path;
+    ingest::Format format = ingest::Format::Auto;
+    bool harden = false;
+    std::vector<std::string> rest; ///< untouched per-command args
+};
+
+CommonArgs
+parseCommonArgs(int argc, char **argv)
+{
+    CommonArgs common;
+    common.cmd = argc > 1 ? argv[1] : "";
+    for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *name) {
+            if (i + 1 >= argc)
+                throw std::runtime_error(std::string(name) +
+                                         " needs a value");
+            return std::string(argv[++i]);
+        };
+        if (arg == "--circuit") {
+            common.path = value("--circuit");
+        } else if (arg == "--format") {
+            const std::string v = value("--format");
+            if (!ingest::parseFormatName(v, &common.format))
+                throw std::runtime_error(
+                    "--format needs auto|bench|blif|scal, got '" + v +
+                    "'");
+        } else if (arg == "--harden") {
+            common.harden = true;
+        } else if (i == 2 && (arg == "-" || arg[0] != '-')) {
+            common.path = arg; // classic positional netlist path
+        } else {
+            common.rest.push_back(arg);
+        }
+    }
+    return common;
+}
+
+Netlist
+load(const CommonArgs &common)
+{
+    if (common.path.empty())
+        throw std::runtime_error(
+            "no circuit given: pass a path or --circuit FILE");
+    ingest::ImportedCircuit circ =
+        ingest::importCircuit(common.path, common.format);
+    if (!common.harden)
+        return std::move(circ.net);
+    return ingest::hardenNetlist(circ.net).net;
+}
+
+int
+cmdImport(const CommonArgs &common)
+{
+    for (const std::string &arg : common.rest)
+        throw std::runtime_error("unknown import flag " + arg);
+    const ingest::ImportedCircuit circ =
+        ingest::importCircuit(common.path, common.format);
+    std::cerr << "imported " << circ.name << " ("
+              << ingest::formatName(circ.format) << "): "
+              << circ.net.numInputs() << " inputs, "
+              << circ.net.numOutputs() << " outputs, "
+              << circ.net.flipFlops().size() << " flip-flops, "
+              << circ.net.cost().gates << " gates, depth "
+              << logicDepth(circ.net) << "\n";
+    writeNetlist(std::cout, circ.net);
+    return 0;
+}
+
+int
+cmdHarden(const CommonArgs &common)
+{
+    bool verify = false, json = false;
+    std::uint64_t budget = 4096;
+    for (std::size_t i = 0; i < common.rest.size(); ++i) {
+        const std::string &arg = common.rest[i];
+        if (arg == "--verify") {
+            verify = true;
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg == "--budget") {
+            if (++i >= common.rest.size())
+                throw std::runtime_error("--budget needs a value");
+            budget = std::stoull(common.rest[i]);
+        } else {
+            throw std::runtime_error("unknown harden flag " + arg);
+        }
+    }
+    const ingest::ImportedCircuit circ =
+        ingest::importCircuit(common.path, common.format);
+    const ingest::HardenedCircuit hard =
+        ingest::hardenNetlist(circ.net);
+    if (json)
+        std::cerr << hard.report.toJson() << "\n";
+    else
+        std::cerr << hard.report;
+    if (verify) {
+        const bool ok = ingest::verifyAlternatingOperation(
+            hard.net, hard.phiInput, budget);
+        std::cerr << "alternating operation: "
+                  << (ok ? "verified" : "VIOLATED") << " (" << budget
+                  << " symbol budget)\n";
+        if (!ok)
+            return 2;
+    }
+    writeNetlist(std::cout, hard.net);
+    return 0;
 }
 
 GateId
@@ -505,36 +632,51 @@ int
 main(int argc, char **argv)
 {
     try {
-        const std::string cmd = argc > 1 ? argv[1] : "";
-        if (cmd == "selftest")
+        CommonArgs common = parseCommonArgs(argc, argv);
+        if (common.cmd == "selftest")
             return cmdSelfTest();
-        if (argc < 3) {
+        if (common.path.empty()) {
             std::cerr << "usage: scal_cli "
-                         "{analyze|campaign|seq-campaign|tests|repair|"
-                         "convert-minority|dot|selftest} <netlist|-> "
-                         "[args]\n";
+                         "{import|harden|analyze|campaign|seq-campaign|"
+                         "tests|repair|convert-minority|dot|selftest} "
+                         "<circuit|-> [--circuit FILE] [--format F] "
+                         "[--harden] [args]\n";
             return 64;
         }
-        const Netlist net = load(argv[2]);
-        if (cmd == "analyze")
+        if (common.cmd == "import")
+            return cmdImport(common);
+        if (common.cmd == "harden")
+            return cmdHarden(common);
+
+        // The per-command flag parsers see only the args the common
+        // scan did not claim.
+        std::vector<char *> rest;
+        rest.reserve(common.rest.size());
+        for (std::string &s : common.rest)
+            rest.push_back(s.data());
+        const int nrest = static_cast<int>(rest.size());
+
+        const Netlist net = load(common);
+        if (common.cmd == "analyze")
             return cmdAnalyze(net);
-        if (cmd == "campaign")
-            return cmdCampaign(net, parseCampaignFlags(argc, argv, 3));
-        if (cmd == "seq-campaign")
-            return cmdSeqCampaign(net,
-                                  parseSeqCampaignFlags(argc, argv, 3));
-        if (cmd == "tests" && argc > 3)
-            return cmdTests(net, argv[3]);
-        if (cmd == "repair" && argc > 3)
-            return cmdRepair(net, argv[3],
-                             argc > 4 ? std::stoi(argv[4]) : 4);
-        if (cmd == "convert-minority")
+        if (common.cmd == "campaign")
+            return cmdCampaign(
+                net, parseCampaignFlags(nrest, rest.data(), 0));
+        if (common.cmd == "seq-campaign")
+            return cmdSeqCampaign(
+                net, parseSeqCampaignFlags(nrest, rest.data(), 0));
+        if (common.cmd == "tests" && nrest > 0)
+            return cmdTests(net, rest[0]);
+        if (common.cmd == "repair" && nrest > 0)
+            return cmdRepair(net, rest[0],
+                             nrest > 1 ? std::stoi(rest[1]) : 4);
+        if (common.cmd == "convert-minority")
             return cmdConvertMinority(net);
-        if (cmd == "dot") {
+        if (common.cmd == "dot") {
             writeDot(std::cout, net);
             return 0;
         }
-        std::cerr << "unknown command " << cmd << "\n";
+        std::cerr << "unknown command " << common.cmd << "\n";
         return 64;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
