@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Campaign daemon throughput/latency benchmark: starts an in-process
+ * scal_serverd (same Server class, loopback Unix socket), then drives
+ * it with N concurrent clients over the JSONL protocol.
+ *
+ * Two phases, same circuit (hardened c432 by default):
+ *   cold — every request uses a fresh seed, so every job runs a real
+ *          campaign (all cache misses);
+ *   warm — every request repeats one (circuit, config), so after the
+ *          priming run everything is a verdict-cache hit.
+ *
+ * Reports jobs/s plus p50/p95 submit-to-result latency per phase and
+ * the warm-over-cold p50 speedup (CI asserts >= 10x), as JSON to
+ * stdout and --out (default BENCH_server.json).
+ *
+ * Usage: bench_server_throughput [--clients N] [--requests M]
+ *          [--circuits DIR] [--circuit NAME] [--max-patterns N]
+ *          [--max-inflight N] [--out FILE]
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "bench_stats.hh"
+#include "ingest/harden.hh"
+#include "ingest/import.hh"
+#include "netlist/io.hh"
+#include "server/client.hh"
+#include "server/jsonl.hh"
+#include "server/server.hh"
+
+using namespace scal;
+using server::jsonl::Object;
+using server::jsonl::Value;
+
+namespace
+{
+
+Value
+submitRequest(const std::string &circuitText, std::uint64_t maxPatterns,
+              std::uint64_t seed, const std::string &client)
+{
+    Object cfg;
+    cfg.emplace_back("max_patterns", Value(maxPatterns));
+    cfg.emplace_back("seed", Value(seed));
+    Object req;
+    req.emplace_back("op", Value("submit"));
+    req.emplace_back("kind", Value("comb"));
+    req.emplace_back("client", Value(client));
+    req.emplace_back("circuit", Value(circuitText));
+    req.emplace_back("format", Value("scal"));
+    req.emplace_back("config", Value(std::move(cfg)));
+    return Value(std::move(req));
+}
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0;
+    std::sort(sorted.begin(), sorted.end());
+    const double idx = p * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(idx);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = idx - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+struct Phase
+{
+    double jobsPerS = 0;
+    double p50Ms = 0;
+    double p95Ms = 0;
+    std::size_t jobs = 0;
+};
+
+/** Each client thread runs @p requests submit+result round trips;
+ *  seedOf(client, request) decides cold (unique) vs warm (shared). */
+template <typename SeedFn>
+Phase
+runPhase(const std::string &socketPath, const std::string &circuitText,
+         std::uint64_t maxPatterns, int clients, int requests,
+         SeedFn seedOf)
+{
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::vector<std::thread> threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&, c] {
+            server::Client client(socketPath);
+            const std::string name = "bench-" + std::to_string(c);
+            for (int r = 0; r < requests; ++r) {
+                const auto s0 = std::chrono::steady_clock::now();
+                const Value res = client.submitAndWait(submitRequest(
+                    circuitText, maxPatterns, seedOf(c, r), name));
+                const auto s1 = std::chrono::steady_clock::now();
+                if (res.find("state")->asString() != "done") {
+                    std::cerr << "job failed: " << res.dump() << "\n";
+                    std::exit(1);
+                }
+                latencies[static_cast<std::size_t>(c)].push_back(
+                    std::chrono::duration<double>(s1 - s0).count());
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    const auto t1 = std::chrono::steady_clock::now();
+
+    std::vector<double> all;
+    for (const auto &v : latencies)
+        all.insert(all.end(), v.begin(), v.end());
+    Phase phase;
+    phase.jobs = all.size();
+    phase.jobsPerS = static_cast<double>(all.size()) /
+                     std::chrono::duration<double>(t1 - t0).count();
+    phase.p50Ms = percentile(all, 0.50) * 1e3;
+    phase.p95Ms = percentile(all, 0.95) * 1e3;
+    return phase;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int clients = 4;
+    int requests = 16;
+    std::string dir = "circuits";
+    std::string circuit = "c432";
+    std::uint64_t maxPatterns = 2048;
+    int maxInflight = 0; // 0 = hardware_concurrency
+    std::string outPath = "BENCH_server.json";
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--clients") && i + 1 < argc)
+            clients = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--requests") && i + 1 < argc)
+            requests = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--circuits") && i + 1 < argc)
+            dir = argv[++i];
+        else if (!std::strcmp(argv[i], "--circuit") && i + 1 < argc)
+            circuit = argv[++i];
+        else if (!std::strcmp(argv[i], "--max-patterns") && i + 1 < argc)
+            maxPatterns = std::strtoull(argv[++i], nullptr, 0);
+        else if (!std::strcmp(argv[i], "--max-inflight") && i + 1 < argc)
+            maxInflight = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
+            outPath = argv[++i];
+    }
+    if (!std::ifstream(dir + "/" + circuit + ".bench") &&
+        std::ifstream("../circuits/" + circuit + ".bench"))
+        dir = "../circuits";
+
+    const ingest::ImportedCircuit circ =
+        ingest::importCircuit(dir + "/" + circuit + ".bench");
+    const netlist::Netlist hardened =
+        ingest::hardenNetlist(circ.net).net;
+    const std::string circuitText =
+        netlist::writeNetlistToString(hardened);
+
+    server::Server::Options sopts;
+    sopts.socketPath =
+        "/tmp/scal_bench_" + std::to_string(::getpid()) + ".sock";
+    sopts.scheduler.maxInflight =
+        maxInflight > 0
+            ? maxInflight
+            : std::max(2u, std::thread::hardware_concurrency());
+    sopts.scheduler.maxQueued = 4096;
+    sopts.scheduler.jobsPerCampaign = 1;
+    server::Server srv(std::move(sopts));
+    srv.start();
+
+    // Cold: unique seed per request, every job is a full campaign.
+    const Phase cold = runPhase(
+        srv.socketPath(), circuitText, maxPatterns, clients, requests,
+        [&](int c, int r) {
+            return 1000u + static_cast<std::uint64_t>(c) *
+                               static_cast<std::uint64_t>(requests) +
+                   static_cast<std::uint64_t>(r);
+        });
+
+    // Warm: one shared config; prime it, then everything hits.
+    {
+        server::Client prime(srv.socketPath());
+        prime.submitAndWait(
+            submitRequest(circuitText, maxPatterns, 1, "prime"));
+    }
+    const Phase warm =
+        runPhase(srv.socketPath(), circuitText, maxPatterns, clients,
+                 requests, [](int, int) { return 1u; });
+
+    // Single-connection warm latency with the shared repetition
+    // helper, for cross-bench comparability of the JSON fields.
+    server::Client single(srv.socketPath());
+    const bench::TimingStats warmSingle = bench::timeStats(
+        [&] {
+            single.submitAndWait(
+                submitRequest(circuitText, maxPatterns, 1, "single"));
+        },
+        9, 2);
+
+    srv.stop();
+
+    const double speedup = warm.p50Ms > 0 ? cold.p50Ms / warm.p50Ms : 0;
+    std::ostringstream js;
+    js << "{\n  \"bench\": \"server_throughput\",\n"
+       << "  \"circuit\": \"" << circuit << "\",\n"
+       << "  \"gates\": " << hardened.numGates() << ",\n"
+       << "  \"max_patterns\": " << maxPatterns << ",\n"
+       << "  \"clients\": " << clients << ",\n"
+       << "  \"requests_per_client\": " << requests << ",\n"
+       << "  \"max_inflight\": " << sopts.scheduler.maxInflight
+       << ",\n"
+       << "  \"cold_jobs\": " << cold.jobs << ",\n"
+       << "  \"cold_jobs_per_s\": " << cold.jobsPerS << ",\n"
+       << "  \"cold_p50_ms\": " << cold.p50Ms << ",\n"
+       << "  \"cold_p95_ms\": " << cold.p95Ms << ",\n"
+       << "  \"warm_jobs\": " << warm.jobs << ",\n"
+       << "  \"warm_jobs_per_s\": " << warm.jobsPerS << ",\n"
+       << "  \"warm_p50_ms\": " << warm.p50Ms << ",\n"
+       << "  \"warm_p95_ms\": " << warm.p95Ms << ",\n"
+       << "  \"speedup_p50\": " << speedup << ",\n  ";
+    bench::emitStatsFields(js, "warm_single", warmSingle);
+    js << "\n}\n";
+
+    std::cout << js.str();
+    std::ofstream out(outPath);
+    if (out)
+        out << js.str();
+    std::cerr << "cold " << cold.jobsPerS << " jobs/s (p50 "
+              << cold.p50Ms << " ms), warm " << warm.jobsPerS
+              << " jobs/s (p50 " << warm.p50Ms << " ms), speedup_p50 "
+              << speedup << "x\n";
+    return 0;
+}

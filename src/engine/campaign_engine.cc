@@ -13,7 +13,8 @@ CampaignEngine::beginCampaign(std::uint64_t total_units)
 {
     progress_.start(total_units);
     if (opts_.progressInterval.count() > 0)
-        progress_.startReporter(opts_.progressInterval);
+        progress_.startReporter(opts_.progressInterval,
+                                opts_.progressCallback);
 }
 
 CampaignStats

@@ -41,6 +41,12 @@ struct EngineOptions
      * tracker still counts, it just never prints).
      */
     std::chrono::milliseconds progressInterval{0};
+    /**
+     * When set (and progressInterval > 0), snapshots go to this
+     * callback instead of the default stderr line — the server layer
+     * streams them to subscribed clients.
+     */
+    ProgressTracker::Callback progressCallback;
 };
 
 class CampaignEngine

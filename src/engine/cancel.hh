@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Cooperative cancellation for long campaigns: the caller owns a
+ * CancelToken, hands a pointer to the campaign options, and may flip
+ * it from any thread (a signal handler, a server's cancel request).
+ * Workers poll it between fault shards — nothing is interrupted
+ * mid-simulation, so a campaign either completes normally or throws
+ * CampaignCancelled with no partially-merged result escaping.
+ */
+
+#ifndef SCAL_ENGINE_CANCEL_HH
+#define SCAL_ENGINE_CANCEL_HH
+
+#include <atomic>
+#include <stdexcept>
+
+namespace scal::engine
+{
+
+/** A set-once stop flag, safe to share across threads (and to set
+ *  from a signal handler: the store is lock-free and relaxed). */
+class CancelToken
+{
+  public:
+    void requestStop() noexcept
+    {
+        stop_.store(true, std::memory_order_relaxed);
+    }
+
+    bool stopRequested() const noexcept
+    {
+        return stop_.load(std::memory_order_relaxed);
+    }
+
+    /** Re-arm an already-fired token (between reuses). */
+    void reset() noexcept
+    {
+        stop_.store(false, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<bool> stop_{false};
+};
+
+/** Thrown by campaign entry points when their CancelToken fires. */
+struct CampaignCancelled : std::runtime_error
+{
+    CampaignCancelled() : std::runtime_error("campaign cancelled") {}
+};
+
+} // namespace scal::engine
+
+#endif // SCAL_ENGINE_CANCEL_HH

@@ -159,6 +159,8 @@ classifyChunk(const sim::FlatNetlist &flat,
     for (const PatternBlock &blk : blocks) {
         fs.setAlternatingBlock(blk.in);
         for (std::size_t k = begin; k < end; ++k) {
+            if (opts.cancel && opts.cancel->stopRequested())
+                throw engine::CampaignCancelled();
             accumulateVerdict(fs.classifyAlternatingWide(faults[k]), blk,
                               lane_words, opts, progress,
                               out[k - begin]);
@@ -244,7 +246,8 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
         engine::ProgressTracker progress;
         progress.start(faults.size());
         if (opts.progressInterval.count() > 0)
-            progress.startReporter(opts.progressInterval);
+            progress.startReporter(opts.progressInterval,
+                                   opts.progressCallback);
         std::vector<Verdict> verdicts =
             classifyChunk(flat, faults, 0, faults.size(), blocks, opts,
                           lane_words, &progress);
@@ -276,6 +279,7 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
     eopts.jobs = jobs;
     eopts.chunksPerWorker = opts.chunksPerWorker;
     eopts.progressInterval = opts.progressInterval;
+    eopts.progressCallback = opts.progressCallback;
     engine::CampaignEngine eng(eopts);
     eng.beginCampaign(col.representatives.size());
 

@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 
+#include "engine/cancel.hh"
 #include "engine/progress.hh"
 #include "fault/fault.hh"
 #include "sim/simd.hh"
@@ -66,6 +67,17 @@ struct CampaignOptions
     /** Kernel build per sim/simd.hh policy (Auto = SCAL_SIMD env
      *  override or widest native). */
     sim::SimdTarget simd = sim::SimdTarget::Auto;
+    /**
+     * Cooperative cancellation: workers poll the token between fault
+     * shards; when it fires the campaign throws
+     * engine::CampaignCancelled instead of returning a result.
+     */
+    const engine::CancelToken *cancel = nullptr;
+    /**
+     * When set (and progressInterval > 0), periodic snapshots go to
+     * this callback instead of the default stderr line.
+     */
+    engine::ProgressTracker::Callback progressCallback;
 };
 
 struct CampaignResult

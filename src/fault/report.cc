@@ -1,0 +1,182 @@
+#include "fault/report.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "fault/collapse.hh"
+#include "netlist/structure.hh"
+#include "sim/simd.hh"
+
+namespace scal::fault
+{
+
+namespace
+{
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out += '\\';
+        out += c;
+    }
+    return out;
+}
+
+/** Sorted-deduplicated copy, for order-independent spec sets. */
+std::vector<int>
+normalized(std::vector<int> v)
+{
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    return v;
+}
+
+void
+emitList(std::ostream &os, const std::vector<int> &v)
+{
+    for (std::size_t i = 0; i < v.size(); ++i)
+        os << (i ? "," : "") << v[i];
+}
+
+} // namespace
+
+std::string
+campaignVerdictJson(const netlist::Netlist &net,
+                    const CampaignResult &res)
+{
+    const auto col = collapseFaults(net);
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"patterns_applied\": " << res.patternsApplied << ",\n"
+       << "  \"lanes\": " << res.lanes << ",\n"
+       << "  \"simd\": \"" << sim::simdTargetName(res.simd) << "\",\n"
+       << "  \"faults\": " << res.faults.size() << ",\n"
+       << "  \"detected\": " << res.numDetected << ",\n"
+       << "  \"unsafe\": " << res.numUnsafe << ",\n"
+       << "  \"untestable\": " << res.numUntestable << ",\n"
+       << "  \"self_checking\": "
+       << (res.selfChecking() ? "true" : "false") << ",\n"
+       << "  \"collapse\": {\"total_faults\": " << col.totalFaults
+       << ", \"classes\": " << col.representatives.size()
+       << ", \"ratio\": " << col.ratio() << "},\n"
+       << "  \"unsafe_faults\": [";
+    bool first = true;
+    for (const auto &fr : res.faults) {
+        if (fr.outcome != Outcome::Unsafe)
+            continue;
+        os << (first ? "" : ", ") << "\""
+           << jsonEscape(netlist::faultToString(net, fr.fault)) << "\"";
+        first = false;
+    }
+    os << "]\n"
+       << "}\n";
+    return os.str();
+}
+
+std::string
+campaignTailJson(const CampaignResult &res)
+{
+    return "  \"stats\": " + res.stats.toJson();
+}
+
+std::string
+seqCampaignVerdictJson(const netlist::Netlist &net,
+                       const SeqCampaignResult &res)
+{
+    const auto col = collapseFaults(net);
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"symbols\": " << res.symbols << ",\n"
+       << "  \"lanes\": " << res.lanes << ",\n"
+       << "  \"simd\": \"" << sim::simdTargetName(res.simd) << "\",\n"
+       << "  \"faults\": " << res.faults.size() << ",\n"
+       << "  \"detected\": " << res.numDetected << ",\n"
+       << "  \"unsafe\": " << res.numUnsafe << ",\n"
+       << "  \"untestable\": " << res.numUntestable << ",\n"
+       << "  \"self_checking\": "
+       << (res.selfChecking() ? "true" : "false") << ",\n"
+       << "  \"fault_secure\": "
+       << (res.faultSecure() ? "true" : "false") << ",\n"
+       << "  \"collapse\": {\"total_faults\": " << col.totalFaults
+       << ", \"classes\": " << col.representatives.size()
+       << ", \"ratio\": " << col.ratio() << "},\n"
+       << "  \"alarm_lane_count\": " << res.alarmLaneCount << ",\n"
+       << "  \"mean_alarm_period\": " << res.meanAlarmPeriod << ",\n"
+       << "  \"latency_histogram\": [";
+    for (int k = 0; k < kLatencyBuckets; ++k)
+        os << (k ? ", " : "") << res.latencyHistogram[k];
+    os << "],\n"
+       << "  \"unsafe_faults\": [";
+    bool first = true;
+    for (const auto &fv : res.faults) {
+        if (fv.outcome != Outcome::Unsafe)
+            continue;
+        os << (first ? "" : ", ") << "\""
+           << jsonEscape(netlist::faultToString(net, fv.fault)) << "\"";
+        first = false;
+    }
+    os << "]\n"
+       << "}\n";
+    return os.str();
+}
+
+std::string
+seqCampaignTailJson(const SeqCampaignResult &res)
+{
+    std::ostringstream os;
+    os << "  \"periods_simulated\": " << res.periodsSimulated << ",\n"
+       << "  \"periods_skipped\": " << res.periodsSkipped << ",\n"
+       << "  \"stats\": " << res.stats.toJson();
+    return os.str();
+}
+
+std::string
+withTailFields(std::string verdict, const std::string &tailFields)
+{
+    if (tailFields.empty())
+        return verdict;
+    const std::size_t pos = verdict.rfind("\n}");
+    if (pos == std::string::npos)
+        return verdict;
+    verdict.insert(pos, ",\n" + tailFields);
+    return verdict;
+}
+
+std::string
+canonicalCampaignConfig(const CampaignOptions &opts)
+{
+    std::ostringstream os;
+    os << "comb;max_patterns=" << opts.maxPatterns
+       << ";seed=" << opts.seed
+       << ";keep_unsafe=" << opts.keepUnsafeExamples
+       << ";check_alternating=" << (opts.checkAlternating ? 1 : 0)
+       << ";lanes=" << opts.lanes
+       << ";simd=" << sim::simdTargetName(opts.simd);
+    return os.str();
+}
+
+std::string
+canonicalSeqCampaignConfig(const SeqCampaignOptions &opts,
+                           const SeqCampaignSpec &spec)
+{
+    std::ostringstream os;
+    os << "seq;symbols=" << opts.symbols << ";seed=" << opts.seed
+       << ";lanes=" << opts.lanes
+       << ";simd=" << sim::simdTargetName(opts.simd)
+       << ";window=" << opts.faultStart << ":" << opts.faultEnd
+       << ";drop=" << (opts.dropDetected ? 1 : 0)
+       << ";phi=" << spec.phiInput << ";hold=";
+    emitList(os, normalized(spec.holdInputs));
+    os << ";data=";
+    emitList(os, normalized(spec.dataOutputs));
+    os << ";alt=";
+    emitList(os, normalized(spec.altOutputs));
+    os << ";pairs=";
+    emitList(os, spec.codePairs);
+    return os.str();
+}
+
+} // namespace scal::fault

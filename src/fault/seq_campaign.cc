@@ -92,6 +92,8 @@ classifySeqChunk(const sim::SeqGoodTrace &trace, const ResolvedSpec &rs,
 
     std::vector<RepVerdict> out(end - begin);
     for (std::size_t k = begin; k < end; ++k) {
+        if (opts.cancel && opts.cancel->stopRequested())
+            throw engine::CampaignCancelled();
         SeqVerdictAccumulator acc(rs.laneMask.data(), W,
                                   opts.dropDetected);
         long pending = -1;
@@ -321,7 +323,8 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
         engine::ProgressTracker progress;
         progress.start(faults.size());
         if (opts.progressInterval.count() > 0)
-            progress.startReporter(opts.progressInterval);
+            progress.startReporter(opts.progressInterval,
+                                   opts.progressCallback);
         const std::vector<RepVerdict> verdicts = classifySeqChunk(
             trace, rs, faults, 0, faults.size(), ropts, &progress);
         progress.stopReporter();
@@ -355,6 +358,7 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
     eopts.jobs = jobs;
     eopts.chunksPerWorker = opts.chunksPerWorker;
     eopts.progressInterval = opts.progressInterval;
+    eopts.progressCallback = opts.progressCallback;
     engine::CampaignEngine eng(eopts);
     eng.beginCampaign(col.representatives.size());
 

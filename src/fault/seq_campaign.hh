@@ -29,6 +29,7 @@
 #include <limits>
 #include <vector>
 
+#include "engine/cancel.hh"
 #include "engine/progress.hh"
 #include "fault/fault.hh"
 #include "sim/wide.hh"
@@ -94,6 +95,17 @@ struct SeqCampaignOptions
     int jobs = 0;
     int chunksPerWorker = 4;
     std::chrono::milliseconds progressInterval{0};
+    /**
+     * Cooperative cancellation: workers poll the token between fault
+     * shards; when it fires the campaign throws
+     * engine::CampaignCancelled instead of returning a result.
+     */
+    const engine::CancelToken *cancel = nullptr;
+    /**
+     * When set (and progressInterval > 0), periodic snapshots go to
+     * this callback instead of the default stderr line.
+     */
+    engine::ProgressTracker::Callback progressCallback;
 };
 
 /** log2 detection-latency buckets: bucket k holds first-alarm periods

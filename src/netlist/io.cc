@@ -270,4 +270,21 @@ writeNetlistToString(const Netlist &net)
     return os.str();
 }
 
+std::uint64_t
+fnv1a64(const std::string &bytes)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+std::uint64_t
+contentHash(const Netlist &net)
+{
+    return fnv1a64(writeNetlistToString(net));
+}
+
 } // namespace scal::netlist

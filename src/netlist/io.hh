@@ -37,6 +37,20 @@ Netlist readNetlistFromString(const std::string &text);
 void writeNetlist(std::ostream &os, const Netlist &net);
 std::string writeNetlistToString(const Netlist &net);
 
+/**
+ * Content address of a netlist: FNV-1a 64 over the canonical
+ * serialize bytes. Serialize-then-parse is a byte-level fixed point,
+ * so hash equality is exactly byte equality of writeNetlistToString()
+ * (modulo FNV collisions) — two netlists that parse from the same
+ * text, or from each other's serialization, share a hash. This is
+ * what makes content-addressed verdict caching sound.
+ */
+std::uint64_t contentHash(const Netlist &net);
+
+/** The same FNV-1a 64 over arbitrary bytes (exposed so tests and the
+ *  cache layer can hash auxiliary keys with the same function). */
+std::uint64_t fnv1a64(const std::string &bytes);
+
 } // namespace scal::netlist
 
 #endif // SCAL_NETLIST_IO_HH

@@ -1,0 +1,164 @@
+#include "server/cache.hh"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "netlist/io.hh"
+
+namespace scal::server
+{
+
+VerdictCache::VerdictCache(CacheOptions opts) : opts_(std::move(opts))
+{
+    if (!opts_.spillDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(opts_.spillDir, ec);
+    }
+}
+
+std::string
+VerdictCache::key(std::uint64_t netHash, const std::string &configKey)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(netHash));
+    return std::string(buf) + "|" + configKey;
+}
+
+std::size_t
+VerdictCache::payloadBytes(const Entry &e)
+{
+    return e.first.size() + e.second.kind.size() +
+           e.second.verdict.size() + e.second.tail.size();
+}
+
+bool
+VerdictCache::lookup(const std::string &key, CachedVerdict *out)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second);
+        *out = it->second->second;
+        ++stats_.hits;
+        return true;
+    }
+    if (loadFromDisk(key, out)) {
+        ++stats_.diskHits;
+        // Re-admit to memory so repeated hits stay cheap.
+        if (opts_.maxEntries > 0) {
+            lru_.emplace_front(key, *out);
+            map_[key] = lru_.begin();
+            ++stats_.entries;
+            stats_.residentBytes += payloadBytes(lru_.front());
+            evictIfNeededLocked();
+        }
+        return true;
+    }
+    ++stats_.misses;
+    return false;
+}
+
+void
+VerdictCache::insert(const std::string &key, CachedVerdict value)
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.insertions;
+    storeToDisk(key, value);
+    if (opts_.maxEntries == 0)
+        return;
+    const auto it = map_.find(key);
+    if (it != map_.end()) {
+        stats_.residentBytes -= payloadBytes(*it->second);
+        it->second->second = std::move(value);
+        stats_.residentBytes += payloadBytes(*it->second);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.emplace_front(key, std::move(value));
+    map_[key] = lru_.begin();
+    ++stats_.entries;
+    stats_.residentBytes += payloadBytes(lru_.front());
+    evictIfNeededLocked();
+}
+
+void
+VerdictCache::evictIfNeededLocked()
+{
+    while (!lru_.empty() && (map_.size() > opts_.maxEntries ||
+                             stats_.residentBytes > opts_.maxBytes)) {
+        const Entry &victim = lru_.back();
+        stats_.residentBytes -= payloadBytes(victim);
+        map_.erase(victim.first);
+        lru_.pop_back();
+        ++stats_.evictions;
+        --stats_.entries;
+    }
+}
+
+CacheStats
+VerdictCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+}
+
+std::string
+VerdictCache::spillPath(const std::string &key) const
+{
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(netlist::fnv1a64(key)));
+    return opts_.spillDir + "/" + buf + ".json";
+}
+
+// Spill format: four lines of lengths (key, kind, verdict, tail)
+// followed by the raw bytes back to back — no escaping to get wrong.
+void
+VerdictCache::storeToDisk(const std::string &key, const CachedVerdict &v)
+{
+    if (opts_.spillDir.empty())
+        return;
+    const std::string path = spillPath(key);
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream os(tmp, std::ios::binary);
+        if (!os)
+            return;
+        os << key.size() << "\n" << v.kind.size() << "\n"
+           << v.verdict.size() << "\n" << v.tail.size() << "\n"
+           << key << v.kind << v.verdict << v.tail;
+        if (!os)
+            return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+}
+
+bool
+VerdictCache::loadFromDisk(const std::string &key, CachedVerdict *out)
+{
+    if (opts_.spillDir.empty())
+        return false;
+    std::ifstream is(spillPath(key), std::ios::binary);
+    if (!is)
+        return false;
+    std::size_t nkey = 0, nkind = 0, nverdict = 0, ntail = 0;
+    is >> nkey >> nkind >> nverdict >> ntail;
+    if (!is)
+        return false;
+    is.get(); // the newline after the last length
+    std::string blob(nkey + nkind + nverdict + ntail, '\0');
+    is.read(blob.data(), static_cast<std::streamsize>(blob.size()));
+    if (!is || blob.compare(0, nkey, key) != 0)
+        return false; // hash collision or truncated file
+    out->kind = blob.substr(nkey, nkind);
+    out->verdict = blob.substr(nkey + nkind, nverdict);
+    out->tail = blob.substr(nkey + nkind + nverdict, ntail);
+    return true;
+}
+
+} // namespace scal::server

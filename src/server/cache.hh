@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Content-addressed LRU verdict cache for the campaign daemon.
+ *
+ * Keys are (netlist::contentHash of the canonical serialize bytes,
+ * canonical campaign-config encoding) — sound because serialize-then-
+ * parse is a byte-level fixed point (PR 5), so the hash is a true
+ * content address, and because campaign verdicts are bit-identical
+ * for the same (netlist, config) at any jobs count / lane width /
+ * SIMD target (the performance-only knobs are excluded from the
+ * config key on purpose).
+ *
+ * Values are the deterministic verdict JSON plus the non-deterministic
+ * tail (wall-clock stats) of the run that computed the entry. A hit
+ * returns the verdict bytes exactly as a fresh run would produce
+ * them; the tail is informational.
+ *
+ * Optional disk spill: with a spillDir, inserts also persist to
+ * `<dir>/<fnv-of-key>.json` and misses fall back to disk, so a
+ * restarted daemon keeps its warm set.
+ */
+
+#ifndef SCAL_SERVER_CACHE_HH
+#define SCAL_SERVER_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace scal::server
+{
+
+struct CacheOptions
+{
+    /** Entry-count cap; 0 disables in-memory caching entirely. */
+    std::size_t maxEntries = 4096;
+    /** Resident-bytes cap over verdict+tail payloads. */
+    std::size_t maxBytes = std::size_t{256} << 20;
+    /** When non-empty, spill entries to this directory. */
+    std::string spillDir;
+};
+
+struct CacheStats
+{
+    std::uint64_t hits = 0;     ///< in-memory hits
+    std::uint64_t diskHits = 0; ///< misses served from spillDir
+    std::uint64_t misses = 0;   ///< genuine misses
+    std::uint64_t insertions = 0;
+    std::uint64_t evictions = 0;
+    std::size_t entries = 0;
+    std::size_t residentBytes = 0;
+};
+
+struct CachedVerdict
+{
+    std::string kind;    ///< "comb" | "seq" | "system"
+    std::string verdict; ///< deterministic verdict JSON
+    std::string tail;    ///< tail fields of the computing run
+};
+
+class VerdictCache
+{
+  public:
+    explicit VerdictCache(CacheOptions opts = {});
+
+    /** The composite cache key for (netlist hash, config encoding). */
+    static std::string key(std::uint64_t netHash,
+                           const std::string &configKey);
+
+    /** Thread-safe lookup; bumps hit/miss counters. */
+    bool lookup(const std::string &key, CachedVerdict *out);
+
+    /** Thread-safe insert (replaces an existing entry). */
+    void insert(const std::string &key, CachedVerdict value);
+
+    CacheStats stats() const;
+
+  private:
+    using Entry = std::pair<std::string, CachedVerdict>;
+
+    static std::size_t payloadBytes(const Entry &e);
+    void evictIfNeededLocked();
+    std::string spillPath(const std::string &key) const;
+    bool loadFromDisk(const std::string &key, CachedVerdict *out);
+    void storeToDisk(const std::string &key, const CachedVerdict &v);
+
+    CacheOptions opts_;
+    mutable std::mutex mu_;
+    std::list<Entry> lru_; ///< front = most recently used
+    std::unordered_map<std::string, std::list<Entry>::iterator> map_;
+    CacheStats stats_;
+};
+
+} // namespace scal::server
+
+#endif // SCAL_SERVER_CACHE_HH

@@ -1,0 +1,100 @@
+#include "server/client.hh"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace scal::server
+{
+
+Client::Client(const std::string &socketPath)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof addr.sun_path)
+        throw std::runtime_error("client: socket path too long: " +
+                                 socketPath);
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof addr.sun_path - 1);
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0)
+        throw std::runtime_error(std::string("client: socket: ") +
+                                 std::strerror(errno));
+    if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                  sizeof addr) < 0) {
+        const std::string err = std::strerror(errno);
+        ::close(fd_);
+        fd_ = -1;
+        throw std::runtime_error("client: connect " + socketPath +
+                                 ": " + err);
+    }
+}
+
+Client::~Client()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+void
+Client::send(const jsonl::Value &req)
+{
+    std::string out = req.dump();
+    out += '\n';
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const ssize_t n = ::send(fd_, out.data() + off,
+                                 out.size() - off, MSG_NOSIGNAL);
+        if (n <= 0)
+            throw std::runtime_error("client: daemon closed the "
+                                     "connection mid-send");
+        off += static_cast<std::size_t>(n);
+    }
+}
+
+jsonl::Value
+Client::readLine()
+{
+    std::string line;
+    while (!buf_.pop(&line)) {
+        char chunk[4096];
+        const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+        if (n <= 0)
+            throw std::runtime_error(
+                "client: daemon closed the connection");
+        buf_.feed(chunk, static_cast<std::size_t>(n));
+    }
+    return jsonl::parse(line);
+}
+
+jsonl::Value
+Client::request(const jsonl::Value &req)
+{
+    send(req);
+    return readLine();
+}
+
+jsonl::Value
+Client::submitAndWait(const jsonl::Value &submitReq)
+{
+    const jsonl::Value sub = request(submitReq);
+    const jsonl::Value *ok = sub.find("ok");
+    if (!ok || !ok->asBool()) {
+        const jsonl::Value *rej = sub.find("rejected");
+        const jsonl::Value *err = sub.find("error");
+        throw std::runtime_error(
+            "submit rejected: " +
+            (rej ? rej->asString()
+                 : err ? err->asString() : std::string("unknown")));
+    }
+    jsonl::Object res;
+    res.emplace_back("op", jsonl::Value("result"));
+    res.emplace_back("id", *sub.find("id"));
+    return request(jsonl::Value(std::move(res)));
+}
+
+} // namespace scal::server

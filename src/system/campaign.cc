@@ -1,6 +1,7 @@
 #include "system/campaign.hh"
 
 #include <memory>
+#include <sstream>
 
 #include "engine/campaign_engine.hh"
 #include "netlist/structure.hh"
@@ -271,13 +272,18 @@ struct PerFault
  */
 template <typename Fn>
 std::vector<PerFault>
-classifyAllFaults(const std::vector<Fault> &faults, int jobs, Fn fn)
+classifyAllFaults(const std::vector<Fault> &faults,
+                  const SystemCampaignOptions &opts, Fn fn)
 {
+    const engine::CancelToken *cancel = opts.cancel;
     std::vector<PerFault> per(faults.size());
-    const int workers = engine::resolveJobs(jobs);
+    const int workers = engine::resolveJobs(opts.jobs);
     if (workers <= 1 || faults.size() < 2) {
-        for (std::size_t k = 0; k < faults.size(); ++k)
+        for (std::size_t k = 0; k < faults.size(); ++k) {
+            if (cancel && cancel->stopRequested())
+                throw engine::CampaignCancelled();
             per[k] = fn(faults[k]);
+        }
         return per;
     }
 
@@ -290,6 +296,8 @@ classifyAllFaults(const std::vector<Fault> &faults, int jobs, Fn fn)
         faults.size(), [&](engine::Chunk chunk, std::size_t) {
             std::vector<PerFault> out(chunk.size());
             for (std::size_t k = chunk.begin; k < chunk.end; ++k) {
+                if (cancel && cancel->stopRequested())
+                    throw engine::CampaignCancelled();
                 out[k - chunk.begin] = fn(faults[k]);
                 eng.progress().addFaultsDone(1);
             }
@@ -334,7 +342,7 @@ runScalCampaign(const Workload &wl, AluOp op,
         return pf;
     };
     const std::vector<PerFault> per =
-        classifyAllFaults(faults, opts.jobs, classify);
+        classifyAllFaults(faults, opts, classify);
 
     SystemCampaignResult res;
     double detect_steps = 0;
@@ -382,7 +390,7 @@ runUncheckedCampaign(const Workload &wl, AluOp op,
         return pf;
     };
     const std::vector<PerFault> per =
-        classifyAllFaults(faults, opts.jobs, classify);
+        classifyAllFaults(faults, opts, classify);
 
     SystemCampaignResult res;
     for (std::size_t k = 0; k < faults.size(); ++k) {
@@ -395,6 +403,41 @@ runUncheckedCampaign(const Workload &wl, AluOp op,
         }
     }
     return res;
+}
+
+std::string
+canonicalSystemConfig(const std::string &workload, AluOp op,
+                      bool checked)
+{
+    std::ostringstream os;
+    os << "system;workload=" << workload << ";op=" << aluOpName(op)
+       << ";checked=" << (checked ? 1 : 0);
+    return os.str();
+}
+
+std::string
+systemResultJson(const SystemCampaignResult &res)
+{
+    std::ostringstream os;
+    os << "{\n"
+       << "  \"total\": " << res.total << ",\n"
+       << "  \"masked\": " << res.masked << ",\n"
+       << "  \"detected\": " << res.detected << ",\n"
+       << "  \"silent\": " << res.silent << ",\n"
+       << "  \"mean_detect_step\": " << res.meanDetectStep << ",\n"
+       << "  \"silent_faults\": [";
+    for (std::size_t i = 0; i < res.silentFaults.size(); ++i) {
+        os << (i ? ", " : "") << "\"";
+        for (char c : res.silentFaults[i]) {
+            if (c == '"' || c == '\\')
+                os << '\\';
+            os << c;
+        }
+        os << "\"";
+    }
+    os << "]\n"
+       << "}\n";
+    return os.str();
 }
 
 } // namespace scal::system

@@ -12,6 +12,7 @@
 
 #include <string>
 
+#include "engine/cancel.hh"
 #include "system/scal_cpu.hh"
 
 namespace scal::system
@@ -62,7 +63,23 @@ struct SystemCampaignOptions
      * order, so the result is identical at any jobs count.
      */
     int jobs = 0;
+    /**
+     * Cooperative cancellation: polled between per-fault runs; when
+     * it fires the campaign throws engine::CampaignCancelled.
+     */
+    const engine::CancelToken *cancel = nullptr;
 };
+
+/**
+ * Canonical content-addressable encoding of a system campaign request
+ * (workload + ALU op + which CPU), jobs excluded — results are
+ * identical at any jobs count, so cached verdicts may be shared.
+ */
+std::string canonicalSystemConfig(const std::string &workload, AluOp op,
+                                  bool checked);
+
+/** Deterministic JSON verdict of a system campaign (no wall-clock). */
+std::string systemResultJson(const SystemCampaignResult &res);
 
 /**
  * Inject every stuck-at fault of the SCAL ALU for @p op and classify

@@ -45,26 +45,38 @@
  *   scal_cli campaign --circuit circuits/c432.bench --harden --jobs 8
  *
  * campaigns the alternating realization of c432.
+ *
+ * With --server SOCKET, campaign and seq-campaign submit to a running
+ * scal_serverd instead of simulating inline (--client NAME and
+ * --priority N feed its fair-share scheduler; --progress streams the
+ * daemon's progress events to stderr) and print the same JSON the
+ * inline --json path produces. `import --json` emits a machine
+ * summary including content_hash, the daemon's cache address for the
+ * circuit.
  */
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
 
 #include "core/algorithm31.hh"
+#include "engine/cancel.hh"
 #include "ingest/harden.hh"
 #include "ingest/import.hh"
 #include "core/repair.hh"
 #include "core/test_derivation.hh"
 #include "fault/campaign.hh"
 #include "fault/collapse.hh"
+#include "fault/report.hh"
 #include "fault/seq_campaign.hh"
 #include "minority/convert.hh"
 #include "netlist/circuits.hh"
 #include "netlist/dot.hh"
 #include "netlist/io.hh"
 #include "netlist/structure.hh"
+#include "server/client.hh"
 #include "sim/alternating.hh"
 #include "sim/simd.hh"
 
@@ -86,8 +98,22 @@ struct CommonArgs
     std::string path;
     ingest::Format format = ingest::Format::Auto;
     bool harden = false;
+    std::string server;  ///< daemon socket: submit instead of running
+    std::string client = "scal_cli"; ///< fair-share identity
+    int priority = 0;
     std::vector<std::string> rest; ///< untouched per-command args
 };
+
+/** Cooperative Ctrl-C: the campaign kernels poll this token. */
+engine::CancelToken g_cancel;
+
+void
+onInterrupt(int)
+{
+    g_cancel.requestStop(); // async-signal-safe: one relaxed store
+}
+
+std::string jsonEscape(const std::string &s);
 
 CommonArgs
 parseCommonArgs(int argc, char **argv)
@@ -104,6 +130,12 @@ parseCommonArgs(int argc, char **argv)
         };
         if (arg == "--circuit") {
             common.path = value("--circuit");
+        } else if (arg == "--server") {
+            common.server = value("--server");
+        } else if (arg == "--client") {
+            common.client = value("--client");
+        } else if (arg == "--priority") {
+            common.priority = std::stoi(value("--priority"));
         } else if (arg == "--format") {
             const std::string v = value("--format");
             if (!ingest::parseFormatName(v, &common.format))
@@ -137,10 +169,39 @@ load(const CommonArgs &common)
 int
 cmdImport(const CommonArgs &common)
 {
-    for (const std::string &arg : common.rest)
-        throw std::runtime_error("unknown import flag " + arg);
+    bool json = false;
+    for (const std::string &arg : common.rest) {
+        if (arg == "--json")
+            json = true;
+        else
+            throw std::runtime_error("unknown import flag " + arg);
+    }
     const ingest::ImportedCircuit circ =
         ingest::importCircuit(common.path, common.format);
+    if (json) {
+        // Machine summary instead of netlist text; content_hash is
+        // netlist::contentHash of the canonical serialize bytes, the
+        // daemon's cache address for this circuit.
+        char hash[24];
+        std::snprintf(hash, sizeof hash, "%016llx",
+                      static_cast<unsigned long long>(
+                          contentHash(circ.net)));
+        std::cout << "{\n"
+                  << "  \"name\": \"" << jsonEscape(circ.name)
+                  << "\",\n"
+                  << "  \"format\": \""
+                  << ingest::formatName(circ.format) << "\",\n"
+                  << "  \"content_hash\": \"" << hash << "\",\n"
+                  << "  \"inputs\": " << circ.net.numInputs() << ",\n"
+                  << "  \"outputs\": " << circ.net.numOutputs()
+                  << ",\n"
+                  << "  \"flip_flops\": " << circ.net.flipFlops().size()
+                  << ",\n"
+                  << "  \"gates\": " << circ.net.cost().gates << ",\n"
+                  << "  \"depth\": " << logicDepth(circ.net) << "\n"
+                  << "}\n";
+        return 0;
+    }
     std::cerr << "imported " << circ.name << " ("
               << ingest::formatName(circ.format) << "): "
               << circ.net.numInputs() << " inputs, "
@@ -298,36 +359,12 @@ cmdCampaign(const Netlist &net, const CampaignFlags &flags)
     const auto res = fault::runAlternatingCampaign(net, flags.opts);
 
     if (flags.json) {
-        const auto col = fault::collapseFaults(net);
-        std::cout << "{\n"
-                  << "  \"patterns_applied\": " << res.patternsApplied
-                  << ",\n"
-                  << "  \"lanes\": " << res.lanes << ",\n"
-                  << "  \"simd\": \"" << sim::simdTargetName(res.simd)
-                  << "\",\n"
-                  << "  \"faults\": " << res.faults.size() << ",\n"
-                  << "  \"detected\": " << res.numDetected << ",\n"
-                  << "  \"unsafe\": " << res.numUnsafe << ",\n"
-                  << "  \"untestable\": " << res.numUntestable << ",\n"
-                  << "  \"self_checking\": "
-                  << (res.selfChecking() ? "true" : "false") << ",\n"
-                  << "  \"collapse\": {\"total_faults\": "
-                  << col.totalFaults
-                  << ", \"classes\": " << col.representatives.size()
-                  << ", \"ratio\": " << col.ratio() << "},\n"
-                  << "  \"unsafe_faults\": [";
-        bool first = true;
-        for (const auto &fr : res.faults) {
-            if (fr.outcome != fault::Outcome::Unsafe)
-                continue;
-            std::cout << (first ? "" : ", ") << "\""
-                      << jsonEscape(faultToString(net, fr.fault))
-                      << "\"";
-            first = false;
-        }
-        std::cout << "],\n"
-                  << "  \"stats\": " << res.stats.toJson() << "\n"
-                  << "}\n";
+        // The deterministic verdict (what the daemon caches) plus the
+        // wall-clock tail — one shared encoder, so inline and daemon
+        // output can never drift apart.
+        std::cout << fault::withTailFields(
+            fault::campaignVerdictJson(net, res),
+            fault::campaignTailJson(res));
         return res.selfChecking() ? 0 : 2;
     }
 
@@ -486,48 +523,12 @@ cmdSeqCampaign(const Netlist &net, const SeqCampaignFlags &flags)
     const auto col = fault::collapseFaults(net);
 
     if (flags.json) {
-        std::cout << "{\n"
-                  << "  \"symbols\": " << res.symbols << ",\n"
-                  << "  \"lanes\": " << res.lanes << ",\n"
-                  << "  \"simd\": \"" << sim::simdTargetName(res.simd)
-                  << "\",\n"
-                  << "  \"faults\": " << res.faults.size() << ",\n"
-                  << "  \"detected\": " << res.numDetected << ",\n"
-                  << "  \"unsafe\": " << res.numUnsafe << ",\n"
-                  << "  \"untestable\": " << res.numUntestable << ",\n"
-                  << "  \"self_checking\": "
-                  << (res.selfChecking() ? "true" : "false") << ",\n"
-                  << "  \"fault_secure\": "
-                  << (res.faultSecure() ? "true" : "false") << ",\n"
-                  << "  \"collapse\": {\"total_faults\": "
-                  << col.totalFaults
-                  << ", \"classes\": " << col.representatives.size()
-                  << ", \"ratio\": " << col.ratio() << "},\n"
-                  << "  \"alarm_lane_count\": " << res.alarmLaneCount
-                  << ",\n"
-                  << "  \"mean_alarm_period\": " << res.meanAlarmPeriod
-                  << ",\n"
-                  << "  \"latency_histogram\": [";
-        for (int k = 0; k < fault::kLatencyBuckets; ++k)
-            std::cout << (k ? ", " : "") << res.latencyHistogram[k];
-        std::cout << "],\n"
-                  << "  \"periods_simulated\": " << res.periodsSimulated
-                  << ",\n"
-                  << "  \"periods_skipped\": " << res.periodsSkipped
-                  << ",\n"
-                  << "  \"unsafe_faults\": [";
-        bool first = true;
-        for (const auto &fv : res.faults) {
-            if (fv.outcome != fault::Outcome::Unsafe)
-                continue;
-            std::cout << (first ? "" : ", ") << "\""
-                      << jsonEscape(faultToString(net, fv.fault))
-                      << "\"";
-            first = false;
-        }
-        std::cout << "],\n"
-                  << "  \"stats\": " << res.stats.toJson() << "\n"
-                  << "}\n";
+        // Shared verdict/tail encoders (fault/report.hh); the
+        // collapsing-dependent periods_* counters live in the tail
+        // with the stats now, after the deterministic fields.
+        std::cout << fault::withTailFields(
+            fault::seqCampaignVerdictJson(net, res),
+            fault::seqCampaignTailJson(res));
         return res.selfChecking() ? 0 : 2;
     }
 
@@ -563,6 +564,163 @@ cmdSeqCampaign(const Netlist &net, const SeqCampaignFlags &flags)
                                      : "NOT self-checking")
               << "\n";
     return res.selfChecking() ? 0 : 2;
+}
+
+server::jsonl::Value
+indexListValue(const std::vector<int> &v)
+{
+    server::jsonl::Array arr;
+    for (int i : v)
+        arr.emplace_back(i);
+    return server::jsonl::Value(std::move(arr));
+}
+
+/**
+ * Client mode: submit the locally loaded (and already hardened, if
+ * --harden) circuit to the daemon, optionally stream progress, then
+ * print exactly what the inline --json path would have printed — the
+ * daemon's cached verdict plus the tail of whichever run computed it.
+ */
+int
+submitAndPrint(const CommonArgs &common, server::jsonl::Value req,
+               bool streamProgress)
+{
+    using server::jsonl::Object;
+    using server::jsonl::Value;
+    server::Client client(common.server);
+
+    const Value sub = client.request(req);
+    const Value *ok = sub.find("ok");
+    if (!ok || !ok->asBool()) {
+        const Value *rej = sub.find("rejected");
+        const Value *err = sub.find("error");
+        throw std::runtime_error(
+            "daemon rejected submit: " +
+            (rej ? rej->asString()
+                 : err ? err->asString() : std::string("unknown")));
+    }
+    const std::uint64_t id = sub.find("id")->asUint64();
+
+    if (streamProgress) {
+        // Ctrl-C cancels the job server-side: the handler flips the
+        // token, and the event loop (woken at least once per progress
+        // period) forwards it as a cancel request. The cancel ack has
+        // no "event" field and is skipped like any non-event line;
+        // the loop then ends on the job's cancelled terminal event.
+        std::signal(SIGINT, onInterrupt);
+        bool cancelSent = false;
+        Object s;
+        s.emplace_back("op", Value("subscribe"));
+        s.emplace_back("id", Value(id));
+        client.request(Value(std::move(s))); // ack
+        for (;;) {
+            const Value ev = client.readLine();
+            if (g_cancel.stopRequested() && !cancelSent) {
+                Object c;
+                c.emplace_back("op", Value("cancel"));
+                c.emplace_back("id", Value(id));
+                client.send(Value(std::move(c)));
+                cancelSent = true;
+            }
+            const Value *type = ev.find("event");
+            if (!type)
+                continue;
+            if (type->asString() == "terminal")
+                break;
+            const Value *done = ev.find("faults_done");
+            const Value *total = ev.find("faults_total");
+            if (done && total)
+                std::cerr << "job " << id << ": " << done->asUint64()
+                          << "/" << total->asUint64() << " faults\n";
+        }
+    }
+
+    Object r;
+    r.emplace_back("op", Value("result"));
+    r.emplace_back("id", Value(id));
+    const Value res = client.request(Value(std::move(r)));
+    const std::string state = res.find("state")->asString();
+    if (state == "cancelled") {
+        std::cerr << "job " << id << " cancelled\n";
+        return 130;
+    }
+    if (state != "done") {
+        const Value *err = res.find("error");
+        std::cerr << "job " << id << " " << state << ": "
+                  << (err ? err->asString() : "unknown error") << "\n";
+        return 1;
+    }
+    const Value *verdict = res.find("verdict");
+    const Value *tail = res.find("tail");
+    const std::string out = fault::withTailFields(
+        verdict ? verdict->asString() : std::string(),
+        tail ? tail->asString() : std::string());
+    std::cout << out;
+    return out.find("\"self_checking\": true") != std::string::npos
+               ? 0
+               : 2;
+}
+
+int
+cmdServerCampaign(const CommonArgs &common, const Netlist &net,
+                  const CampaignFlags &flags)
+{
+    using server::jsonl::Object;
+    using server::jsonl::Value;
+    Object cfg;
+    cfg.emplace_back("max_patterns", Value(flags.opts.maxPatterns));
+    cfg.emplace_back("seed", Value(flags.opts.seed));
+    cfg.emplace_back("keep_unsafe",
+                     Value(flags.opts.keepUnsafeExamples));
+    cfg.emplace_back("check_alternating",
+                     Value(flags.opts.checkAlternating));
+    cfg.emplace_back("lanes", Value(flags.opts.lanes));
+    cfg.emplace_back("simd",
+                     Value(sim::simdTargetName(flags.opts.simd)));
+    Object req;
+    req.emplace_back("op", Value("submit"));
+    req.emplace_back("kind", Value("comb"));
+    req.emplace_back("client", Value(common.client));
+    req.emplace_back("priority", Value(common.priority));
+    req.emplace_back("circuit", Value(writeNetlistToString(net)));
+    req.emplace_back("format", Value("scal"));
+    req.emplace_back("config", Value(std::move(cfg)));
+    return submitAndPrint(common, Value(std::move(req)),
+                          flags.opts.progressInterval.count() > 0);
+}
+
+int
+cmdServerSeqCampaign(const CommonArgs &common, const Netlist &net,
+                     const SeqCampaignFlags &flags)
+{
+    using server::jsonl::Object;
+    using server::jsonl::Value;
+    Object cfg;
+    cfg.emplace_back("symbols", Value(flags.opts.symbols));
+    cfg.emplace_back("seed", Value(flags.opts.seed));
+    cfg.emplace_back("lanes", Value(flags.opts.lanes));
+    cfg.emplace_back("simd",
+                     Value(sim::simdTargetName(flags.opts.simd)));
+    cfg.emplace_back("drop", Value(flags.opts.dropDetected));
+    cfg.emplace_back("window",
+                     Value(std::to_string(flags.opts.faultStart) + ":" +
+                           std::to_string(flags.opts.faultEnd)));
+    cfg.emplace_back("phi", Value(flags.phiName));
+    cfg.emplace_back("hold", indexListValue(flags.spec.holdInputs));
+    cfg.emplace_back("data", indexListValue(flags.spec.dataOutputs));
+    cfg.emplace_back("alt", indexListValue(flags.spec.altOutputs));
+    cfg.emplace_back("code_pairs",
+                     indexListValue(flags.spec.codePairs));
+    Object req;
+    req.emplace_back("op", Value("submit"));
+    req.emplace_back("kind", Value("seq"));
+    req.emplace_back("client", Value(common.client));
+    req.emplace_back("priority", Value(common.priority));
+    req.emplace_back("circuit", Value(writeNetlistToString(net)));
+    req.emplace_back("format", Value("scal"));
+    req.emplace_back("config", Value(std::move(cfg)));
+    return submitAndPrint(common, Value(std::move(req)),
+                          flags.opts.progressInterval.count() > 0);
 }
 
 int
@@ -640,7 +798,7 @@ main(int argc, char **argv)
                          "{import|harden|analyze|campaign|seq-campaign|"
                          "tests|repair|convert-minority|dot|selftest} "
                          "<circuit|-> [--circuit FILE] [--format F] "
-                         "[--harden] [args]\n";
+                         "[--harden] [--server SOCK] [args]\n";
             return 64;
         }
         if (common.cmd == "import")
@@ -659,12 +817,24 @@ main(int argc, char **argv)
         const Netlist net = load(common);
         if (common.cmd == "analyze")
             return cmdAnalyze(net);
-        if (common.cmd == "campaign")
-            return cmdCampaign(
-                net, parseCampaignFlags(nrest, rest.data(), 0));
-        if (common.cmd == "seq-campaign")
-            return cmdSeqCampaign(
-                net, parseSeqCampaignFlags(nrest, rest.data(), 0));
+        if (common.cmd == "campaign") {
+            CampaignFlags flags =
+                parseCampaignFlags(nrest, rest.data(), 0);
+            if (!common.server.empty())
+                return cmdServerCampaign(common, net, flags);
+            std::signal(SIGINT, onInterrupt);
+            flags.opts.cancel = &g_cancel;
+            return cmdCampaign(net, flags);
+        }
+        if (common.cmd == "seq-campaign") {
+            SeqCampaignFlags flags =
+                parseSeqCampaignFlags(nrest, rest.data(), 0);
+            if (!common.server.empty())
+                return cmdServerSeqCampaign(common, net, flags);
+            std::signal(SIGINT, onInterrupt);
+            flags.opts.cancel = &g_cancel;
+            return cmdSeqCampaign(net, flags);
+        }
         if (common.cmd == "tests" && nrest > 0)
             return cmdTests(net, rest[0]);
         if (common.cmd == "repair" && nrest > 0)
@@ -678,6 +848,9 @@ main(int argc, char **argv)
         }
         std::cerr << "unknown command " << common.cmd << "\n";
         return 64;
+    } catch (const engine::CampaignCancelled &) {
+        std::cerr << "cancelled\n";
+        return 130;
     } catch (const std::exception &e) {
         std::cerr << "error: " << e.what() << "\n";
         return 1;

@@ -1,0 +1,130 @@
+/**
+ * @file
+ * scal_serverd — the long-running campaign daemon.
+ *
+ *   scal_serverd --socket PATH [--max-inflight N] [--max-queued N]
+ *                [--jobs N] [--cache-entries N] [--cache-bytes N]
+ *                [--cache-dir DIR] [--progress-ms N]
+ *
+ * Listens on a Unix-domain socket for the newline-delimited JSON
+ * protocol of src/server/protocol.hh: clients submit comb/seq/system
+ * campaigns (inline circuit text or a path the daemon can read),
+ * watch progress, and fetch verdicts. Repeated submissions of the
+ * same (circuit, config) are served from the content-addressed
+ * verdict cache — bit-identical to a fresh run. Runs until a client
+ * sends `shutdown` or the process gets SIGINT/SIGTERM.
+ */
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "server/server.hh"
+
+namespace
+{
+
+scal::server::Server *g_server = nullptr;
+std::atomic<bool> g_signalled{false};
+
+void
+onSignal(int)
+{
+    // Just flag it: Server::stop() takes locks, so it must not run in
+    // signal context. The waitShutdown() below is woken via a second
+    // self-delivered condition: we request shutdown from a thread.
+    g_signalled.store(true, std::memory_order_relaxed);
+}
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0
+        << " --socket PATH [--max-inflight N] [--max-queued N]\n"
+           "       [--jobs N] [--cache-entries N] [--cache-bytes N]\n"
+           "       [--cache-dir DIR] [--progress-ms N]\n";
+    std::exit(64);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    scal::server::Server::Options opts;
+    opts.scheduler.progressInterval = std::chrono::milliseconds(500);
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&](const char *name) {
+            if (i + 1 >= argc) {
+                std::cerr << name << " needs a value\n";
+                usage(argv[0]);
+            }
+            return std::string(argv[++i]);
+        };
+        try {
+            if (arg == "--socket")
+                opts.socketPath = value("--socket");
+            else if (arg == "--max-inflight")
+                opts.scheduler.maxInflight =
+                    std::stoi(value("--max-inflight"));
+            else if (arg == "--max-queued")
+                opts.scheduler.maxQueued =
+                    std::stoul(value("--max-queued"));
+            else if (arg == "--jobs")
+                opts.scheduler.jobsPerCampaign =
+                    std::stoi(value("--jobs"));
+            else if (arg == "--cache-entries")
+                opts.scheduler.cache.maxEntries =
+                    std::stoul(value("--cache-entries"));
+            else if (arg == "--cache-bytes")
+                opts.scheduler.cache.maxBytes =
+                    std::stoull(value("--cache-bytes"));
+            else if (arg == "--cache-dir")
+                opts.scheduler.cache.spillDir = value("--cache-dir");
+            else if (arg == "--progress-ms")
+                opts.scheduler.progressInterval =
+                    std::chrono::milliseconds(
+                        std::stol(value("--progress-ms")));
+            else
+                usage(argv[0]);
+        } catch (const std::exception &) {
+            std::cerr << "bad value for " << arg << "\n";
+            usage(argv[0]);
+        }
+    }
+    if (opts.socketPath.empty())
+        usage(argv[0]);
+
+    try {
+        scal::server::Server server(std::move(opts));
+        g_server = &server;
+        std::signal(SIGINT, onSignal);
+        std::signal(SIGTERM, onSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+        server.start();
+        std::cerr << "scal_serverd: listening on "
+                  << server.socketPath() << "\n";
+        // Poll the signal flag alongside protocol-driven shutdown: a
+        // cheap watcher thread turns the async signal into a clean
+        // stop request.
+        std::thread watcher([&server] {
+            while (!g_signalled.load(std::memory_order_relaxed))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(100));
+            server.stop(); // idempotent; protocol shutdown may race it
+        });
+        server.waitShutdown();
+        g_signalled.store(true, std::memory_order_relaxed);
+        watcher.join();
+        server.stop();
+        std::cerr << "scal_serverd: shut down\n";
+    } catch (const std::exception &e) {
+        std::cerr << "scal_serverd: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
