@@ -1,17 +1,30 @@
 /**
  * @file
- * Fault-simulation kernel benchmark: the pre-change reference kernel
- * (PackedEvaluator full resimulation per fault per 64-lane block —
- * exactly the inner loop the campaign used to run) against the
- * cone-restricted FaultSimulator at 64, 256 and 512 lanes per replay,
- * on the paper's circuits. Verdict mask digests are cross-checked
- * between the two kernels and across every lane width and dispatch
- * target, and the results are emitted as machine-readable JSON
- * (stdout and a file) so CI can archive the numbers. Every timing is
- * a warmed-up best/median/stddev over --reps repetitions
+ * Fault-simulation kernel benchmark, three generations of the
+ * campaign inner loop on identical pattern blocks:
+ *
+ *  - `ref`: the pre-change reference (PackedEvaluator full
+ *    resimulation per fault per 64-lane block),
+ *  - `cone`: the cone-restricted FaultSimulator, one replay per
+ *    collapsed fault, at 64/256/512 lanes,
+ *  - `fp`: the fault-parallel path (FaultBatchPlan + BatchClassifier:
+ *    dominance pruning, disjoint-cone batching, flip passes and
+ *    critical-path tracing) at the same widths.
+ *
+ * Scenarios cover the paper's built-in circuits plus the bundled
+ * `-class` netlists (c432/c880/c1908) run through the real
+ * import-and-harden pipeline. Verdict mask digests are cross-checked
+ * between all kernels, lane widths and dispatch targets before any
+ * timing; the full resimulation reference is skipped on the hardened
+ * circuits where it would take minutes per repetition (`cone` is the
+ * oracle there — itself digest-checked against `ref` on every
+ * scenario that affords it). Results are emitted as machine-readable
+ * JSON (stdout and a file) so CI can archive the numbers. Every
+ * timing is a warmed-up best/median/stddev over --reps repetitions
  * (bench_stats.hh).
  *
- * Usage: bench_fault_sim [--max-patterns N] [--reps N] [--out FILE]
+ * Usage: bench_fault_sim [--circuits DIR] [--max-patterns N]
+ *                        [--reps N] [--out FILE]
  */
 
 #include <cmath>
@@ -23,7 +36,11 @@
 #include <vector>
 
 #include "bench_stats.hh"
+#include "fault/collapse.hh"
+#include "ingest/harden.hh"
+#include "ingest/import.hh"
 #include "netlist/circuits.hh"
+#include "sim/batch_sim.hh"
 #include "sim/fault_sim.hh"
 #include "sim/flat.hh"
 #include "sim/packed.hh"
@@ -42,6 +59,10 @@ struct Scenario
 {
     std::string name;
     Netlist net;
+    /** Full-resimulation reference is affordable (small circuits
+     *  only; on the hardened bundled netlists it would take minutes
+     *  per repetition). */
+    bool withRef = true;
 };
 
 /** One packed input block of 64 * laneWords lanes (campaign layout:
@@ -180,11 +201,51 @@ runWideKernel(const sim::FlatNetlist &flat,
     return maskDigest(verdict);
 }
 
-/** Timing for the cone kernel at one lane width (native dispatch). */
+/**
+ * The fault-parallel path the campaign runs by default: dominance
+ * pruning + disjoint-cone batching + flip passes + CPT over the
+ * collapsed classes, expanded back to per-fault masks through
+ * classOf. Bit-identity of every class's masks with the per-fault
+ * kernels makes the digest directly comparable.
+ */
+std::uint64_t
+runFaultParallelKernel(const sim::FlatNetlist &flat,
+                       const std::vector<Fault> &faults,
+                       const fault::CollapseResult &col,
+                       const sim::FaultBatchPlan &plan,
+                       const std::vector<WideBlock> &blocks,
+                       int lane_words, sim::SimdTarget target)
+{
+    sim::FaultSimulator fs(flat, lane_words, target);
+    sim::BatchClassifier bc(fs, plan, /*batching=*/true);
+    bc.setRange(0, plan.numGroups());
+    std::vector<sim::AlternatingMasks> cls(col.representatives.size());
+    for (const WideBlock &blk : blocks) {
+        fs.setAlternatingBlock(blk.in);
+        bc.classifyBlock(
+            [&](std::size_t pos, const sim::WideMasks &m) {
+                const int c = plan.classList()[pos];
+                auto &v = cls[static_cast<std::size_t>(c)];
+                for (int w = 0; w < lane_words; ++w) {
+                    const std::uint64_t lm = blk.laneMask(w);
+                    v.anyErr |= m.anyErr[w] & lm;
+                    v.nonAlt |= m.nonAlt[w] & lm;
+                    v.incorrect |= m.incorrect[w] & lm;
+                }
+            });
+    }
+    std::vector<sim::AlternatingMasks> verdict(faults.size());
+    for (std::size_t i = 0; i < faults.size(); ++i)
+        verdict[i] = cls[static_cast<std::size_t>(col.classOf[i])];
+    return maskDigest(verdict);
+}
+
+/** Timing for one kernel at one lane width (native dispatch). */
 struct WidthRow
 {
     int lanes = 0;
     bench::TimingStats stats;
+    bench::TimingStats fp; ///< fault-parallel kernel, same width
 };
 
 struct Row
@@ -193,6 +254,7 @@ struct Row
     std::size_t gates = 0;
     std::size_t faults = 0;
     std::uint64_t patterns = 0;
+    bool hasRef = true;
     bench::TimingStats ref;
     std::vector<WidthRow> widths; // ascending lanes; widths[0] is 64
 
@@ -211,6 +273,13 @@ struct Row
     {
         return widths.front().stats.best / widths.back().stats.best;
     }
+    /** Fault-parallel vs per-fault cone kernel at the widest lanes:
+     *  the campaign-default configuration, the headline this PR
+     *  targets. */
+    double speedupFp() const
+    {
+        return widths.back().stats.best / widths.back().fp.best;
+    }
 };
 
 void
@@ -221,8 +290,8 @@ emitJson(std::ostream &os, const std::vector<Row> &rows,
     // fills at least one 512-lane block; a circuit whose exhaustive
     // space is a handful of patterns (section36: 8) has nothing for
     // the extra lanes to do and would just measure block overhead.
-    double log_sum = 0, log_sum_wide = 0;
-    int wide_n = 0;
+    double log_sum = 0, log_sum_wide = 0, log_sum_fp = 0;
+    int ref_n = 0, wide_n = 0;
     os << "{\n  \"benchmark\": \"fault_sim\",\n  \"unit\": "
           "\"faults*patterns/s\",\n  \"simd\": \""
        << sim::simdTargetName(native) << "\",\n  \"reps\": "
@@ -230,7 +299,11 @@ emitJson(std::ostream &os, const std::vector<Row> &rows,
        << rows.front().ref.warmup << ",\n  \"scenarios\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
         const Row &r = rows[i];
-        log_sum += std::log(r.speedup());
+        if (r.hasRef) {
+            log_sum += std::log(r.speedup());
+            ++ref_n;
+        }
+        log_sum_fp += std::log(r.speedupFp());
         if (r.patterns >= 512) {
             log_sum_wide += std::log(r.speedup512v64());
             ++wide_n;
@@ -238,30 +311,44 @@ emitJson(std::ostream &os, const std::vector<Row> &rows,
         os << "    {\"name\": \"" << r.name << "\", \"gates\": "
            << r.gates << ", \"faults\": " << r.faults
            << ", \"patterns\": " << r.patterns << ", ";
-        bench::emitStatsFields(os, "ref", r.ref);
-        os << ", ";
+        if (r.hasRef) {
+            bench::emitStatsFields(os, "ref", r.ref);
+            os << ", ";
+        }
         bench::emitStatsFields(os, "cone", r.widths.front().stats);
-        os << ", \"ref_throughput\": " << r.throughput(r.ref.best)
-           << ", \"cone_throughput\": "
-           << r.throughput(r.widths.front().stats.best)
-           << ", \"speedup\": " << r.speedup() << ",\n     \"widths\": [";
+        if (r.hasRef)
+            os << ", \"ref_throughput\": " << r.throughput(r.ref.best);
+        os << ", \"cone_throughput\": "
+           << r.throughput(r.widths.front().stats.best);
+        if (r.hasRef)
+            os << ", \"speedup\": " << r.speedup();
+        os << ",\n     \"widths\": [";
         for (std::size_t w = 0; w < r.widths.size(); ++w) {
             const WidthRow &wr = r.widths[w];
             os << (w ? ", " : "") << "\n       {\"lanes\": " << wr.lanes
                << ", ";
             bench::emitStatsFields(os, "cone", wr.stats);
+            os << ", ";
+            bench::emitStatsFields(os, "fp", wr.fp);
             os << ", \"throughput\": " << r.throughput(wr.stats.best)
+               << ", \"fp_throughput\": " << r.throughput(wr.fp.best)
                << ", \"speedup_vs_64\": "
-               << r.widths.front().stats.best / wr.stats.best << "}";
+               << r.widths.front().stats.best / wr.stats.best
+               << ", \"fp_speedup_vs_cone\": "
+               << wr.stats.best / wr.fp.best << "}";
         }
         os << "],\n     \"speedup_512v64\": " << r.speedup512v64()
-           << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
+           << ",\n     \"speedup_fp\": " << r.speedupFp() << "}"
+           << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     const double n = static_cast<double>(rows.size());
-    os << "  ],\n  \"geomean_speedup\": " << std::exp(log_sum / n)
+    os << "  ],\n  \"geomean_speedup\": "
+       << (ref_n ? std::exp(log_sum / ref_n) : 1.0)
        << ",\n  \"geomean_speedup_512v64\": "
        << (wide_n ? std::exp(log_sum_wide / wide_n) : 1.0)
-       << ",\n  \"geomean_512v64_scenarios\": " << wide_n << "\n}\n";
+       << ",\n  \"geomean_512v64_scenarios\": " << wide_n
+       << ",\n  \"geomean_speedup_fp\": " << std::exp(log_sum_fp / n)
+       << "\n}\n";
 }
 
 } // namespace
@@ -269,16 +356,24 @@ emitJson(std::ostream &os, const std::vector<Row> &rows,
 int
 main(int argc, char **argv)
 {
+    std::string dir = "circuits";
     std::uint64_t max_patterns = std::uint64_t{1} << 14;
     int reps = 5;
     std::string out_path = "BENCH_fault_sim.json";
     for (int i = 1; i < argc; ++i) {
-        if (!std::strcmp(argv[i], "--max-patterns") && i + 1 < argc)
+        if (!std::strcmp(argv[i], "--circuits") && i + 1 < argc)
+            dir = argv[++i];
+        else if (!std::strcmp(argv[i], "--max-patterns") && i + 1 < argc)
             max_patterns = std::strtoull(argv[++i], nullptr, 0);
         else if (!std::strcmp(argv[i], "--reps") && i + 1 < argc)
             reps = static_cast<int>(std::strtol(argv[++i], nullptr, 0));
         else if (!std::strcmp(argv[i], "--out") && i + 1 < argc)
             out_path = argv[++i];
+    }
+    if (!std::ifstream(dir + "/c17.bench")) {
+        // Convenience when run from a build tree next to the source.
+        if (std::ifstream("../circuits/c17.bench"))
+            dir = "../circuits";
     }
     const sim::SimdTarget native =
         sim::resolveSimdTarget(sim::SimdTarget::Auto);
@@ -291,26 +386,60 @@ main(int argc, char **argv)
         {"rca16", netlist::circuits::rippleCarryAdder(16)});
     scenarios.push_back(
         {"alu_add8", system::aluNetlist(system::AluOp::Add, 8)});
+    // The bundled `-class` circuits through the real pipeline: the
+    // hardened machines the fault-parallel path was built for. Full
+    // resimulation is skipped there (minutes per repetition); the
+    // cone kernel doubles as the digest oracle.
+    for (const char *name : {"c432", "c880", "c1908"}) {
+        const std::string path = dir + "/" + name + ".bench";
+        if (!std::ifstream(path)) {
+            std::cerr << "skipping missing " << path << "\n";
+            continue;
+        }
+        const ingest::ImportedCircuit circ = ingest::importCircuit(path);
+        scenarios.push_back({std::string(name) + "_hardened",
+                             ingest::hardenNetlist(circ.net).net,
+                             /*withRef=*/false});
+    }
 
     std::vector<Row> rows;
     for (const Scenario &sc : scenarios) {
         const std::vector<Fault> faults = sc.net.allFaults();
         const int ni = sc.net.numInputs();
         const sim::FlatNetlist flat(sc.net);
+        // The collapse/plan the default campaign path builds (the
+        // plan is configuration-independent, so one per scenario).
+        const fault::CollapseResult col = fault::collapseFaults(
+            sc.net, {.constRefine = true, .dominance = true});
+        const sim::FaultBatchPlan plan(flat, faults, col.classOf,
+                                       col.representatives, col.pruned,
+                                       /*enable_cpt=*/true);
 
-        // Verdicts must agree — between the reference and cone
-        // kernels, across every lane width, and between portable and
-        // native dispatch — before timing means anything.
+        // Verdicts must agree — between the reference, cone, and
+        // fault-parallel kernels, across every lane width, and
+        // between portable and native dispatch — before timing means
+        // anything. On scenarios without an affordable full
+        // resimulation the cone kernel anchors the digest.
         std::uint64_t applied = 0;
         const auto narrow = buildBlocks(ni, max_patterns, 1, applied);
         const std::uint64_t want =
-            runReferenceKernel(sc.net, faults, narrow);
+            sc.withRef ? runReferenceKernel(sc.net, faults, narrow)
+                       : runWideKernel(flat, faults, narrow, 1, native);
         for (int lw : width_list) {
             const auto blocks = buildBlocks(ni, max_patterns, lw, applied);
             if (runWideKernel(flat, faults, blocks, lw, native) != want ||
                 runWideKernel(flat, faults, blocks, lw,
                               sim::SimdTarget::Portable) != want) {
                 std::cerr << "FATAL: kernel digest mismatch on "
+                          << sc.name << " at " << 64 * lw << " lanes\n";
+                return 1;
+            }
+            if (runFaultParallelKernel(flat, faults, col, plan, blocks,
+                                       lw, native) != want ||
+                runFaultParallelKernel(flat, faults, col, plan, blocks,
+                                       lw, sim::SimdTarget::Portable) !=
+                    want) {
+                std::cerr << "FATAL: fault-parallel digest mismatch on "
                           << sc.name << " at " << 64 * lw << " lanes\n";
                 return 1;
             }
@@ -321,8 +450,11 @@ main(int argc, char **argv)
         row.gates = static_cast<std::size_t>(sc.net.numGates());
         row.faults = faults.size();
         row.patterns = applied;
-        row.ref = bench::timeStats(
-            [&] { runReferenceKernel(sc.net, faults, narrow); }, reps);
+        row.hasRef = sc.withRef;
+        if (sc.withRef)
+            row.ref = bench::timeStats(
+                [&] { runReferenceKernel(sc.net, faults, narrow); },
+                reps);
         for (int lw : width_list) {
             const auto blocks = buildBlocks(ni, max_patterns, lw, applied);
             WidthRow wr;
@@ -330,13 +462,24 @@ main(int argc, char **argv)
             wr.stats = bench::timeStats(
                 [&] { runWideKernel(flat, faults, blocks, lw, native); },
                 reps);
+            wr.fp = bench::timeStats(
+                [&] {
+                    runFaultParallelKernel(flat, faults, col, plan,
+                                           blocks, lw, native);
+                },
+                reps);
             row.widths.push_back(wr);
         }
         rows.push_back(row);
-        std::cerr << sc.name << ": ref " << row.ref.best << "s, cone64 "
-                  << row.widths.front().stats.best << "s, cone512 "
-                  << row.widths.back().stats.best << "s, 512v64 "
-                  << row.speedup512v64() << "x\n";
+        std::cerr << sc.name << ": "
+                  << (row.hasRef
+                          ? "ref " + std::to_string(row.ref.best) + "s, "
+                          : std::string())
+                  << "cone64 " << row.widths.front().stats.best
+                  << "s, cone512 " << row.widths.back().stats.best
+                  << "s, fp512 " << row.widths.back().fp.best
+                  << "s, 512v64 " << row.speedup512v64() << "x, fp "
+                  << row.speedupFp() << "x\n";
     }
 
     emitJson(std::cout, rows, native);

@@ -8,9 +8,13 @@
  * circuits, sequential campaign for machines with state). Before any
  * timing, each hardened circuit must pass the alternating-operation
  * verification — a pipeline that emits non-alternating netlists has
- * no throughput worth measuring. Results are emitted as JSON (stdout
- * and --out file) with warmed-up best/median/stddev per stage
- * (bench_stats.hh) so CI can archive the numbers.
+ * no throughput worth measuring. The campaign stage is timed twice:
+ * once with the fault-parallel defaults (batching + pruning + CPT)
+ * and once with every flag off (`campaign_ref`, the legacy per-fault
+ * path), after asserting both produce identical verdict counts; each
+ * row reports the resulting `speedup`. Results are emitted as JSON
+ * (stdout and --out file) with warmed-up best/median/stddev per
+ * stage (bench_stats.hh) so CI can archive the numbers.
  *
  * Usage: bench_ingest_campaign [--circuits DIR] [--max-patterns N]
  *                              [--symbols N] [--jobs N] [--reps N]
@@ -46,10 +50,11 @@ struct Row
     std::size_t faults = 0;
     std::uint64_t work = 0; ///< patterns (comb) or symbols (seq)
     std::size_t detected = 0, unsafe = 0, untestable = 0;
-    bench::TimingStats parse, harden, campaign;
+    bench::TimingStats parse, harden, campaign, campaignRef;
+    double speedup = 0; ///< reference best / fault-parallel best
 };
 
-const char *kCircuits[] = {"c17", "c432", "c499", "c880",
+const char *kCircuits[] = {"c17",  "c432", "c499", "c880", "c1908",
                            "s27", "s298", "s344", "s386"};
 
 } // namespace
@@ -120,8 +125,20 @@ main(int argc, char **argv)
             fault::SeqCampaignOptions opts;
             opts.symbols = symbols;
             opts.jobs = jobs;
+            fault::SeqCampaignOptions ref = opts;
+            ref.dominance = false;
             const auto res =
                 fault::runSequentialCampaign(hard.net, spec, opts);
+            const auto resRef =
+                fault::runSequentialCampaign(hard.net, spec, ref);
+            if (res.numDetected != resRef.numDetected ||
+                res.numUnsafe != resRef.numUnsafe ||
+                res.numUntestable != resRef.numUntestable) {
+                std::cerr << "FATAL: " << name
+                          << " pruned verdicts diverge from the "
+                             "unpruned reference\n";
+                return 1;
+            }
             row.faults = res.faults.size();
             row.work = static_cast<std::uint64_t>(res.symbols);
             row.detected = static_cast<std::size_t>(res.numDetected);
@@ -133,12 +150,31 @@ main(int argc, char **argv)
                     fault::runSequentialCampaign(hard.net, spec, opts);
                 },
                 reps);
+            row.campaignRef = bench::timeStats(
+                [&] {
+                    fault::runSequentialCampaign(hard.net, spec, ref);
+                },
+                reps);
         } else {
             fault::CampaignOptions opts;
             opts.maxPatterns = max_patterns;
             opts.jobs = jobs;
+            fault::CampaignOptions ref = opts;
+            ref.faultBatch = false;
+            ref.cpt = false;
+            ref.dominance = false;
             const auto res =
                 fault::runAlternatingCampaign(hard.net, opts);
+            const auto resRef =
+                fault::runAlternatingCampaign(hard.net, ref);
+            if (res.numDetected != resRef.numDetected ||
+                res.numUnsafe != resRef.numUnsafe ||
+                res.numUntestable != resRef.numUntestable) {
+                std::cerr << "FATAL: " << name
+                          << " fault-parallel verdicts diverge from "
+                             "the per-fault reference\n";
+                return 1;
+            }
             row.faults = res.faults.size();
             row.work = res.patternsApplied;
             row.detected = static_cast<std::size_t>(res.numDetected);
@@ -148,11 +184,18 @@ main(int argc, char **argv)
             row.campaign = bench::timeStats(
                 [&] { fault::runAlternatingCampaign(hard.net, opts); },
                 reps);
+            row.campaignRef = bench::timeStats(
+                [&] { fault::runAlternatingCampaign(hard.net, ref); },
+                reps);
         }
+        if (row.campaign.best > 0)
+            row.speedup = row.campaignRef.best / row.campaign.best;
         std::cerr << name << ": " << row.gatesBefore << " -> "
                   << row.gatesAfter << " gates, " << row.faults
                   << " faults, " << row.unsafe << " unsafe, campaign "
-                  << row.campaign.best << " s\n";
+                  << row.campaign.best << " s (reference "
+                  << row.campaignRef.best << " s, " << row.speedup
+                  << "x)\n";
         rows.push_back(std::move(row));
     }
     if (rows.empty()) {
@@ -181,6 +224,9 @@ main(int argc, char **argv)
         bench::emitStatsFields(js, "harden", r.harden);
         js << ", ";
         bench::emitStatsFields(js, "campaign", r.campaign);
+        js << ", ";
+        bench::emitStatsFields(js, "campaign_ref", r.campaignRef);
+        js << ", \"speedup\": " << r.speedup;
         js << "}" << (i + 1 < rows.size() ? "," : "") << "\n";
     }
     js << "  ]\n}\n";

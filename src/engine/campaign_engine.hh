@@ -83,6 +83,31 @@ class CampaignEngine
         return results;
     }
 
+    /**
+     * As mapChunks(), but sharding [0, weights.size()) into chunks of
+     * roughly equal total weight via planWeightedShards — for index
+     * spaces of cost-uneven items such as fanout-free-region groups.
+     */
+    template <typename R, typename Fn>
+    std::vector<R>
+    mapWeightedChunks(const std::vector<std::uint64_t> &weights, Fn fn)
+    {
+        const std::vector<Chunk> chunks = planWeightedShards(
+            weights, pool_.size(), opts_.chunksPerWorker);
+        std::vector<std::future<R>> futures;
+        futures.reserve(chunks.size());
+        for (std::size_t c = 0; c < chunks.size(); ++c) {
+            const Chunk chunk = chunks[c];
+            futures.push_back(
+                pool_.submit([fn, chunk, c]() { return fn(chunk, c); }));
+        }
+        std::vector<R> results;
+        results.reserve(futures.size());
+        for (auto &f : futures)
+            results.push_back(f.get());
+        return results;
+    }
+
     /** Start/stop the periodic reporter per opts_.progressInterval. */
     void beginCampaign(std::uint64_t total_units);
     CampaignStats endCampaign(std::uint64_t total_faults,

@@ -13,6 +13,7 @@
 #define SCAL_ENGINE_PARTITION_HH
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace scal::engine
@@ -46,6 +47,18 @@ std::vector<Chunk> partitionRange(std::size_t n, int parts);
 std::vector<Chunk> planShards(std::size_t n, int workers,
                               int chunksPerWorker = 4,
                               std::size_t minGrain = 8);
+
+/**
+ * Weighted sharding: split [0, weights.size()) into contiguous chunks
+ * of roughly equal total weight (at most workers * chunksPerWorker of
+ * them, never splitting an item). Used when items are cost-uneven
+ * groups — e.g. fanout-free-region batches whose simulation cost
+ * scales with their member cone sizes — where equal-count chunks
+ * would leave workers idle. Deterministic for a given weight vector.
+ */
+std::vector<Chunk>
+planWeightedShards(const std::vector<std::uint64_t> &weights, int workers,
+                   int chunksPerWorker = 4);
 
 } // namespace scal::engine
 

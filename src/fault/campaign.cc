@@ -5,6 +5,7 @@
 #include "engine/campaign_engine.hh"
 #include "fault/collapse.hh"
 #include "sim/alternating.hh"
+#include "sim/batch_sim.hh"
 #include "sim/fault_sim.hh"
 #include "sim/flat.hh"
 #include "util/rng.hh"
@@ -173,6 +174,53 @@ classifyChunk(const sim::FlatNetlist &flat,
     return out;
 }
 
+/** Result of one fault-parallel shard: per-class verdicts for the
+ *  positions [plan.classOffset(begin), plan.classOffset(end)) of the
+ *  group range, plus the shard's batch count. */
+struct GroupChunkOut
+{
+    std::vector<Verdict> verdicts;
+    std::uint64_t batches = 0;
+};
+
+/**
+ * Fault-parallel counterpart of classifyChunk: classify every class
+ * of groups [gbegin, gend) of @p plan over the shared pattern blocks
+ * with a BatchClassifier. Same isolation contract — each call owns
+ * its simulator and classifier, everything shared is immutable.
+ */
+GroupChunkOut
+classifyGroupChunk(const sim::FlatNetlist &flat,
+                   const sim::FaultBatchPlan &plan, int gbegin, int gend,
+                   const std::vector<PatternBlock> &blocks,
+                   const CampaignOptions &opts, int lane_words,
+                   engine::ProgressTracker *progress)
+{
+    sim::FaultSimulator fs(flat, lane_words, opts.simd);
+    sim::BatchClassifier classifier(fs, plan, opts.faultBatch);
+    classifier.setRange(gbegin, gend);
+
+    GroupChunkOut out;
+    out.batches = classifier.numBatches();
+    const std::size_t base = plan.classOffset(gbegin);
+    out.verdicts.resize(plan.classOffset(gend) - base);
+    for (const PatternBlock &blk : blocks) {
+        if (opts.cancel && opts.cancel->stopRequested())
+            throw engine::CampaignCancelled();
+        fs.setAlternatingBlock(blk.in);
+        classifier.classifyBlock(
+            [&](std::size_t pos, const sim::WideMasks &m) {
+                accumulateVerdict(m, blk, lane_words, opts, progress,
+                                  out.verdicts[pos - base]);
+            });
+        if (progress)
+            progress->addPatterns(static_cast<std::uint64_t>(blk.lanes));
+    }
+    if (progress)
+        progress->addFaultsDone(out.verdicts.size());
+    return out;
+}
+
 /** Fold expanded per-fault verdicts into the result counters. */
 void
 finalizeResult(CampaignResult &result,
@@ -240,6 +288,93 @@ runAlternatingCampaign(const Netlist &net, const CampaignOptions &opts)
         buildBlocks(ni, exhaustive, num_patterns, opts.seed, lane_words);
 
     const int jobs = engine::resolveJobs(opts.jobs);
+
+    // Fault-parallel path: route the collapsed classes through FFR
+    // batching / CPT / dominance pruning (sim/batch_sim.hh). Groups —
+    // not single classes — are the sharding unit, weighted by their
+    // estimated simulation cost, so batches never straddle a chunk
+    // boundary. Verdicts are bit-identical to the legacy path below.
+    if (opts.faultBatch || opts.cpt || opts.dominance) {
+        CollapseOptions copts;
+        copts.constRefine = opts.dominance;
+        copts.dominance = opts.dominance;
+        const CollapseResult col = collapseFaults(net, copts);
+        const sim::FaultBatchPlan plan(flat, faults, col.classOf,
+                                       col.representatives, col.pruned,
+                                       opts.cpt);
+        const sim::BatchPlanStats ps = plan.stats();
+        result.fp.enabled = true;
+        result.fp.totalFaults = col.totalFaults;
+        result.fp.classes = plan.numClasses();
+        result.fp.prunedClasses = ps.prunedClasses;
+        result.fp.prunedFaults = col.prunedFaults;
+        result.fp.flipClasses = ps.flipClasses;
+        result.fp.cptClasses = ps.cptClasses;
+        result.fp.tapClasses = ps.tapClasses;
+        result.fp.simClasses = ps.simClasses;
+
+        std::vector<GroupChunkOut> chunkOuts;
+        if (jobs <= 1) {
+            engine::ProgressTracker progress;
+            progress.start(static_cast<std::uint64_t>(plan.numClasses()));
+            if (opts.progressInterval.count() > 0)
+                progress.startReporter(opts.progressInterval,
+                                       opts.progressCallback);
+            chunkOuts.push_back(classifyGroupChunk(
+                flat, plan, 0, plan.numGroups(), blocks, opts,
+                lane_words, &progress));
+            progress.stopReporter();
+            const auto s = progress.snapshot();
+            result.stats.jobs = 1;
+            result.stats.totalFaults = faults.size();
+            result.stats.simulatedFaults =
+                static_cast<std::uint64_t>(col.simulatedClasses());
+            result.stats.patternsApplied = num_patterns;
+            result.stats.collapseRatio = col.ratio();
+            result.stats.elapsedSeconds = s.elapsedSeconds;
+            result.stats.faultsPerSecond = s.faultsPerSecond();
+            result.stats.patternsPerSecond = s.patternsPerSecond();
+        } else {
+            engine::EngineOptions eopts;
+            eopts.jobs = jobs;
+            eopts.chunksPerWorker = opts.chunksPerWorker;
+            eopts.progressInterval = opts.progressInterval;
+            eopts.progressCallback = opts.progressCallback;
+            engine::CampaignEngine eng(eopts);
+            eng.beginCampaign(static_cast<std::uint64_t>(plan.numClasses()));
+            chunkOuts = eng.mapWeightedChunks<GroupChunkOut>(
+                plan.groupCosts(), [&](engine::Chunk chunk, std::size_t) {
+                    return classifyGroupChunk(
+                        flat, plan, static_cast<int>(chunk.begin),
+                        static_cast<int>(chunk.end), blocks, opts,
+                        lane_words, &eng.progress());
+                });
+            result.stats = eng.endCampaign(
+                faults.size(),
+                static_cast<std::uint64_t>(col.simulatedClasses()),
+                num_patterns);
+        }
+
+        // Deterministic merge: chunk results concatenate back to the
+        // position order of plan.classList(), which maps positions to
+        // class ids; classOf then expands classes over allFaults().
+        std::vector<Verdict *> classVerdict(
+            static_cast<std::size_t>(plan.numClasses()));
+        std::size_t pos = 0;
+        for (GroupChunkOut &co : chunkOuts) {
+            result.fp.batches += co.batches;
+            for (Verdict &v : co.verdicts)
+                classVerdict[static_cast<std::size_t>(
+                    plan.classList()[pos++])] = &v;
+        }
+        std::vector<Verdict *> verdictOf(faults.size());
+        for (std::size_t k = 0; k < faults.size(); ++k)
+            verdictOf[k] = classVerdict[static_cast<std::size_t>(
+                col.classOf[k])];
+        finalizeResult(result, verdictOf);
+        return result;
+    }
+
     if (jobs <= 1) {
         // Serial reference path: every fault simulated individually,
         // no collapsing, no pool.

@@ -78,6 +78,57 @@ struct CampaignOptions
      * this callback instead of the default stderr line.
      */
     engine::ProgressTracker::Callback progressCallback;
+    /**
+     * @name Fault-parallel fast paths
+     * Purely performance knobs: any combination yields verdicts
+     * bit-identical to the all-off reference path (asserted by
+     * tests/test_fault_parallel_equiv.cc). With all three off the
+     * campaign runs the legacy per-fault code.
+     */
+    /** @{ */
+    /** Pack fault classes with pairwise-disjoint fanout cones into
+     *  one simulation pass per pattern block. */
+    bool faultBatch = true;
+    /** Critical-path tracing: classify fanout-free-region-interior
+     *  faults from the cached good values plus the region root's flip
+     *  response — no cone replay at all. */
+    bool cpt = true;
+    /** Const-refined equivalence chains plus structural dominance
+     *  pruning (fault/collapse.hh): classes whose faults are forced
+     *  Untestable are skipped instead of simulated. */
+    bool dominance = true;
+    /** @} */
+};
+
+/**
+ * Fault-parallel pipeline statistics. Everything but @p batches is a
+ * pure function of (netlist, options); @p batches depends on the
+ * sharding and so on the jobs count — report it only alongside other
+ * non-deterministic stats.
+ */
+struct FaultParallelStats
+{
+    /** False when the campaign ran the legacy per-fault path. */
+    bool enabled = false;
+    int totalFaults = 0;
+    /** Equivalence classes after collapsing. */
+    int classes = 0;
+    /** Classes structurally forced Untestable and skipped. */
+    int prunedClasses = 0;
+    /** Original faults covered by pruned classes. */
+    int prunedFaults = 0;
+    /** Root-stem classes derived from one flip replay per FFR root
+     *  (both stuck-at polarities per pass). */
+    int flipClasses = 0;
+    /** Classes resolved by critical-path tracing. */
+    int cptClasses = 0;
+    /** Output-branch classes resolved analytically. */
+    int tapClasses = 0;
+    /** Classes that required cone simulation. */
+    int simClasses = 0;
+    /** Simulation passes per pattern block, summed over shards
+     *  (jobs-dependent — see struct comment). */
+    std::uint64_t batches = 0;
 };
 
 struct CampaignResult
@@ -96,6 +147,9 @@ struct CampaignResult
      * this struct is deterministic; stats is explicitly not.
      */
     engine::CampaignStats stats;
+    /** Fault-parallel pipeline breakdown (fp.batches is
+     *  jobs-dependent, see FaultParallelStats). */
+    FaultParallelStats fp;
 
     /**
      * Definition 2.4 verdict: self-checking iff every fault is

@@ -9,8 +9,135 @@ namespace scal::fault
 
 using namespace netlist;
 
+namespace
+{
+
+/**
+ * True when input @p pin of gate @p c is masked by a controlling
+ * structural constant on a sibling pin (an AND sibling at 0, an OR
+ * sibling at 1): no value on @p pin can influence the gate output.
+ */
+bool
+maskedPin(const Netlist &net, const std::vector<int> &cst, GateId c,
+          int pin)
+{
+    const Gate &gate = net.gate(c);
+    int controlling;
+    switch (gate.kind) {
+      case GateKind::And:
+      case GateKind::Nand:
+        controlling = 0;
+        break;
+      case GateKind::Or:
+      case GateKind::Nor:
+        controlling = 1;
+        break;
+      default:
+        return false;
+    }
+    for (std::size_t q = 0; q < gate.fanin.size(); ++q) {
+        if (static_cast<int>(q) != pin &&
+            cst[gate.fanin[q]] == controlling)
+            return true;
+    }
+    return false;
+}
+
+} // namespace
+
+std::vector<int>
+propagateConstants(const Netlist &net)
+{
+    std::vector<int> cst(net.numGates(), -1);
+    std::vector<bool> in;
+    for (GateId g : net.topoOrder()) {
+        const Gate &gate = net.gate(g);
+        switch (gate.kind) {
+          case GateKind::Const0:
+            cst[g] = 0;
+            break;
+          case GateKind::Const1:
+            cst[g] = 1;
+            break;
+          case GateKind::Input:
+          case GateKind::Dff:
+            break; // free / stateful lines are never constant
+          case GateKind::Buf:
+            cst[g] = cst[gate.fanin[0]];
+            break;
+          case GateKind::Not: {
+            const int c = cst[gate.fanin[0]];
+            cst[g] = c < 0 ? -1 : 1 - c;
+            break;
+          }
+          default: {
+            // Controlling constant forces the output; otherwise the
+            // output is constant only when every input is.
+            bool allKnown = true;
+            bool forced = false;
+            in.assign(gate.fanin.size(), false);
+            for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+                const int c = cst[gate.fanin[pin]];
+                if (c < 0)
+                    allKnown = false;
+                else
+                    in[pin] = c != 0;
+                if ((gate.kind == GateKind::And ||
+                     gate.kind == GateKind::Nand) &&
+                    c == 0)
+                    forced = true;
+                if ((gate.kind == GateKind::Or ||
+                     gate.kind == GateKind::Nor) &&
+                    c == 1)
+                    forced = true;
+            }
+            if (forced)
+                cst[g] = gate.kind == GateKind::Nand ||
+                                 gate.kind == GateKind::Or
+                             ? 1
+                             : 0;
+            else if (allKnown)
+                cst[g] = evalKind(gate.kind, in) ? 1 : 0;
+            break;
+          }
+        }
+    }
+    return cst;
+}
+
+std::vector<std::uint8_t>
+observableLines(const Netlist &net)
+{
+    const std::vector<int> cst = propagateConstants(net);
+    std::vector<std::uint8_t> obs(net.numGates(), 0);
+    std::vector<GateId> stack;
+    for (GateId g = 0; g < net.numGates(); ++g) {
+        if (!net.outputTaps(g).empty()) {
+            obs[g] = 1;
+            stack.push_back(g);
+        }
+    }
+    // Reverse reachability from the primary outputs; flip-flops are
+    // traversed (their D driver feeds an observable latched value),
+    // constant-masked pins block propagation.
+    while (!stack.empty()) {
+        const GateId c = stack.back();
+        stack.pop_back();
+        const Gate &gate = net.gate(c);
+        for (std::size_t pin = 0; pin < gate.fanin.size(); ++pin) {
+            const GateId d = gate.fanin[pin];
+            if (!obs[d] &&
+                !maskedPin(net, cst, c, static_cast<int>(pin))) {
+                obs[d] = 1;
+                stack.push_back(d);
+            }
+        }
+    }
+    return obs;
+}
+
 CollapseResult
-collapseFaults(const Netlist &net)
+collapseFaults(const Netlist &net, const CollapseOptions &opts)
 {
     const std::vector<Fault> faults = net.allFaults();
     CollapseResult res;
@@ -52,6 +179,10 @@ collapseFaults(const Netlist &net)
         return it == index.end() ? -1 : it->second;
     };
 
+    std::vector<int> cst;
+    if (opts.constRefine || opts.dominance)
+        cst = propagateConstants(net);
+
     for (GateId g = 0; g < net.numGates(); ++g) {
         const Gate &gate = net.gate(g);
         switch (gate.kind) {
@@ -84,6 +215,88 @@ collapseFaults(const Netlist &net)
           default:
             break; // XOR/threshold gates collapse nothing structurally
         }
+
+        if (!opts.constRefine)
+            continue;
+
+        // Const refinement: a gate whose other inputs are all pinned
+        // to structural constants degenerates to a buffer or inverter
+        // of the one free pin, so the non-controlling-value faults
+        // chain onto the stem too.
+        const std::size_t arity = gate.fanin.size();
+        auto othersAre = [&](std::size_t k, int v) {
+            for (std::size_t q = 0; q < arity; ++q)
+                if (q != k && cst[gate.fanin[q]] != v)
+                    return false;
+            return true;
+        };
+        switch (gate.kind) {
+          case GateKind::And:
+          case GateKind::Nand: {
+            const bool out = gate.kind == GateKind::And;
+            for (std::size_t k = 0; k < arity; ++k)
+                if (othersAre(k, 1))
+                    unite(input_fault(g, static_cast<int>(k), true),
+                          stem_fault(g, out));
+            break;
+          }
+          case GateKind::Or:
+          case GateKind::Nor: {
+            const bool out = gate.kind == GateKind::Nor;
+            for (std::size_t k = 0; k < arity; ++k)
+                if (othersAre(k, 0))
+                    unite(input_fault(g, static_cast<int>(k), false),
+                          stem_fault(g, !out));
+            break;
+          }
+          case GateKind::Xor:
+          case GateKind::Xnor: {
+            for (std::size_t k = 0; k < arity; ++k) {
+                bool known = true;
+                bool inv = gate.kind == GateKind::Xnor;
+                for (std::size_t q = 0; q < arity; ++q) {
+                    if (q == k)
+                        continue;
+                    const int c = cst[gate.fanin[q]];
+                    if (c < 0) {
+                        known = false;
+                        break;
+                    }
+                    inv ^= c != 0;
+                }
+                if (!known)
+                    continue;
+                unite(input_fault(g, static_cast<int>(k), false),
+                      stem_fault(g, inv));
+                unite(input_fault(g, static_cast<int>(k), true),
+                      stem_fault(g, !inv));
+            }
+            break;
+          }
+          case GateKind::Maj:
+          case GateKind::Min: {
+            // With all other pins constant and split evenly around
+            // the threshold, the module passes (Maj) or inverts (Min)
+            // the free pin. Only the arity-3 case is common enough to
+            // matter.
+            if (arity != 3)
+                break;
+            for (std::size_t k = 0; k < arity; ++k) {
+                const int a = cst[gate.fanin[(k + 1) % 3]];
+                const int b = cst[gate.fanin[(k + 2) % 3]];
+                if (a < 0 || b < 0 || a == b)
+                    continue;
+                const bool inv = gate.kind == GateKind::Min;
+                unite(input_fault(g, static_cast<int>(k), false),
+                      stem_fault(g, inv));
+                unite(input_fault(g, static_cast<int>(k), true),
+                      stem_fault(g, !inv));
+            }
+            break;
+          }
+          default:
+            break;
+        }
     }
 
     // Emit representatives in first-seen order.
@@ -96,6 +309,35 @@ collapseFaults(const Netlist &net)
         if (fresh)
             res.representatives.push_back(faults[root]);
         res.classOf[i] = it->second;
+    }
+    res.pruned.assign(res.representatives.size(), 0);
+
+    if (opts.dominance) {
+        const std::vector<std::uint8_t> obs = observableLines(net);
+        // A fault is structurally forced-Untestable when the stuck
+        // value equals the line's constant (faulty == good function),
+        // when a sibling controlling constant masks the faulted pin,
+        // or when no unmasked path from the fault reaches a primary
+        // output. Any forced member forces its whole class: the
+        // class members all realize the same faulty network function.
+        auto forcedUntestable = [&](const Fault &f) {
+            if (cst[f.site.driver] == static_cast<int>(f.value))
+                return true;
+            if (f.site.isStem())
+                return !obs[f.site.driver];
+            if (f.site.consumer == FaultSite::kOutputTap)
+                return false;
+            return maskedPin(net, cst, f.site.consumer, f.site.pin) ||
+                   !obs[f.site.consumer];
+        };
+        for (std::size_t i = 0; i < faults.size(); ++i) {
+            if (forcedUntestable(faults[i]))
+                res.pruned[res.classOf[i]] = 1;
+        }
+        for (std::uint8_t p : res.pruned)
+            res.prunedClasses += p;
+        for (int cls : res.classOf)
+            res.prunedFaults += res.pruned[cls];
     }
     return res;
 }

@@ -5,9 +5,31 @@
  * NAND input stuck-at-0 from its output stuck-at-1, and inverter and
  * buffer faults map straight through — partition the stuck-at fault
  * universe into equivalence classes so campaigns only need one
- * representative per class. Purely structural (no simulation), hence
+ * representative per class. The union-find chains those gate-local
+ * rules transitively across every fanout-free line, so classes span
+ * whole fanout-free regions. Purely structural (no simulation), hence
  * conservative: distinct classes may still be behaviorally
  * equivalent.
+ *
+ * Two optional analyses extend the baseline collapse:
+ *
+ *  - constRefine propagates structural constants (Const0/Const1
+ *    gates) through the netlist and refines degenerate gates — an AND
+ *    whose other inputs are all constant 1 behaves as a buffer, an
+ *    XOR with constant side inputs as a buffer or inverter — adding
+ *    their equivalences to the chains.
+ *  - dominance marks classes whose verdict is forced by structure
+ *    alone: the stuck value equals the line's propagated constant
+ *    (the faulty function IS the good function), the effect is masked
+ *    by a controlling constant on a sibling pin, or the line has no
+ *    structural path to any primary output. Such classes are
+ *    Untestable by construction and never need simulation, so
+ *    campaigns simulate strictly fewer representatives while classOf
+ *    still maps every original fault to a verdict. The pruning is
+ *    exact: a pruned fault's faulty network function equals the
+ *    fault-free function at every primary output, so the derived
+ *    Untestable verdict is bit-identical to what simulation would
+ *    report.
  */
 
 #ifndef SCAL_FAULT_COLLAPSE_HH
@@ -20,6 +42,19 @@
 namespace scal::fault
 {
 
+struct CollapseOptions
+{
+    /** Propagate structural constants and refine const-degenerate
+     *  gates before chaining equivalences (see file comment). Off by
+     *  default so the plain collapseFaults(net) numbers — embedded in
+     *  the deterministic campaign verdict JSON — never move. */
+    bool constRefine = false;
+    /** Mark structurally-forced-Untestable classes as pruned (see
+     *  file comment); requires nothing from constRefine but uses the
+     *  constant table when both are enabled. */
+    bool dominance = false;
+};
+
 struct CollapseResult
 {
     /** One representative per equivalence class. */
@@ -27,20 +62,54 @@ struct CollapseResult
     /** Class index of every original fault (aligned with
      *  net.allFaults() order). */
     std::vector<int> classOf;
+    /** Per class: 1 when dominance analysis forced the verdict to
+     *  Untestable (never simulate), 0 when it must be simulated.
+     *  Always all-zero when CollapseOptions::dominance is off. */
+    std::vector<std::uint8_t> pruned;
     int totalFaults = 0;
+    /** Classes (and original faults) covered by pruned classes. */
+    int prunedClasses = 0;
+    int prunedFaults = 0;
 
+    /** Classes a campaign actually has to simulate. */
+    int simulatedClasses() const
+    {
+        return static_cast<int>(representatives.size()) - prunedClasses;
+    }
+
+    /** Simulated classes per original fault: the campaign cost ratio.
+     *  Monotonically non-increasing as constRefine/dominance turn on. */
     double
     ratio() const
     {
         return totalFaults
-                   ? static_cast<double>(representatives.size()) /
+                   ? static_cast<double>(simulatedClasses()) /
                          totalFaults
                    : 1.0;
     }
 };
 
 /** Collapse the full stuck-at universe of @p net. */
-CollapseResult collapseFaults(const netlist::Netlist &net);
+CollapseResult collapseFaults(const netlist::Netlist &net,
+                              const CollapseOptions &opts = {});
+
+/**
+ * Per-line structural constant table: value of every gate's output
+ * line when it is implied by Const0/Const1 gates alone, or -1 when
+ * the line is not structurally constant. Dff outputs are never
+ * treated as constant (their power-on value may differ from the
+ * driven constant for the first period).
+ */
+std::vector<int> propagateConstants(const netlist::Netlist &net);
+
+/**
+ * Per-gate structural observability: true when some path from the
+ * gate's output to a primary output exists along which no sibling pin
+ * carries a masking controlling constant (flip-flops are traversed —
+ * a latched effect can surface later). A fault on an unobservable
+ * line can never reach an output, in any period.
+ */
+std::vector<std::uint8_t> observableLines(const netlist::Netlist &net);
 
 } // namespace scal::fault
 

@@ -79,7 +79,24 @@ campaignVerdictJson(const netlist::Netlist &net,
 std::string
 campaignTailJson(const CampaignResult &res)
 {
-    return "  \"stats\": " + res.stats.toJson();
+    // The fault-parallel breakdown lives in the tail, not the
+    // verdict: `batches` is jobs-dependent and the class counts vary
+    // with the pruning knobs, so putting them in the verdict would
+    // break the byte-stability of cached results across those axes.
+    std::ostringstream os;
+    os << "  \"fault_parallel\": {\"enabled\": "
+       << (res.fp.enabled ? "true" : "false")
+       << ", \"total_faults\": " << res.fp.totalFaults
+       << ", \"classes\": " << res.fp.classes
+       << ", \"pruned_classes\": " << res.fp.prunedClasses
+       << ", \"pruned_faults\": " << res.fp.prunedFaults
+       << ", \"flip_classes\": " << res.fp.flipClasses
+       << ", \"cpt_classes\": " << res.fp.cptClasses
+       << ", \"tap_classes\": " << res.fp.tapClasses
+       << ", \"sim_classes\": " << res.fp.simClasses
+       << ", \"batches\": " << res.fp.batches << "},\n"
+       << "  \"stats\": " << res.stats.toJson();
+    return os.str();
 }
 
 std::string
@@ -129,6 +146,8 @@ seqCampaignTailJson(const SeqCampaignResult &res)
     std::ostringstream os;
     os << "  \"periods_simulated\": " << res.periodsSimulated << ",\n"
        << "  \"periods_skipped\": " << res.periodsSkipped << ",\n"
+       << "  \"pruned_classes\": " << res.prunedClasses << ",\n"
+       << "  \"pruned_faults\": " << res.prunedFaults << ",\n"
        << "  \"stats\": " << res.stats.toJson();
     return os.str();
 }

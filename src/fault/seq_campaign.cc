@@ -80,7 +80,8 @@ std::vector<RepVerdict>
 classifySeqChunk(const sim::SeqGoodTrace &trace, const ResolvedSpec &rs,
                  const std::vector<Fault> &faults, std::size_t begin,
                  std::size_t end, const SeqCampaignOptions &opts,
-                 engine::ProgressTracker *progress)
+                 engine::ProgressTracker *progress,
+                 const std::uint8_t *pruned = nullptr)
 {
     sim::SeqFaultSimulator fsim(trace);
     const int no = trace.flat().numOutputs();
@@ -94,6 +95,12 @@ classifySeqChunk(const sim::SeqGoodTrace &trace, const ResolvedSpec &rs,
     for (std::size_t k = begin; k < end; ++k) {
         if (opts.cancel && opts.cancel->stopRequested())
             throw engine::CampaignCancelled();
+        // Dominance-pruned class: the faulty machine is
+        // trace-identical to the fault-free one (stuck value equals a
+        // structural constant, or the line reaches no output), so the
+        // default verdict — Untestable, no alarms — is exact.
+        if (pruned && pruned[k])
+            continue;
         SeqVerdictAccumulator acc(rs.laneMask.data(), W,
                                   opts.dropDetected);
         long pending = -1;
@@ -351,8 +358,16 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
     // chunk order, expand class verdicts over allFaults() order. The
     // collapsing equivalences are all same-line-function equivalences
     // (Dffs collapse nothing), so they hold per period and therefore
-    // over any sequence.
-    const CollapseResult col = collapseFaults(net);
+    // over any sequence — including the const-refined chains, whose
+    // constant propagation treats Dff outputs as free variables.
+    CollapseOptions colOpts;
+    colOpts.constRefine = opts.dominance;
+    colOpts.dominance = opts.dominance;
+    const CollapseResult col = collapseFaults(net, colOpts);
+    result.prunedClasses = col.prunedClasses;
+    result.prunedFaults = col.prunedFaults;
+    const std::uint8_t *pruned =
+        col.pruned.empty() ? nullptr : col.pruned.data();
 
     engine::EngineOptions eopts;
     eopts.jobs = jobs;
@@ -367,7 +382,7 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
         [&](engine::Chunk chunk, std::size_t) {
             return classifySeqChunk(trace, rs, col.representatives,
                                     chunk.begin, chunk.end, ropts,
-                                    &eng.progress());
+                                    &eng.progress(), pruned);
         });
 
     std::vector<const RepVerdict *> repVerdict;
@@ -385,7 +400,9 @@ runSequentialCampaign(const Netlist &net, const SeqCampaignSpec &spec,
     finalizeSeqResult(result, verdictOf);
 
     result.stats = eng.endCampaign(
-        faults.size(), col.representatives.size(), lane_symbols);
+        faults.size(),
+        static_cast<std::uint64_t>(col.simulatedClasses()),
+        lane_symbols);
     return result;
 }
 

@@ -91,6 +91,16 @@ struct SeqCampaignOptions
      * so results are bit-identical either way.
      */
     bool dropDetected = true;
+    /**
+     * Const-refined equivalence collapsing plus structural dominance
+     * pruning on the parallel path: classes whose faults are forced
+     * Untestable (constant or unobservable line) skip simulation
+     * outright. Purely a work saving — a pruned fault's machine is
+     * trace-identical to the fault-free one, which the campaign has
+     * already verified alarm-free, so verdicts are bit-identical
+     * either way.
+     */
+    bool dominance = true;
     /** 0 = hardware_concurrency, 1 = serial (no collapsing). */
     int jobs = 0;
     int chunksPerWorker = 4;
@@ -154,6 +164,11 @@ struct SeqCampaignResult
      */
     long periodsSimulated = 0;
     long periodsSkipped = 0;
+    /** Classes (and the faults they cover) dominance-pruned instead
+     *  of simulated; 0 on the serial path. Non-deterministic across
+     *  jobs like the period counters above. */
+    int prunedClasses = 0;
+    int prunedFaults = 0;
     /** Wall-clock stats; explicitly non-deterministic. */
     engine::CampaignStats stats;
 

@@ -125,9 +125,9 @@ FaultSimulator::cone(GateId seed)
     return coneCache_[seed];
 }
 
-void
-FaultSimulator::simulate(int phase, const Fault *faults,
-                         std::size_t num_faults)
+FaultSimulator::InjectPrep
+FaultSimulator::prepareInjections(int phase, const Fault *faults,
+                                  std::size_t num_faults)
 {
     bumpEpoch();
     const std::size_t W = static_cast<std::size_t>(laneWords_);
@@ -139,15 +139,12 @@ FaultSimulator::simulate(int phase, const Fault *faults,
     // injections reference the shared constant groups.
     branchInj_.clear();
     tapInj_.clear();
-    std::int64_t frontier = 0; // differing gates' unprocessed cone edges
-    int last_branch_pos = -1;
-    GateId single_seed = kNoGate;
-    bool multi_seed = false;
+    InjectPrep prep;
     auto note_seed = [&](GateId s) {
-        if (single_seed == kNoGate)
-            single_seed = s;
-        else if (single_seed != s)
-            multi_seed = true;
+        if (prep.singleSeed == kNoGate)
+            prep.singleSeed = s;
+        else if (prep.singleSeed != s)
+            prep.multiSeed = true;
     };
     for (std::size_t k = 0; k < num_faults; ++k) {
         const Fault &f = faults[k];
@@ -166,7 +163,7 @@ FaultSimulator::simulate(int phase, const Fault *faults,
                 for (std::size_t w = 0; w < W; ++w)
                     fv[w] = vg[w];
                 stamp_[g] = epoch_;
-                frontier += flat_.fanoutDegree(g);
+                prep.frontier += flat_.fanoutDegree(g);
             }
             note_seed(g);
         } else if (f.site.consumer == FaultSite::kOutputTap) {
@@ -177,18 +174,94 @@ FaultSimulator::simulate(int phase, const Fault *faults,
             // vector), matching the reference evaluators.
             branchInj_.push_back(
                 {f.site.consumer, f.site.driver, f.site.pin, vg});
-            last_branch_pos = std::max(
-                last_branch_pos, flat_.topoPos(f.site.consumer));
+            prep.lastBranchPos = std::max(
+                prep.lastBranchPos, flat_.topoPos(f.site.consumer));
             note_seed(f.site.consumer);
         }
     }
+    return prep;
+}
 
-    if (frontier != 0 || !branchInj_.empty()) {
+void
+FaultSimulator::replayAndAssemble(int phase, const InjectPrep &prep,
+                                  const GateId *work, std::size_t num_work)
+{
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
+    const std::uint64_t *good = goodLines_[phase].data();
+
+    if (prep.frontier != 0 || !branchInj_.empty()) {
+        kernels_->replayCone(flat_, good, faulty_.data(), stamp_.data(),
+                             forced_.data(), epoch_, work, num_work,
+                             branchInj_.data(), branchInj_.size(),
+                             prep.lastBranchPos, prep.frontier,
+                             ptrScratch_.data());
+    }
+
+    // Output assembly (with output-tap overrides, reference order).
+    std::uint64_t *out = outBuf_[phase].data();
+    kernels_->assembleOutputs(flat_, good, faulty_.data(), stamp_.data(),
+                              epoch_, out);
+    for (const TapInjection &t : tapInj_) {
+        if (t.outputIdx >= 0 && t.outputIdx < flat_.numOutputs() &&
+            flat_.output(t.outputIdx) == t.driver) {
+            std::uint64_t *dst =
+                out + static_cast<std::size_t>(t.outputIdx) * W;
+            for (std::size_t w = 0; w < W; ++w)
+                dst[w] = t.value[w];
+        }
+    }
+}
+
+const std::vector<std::uint64_t> &
+FaultSimulator::faultOutputsOver(const Fault *faults,
+                                 std::size_t num_faults, const GateId *work,
+                                 std::size_t num_work, int phase)
+{
+    const InjectPrep prep = prepareInjections(phase, faults, num_faults);
+    replayAndAssemble(phase, prep, work, num_work);
+    return outBuf_[phase];
+}
+
+void
+FaultSimulator::replayFlips(const GateId *lines, std::size_t num_lines,
+                            const GateId *work, std::size_t num_work,
+                            int phase)
+{
+    bumpEpoch();
+    const std::size_t W = static_cast<std::size_t>(laneWords_);
+    const std::uint64_t *good = goodLines_[phase].data();
+    branchInj_.clear();
+    tapInj_.clear();
+    std::int64_t frontier = 0;
+    for (std::size_t k = 0; k < num_lines; ++k) {
+        const GateId g = lines[k];
+        forced_[g] = epoch_;
+        const std::uint64_t *gd = good + static_cast<std::size_t>(g) * W;
+        std::uint64_t *fv = faulty_.data() + static_cast<std::size_t>(g) * W;
+        for (std::size_t w = 0; w < W; ++w)
+            fv[w] = ~gd[w];
+        stamp_[g] = epoch_;
+        frontier += flat_.fanoutDegree(g);
+    }
+    if (frontier != 0)
+        kernels_->replayCone(flat_, good, faulty_.data(), stamp_.data(),
+                             forced_.data(), epoch_, work, num_work,
+                             branchInj_.data(), branchInj_.size(), -1,
+                             frontier, ptrScratch_.data());
+}
+
+void
+FaultSimulator::simulate(int phase, const Fault *faults,
+                         std::size_t num_faults)
+{
+    const InjectPrep prep = prepareInjections(phase, faults, num_faults);
+
+    const std::vector<GateId> *work = nullptr;
+    if (prep.frontier != 0 || !branchInj_.empty()) {
         // Worklist: the memoized cone for a single seed, the sorted
         // union of cones otherwise.
-        const std::vector<GateId> *work;
-        if (!multi_seed) {
-            work = &cone(single_seed);
+        if (!prep.multiSeed) {
+            work = &cone(prep.singleSeed);
         } else {
             if (++visitEpoch_ == 0) {
                 std::fill(visitStamp_.begin(), visitStamp_.end(), 0);
@@ -227,27 +300,10 @@ FaultSimulator::simulate(int phase, const Fault *faults,
                       });
             work = &unionCone_;
         }
-
-        kernels_->replayCone(flat_, good, faulty_.data(), stamp_.data(),
-                             forced_.data(), epoch_, work->data(),
-                             work->size(), branchInj_.data(),
-                             branchInj_.size(), last_branch_pos, frontier,
-                             ptrScratch_.data());
     }
 
-    // Output assembly (with output-tap overrides, reference order).
-    std::uint64_t *out = outBuf_[phase].data();
-    kernels_->assembleOutputs(flat_, good, faulty_.data(), stamp_.data(),
-                              epoch_, out);
-    for (const TapInjection &t : tapInj_) {
-        if (t.outputIdx >= 0 && t.outputIdx < flat_.numOutputs() &&
-            flat_.output(t.outputIdx) == t.driver) {
-            std::uint64_t *dst =
-                out + static_cast<std::size_t>(t.outputIdx) * W;
-            for (std::size_t w = 0; w < W; ++w)
-                dst[w] = t.value[w];
-        }
-    }
+    replayAndAssemble(phase, prep, work ? work->data() : nullptr,
+                      work ? work->size() : 0);
 }
 
 AlternatingMasks

@@ -136,6 +136,51 @@ class FaultSimulator
     }
 
     /**
+     * As faultOutputs(faults, num_faults, phase), but replaying the
+     * caller-supplied worklist @p work (@p num_work gates sorted by
+     * ascending topoPos, covering the union of the faults' fanout
+     * cones) instead of deriving and sorting the cone union per call.
+     * This is the batch-simulation entry point: a fault batcher that
+     * pre-merges member cones once per shard skips the per-pass cone
+     * union entirely. Output-tap faults are still applied at assembly.
+     */
+    const std::vector<std::uint64_t> &
+    faultOutputsOver(const netlist::Fault *faults, std::size_t num_faults,
+                     const netlist::GateId *work, std::size_t num_work,
+                     int phase = 0);
+
+    /**
+     * Replay-only flip injection: force each line of @p lines to the
+     * complement of its cached @p phase good value and replay the
+     * caller-supplied worklist (ascending topoPos, covering the union
+     * of the lines' fanout cones). No output assembly — read results
+     * with lineValue(). One flip pass carries BOTH stuck-at
+     * polarities of a line: lane-wise, a stuck-at-v fault behaves
+     * exactly like the flip wherever the good value is ~v and has no
+     * effect elsewhere, so err(sa-v) = excitation_v & flip error.
+     */
+    void replayFlips(const netlist::GateId *lines, std::size_t num_lines,
+                     const netlist::GateId *work, std::size_t num_work,
+                     int phase);
+
+    /**
+     * The value block of line @p g after the immediately preceding
+     * replayFlips()/faultOutputs*() call: the replayed faulty value
+     * where it differs from the @p phase baseline, the cached good
+     * value elsewhere. Valid until the next injection call.
+     */
+    const std::uint64_t *
+    lineValue(netlist::GateId g, int phase) const
+    {
+        const std::uint64_t *base = stamp_[g] == epoch_
+                                        ? faulty_.data()
+                                        : goodLines_[phase].data();
+        return base +
+               static_cast<std::size_t>(g) *
+                   static_cast<std::size_t>(laneWords_);
+    }
+
+    /**
      * The campaign kernel: simulate @p fault against both cached
      * phases and fold the outputs into per-lane verdict masks.
      * @pre setAlternatingBlock() was called for the current block.
@@ -161,8 +206,22 @@ class FaultSimulator
     const FlatNetlist &flat() const { return flat_; }
 
   private:
+    /** Injection sort summary for one simulate() pass. */
+    struct InjectPrep
+    {
+        std::int64_t frontier = 0;
+        int lastBranchPos = -1;
+        netlist::GateId singleSeed = netlist::kNoGate;
+        bool multiSeed = false;
+    };
+
     void evalGood(int phase, const std::uint64_t *inputs,
                   const std::uint64_t *dff_state);
+    InjectPrep prepareInjections(int phase, const netlist::Fault *faults,
+                                 std::size_t num_faults);
+    void replayAndAssemble(int phase, const InjectPrep &prep,
+                           const netlist::GateId *work,
+                           std::size_t num_work);
     void simulate(int phase, const netlist::Fault *faults,
                   std::size_t num_faults);
     const std::vector<netlist::GateId> &cone(netlist::GateId seed);

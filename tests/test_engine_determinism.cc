@@ -50,12 +50,30 @@ void
 checkAcrossJobs(const Netlist &net, const char *label,
                 std::uint64_t max_patterns = std::uint64_t{1} << 20)
 {
+    // Legacy reference: all fault-parallel knobs off, every fault
+    // simulated individually by the original serial loop.
+    fault::CampaignOptions ref_opts;
+    ref_opts.maxPatterns = max_patterns;
+    ref_opts.jobs = 1;
+    ref_opts.faultBatch = false;
+    ref_opts.cpt = false;
+    ref_opts.dominance = false;
+    const auto reference = fault::runAlternatingCampaign(net, ref_opts);
+    EXPECT_FALSE(reference.fp.enabled);
+    EXPECT_EQ(reference.stats.jobs, 1);
+    EXPECT_EQ(reference.stats.simulatedFaults, reference.faults.size());
+
+    // Default options: the fault-parallel path (batching + CPT +
+    // pruning), which simulates collapsed classes only.
     fault::CampaignOptions opts;
     opts.maxPatterns = max_patterns;
     opts.jobs = 1;
     const auto serial = fault::runAlternatingCampaign(net, opts);
+    expectBitIdentical(reference, serial, net, label);
+    EXPECT_TRUE(serial.fp.enabled);
     EXPECT_EQ(serial.stats.jobs, 1);
-    EXPECT_EQ(serial.stats.simulatedFaults, serial.faults.size());
+    EXPECT_LE(serial.stats.simulatedFaults, serial.faults.size());
+    EXPECT_GT(serial.stats.simulatedFaults, 0u);
 
     for (int jobs : {2, 8}) {
         opts.jobs = jobs;

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Compare a benchmark JSON against a committed baseline.
+
+Only dimensionless ``speedup`` ratios are compared: absolute timings
+and throughputs shift with the host, but the ratio between two code
+paths measured in the same process on the same machine (fault-parallel
+vs per-fault, cone vs full resimulation) is a property of the code. A
+ratio falling more than --tolerance below the baseline fails the run.
+
+Lane-width scaling ratios (``512v64``, ``speedup_vs_64``) are
+reported but never gated: how much 512-bit lanes beat 64-bit lanes
+depends on what vector ISA the host exposes, so a baseline recorded
+on an AVX-512 machine would fail spuriously on an AVX2 runner.
+
+Rows/scenarios are matched by their "name" field; a scenario present
+in the baseline but missing from the current run is a failure (a
+silently dropped scenario must not pass the gate), while new scenarios
+are reported and ignored. Rows with fewer than 512 patterns/symbols of
+work ("patterns" or "work" field) are excluded on both sides — their
+micro-second timings make ratios too noisy to gate on, the same guard
+the fault-sim benchmark applies to its wide geomean.
+
+Usage: bench_compare.py BASELINE CURRENT [--tolerance 0.25]
+Exit status: 0 when every matched ratio holds, 1 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+MIN_WORK = 512
+
+# ISA-sensitive lane-scaling ratios: report, never gate.
+UNGATED = ("512v64", "speedup_vs_64")
+
+
+def collect_ratios(node, path=""):
+    """All numeric fields whose key mentions 'speedup', keyed by a
+    stable path that uses row names instead of list indices."""
+    out = {}
+    if isinstance(node, dict):
+        work = node.get("patterns", node.get("work"))
+        if isinstance(work, (int, float)) and work < MIN_WORK:
+            return out
+        for key, val in sorted(node.items()):
+            sub = f"{path}.{key}" if path else key
+            if isinstance(val, (int, float)) and "speedup" in key:
+                out[sub] = float(val)
+            else:
+                out.update(collect_ratios(val, sub))
+    elif isinstance(node, list):
+        for i, val in enumerate(node):
+            label = (
+                val.get("name", str(i))
+                if isinstance(val, dict)
+                else str(i)
+            )
+            out.update(collect_ratios(val, f"{path}[{label}]"))
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="allowed fractional drop below baseline (default 0.25)",
+    )
+    args = ap.parse_args()
+
+    with open(args.baseline) as f:
+        base = collect_ratios(json.load(f))
+    with open(args.current) as f:
+        cur = collect_ratios(json.load(f))
+
+    if not base:
+        print(f"error: no speedup ratios in {args.baseline}")
+        return 1
+
+    failures = []
+    for key, want in sorted(base.items()):
+        if any(tag in key for tag in UNGATED):
+            have = cur.get(key)
+            shown = f"{have:.3f}" if have is not None else "missing"
+            print(f"info {key}: baseline {want:.3f}, current {shown} "
+                  f"(ISA-sensitive, not gated)")
+            continue
+        if key not in cur:
+            failures.append(f"{key}: missing from current run "
+                            f"(baseline {want:.3f})")
+            continue
+        have = cur[key]
+        floor = want * (1.0 - args.tolerance)
+        status = "ok" if have >= floor else "FAIL"
+        print(f"{status:4} {key}: baseline {want:.3f}, "
+              f"current {have:.3f}, floor {floor:.3f}")
+        if have < floor:
+            failures.append(
+                f"{key}: {have:.3f} < {floor:.3f} "
+                f"(baseline {want:.3f}, tolerance {args.tolerance:.0%})"
+            )
+    for key in sorted(set(cur) - set(base)):
+        print(f"new  {key}: {cur[key]:.3f} (not in baseline, ignored)")
+
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.tolerance:.0%} tolerance:")
+        for msg in failures:
+            print(f"  {msg}")
+        return 1
+    gated = sum(1 for k in base
+                if not any(tag in k for tag in UNGATED))
+    print(f"\nall {gated} gated ratios within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -15,12 +15,14 @@
  *   scal_cli campaign <netlist|-> [--jobs N] [--json] [--verbose]
  *                     [--seed N] [--max-patterns N] [--progress]
  *                     [--lanes 64|256|512] [--simd portable|avx2|avx512]
+ *                     [--[no-]fault-batch] [--[no-]cpt]
+ *                     [--[no-]dominance]
  *                                        exhaustive stuck-at campaign
  *   scal_cli seq-campaign <netlist|-> [--symbols N] [--lanes N]
  *                     [--seed N] [--jobs N] [--window S:E] [--no-drop]
  *                     [--phi NAME] [--data I,J,..] [--alt I,J,..]
  *                     [--code-pairs P,Q,..] [--hold I,J,..]
- *                     [--simd portable|avx2|avx512]
+ *                     [--simd portable|avx2|avx512] [--[no-]dominance]
  *                     [--json] [--progress]
  *                                        sequential alternating campaign
  *
@@ -28,7 +30,12 @@
  * --lanes picks patterns/streams per packed replay (0 = widest the
  * resolved target supports), --simd pins the kernel build (default
  * auto: the SCAL_SIMD env var, else the widest the CPU supports).
- * Verdicts are bit-identical across lanes, simd and jobs.
+ * The fault-parallel fast paths (all default on) are performance
+ * knobs too: --fault-batch packs disjoint-cone fault classes into one
+ * simulation pass, --cpt classifies fanout-free-region-interior
+ * faults by critical-path tracing with no replay, and --dominance
+ * prunes classes structurally forced Untestable. Verdicts are
+ * bit-identical across lanes, simd, jobs and all of these flags.
  *   scal_cli tests    <netlist|-> <line> Theorem 3.2 test derivation
  *   scal_cli repair   <netlist|-> <line> [depth]   Figure 3.7 repair
  *   scal_cli convert-minority <netlist|->          Theorem 6.2
@@ -329,6 +336,18 @@ parseCampaignFlags(int argc, char **argv, int first)
             flags.opts.lanes = static_cast<int>(number("--lanes"));
         else if (arg == "--simd")
             flags.opts.simd = parseSimdFlag(value("--simd"));
+        else if (arg == "--fault-batch")
+            flags.opts.faultBatch = true;
+        else if (arg == "--no-fault-batch")
+            flags.opts.faultBatch = false;
+        else if (arg == "--cpt")
+            flags.opts.cpt = true;
+        else if (arg == "--no-cpt")
+            flags.opts.cpt = false;
+        else if (arg == "--dominance")
+            flags.opts.dominance = true;
+        else if (arg == "--no-dominance")
+            flags.opts.dominance = false;
         else if (arg == "--progress")
             flags.opts.progressInterval = std::chrono::seconds(1);
         else if (arg == "--json")
@@ -380,6 +399,16 @@ cmdCampaign(const Netlist &net, const CampaignFlags &flags)
               << " fault classes simulated (collapse ratio "
               << res.stats.collapseRatio << "), "
               << res.stats.elapsedSeconds << " s\n";
+    if (res.fp.enabled) {
+        std::cout << "fault-parallel: " << res.fp.classes
+                  << " classes = " << res.fp.flipClasses
+                  << " flip-derived + " << res.fp.cptClasses
+                  << " critical-path-traced + " << res.fp.simClasses
+                  << " simulated + " << res.fp.tapClasses
+                  << " output-tap + " << res.fp.prunedClasses
+                  << " pruned (" << res.fp.prunedFaults << " faults); "
+                  << res.fp.batches << " batches\n";
+    }
     if (flags.verbose) {
         // The per-fault classification table the campaign computed.
         for (const auto &fr : res.faults) {
@@ -482,6 +511,10 @@ parseSeqCampaignFlags(int argc, char **argv, int first)
             flags.opts.simd = parseSimdFlag(value("--simd"));
         else if (arg == "--no-drop")
             flags.opts.dropDetected = false;
+        else if (arg == "--dominance")
+            flags.opts.dominance = true;
+        else if (arg == "--no-dominance")
+            flags.opts.dominance = false;
         else if (arg == "--phi")
             flags.phiName = value("--phi");
         else if (arg == "--data")
